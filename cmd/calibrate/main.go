@@ -1,0 +1,107 @@
+// Command calibrate reproduces the paper's Chapter 3-4 calibration
+// experiments: the longitudinal control-error bound Elong (Fig. 3.1), the
+// NTP clock-synchronization residual, and the worst-case round-trip delay
+// under four simultaneous arrivals.
+//
+// Usage:
+//
+//	calibrate [-exp elong|sync|rtd|all] [-trials N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"crossroads/internal/calib"
+	"crossroads/internal/core"
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/safety"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: elong, sync, net, rtd, or all")
+	trials := flag.Int("trials", 0, "override trial count (0 = paper default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	ran := false
+	if *exp == "elong" || *exp == "all" {
+		runElong(*trials, *seed)
+		ran = true
+	}
+	if *exp == "sync" || *exp == "all" {
+		runSync(*seed)
+		ran = true
+	}
+	if *exp == "net" || *exp == "all" {
+		runNetDelay(*seed)
+		ran = true
+	}
+	if *exp == "rtd" || *exp == "all" {
+		runRTD(*trials, *seed)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "calibrate: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}
+
+func runElong(trials int, seed int64) {
+	cfg := calib.DefaultElongConfig()
+	if trials > 0 {
+		cfg.Trials = trials
+	}
+	cfg.Seed = seed
+	res, err := calib.MeasureElong(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== E1: longitudinal control error (paper §3.1, Fig. 3.1) ==")
+	for i, pair := range cfg.Pairs {
+		fmt.Printf("  v0=%.1f -> v1=%.1f m/s: worst |Elong| = %.1f mm\n",
+			pair[0], pair[1], res.PerPair[i]*1000)
+	}
+	fmt.Printf("  overall worst over %d trials: %.1f mm (paper: +-75 mm)\n\n",
+		res.Trials, res.WorstAbs*1000)
+}
+
+func runSync(seed int64) {
+	res := calib.MeasureSync(50, 8, seed)
+	fmt.Println("== E2: clock-synchronization error (paper §3.2) ==")
+	fmt.Printf("  worst NTP residual over %d nodes: %.2f ms (paper: 1 ms)\n",
+		res.Nodes, res.WorstResidual*1000)
+	fmt.Printf("  buffer at 3 m/s: %.1f mm (paper: 3 mm)\n", res.BufferAt(3)*1000)
+	spec := safety.TestbedSpec()
+	fmt.Printf("  total sensing buffer: %.0f mm (paper: 78 mm)\n\n", spec.SensingBuffer()*1000)
+}
+
+func runNetDelay(seed int64) {
+	res := calib.MeasureNetDelay(500, seed)
+	fmt.Println("== E3a: ack-based network delay (paper Ch. 4 procedure) ==")
+	fmt.Printf("  %d probes: worst one-way %.1f ms (paper: 15 ms), mean %.1f ms\n\n",
+		res.Samples, res.WorstOneWay*1000, res.MeanOneWay*1000)
+}
+
+func runRTD(trials int, seed int64) {
+	if trials <= 0 {
+		trials = 10
+	}
+	res, err := calib.MeasureRTD(trials, seed, func(x *intersection.Intersection, rng *rand.Rand) (im.Scheduler, error) {
+		return core.New(x, core.DefaultConfig(), rng)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("== E3: worst-case round-trip delay (paper Ch. 4) ==")
+	fmt.Printf("  %d trials of 4 simultaneous arrivals (%d samples)\n", trials, res.Samples)
+	fmt.Printf("  worst RTD:     %.0f ms (paper bound: 150 ms)\n", res.WorstRTD*1000)
+	fmt.Printf("  compute share: %.0f ms (paper: 135 ms)\n", res.WorstCompute*1000)
+	fmt.Printf("  mean RTD:      %.0f ms\n", res.MeanRTD*1000)
+	fmt.Printf("  RTD buffer at 3 m/s: %.2f m (paper: 0.45 m)\n\n", safety.TestbedSpec().RTDBuffer())
+}

@@ -1,0 +1,15 @@
+// Package crossroads is a from-scratch Go reproduction of "Crossroads — A
+// Time-Sensitive Autonomous Intersection Management Technique" (Andert,
+// DAC 2017 / ASU MS thesis): a discrete-event intersection world with
+// physical vehicle plants, drifting NTP-synchronized clocks, a lossy V2I
+// network, and three complete intersection-manager policies — the buffered
+// velocity-transaction baseline (VT-IM), the query-based AIM baseline of
+// Dresner & Stone, and Crossroads itself, which fixes each command's
+// execution time TE = TT + WC-RTD so that round-trip delay no longer
+// inflates the safety buffer.
+//
+// The implementation lives under internal/; see DESIGN.md for the system
+// inventory, EXPERIMENTS.md for the paper-versus-measured record, and
+// bench_test.go in this directory for the harness that regenerates every
+// table and figure.
+package crossroads

@@ -1,0 +1,3 @@
+module crossroads
+
+go 1.22

@@ -1,0 +1,311 @@
+// Package calib reproduces the paper's calibration experiments:
+//
+//   - Elong estimation (§3.1, Fig. 3.1): hold v0, accelerate to v1, hold,
+//     and compare the final position against the ideal profile; the worst
+//     case over repeated trials bounds the longitudinal control error
+//     (±75 mm on the testbed).
+//   - Clock-sync error (§3.2): NTP exchanges over the testbed link, worst
+//     residual error (≤1 ms), and the resulting buffer at top speed (3 mm).
+//   - WC-RTD measurement (Chapter 4): four simultaneous arrivals at the IM,
+//     measuring the worst round-trip delay over repeated trials (135 ms
+//     computation + 15 ms network ≈ 150 ms bound).
+package calib
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crossroads/internal/des"
+	"crossroads/internal/geom"
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/network"
+	"crossroads/internal/plant"
+	"crossroads/internal/timesync"
+)
+
+// ElongConfig parameterizes the Fig. 3.1 longitudinal-error experiment.
+type ElongConfig struct {
+	// Trials per speed pair (paper: 20).
+	Trials int
+	// V0, V1 are the hold/target speeds; the paper's worst cases are
+	// (0.1, 3.0) and (3.0, 0.1) m/s.
+	Pairs [][2]float64
+	// Noise is the plant disturbance under calibration.
+	Noise plant.NoiseConfig
+	// Params is the vehicle under test.
+	Params kinematics.Params
+	Seed   int64
+}
+
+// DefaultElongConfig returns the paper's experiment: 20 trials over the two
+// worst-case speed pairs with the calibrated testbed noise.
+func DefaultElongConfig() ElongConfig {
+	return ElongConfig{
+		Trials: 20,
+		Pairs:  [][2]float64{{0.1, 3.0}, {3.0, 0.1}},
+		Noise:  plant.TestbedNoise(),
+		Params: kinematics.ScaleModelParams(),
+		Seed:   1,
+	}
+}
+
+// ElongResult is the measured control-error bound.
+type ElongResult struct {
+	// WorstAbs is the worst |Elong| across all trials (the paper's
+	// ±75 mm).
+	WorstAbs float64
+	// PerPair holds the worst error for each speed pair.
+	PerPair []float64
+	// Trials is the total number of trials run.
+	Trials int
+}
+
+// MeasureElong runs the Fig. 3.1 procedure: the vehicle holds v0 for a
+// second, ramps to v1 at maximum rate, holds v1, and the final position is
+// compared to the ideal profile's.
+func MeasureElong(cfg ElongConfig) (ElongResult, error) {
+	if cfg.Trials < 1 {
+		return ElongResult{}, fmt.Errorf("calib: trials %d must be positive", cfg.Trials)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return ElongResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := ElongResult{}
+	const (
+		dt       = 0.01
+		holdTime = 1.0
+	)
+	path := geom.LinePath{Start: geom.V(0, 0), End: geom.V(1000, 0)}
+	for _, pair := range cfg.Pairs {
+		v0, v1 := pair[0], pair[1]
+		rate := cfg.Params.MaxAccel
+		if v1 < v0 {
+			rate = cfg.Params.MaxDecel
+		}
+		// Ideal profile: hold v0, ramp, hold v1.
+		ramp := kinematics.RampProfile(holdTime, v0, v1, rate)
+		ideal := kinematics.HoldProfile(0, v0, holdTime)
+		for _, ph := range ramp.Phases {
+			ideal = ideal.Append(ph)
+		}
+		ideal = ideal.Append(kinematics.Phase{Duration: holdTime, V0: v1})
+		total := ideal.Duration()
+
+		worst := 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			pl, err := plant.New(path, cfg.Params, 0, v0, cfg.Noise, rng)
+			if err != nil {
+				return ElongResult{}, err
+			}
+			// The vehicle servos on its own sensors against the ideal
+			// profile, as the real car's controller does on its encoder.
+			const kp = 2.0
+			for t := 0.0; t < total; t += dt {
+				vCmd := ideal.VelocityAt(t+dt) + kp*(ideal.DistanceAt(t)-pl.MeasuredS())
+				pl.Step(vCmd, dt)
+			}
+			e := math.Abs(pl.S() - ideal.DistanceAt(total))
+			if e > worst {
+				worst = e
+			}
+			res.Trials++
+		}
+		res.PerPair = append(res.PerPair, worst)
+		if worst > res.WorstAbs {
+			res.WorstAbs = worst
+		}
+	}
+	return res, nil
+}
+
+// SyncResult is the measured clock-sync error bound.
+type SyncResult struct {
+	// WorstResidual is the worst synchronized-clock error observed (s);
+	// the paper bounds it at 1 ms.
+	WorstResidual float64
+	// BufferAt returns the implied buffer at a given top speed.
+	Nodes int
+}
+
+// BufferAt converts the residual into the distance buffer at speed v.
+func (r SyncResult) BufferAt(v float64) float64 { return r.WorstResidual * v }
+
+// MeasureSync runs NTP exchanges for many simulated nodes over the testbed
+// link model and reports the worst residual error.
+func MeasureSync(nodes, exchanges int, seed int64) SyncResult {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if exchanges < 1 {
+		exchanges = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	delay := network.TestbedDelay()
+	worst := 0.0
+	for n := 0; n < nodes; n++ {
+		clk := timesync.NewRandomClock(rng, 0.2, 20)
+		sc := timesync.NewSyncedClock(clk, 8)
+		t := 0.0
+		for e := 0; e < exchanges; e++ {
+			sc.AddSample(timesync.Exchange(clk, t, delay.Sample(rng), delay.Sample(rng)))
+			t += 0.05
+		}
+		// Residual checked over the following test window.
+		for _, at := range []float64{t, t + 1, t + 5} {
+			if e := math.Abs(sc.ResidualError(at)); e > worst {
+				worst = e
+			}
+		}
+	}
+	return SyncResult{WorstResidual: worst, Nodes: nodes}
+}
+
+// RTDResult is the measured round-trip-delay distribution of the Chapter 4
+// experiment.
+type RTDResult struct {
+	// WorstRTD is the worst request-to-response delay observed (s); the
+	// paper bounds it at 150 ms (135 ms queued computation + 15 ms
+	// network).
+	WorstRTD float64
+	// WorstCompute is the worst queued computation share.
+	WorstCompute float64
+	// MeanRTD is the average across all request/response pairs.
+	MeanRTD float64
+	Samples int
+}
+
+// MeasureRTD reproduces the worst-case RTD measurement: trials of four
+// simultaneous arrivals (one per approach) hitting a Crossroads-style FIFO
+// server, measuring each vehicle's request-to-response delay.
+func MeasureRTD(trials int, seed int64, newSched func(x *intersection.Intersection, rng *rand.Rand) (im.Scheduler, error)) (RTDResult, error) {
+	if trials < 1 {
+		trials = 10
+	}
+	x, err := intersection.New(intersection.ScaleModelConfig())
+	if err != nil {
+		return RTDResult{}, err
+	}
+	res := RTDResult{}
+	var totalRTD float64
+	for trial := 0; trial < trials; trial++ {
+		simulator := des.New()
+		rng := rand.New(rand.NewSource(seed + int64(trial)))
+		net := network.New(simulator, rng, network.TestbedDelay(), 0)
+		sched, err := newSched(x, rng)
+		if err != nil {
+			return RTDResult{}, err
+		}
+		im.NewServer(simulator, net, sched, nil)
+
+		type probe struct{ sent, recv float64 }
+		probes := make([]*probe, 4)
+		params := kinematics.ScaleModelParams()
+		for a := intersection.East; a < intersection.NumApproaches; a++ {
+			a := a
+			pr := &probe{}
+			probes[int(a)] = pr
+			id := int64(trial*10 + int(a) + 1)
+			net.Register(im.VehicleEndpoint(id), func(now float64, msg network.Message) {
+				if msg.Kind == network.KindResponse || msg.Kind == network.KindAccept || msg.Kind == network.KindReject {
+					if pr.recv == 0 {
+						pr.recv = now
+					}
+				}
+			})
+			simulator.At(0.001, func() {
+				pr.sent = simulator.Now()
+				net.Send(network.Message{
+					Kind: network.KindRequest,
+					From: im.VehicleEndpoint(id),
+					To:   im.EndpointName,
+					Payload: im.Request{
+						VehicleID:    id,
+						Seq:          1,
+						Movement:     intersection.MovementID{Approach: a, Lane: 0, Turn: intersection.Straight},
+						CurrentSpeed: params.MaxSpeed,
+						DistToEntry:  3.0,
+						TransmitTime: 0.001,
+						ProposedToA:  0.001 + 1.0,
+						CrossSpeed:   params.MaxSpeed,
+						Params:       params,
+					},
+				})
+			})
+		}
+		simulator.RunUntil(5)
+		for _, pr := range probes {
+			if pr.recv == 0 {
+				return RTDResult{}, fmt.Errorf("calib: probe got no response")
+			}
+			rtd := pr.recv - pr.sent
+			res.Samples++
+			totalRTD += rtd
+			if rtd > res.WorstRTD {
+				res.WorstRTD = rtd
+			}
+		}
+	}
+	if res.Samples > 0 {
+		res.MeanRTD = totalRTD / float64(res.Samples)
+	}
+	// The network share is bounded by twice the worst one-way delay.
+	res.WorstCompute = res.WorstRTD - 2*network.TestbedDelay().Worst()
+	return res, nil
+}
+
+// NetDelayResult is the ack-based network-delay measurement of Chapter 4.
+type NetDelayResult struct {
+	// WorstOneWay is the worst estimated one-way delay (s); the paper
+	// measured 15 ms on its 2.4 GHz links.
+	WorstOneWay float64
+	// MeanOneWay is the average estimate.
+	MeanOneWay float64
+	Samples    int
+}
+
+// MeasureNetDelay reproduces the paper's network-delay measurement: "each
+// request message can be followed by an acknowledge message from the
+// receiver; subtracting the time the message is sent from the time the Ack
+// is received, network delay for that message is accounted for." The
+// one-way estimate is half the measured round trip.
+func MeasureNetDelay(messages int, seed int64) NetDelayResult {
+	if messages < 1 {
+		messages = 100
+	}
+	simulator := des.New()
+	rng := rand.New(rand.NewSource(seed))
+	net := network.New(simulator, rng, network.TestbedDelay(), 0)
+
+	res := NetDelayResult{}
+	var total float64
+	const probe, responder = "probe", "responder"
+	net.Register(responder, func(now float64, msg network.Message) {
+		net.Send(network.Message{Kind: network.KindAck, From: responder, To: probe, Payload: msg.Payload})
+	})
+	sent := make(map[int]float64)
+	net.Register(probe, func(now float64, msg network.Message) {
+		seq := msg.Payload.(int)
+		oneWay := (now - sent[seq]) / 2
+		res.Samples++
+		total += oneWay
+		if oneWay > res.WorstOneWay {
+			res.WorstOneWay = oneWay
+		}
+	})
+	for i := 0; i < messages; i++ {
+		i := i
+		simulator.At(float64(i)*0.05, func() {
+			sent[i] = simulator.Now()
+			net.Send(network.Message{Kind: network.KindRequest, From: probe, To: responder, Payload: i})
+		})
+	}
+	simulator.Run()
+	if res.Samples > 0 {
+		res.MeanOneWay = total / float64(res.Samples)
+	}
+	return res
+}

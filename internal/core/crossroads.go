@@ -1,0 +1,198 @@
+// Package core implements Crossroads, the paper's time-sensitive
+// intersection-management technique (Chapter 6, Algorithms 7-8).
+//
+// A Crossroads request carries the vehicle's transmit timestamp TT
+// (captured on its NTP-synchronized clock), its distance to the
+// intersection DT, and its current velocity VC. The IM fixes the command
+// execution time
+//
+//	TE = TT + WC-RTD
+//
+// and plans the vehicle's trajectory *from TE*, at which point the vehicle
+// — having held VC since transmitting — is deterministically at distance
+//
+//	DE = DT - VC*(TE - TT)
+//
+// from the box entry, regardless of how long the round trip actually took.
+// The IM then computes the earliest conflict-free arrival time ToA >= the
+// earliest reachable arrival
+//
+//	EToA = TE + TAcc + (DE - DeltaX)/Vmax,
+//	TAcc = (Vmax - Vinit)/amax,  DeltaX = 0.5*amax*TAcc^2 + Vinit*TAcc
+//
+// and replies (TE, ToA, VT). Because the position at TE is deterministic,
+// no round-trip-delay buffer is needed — only the sensing and clock-sync
+// buffer (78 mm on the testbed instead of VT-IM's 528 mm).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/safety"
+)
+
+// PolicyName is the scheduler name reported in results.
+const PolicyName = "crossroads"
+
+// Config parameterizes the Crossroads scheduler.
+type Config struct {
+	// Spec supplies the uncertainty bounds; Crossroads buffers sensing +
+	// sync only.
+	Spec safety.Spec
+	// Cost models IM computation delay.
+	Cost im.CostModel
+	// Margin is extra temporal clearance between occupancies (s).
+	Margin float64
+	// MinCrossSpeed floors the granted crossing speed so occupancy windows
+	// stay finite (m/s).
+	MinCrossSpeed float64
+	// RefLength and RefWidth are the reference vehicle body dimensions.
+	RefLength, RefWidth float64
+	// TableStep is the conflict-table sampling resolution (m).
+	TableStep float64
+}
+
+// DefaultConfig returns the testbed configuration of the paper.
+func DefaultConfig() Config {
+	return Config{
+		Spec:          safety.TestbedSpec(),
+		Cost:          im.TestbedCostModel(),
+		Margin:        0.05,
+		MinCrossSpeed: 0.1,
+		RefLength:     0.568,
+		RefWidth:      0.296,
+	}
+}
+
+// planner implements im.VTPlanner with the time-sensitive anchoring.
+type planner struct {
+	wcRTD    float64
+	minSpeed float64
+	// lipDist is how far before the box entry (center-to-entry) a plan
+	// may dwell or crawl: closer, and the waiting vehicle's nose would
+	// park inside crossing movements' conflict zones, which the book's
+	// pre-entry occupancy model cannot represent.
+	lipDist float64
+}
+
+// LatestArrival implements im.ArrivalBounder: the latest arrival reachable
+// by the deepest feasible dip from the request's state. +Inf when the
+// vehicle can still stop (it can wait forever).
+func (p planner) LatestArrival(now float64, req im.Request) float64 {
+	vc := math.Min(math.Max(req.CurrentSpeed, 0), req.Params.MaxSpeed)
+	te := req.TransmitTime + p.wcRTD
+	de := math.Max(req.DistToEntry-vc*(te-req.TransmitTime), 0)
+	if req.Params.StoppingDistance(vc) < de-p.lipDist {
+		// Can still wait behind the conflict-zone lip: any later arrival
+		// is reachable.
+		return math.Inf(1)
+	}
+	// Cannot stop: the deepest-dip profile is PlanArrival's fallback for
+	// an unreachable late target.
+	prof, err := kinematics.PlanArrival(te, de, vc, te+1e6, req.Params)
+	if err != nil {
+		return te
+	}
+	return prof.TimeAtDistance(de)
+}
+
+// VerifySlot implements im.SlotVerifier: reject slots whose approach plan
+// dwells (or crawls below 0.3 m/s) within the lip of the box — the vehicle
+// must instead stop at the stop line (behind the lip) and retry.
+func (p planner) VerifySlot(now, toa float64, plan im.CrossingPlan, req im.Request) bool {
+	vc := math.Min(math.Max(req.CurrentSpeed, 0), req.Params.MaxSpeed)
+	te := req.TransmitTime + p.wcRTD
+	de := math.Max(req.DistToEntry-vc*(te-req.TransmitTime), 0)
+	prof, err := kinematics.PlanArrival(te, de, vc, toa, req.Params)
+	if err != nil {
+		return true // earliest-arrival grants never dwell
+	}
+	if math.Abs(prof.TimeAtDistance(de)-toa) > 0.05 {
+		// The found slot is later than the deepest dip can reach from the
+		// execution state: unreachable, so command a stop instead.
+		return false
+	}
+	minV, remaining := kinematics.SlowestPoint(prof, de)
+	if minV >= 0.3 {
+		return true
+	}
+	if remaining >= de-1e-6 {
+		// The slow point is the plan's start — the vehicle already stands
+		// there; only *future* dwells inside the lip are rejectable.
+		return true
+	}
+	return remaining >= p.lipDist-1e-6
+}
+
+// Plan implements Algorithm 7's calculateActuationTime and
+// calculateTargetArrivalTime. Granted vehicles arrive at ToA at the plan's
+// entry speed and then accelerate to top speed through the box — the
+// max-acceleration crossing of the paper's Fig. 6.2.
+func (p planner) Plan(now float64, req im.Request) (float64, func(float64) im.CrossingPlan, func(float64, im.CrossingPlan) im.Response, error) {
+	if err := req.Params.Validate(); err != nil {
+		return 0, nil, nil, err
+	}
+	vc := math.Min(math.Max(req.CurrentSpeed, 0), req.Params.MaxSpeed)
+	te := req.TransmitTime + p.wcRTD
+	de := req.DistToEntry - vc*(te-req.TransmitTime)
+	if de < 0 {
+		de = 0
+	}
+	etaDelay, vEarliest, _ := kinematics.EarliestArrival(te, de, vc, req.Params)
+	earliest := te + etaDelay
+	if vEarliest < p.minSpeed {
+		vEarliest = p.minSpeed
+	}
+	planFor := func(toa float64) im.CrossingPlan {
+		vArr := vEarliest
+		prof, err := kinematics.PlanArrival(te, de, vc, toa, req.Params)
+		if err != nil {
+			_, _, prof = kinematics.EarliestArrival(te, de, vc, req.Params)
+		} else if toa > earliest+1e-6 {
+			vArr = prof.VelocityAt(prof.TimeAtDistance(de))
+			if vArr < p.minSpeed {
+				vArr = p.minSpeed
+			}
+		}
+		plan := im.AccelPlan(toa, vArr, req.Params.MaxSpeed, req.Params.MaxAccel)
+		// Record the commanded approach so the IM can revise this grant
+		// later if a committed vehicle invalidates it.
+		plan.Approach = prof
+		plan.ApproachDist = de
+		return plan
+	}
+	respond := func(toa float64, plan im.CrossingPlan) im.Response {
+		return im.Response{
+			Kind:        im.RespTimed,
+			TargetSpeed: plan.EntrySpeed,
+			ExecuteAt:   te,
+			ArriveAt:    toa,
+		}
+	}
+	return earliest, planFor, respond, nil
+}
+
+// New builds the Crossroads scheduler over the intersection.
+func New(x *intersection.Intersection, cfg Config, rng *rand.Rand) (*im.VTCore, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinCrossSpeed <= 0 {
+		return nil, fmt.Errorf("core: MinCrossSpeed %v must be positive", cfg.MinCrossSpeed)
+	}
+	lip := cfg.RefWidth/2 + 2*cfg.Spec.SensingBuffer() + 0.05 + cfg.RefLength/2
+	return im.NewVTCore(PolicyName, x, planner{wcRTD: cfg.Spec.WorstRTD, minSpeed: cfg.MinCrossSpeed, lipDist: lip}, im.VTCoreConfig{
+		Buffers:       cfg.Spec.ForCrossroads(),
+		Margin:        cfg.Margin,
+		SpatialMargin: 2 * cfg.Spec.SensingBuffer(),
+		Cost:          cfg.Cost,
+		TableStep:     cfg.TableStep,
+		RefLength:     cfg.RefLength,
+		RefWidth:      cfg.RefWidth,
+	}, rng)
+}

@@ -1,0 +1,205 @@
+// Package des is a small deterministic discrete-event simulation kernel.
+//
+// Events are closures scheduled at absolute simulated times and executed in
+// time order; ties are broken by scheduling order (FIFO), which keeps runs
+// reproducible. The kernel also accounts wall-clock time spent inside event
+// handlers, which the experiment harnesses use to report real scheduler
+// overhead alongside simulated delays.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a scheduled callback. Cancel it via its handle; a cancelled event
+// stays in the queue but is skipped when popped.
+type event struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index
+}
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from running. Cancelling an already-executed or
+// already-cancelled event is a no-op. A zero Handle is safely ignorable.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether the handle's event has been cancelled.
+func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator owns the simulated clock and the pending event queue.
+type Simulator struct {
+	now      float64
+	seq      uint64
+	queue    eventQueue
+	executed uint64
+	wall     time.Duration
+	running  bool
+}
+
+// New returns a simulator with the clock at 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events in the queue (including cancelled
+// ones not yet popped).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// HandlerWallTime returns the accumulated wall-clock time spent inside event
+// handlers. Experiment harnesses use this to report real scheduler cost.
+func (s *Simulator) HandlerWallTime() time.Duration { return s.wall }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past (before Now) panics: that is always a logic error in a protocol
+// implementation.
+func (s *Simulator) At(t float64, fn func()) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	ev := &event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run delay seconds from now. Negative delays are
+// clamped to zero (run "immediately", after currently queued same-time
+// events).
+func (s *Simulator) After(delay float64, fn func()) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It returns false when the queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.time
+		start := time.Now()
+		ev.fn()
+		s.wall += time.Since(start)
+		s.executed++
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue empties. It returns the number of
+// events executed.
+func (s *Simulator) Run() uint64 {
+	return s.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with time <= tEnd and then advances the clock to
+// tEnd (if the queue emptied earlier, the clock still ends at tEnd). It
+// returns the number of events executed during this call.
+func (s *Simulator) RunUntil(tEnd float64) uint64 {
+	if s.running {
+		panic("des: reentrant Run")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	var n uint64
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.time > tEnd {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if !math.IsInf(tEnd, 1) && tEnd > s.now {
+		s.now = tEnd
+	}
+	return n
+}
+
+// RunFor runs events for d simulated seconds from the current time.
+func (s *Simulator) RunFor(d float64) uint64 { return s.RunUntil(s.now + d) }
+
+// Ticker schedules fn every period seconds starting at start (absolute),
+// until fn returns false or the returned Handle chain is cancelled via the
+// stop function.
+func (s *Simulator) Ticker(start, period float64, fn func() bool) (stop func()) {
+	if period <= 0 {
+		panic("des: ticker period must be positive")
+	}
+	stopped := false
+	var schedule func(t float64)
+	schedule = func(t float64) {
+		s.At(t, func() {
+			if stopped {
+				return
+			}
+			if !fn() {
+				stopped = true
+				return
+			}
+			schedule(t + period)
+		})
+	}
+	if start < s.now {
+		start = s.now
+	}
+	schedule(start)
+	return func() { stopped = true }
+}

@@ -1,0 +1,296 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v, want 3", s.Now())
+	}
+	if s.Executed() != 3 {
+		t.Errorf("Executed = %v", s.Executed())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndClock(t *testing.T) {
+	s := New()
+	var at float64 = -1
+	s.At(2, func() {
+		s.After(1.5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 3.5 {
+		t.Errorf("nested After ran at %v, want 3.5", at)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(1, func() {
+		s.After(-5, func() { ran = true })
+	})
+	s.Run()
+	if !ran {
+		t.Error("clamped event did not run")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNilFnPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.At(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	h := s.At(1, func() { ran = true })
+	if h.Cancelled() {
+		t.Error("fresh handle reports cancelled")
+	}
+	h.Cancel()
+	if !h.Cancelled() {
+		t.Error("Cancel did not mark handle")
+	}
+	s.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	// Cancelling twice and cancelling zero handle are no-ops.
+	h.Cancel()
+	(Handle{}).Cancel()
+	if (Handle{}).Cancelled() {
+		t.Error("zero handle reports cancelled")
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	s := New()
+	var h Handle
+	ran := false
+	s.At(1, func() { h.Cancel() })
+	h = s.At(2, func() { ran = true })
+	s.Run()
+	if ran {
+		t.Error("event cancelled mid-run still ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var times []float64
+	for _, tt := range []float64{1, 2, 3, 4, 5} {
+		tt := tt
+		s.At(tt, func() { times = append(times, tt) })
+	}
+	n := s.RunUntil(3)
+	if n != 3 {
+		t.Errorf("executed %d, want 3", n)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now = %v, want 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	n = s.RunUntil(math.Inf(1))
+	if n != 2 || s.Now() != 5 {
+		t.Errorf("rest: n=%d Now=%v", n, s.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	s := New()
+	s.RunUntil(7)
+	if s.Now() != 7 {
+		t.Errorf("Now = %v, want 7", s.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.RunUntil(2)
+	count := 0
+	s.At(3, func() { count++ })
+	s.At(5, func() { count++ })
+	s.RunFor(1.5) // until 3.5
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+	if s.Now() != 3.5 {
+		t.Errorf("Now = %v, want 3.5", s.Now())
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	s := New()
+	panicked := false
+	s.At(1, func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		s.Run()
+	})
+	s.Run()
+	if !panicked {
+		t.Error("reentrant Run did not panic")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var ticks []float64
+	s.Ticker(1, 0.5, func() bool {
+		ticks = append(ticks, s.Now())
+		return len(ticks) < 4
+	})
+	s.Run()
+	want := []float64{1, 1.5, 2, 2.5}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if math.Abs(ticks[i]-want[i]) > 1e-12 {
+			t.Errorf("tick %d = %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	s := New()
+	count := 0
+	stop := s.Ticker(0, 1, func() bool { count++; return true })
+	s.At(3.5, func() { stop() })
+	s.RunUntil(10)
+	if count != 4 { // t=0,1,2,3
+		t.Errorf("count = %d, want 4", count)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Ticker(0, 0, func() bool { return true })
+}
+
+func TestTickerStartInPast(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run() // now = 5
+	var first float64 = -1
+	s.Ticker(1, 1, func() bool {
+		if first < 0 {
+			first = s.Now()
+		}
+		return false
+	})
+	s.Run()
+	if first != 5 {
+		t.Errorf("ticker with past start ran at %v, want 5", first)
+	}
+}
+
+func TestStepReturnsFalseOnEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	s.At(1, func() {})
+	if !s.Step() {
+		t.Error("Step with pending event returned false")
+	}
+	if s.Step() {
+		t.Error("Step after draining returned true")
+	}
+}
+
+func TestStressRandomOrder(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(99))
+	const n = 5000
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = rng.Float64() * 1000
+	}
+	var got []float64
+	for _, tt := range times {
+		tt := tt
+		s.At(tt, func() { got = append(got, tt) })
+	}
+	s.Run()
+	if len(got) != n {
+		t.Fatalf("executed %d, want %d", len(got), n)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Error("events did not run in sorted time order")
+	}
+}
+
+func TestHandlerWallTimeAccumulates(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.After(float64(i), func() {
+			x := 0
+			for j := 0; j < 1000; j++ {
+				x += j
+			}
+			_ = x
+		})
+	}
+	s.Run()
+	if s.HandlerWallTime() <= 0 {
+		t.Error("wall time not accounted")
+	}
+}

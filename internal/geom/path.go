@@ -1,0 +1,187 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Path is a drivable curve parameterized by arc length s in [0, Length()].
+// Vehicles in the simulator move along paths; their 1-D longitudinal state
+// (position along the path) is converted to a 2-D pose with PoseAt.
+type Path interface {
+	// Length returns the total arc length of the path in meters.
+	Length() float64
+	// PoseAt returns the position and tangent heading at arc length s.
+	// s is clamped to [0, Length()].
+	PoseAt(s float64) Pose
+}
+
+// LinePath is a straight path from Start to End.
+type LinePath struct {
+	Start, End Vec2
+}
+
+// Length returns the straight-line distance from Start to End.
+func (l LinePath) Length() float64 { return l.Start.Dist(l.End) }
+
+// PoseAt returns the pose at arc length s along the line.
+func (l LinePath) PoseAt(s float64) Pose {
+	length := l.Length()
+	dir := l.End.Sub(l.Start).Unit()
+	s = Clamp(s, 0, length)
+	return Pose{Pos: l.Start.Add(dir.Scale(s)), Heading: dir.Angle()}
+}
+
+// ArcPath is a circular arc. The arc starts at the point at angle
+// StartAngle on the circle and sweeps Sweep radians (positive =
+// counterclockwise). The vehicle heading is tangent to the circle in the
+// direction of travel.
+type ArcPath struct {
+	Center     Vec2
+	Radius     float64
+	StartAngle float64 // angle of the starting point on the circle
+	Sweep      float64 // signed sweep; positive CCW
+}
+
+// Length returns the arc length |Sweep| * Radius.
+func (a ArcPath) Length() float64 { return math.Abs(a.Sweep) * a.Radius }
+
+// PoseAt returns the pose at arc length s along the arc.
+func (a ArcPath) PoseAt(s float64) Pose {
+	length := a.Length()
+	s = Clamp(s, 0, length)
+	frac := 0.0
+	if length > Eps {
+		frac = s / length
+	}
+	ang := a.StartAngle + a.Sweep*frac
+	pos := a.Center.Add(Heading(ang).Scale(a.Radius))
+	// Tangent heading: +90deg from radius if CCW, -90deg if CW.
+	h := ang + math.Pi/2
+	if a.Sweep < 0 {
+		h = ang - math.Pi/2
+	}
+	return Pose{Pos: pos, Heading: NormalizeAngle(h)}
+}
+
+// ArcBetween constructs the circular arc that starts at 'from' with heading
+// fromHeading and turns by turnAngle radians (positive = left/CCW) with the
+// given radius. It returns the arc path.
+func ArcBetween(from Vec2, fromHeading, turnAngle, radius float64) ArcPath {
+	if turnAngle >= 0 {
+		// Left turn: center is 90deg left of heading.
+		center := from.Add(Heading(fromHeading + math.Pi/2).Scale(radius))
+		start := from.Sub(center).Angle()
+		return ArcPath{Center: center, Radius: radius, StartAngle: start, Sweep: turnAngle}
+	}
+	// Right turn: center is 90deg right of heading.
+	center := from.Add(Heading(fromHeading - math.Pi/2).Scale(radius))
+	start := from.Sub(center).Angle()
+	return ArcPath{Center: center, Radius: radius, StartAngle: start, Sweep: turnAngle}
+}
+
+// CompositePath chains several paths end to end. The caller is responsible
+// for ensuring geometric continuity; Append checks it.
+type CompositePath struct {
+	segs    []Path
+	cumLen  []float64 // cumulative length up to the *end* of segs[i]
+	total   float64
+	checked bool
+}
+
+// NewCompositePath builds a composite from the given segments in order.
+// It panics if consecutive segments are discontinuous by more than 1 mm,
+// since that indicates a construction bug in intersection geometry.
+func NewCompositePath(segs ...Path) *CompositePath {
+	c := &CompositePath{}
+	for _, s := range segs {
+		c.Append(s)
+	}
+	return c
+}
+
+// Append adds a segment to the end of the composite path.
+func (c *CompositePath) Append(p Path) {
+	if len(c.segs) > 0 {
+		prevEnd := c.segs[len(c.segs)-1].PoseAt(math.Inf(1)).Pos
+		newStart := p.PoseAt(0).Pos
+		if prevEnd.Dist(newStart) > 1e-3 {
+			panic(fmt.Sprintf("geom: discontinuous composite path: %v -> %v", prevEnd, newStart))
+		}
+	}
+	c.segs = append(c.segs, p)
+	c.total += p.Length()
+	c.cumLen = append(c.cumLen, c.total)
+}
+
+// Length returns the total arc length of the composite.
+func (c *CompositePath) Length() float64 { return c.total }
+
+// PoseAt returns the pose at arc length s along the composite.
+func (c *CompositePath) PoseAt(s float64) Pose {
+	if len(c.segs) == 0 {
+		return Pose{}
+	}
+	s = Clamp(s, 0, c.total)
+	prev := 0.0
+	for i, seg := range c.segs {
+		if s <= c.cumLen[i]+Eps {
+			return seg.PoseAt(s - prev)
+		}
+		prev = c.cumLen[i]
+	}
+	last := c.segs[len(c.segs)-1]
+	return last.PoseAt(last.Length())
+}
+
+// Segments returns the component paths.
+func (c *CompositePath) Segments() []Path { return c.segs }
+
+// SamplePath returns n+1 poses evenly spaced in arc length along p,
+// including both endpoints. n must be >= 1.
+func SamplePath(p Path, n int) []Pose {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Pose, n+1)
+	l := p.Length()
+	for i := 0; i <= n; i++ {
+		out[i] = p.PoseAt(l * float64(i) / float64(n))
+	}
+	return out
+}
+
+// PathIntervalInBox returns the arc-length interval [sIn, sOut] over which a
+// rectangle of the given length/width swept along path p (footprint centered
+// on the path, aligned with its tangent) overlaps the axis-aligned box. The
+// path is sampled every ds meters. If the swept footprint never overlaps the
+// box, ok is false.
+//
+// This is how the simulator computes when a vehicle occupies the
+// intersection box or a conflict zone.
+func PathIntervalInBox(p Path, vehLen, vehWid float64, box AABB, ds float64) (sIn, sOut float64, ok bool) {
+	if ds <= 0 {
+		ds = 0.01
+	}
+	l := p.Length()
+	n := int(math.Ceil(l/ds)) + 1
+	first := math.Inf(1)
+	last := math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		s := math.Min(l*float64(i)/float64(n), l)
+		pose := p.PoseAt(s)
+		r := NewRect(pose.Pos, vehLen, vehWid, pose.Heading)
+		if r.AABB().Overlaps(box) {
+			if s < first {
+				first = s
+			}
+			if s > last {
+				last = s
+			}
+		}
+	}
+	if math.IsInf(first, 1) {
+		return 0, 0, false
+	}
+	return first, last, true
+}

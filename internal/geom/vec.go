@@ -1,0 +1,122 @@
+// Package geom provides the 2-D geometric primitives used throughout the
+// Crossroads simulator: vectors, poses, segments, oriented rectangles, and
+// drivable paths (lines, arcs, and composites).
+//
+// All lengths are in meters and all angles in radians. The coordinate frame
+// is right-handed with X pointing east and Y pointing north; a heading of 0
+// points along +X and increases counterclockwise.
+package geom
+
+import "math"
+
+// Eps is the tolerance used by approximate comparisons in this package.
+const Eps = 1e-9
+
+// Vec2 is a 2-D vector (or point) in meters.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V is shorthand for constructing a Vec2.
+func V(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{v.X + o.X, v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{v.X - o.X, v.Y - o.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec2) Scale(k float64) Vec2 { return Vec2{v.X * k, v.Y * k} }
+
+// Neg returns -v.
+func (v Vec2) Neg() Vec2 { return Vec2{-v.X, -v.Y} }
+
+// Dot returns the dot product v·o.
+func (v Vec2) Dot(o Vec2) float64 { return v.X*o.X + v.Y*o.Y }
+
+// Cross returns the scalar (z-component) cross product v x o.
+func (v Vec2) Cross(o Vec2) float64 { return v.X*o.Y - v.Y*o.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec2) NormSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the distance between v and o.
+func (v Vec2) Dist(o Vec2) float64 { return v.Sub(o).Norm() }
+
+// Unit returns v normalized to length 1. The zero vector is returned
+// unchanged.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n < Eps {
+		return Vec2{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Perp returns v rotated by +90 degrees.
+func (v Vec2) Perp() Vec2 { return Vec2{-v.Y, v.X} }
+
+// Rotate returns v rotated counterclockwise by theta radians.
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Angle returns the heading of v in radians in (-pi, pi].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Lerp linearly interpolates from v to o; t=0 yields v, t=1 yields o.
+func (v Vec2) Lerp(o Vec2, t float64) Vec2 {
+	return Vec2{v.X + (o.X-v.X)*t, v.Y + (o.Y-v.Y)*t}
+}
+
+// ApproxEq reports whether v and o are within tol of each other in both
+// coordinates.
+func (v Vec2) ApproxEq(o Vec2, tol float64) bool {
+	return math.Abs(v.X-o.X) <= tol && math.Abs(v.Y-o.Y) <= tol
+}
+
+// Heading returns the unit vector pointing along heading theta.
+func Heading(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{c, s}
+}
+
+// NormalizeAngle wraps an angle into (-pi, pi].
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	} else if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}
+
+// AngleDiff returns the smallest signed difference a-b wrapped into
+// (-pi, pi].
+func AngleDiff(a, b float64) float64 { return NormalizeAngle(a - b) }
+
+// Pose is a position plus heading.
+type Pose struct {
+	Pos     Vec2
+	Heading float64 // radians, CCW from +X
+}
+
+// Forward returns the unit vector the pose is facing.
+func (p Pose) Forward() Vec2 { return Heading(p.Heading) }
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

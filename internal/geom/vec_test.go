@@ -1,0 +1,215 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(3, 4)
+	b := V(-1, 2)
+	if got := a.Add(b); got != V(2, 6) {
+		t.Errorf("Add = %v, want (2,6)", got)
+	}
+	if got := a.Sub(b); got != V(4, 2) {
+		t.Errorf("Sub = %v, want (4,2)", got)
+	}
+	if got := a.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v, want (6,8)", got)
+	}
+	if got := a.Neg(); got != V(-3, -4) {
+		t.Errorf("Neg = %v, want (-3,-4)", got)
+	}
+	if got := a.Dot(b); got != 5 {
+		t.Errorf("Dot = %v, want 5", got)
+	}
+	if got := a.Cross(b); got != 10 {
+		t.Errorf("Cross = %v, want 10", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := a.NormSq(); got != 25 {
+		t.Errorf("NormSq = %v, want 25", got)
+	}
+	if got := a.Dist(b); !almostEq(got, math.Hypot(4, 2), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	u := V(3, 4).Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v, want 1", u.Norm())
+	}
+	if z := (Vec2{}).Unit(); z != (Vec2{}) {
+		t.Errorf("Unit of zero = %v, want zero", z)
+	}
+}
+
+func TestVecPerpIsOrthogonal(t *testing.T) {
+	v := V(2.5, -1.25)
+	p := v.Perp()
+	if d := v.Dot(p); !almostEq(d, 0, 1e-12) {
+		t.Errorf("Perp not orthogonal: dot = %v", d)
+	}
+	// Perp should be a +90 rotation: cross(v, perp) > 0.
+	if v.Cross(p) <= 0 {
+		t.Errorf("Perp is not a +90 rotation")
+	}
+}
+
+func TestVecRotate(t *testing.T) {
+	v := V(1, 0)
+	r := v.Rotate(math.Pi / 2)
+	if !r.ApproxEq(V(0, 1), 1e-12) {
+		t.Errorf("Rotate(pi/2) = %v, want (0,1)", r)
+	}
+	r = v.Rotate(math.Pi)
+	if !r.ApproxEq(V(-1, 0), 1e-12) {
+		t.Errorf("Rotate(pi) = %v, want (-1,0)", r)
+	}
+}
+
+func TestRotatePreservesNorm(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(theta, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		theta = math.Mod(theta, 2*math.Pi)
+		v := V(x, y)
+		r := v.Rotate(theta)
+		return almostEq(v.Norm(), r.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateComposition(t *testing.T) {
+	f := func(x, y, a, b float64) bool {
+		if math.IsNaN(x+y+a+b) || math.IsInf(x+y+a+b, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e3)
+		y = math.Mod(y, 1e3)
+		a = math.Mod(a, math.Pi)
+		b = math.Mod(b, math.Pi)
+		v := V(x, y)
+		lhs := v.Rotate(a).Rotate(b)
+		rhs := v.Rotate(a + b)
+		return lhs.ApproxEq(rhs, 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecAngle(t *testing.T) {
+	cases := []struct {
+		v    Vec2
+		want float64
+	}{
+		{V(1, 0), 0},
+		{V(0, 1), math.Pi / 2},
+		{V(-1, 0), math.Pi},
+		{V(0, -1), -math.Pi / 2},
+		{V(1, 1), math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := c.v.Angle(); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Angle(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, -4)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v, want %v", got, a)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v, want %v", got, b)
+	}
+	if got := a.Lerp(b, 0.5); !got.ApproxEq(V(5, -2), 1e-12) {
+		t.Errorf("Lerp(0.5) = %v, want (5,-2)", got)
+	}
+}
+
+func TestHeadingVector(t *testing.T) {
+	h := Heading(math.Pi / 2)
+	if !h.ApproxEq(V(0, 1), 1e-12) {
+		t.Errorf("Heading(pi/2) = %v, want (0,1)", h)
+	}
+	if !almostEq(Heading(1.234).Norm(), 1, 1e-12) {
+		t.Errorf("Heading not unit length")
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-3 * math.Pi / 2, math.Pi / 2},
+		{5 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeAngleRange(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e4)
+		n := NormalizeAngle(a)
+		return n > -math.Pi-Eps && n <= math.Pi+Eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if got := AngleDiff(0.1, -0.1); !almostEq(got, 0.2, 1e-12) {
+		t.Errorf("AngleDiff = %v, want 0.2", got)
+	}
+	// Wraparound: 350deg vs 10deg should be -20deg, not 340.
+	a := 350 * math.Pi / 180
+	b := 10 * math.Pi / 180
+	if got := AngleDiff(a, b); !almostEq(got, -20*math.Pi/180, 1e-9) {
+		t.Errorf("AngleDiff wrap = %v", got)
+	}
+}
+
+func TestPoseForward(t *testing.T) {
+	p := Pose{Pos: V(1, 2), Heading: math.Pi}
+	if !p.Forward().ApproxEq(V(-1, 0), 1e-12) {
+		t.Errorf("Forward = %v, want (-1,0)", p.Forward())
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp above = %v", got)
+	}
+	if got := Clamp(-1, 0, 3); got != 0 {
+		t.Errorf("Clamp below = %v", got)
+	}
+	if got := Clamp(2, 0, 3); got != 2 {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}

@@ -1,0 +1,222 @@
+package aim
+
+import (
+	"math/rand"
+	"testing"
+
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+)
+
+func newSched(t *testing.T) *Scheduler {
+	t.Helper()
+	x, err := intersection.New(intersection.ScaleModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cost.Jitter = 0
+	s, err := New(x, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func proposal(id int64, a intersection.Approach, toa, v, dt float64) im.Request {
+	return im.Request{
+		VehicleID: id, Seq: 1,
+		Movement:     intersection.MovementID{Approach: a, Lane: 0, Turn: intersection.Straight},
+		ProposedToA:  toa,
+		CrossSpeed:   v,
+		CurrentSpeed: v,
+		DistToEntry:  dt,
+		Params:       kinematics.ScaleModelParams(),
+	}
+}
+
+func TestAIMAcceptsFreeProposal(t *testing.T) {
+	s := newSched(t)
+	resp, cost := s.HandleRequest(0.1, proposal(1, intersection.East, 1.1, 3.0, 3.0))
+	if resp.Kind != im.RespAccept {
+		t.Fatalf("Kind = %v", resp.Kind)
+	}
+	if resp.ArriveAt != 1.1 || resp.TargetSpeed != 3.0 {
+		t.Errorf("echoed grant = %+v", resp)
+	}
+	if cost <= 0 {
+		t.Errorf("cost = %v", cost)
+	}
+	if s.Accepts != 1 || s.Rejections != 0 {
+		t.Errorf("counters = %d/%d", s.Accepts, s.Rejections)
+	}
+	if s.HeldPairs() == 0 {
+		t.Error("no tiles reserved")
+	}
+	if s.Name() != PolicyName {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestAIMRejectsConflictingProposal(t *testing.T) {
+	s := newSched(t)
+	if r, _ := s.HandleRequest(0.1, proposal(1, intersection.East, 1.1, 3.0, 3.0)); r.Kind != im.RespAccept {
+		t.Fatal("setup accept failed")
+	}
+	// Same window, crossing movement: reject.
+	resp, _ := s.HandleRequest(0.15, proposal(2, intersection.North, 1.15, 3.0, 3.0))
+	if resp.Kind != im.RespReject {
+		t.Fatalf("conflicting proposal accepted")
+	}
+	if s.Rejections != 1 {
+		t.Errorf("Rejections = %d", s.Rejections)
+	}
+	// A later window on the same movement is fine.
+	resp, _ = s.HandleRequest(0.2, proposal(2, intersection.North, 3.5, 3.0, 3.0))
+	if resp.Kind != im.RespAccept {
+		t.Fatalf("disjoint proposal rejected")
+	}
+}
+
+func TestAIMYesNoOnly(t *testing.T) {
+	// The defining QB-IM property: the IM never proposes an alternative —
+	// a rejected vehicle learns nothing but "no".
+	s := newSched(t)
+	s.HandleRequest(0.1, proposal(1, intersection.East, 1.1, 3.0, 3.0))
+	resp, _ := s.HandleRequest(0.15, proposal(2, intersection.North, 1.15, 3.0, 3.0))
+	if resp.Kind != im.RespReject {
+		t.Fatal("expected reject")
+	}
+	if resp.ArriveAt != 0 && resp.ArriveAt == 1.15 {
+		t.Errorf("reject leaked scheduling info: %+v", resp)
+	}
+}
+
+func TestAIMExitReleasesTiles(t *testing.T) {
+	s := newSched(t)
+	s.HandleRequest(0.1, proposal(1, intersection.East, 1.1, 3.0, 3.0))
+	held := s.HeldPairs()
+	s.HandleExit(2.0, 1)
+	if s.HeldPairs() != 0 {
+		t.Errorf("HeldPairs after exit = %d (was %d)", s.HeldPairs(), held)
+	}
+	// Window is free again.
+	resp, _ := s.HandleRequest(2.1, proposal(2, intersection.North, 1.15+2, 3.0, 3.0))
+	if resp.Kind != im.RespAccept {
+		t.Error("released window still blocked")
+	}
+}
+
+func TestAIMReRequestSupersedes(t *testing.T) {
+	s := newSched(t)
+	s.HandleRequest(0.1, proposal(1, intersection.East, 1.1, 3.0, 3.0))
+	first := s.HeldPairs()
+	// The same vehicle re-proposes later: old tiles must be released.
+	resp, _ := s.HandleRequest(0.5, proposal(1, intersection.East, 2.5, 3.0, 3.0))
+	if resp.Kind != im.RespAccept {
+		t.Fatal("re-proposal rejected")
+	}
+	// The original window must now be free for someone else.
+	resp, _ = s.HandleRequest(0.6, proposal(2, intersection.North, 1.15, 3.0, 3.0))
+	if resp.Kind != im.RespAccept {
+		t.Errorf("superseded window still blocked (held %d then %d)", first, s.HeldPairs())
+	}
+}
+
+func TestAIMLaneOrderRejection(t *testing.T) {
+	s := newSched(t)
+	// The farther vehicle (2) proposes while the closer one (1) holds no
+	// reservation: reject — it cannot pass its leader.
+	s.order.Update(1, intersection.MovementID{Approach: intersection.East, Lane: 0, Turn: intersection.Straight}, 1.0)
+	resp, _ := s.HandleRequest(0.1, proposal(2, intersection.East, 1.5, 3.0, 3.0))
+	if resp.Kind != im.RespReject {
+		t.Error("rear vehicle accepted past unreserved leader")
+	}
+}
+
+func TestAIMCommittedRebookUnconditional(t *testing.T) {
+	s := newSched(t)
+	s.HandleRequest(0.1, proposal(1, intersection.East, 1.1, 3.0, 3.0))
+	// A committed vehicle reports a truth overlapping the existing grant:
+	// the IM must accept (the crossing is a fact) and re-reserve.
+	r := proposal(2, intersection.North, 1.12, 3.0, 0.5)
+	r.Committed = true
+	resp, _ := s.HandleRequest(0.9, r)
+	if resp.Kind != im.RespAccept {
+		t.Errorf("committed truth rejected: %+v", resp)
+	}
+}
+
+func TestAIMRejectsDegenerateProposals(t *testing.T) {
+	s := newSched(t)
+	bad := proposal(1, intersection.East, 1.1, 0, 3.0) // zero speed
+	if r, _ := s.HandleRequest(0.1, bad); r.Kind != im.RespReject {
+		t.Error("zero-speed proposal accepted")
+	}
+	past := proposal(1, intersection.East, -5, 3.0, 3.0)
+	if r, _ := s.HandleRequest(0.1, past); r.Kind != im.RespReject {
+		t.Error("past proposal accepted")
+	}
+	unknown := proposal(1, intersection.East, 1.1, 3.0, 3.0)
+	unknown.Movement.Lane = 7
+	if r, _ := s.HandleRequest(0.1, unknown); r.Kind != im.RespReject {
+		t.Error("unknown movement accepted")
+	}
+}
+
+func TestAIMExitMergeSeparation(t *testing.T) {
+	s := newSched(t)
+	// Eastbound straight and northbound right both exit east on lane 0.
+	s.HandleRequest(0.1, proposal(1, intersection.East, 2.0, 3.0, 3.0))
+	merging := im.Request{
+		VehicleID: 2, Seq: 1,
+		Movement:     intersection.MovementID{Approach: intersection.North, Lane: 0, Turn: intersection.Right},
+		ProposedToA:  2.0, // exits at nearly the same moment
+		CrossSpeed:   3.0,
+		CurrentSpeed: 3.0,
+		DistToEntry:  3.0,
+		Params:       kinematics.ScaleModelParams(),
+	}
+	resp, _ := s.HandleRequest(0.2, merging)
+	if resp.Kind != im.RespReject {
+		t.Error("overlapping exit merge accepted")
+	}
+}
+
+func TestExitSeparated(t *testing.T) {
+	a := exitCrossing{time: 10, speed: 3, planLen: 0.724}
+	b := exitCrossing{time: 10.1, speed: 3, planLen: 0.724}
+	if exitSeparated(a, b, 1.5) {
+		t.Error("0.1 s apart at 3 m/s should not be separated")
+	}
+	c := exitCrossing{time: 12, speed: 3, planLen: 0.724}
+	if !exitSeparated(a, c, 1.5) {
+		t.Error("2 s apart should be separated")
+	}
+	// Faster follower needs the catch-up margin.
+	fast := exitCrossing{time: 10.4, speed: 3, planLen: 0.724}
+	slowLead := exitCrossing{time: 10, speed: 0.8, planLen: 0.724}
+	if exitSeparated(slowLead, fast, 1.5) {
+		t.Error("fast follower behind slow leader should need more margin")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	x, _ := intersection.New(intersection.ScaleModelConfig())
+	cfg := DefaultConfig()
+	cfg.TimeStep = 0
+	if _, err := New(x, cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero TimeStep accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.GridN = 0
+	if _, err := New(x, cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero GridN accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Spec.MaxSpeed = 0
+	if _, err := New(x, cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

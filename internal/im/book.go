@@ -1,0 +1,393 @@
+package im
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+)
+
+// CrossingPlan describes how a vehicle will traverse the box if granted an
+// arrival time: the speed at the box entry, the commanded target value the
+// policy will put on the wire (VT), and the in-box trajectory.
+type CrossingPlan struct {
+	// EntrySpeed is the speed when the vehicle center crosses the entry.
+	EntrySpeed float64
+	// TargetSpeed is the policy's wire value (the VT of a velocity
+	// transaction).
+	TargetSpeed float64
+	// Traj is the in-box trajectory: distance 0 is the box entry and the
+	// profile is anchored so that TimeAtDistance(0) is the arrival time.
+	// An empty Traj means constant EntrySpeed.
+	Traj kinematics.Profile
+	// Approach, when present, is the commanded approach trajectory: an
+	// absolute-time profile starting at the command execution time and
+	// covering ApproachDist meters to the box entry. Policies that anchor
+	// commands in time (Crossroads, batch) populate it so the IM can
+	// later *revise* the grant: the vehicle's state at any revision time
+	// is read off this profile.
+	Approach     kinematics.Profile
+	ApproachDist float64
+}
+
+// StateAt returns the vehicle's commanded position (as distance remaining
+// to the box entry) and speed at absolute time t, read off the approach
+// profile. ok is false when no approach trajectory was recorded or t is
+// outside it.
+func (p CrossingPlan) StateAt(t float64) (remaining, speed float64, ok bool) {
+	if len(p.Approach.Phases) == 0 || p.ApproachDist <= 0 {
+		return 0, 0, false
+	}
+	if t < p.Approach.StartTime {
+		return 0, 0, false
+	}
+	covered := p.Approach.DistanceAt(t)
+	if covered >= p.ApproachDist {
+		return 0, 0, false // already at (or past) the entry
+	}
+	return p.ApproachDist - covered, p.Approach.VelocityAt(t), true
+}
+
+// Reservation is one granted crossing: the vehicle's center reaches the box
+// entry at ToA and follows Plan through the box.
+type Reservation struct {
+	VehicleID int64
+	Movement  intersection.MovementID
+	// Params is the vehicle's capability packet, kept so the IM can
+	// re-plan the crossing when revising grants.
+	Params kinematics.Params
+	// ToA is when the vehicle center crosses the box entry point.
+	ToA float64
+	// Plan is the granted crossing trajectory.
+	Plan CrossingPlan
+	// PlanLen is the buffer-inflated vehicle length used for headways.
+	PlanLen float64
+	// Placeholder marks a head-of-line protection slot held for a stopped
+	// vehicle that could not yet be granted. Placeholders only constrain
+	// vehicles junior to the holder (higher Seniority), which breaks the
+	// livelock two stopped vehicles would otherwise enter by leapfrogging
+	// each other's placeholders forever.
+	Placeholder bool
+	// Seniority orders vehicles by first contact with the IM (lower =
+	// earlier).
+	Seniority int64
+}
+
+// TimeAtArc returns the absolute time the vehicle center passes arc length
+// `arc` measured from the box entry (negative = before the entry, covered
+// at the entry speed).
+func (r Reservation) TimeAtArc(arc float64) float64 {
+	if arc > 0 && len(r.Plan.Traj.Phases) > 0 {
+		return r.Plan.Traj.TimeAtDistance(arc)
+	}
+	return r.ToA + arc/math.Max(r.Plan.EntrySpeed, 1e-6)
+}
+
+// ArcAtTime inverts TimeAtArc: the arc length (from the box entry) of the
+// vehicle center at absolute time t.
+func (r Reservation) ArcAtTime(t float64) float64 {
+	if t > r.ToA && len(r.Plan.Traj.Phases) > 0 {
+		return r.Plan.Traj.DistanceAt(t)
+	}
+	return (t - r.ToA) * math.Max(r.Plan.EntrySpeed, 1e-6)
+}
+
+// SpeedAtArc returns the speed at arc length `arc` past the entry.
+func (r Reservation) SpeedAtArc(arc float64) float64 {
+	if len(r.Plan.Traj.Phases) == 0 || arc <= 0 {
+		return math.Max(r.Plan.EntrySpeed, 1e-6)
+	}
+	return math.Max(r.Plan.Traj.VelocityAt(r.Plan.Traj.TimeAtDistance(arc)), 1e-6)
+}
+
+// interval is a closed time interval.
+type interval struct{ lo, hi float64 }
+
+func (i interval) overlaps(o interval) bool { return i.lo <= o.hi && o.lo <= i.hi }
+
+// entryInterval is the time window the inflated footprint occupies the box
+// entry cross-section.
+func (r Reservation) entryInterval() interval {
+	h := r.PlanLen / (2 * math.Max(r.Plan.EntrySpeed, 1e-6))
+	return interval{r.ToA - h, r.ToA + h}
+}
+
+// exitTime is when the center crosses out of the box.
+func (r Reservation) exitTime(m *intersection.Movement) float64 {
+	return r.TimeAtArc(m.InsideLen())
+}
+
+// exitSpeed is the speed at the box exit.
+func (r Reservation) exitSpeed(m *intersection.Movement) float64 {
+	return r.SpeedAtArc(m.InsideLen())
+}
+
+// exitInterval is the time window the footprint occupies the exit point.
+func (r Reservation) exitInterval(m *intersection.Movement) interval {
+	h := r.PlanLen / (2 * r.exitSpeed(m))
+	t := r.exitTime(m)
+	return interval{t - h, t + h}
+}
+
+// zoneInterval converts an arc-length conflict interval [sLo, sHi] on the
+// reservation's own path (absolute arc lengths) into the time window the
+// vehicle occupies it.
+func (r Reservation) zoneInterval(m *intersection.Movement, sLo, sHi float64) interval {
+	return interval{
+		r.TimeAtArc(sLo - m.EnterS),
+		r.TimeAtArc(sHi - m.EnterS),
+	}
+}
+
+// Book is the reservation ledger shared by VT-IM and Crossroads. It answers
+// "what is the earliest conflict-free arrival at or after t for this
+// movement, where the crossing trajectory itself depends on the arrival
+// time" — the paper's safe-ToA calculation against the trajectories of
+// already-admitted vehicles.
+type Book struct {
+	x     *intersection.Intersection
+	table *intersection.ConflictTable
+	// margin is extra temporal separation added around every conflict
+	// interval (s).
+	margin float64
+	// spatial is extra separation in meters, converted to time at each
+	// reservation's crossing speed. Tracking errors are spatial, so a
+	// purely temporal margin would shrink to centimeters for slow (dip-
+	// arrival) crossings.
+	spatial float64
+	active  map[int64]*Reservation
+	order   []int64 // insertion (FIFO) order
+}
+
+// NewBook creates a ledger over the intersection using the policy's
+// conflict table (already built with buffer-inflated footprints). margin is
+// the extra temporal clearance between occupancies and spatial the extra
+// clearance in meters (converted at each reservation's entry speed).
+func NewBook(x *intersection.Intersection, table *intersection.ConflictTable, margin, spatial float64) *Book {
+	if margin < 0 {
+		margin = 0
+	}
+	if spatial < 0 {
+		spatial = 0
+	}
+	return &Book{x: x, table: table, margin: margin, spatial: spatial, active: make(map[int64]*Reservation)}
+}
+
+// Len returns the number of active reservations.
+func (b *Book) Len() int { return len(b.active) }
+
+// Get returns the active reservation for a vehicle, if any.
+func (b *Book) Get(vehicleID int64) (Reservation, bool) {
+	if r, ok := b.active[vehicleID]; ok {
+		return *r, true
+	}
+	return Reservation{}, false
+}
+
+// Add inserts (or replaces) the reservation for r.VehicleID.
+func (b *Book) Add(r Reservation) error {
+	if b.x.Movement(r.Movement) == nil {
+		return fmt.Errorf("im: unknown movement %v", r.Movement)
+	}
+	if r.Plan.EntrySpeed <= 0 {
+		return fmt.Errorf("im: reservation entry speed %v must be positive", r.Plan.EntrySpeed)
+	}
+	if r.PlanLen <= 0 {
+		return fmt.Errorf("im: reservation plan length %v must be positive", r.PlanLen)
+	}
+	if _, exists := b.active[r.VehicleID]; !exists {
+		b.order = append(b.order, r.VehicleID)
+	}
+	cp := r
+	b.active[r.VehicleID] = &cp
+	return nil
+}
+
+// Remove deletes a vehicle's reservation; missing IDs are a no-op.
+func (b *Book) Remove(vehicleID int64) {
+	if _, ok := b.active[vehicleID]; !ok {
+		return
+	}
+	delete(b.active, vehicleID)
+	for i, id := range b.order {
+		if id == vehicleID {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// PruneBefore drops reservations whose vehicles have fully cleared the box
+// (entry, zones, and exit all strictly before t).
+func (b *Book) PruneBefore(t float64) {
+	var keep []int64
+	for _, id := range b.order {
+		r := b.active[id]
+		m := b.x.Movement(r.Movement)
+		if r.exitInterval(m).hi+b.margin < t {
+			delete(b.active, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	b.order = keep
+}
+
+// sorted returns active reservations ordered by ToA (stable by insertion).
+func (b *Book) sorted() []*Reservation {
+	out := make([]*Reservation, 0, len(b.order))
+	for _, id := range b.order {
+		out = append(out, b.active[id])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ToA < out[j].ToA })
+	return out
+}
+
+// padFor grows an interval by the temporal margin plus the spatial margin
+// converted at the reservation's (minimum) crossing speed.
+func (b *Book) padFor(i interval, r *Reservation) interval {
+	m := b.margin + b.spatial/math.Max(r.Plan.EntrySpeed, 0.5)
+	return interval{i.lo - m, i.hi + m}
+}
+
+// requiredShift returns how much later cand must arrive to clear r (0 if it
+// already does). Constraints considered: shared entry corridor, shared exit
+// lane (with catch-up margin for faster followers), and crossing conflict
+// zones from the table.
+func (b *Book) requiredShift(cand Reservation, r *Reservation) float64 {
+	cm := b.x.Movement(cand.Movement)
+	rm := b.x.Movement(r.Movement)
+	shift := 0.0
+	bump := func(cInt, rInt interval) {
+		if cInt.overlaps(rInt) {
+			if d := rInt.hi - cInt.lo + 1e-6; d > shift {
+				shift = d
+			}
+		}
+	}
+
+	// Shared entry lane. A follower that is slower both entering and
+	// exiting can platoon through the box behind its leader (its speed
+	// profile stays below the leader's at every position, so the gap
+	// never shrinks); otherwise the whole passage is serialized — this
+	// also covers a heterogeneous fleet where a nimble car would
+	// out-accelerate a truck it entered behind.
+	sameLane := cand.Movement.Approach == r.Movement.Approach && cand.Movement.Lane == r.Movement.Lane
+	if sameLane {
+		later := cand.ToA >= r.ToA
+		faster := cand.Plan.EntrySpeed > r.Plan.EntrySpeed+1e-9 ||
+			cand.exitSpeed(cm) > r.exitSpeed(rm)+1e-9
+		if later && faster {
+			bump(
+				interval{cand.entryInterval().lo, cand.exitInterval(cm).hi},
+				b.padFor(interval{r.entryInterval().lo, r.exitInterval(rm).hi}, r),
+			)
+		} else {
+			// Platooning entry separation, plus a launch-following
+			// allowance: a follower accelerating directly behind its
+			// leader tracks slightly below the leader's speed (reaction
+			// margin), losing a few tenths of a second it cannot recover
+			// once its own plan saturates.
+			rInt := b.padFor(r.entryInterval(), r)
+			rInt.hi += 4 * b.margin
+			bump(cand.entryInterval(), rInt)
+		}
+	}
+
+	// Shared exit lane: serialized at the exit point, plus the catch-up
+	// margin when the later vehicle exits faster, plus a flat allowance
+	// for the leader running its exit slower than reserved (cascaded
+	// lateness) — merging vehicles braking inside the box would otherwise
+	// fall off their own reservations.
+	if cm.Exit == rm.Exit && cand.Movement.Lane == r.Movement.Lane {
+		rInt := b.padFor(r.exitInterval(rm), r)
+		ce, re := cand.exitSpeed(cm), r.exitSpeed(rm)
+		if cand.ToA >= r.ToA && ce > re {
+			rInt.hi += b.x.Config().ExitLen * (1/re - 1/ce)
+		}
+		rInt.hi += 6 * b.margin
+		bump(cand.exitInterval(cm), rInt)
+	}
+
+	// Crossing conflict zone (same-lane pairs are fully handled above —
+	// their table zone is just the shared corridor).
+	if z, ok := b.table.Zone(cand.Movement, r.Movement); ok && !sameLane {
+		bump(cand.zoneInterval(cm, z.AStart, z.AEnd), b.padFor(r.zoneInterval(rm, z.BStart, z.BEnd), r))
+	}
+	return shift
+}
+
+// EarliestFeasible finds the earliest conflict-free arrival at or after
+// earliest for the movement, where the crossing plan is a function of the
+// arrival time. planFor must return a plan with positive EntrySpeed for any
+// toa >= earliest. It returns the chosen arrival and plan.
+//
+// The solver alternates conflict pushing with plan refreshes; arrival time
+// is monotonically nondecreasing, so it terminates.
+func (b *Book) EarliestFeasible(vehicleID, seniority int64, m intersection.MovementID, planLen, earliest float64, planFor func(toa float64) CrossingPlan) (float64, CrossingPlan, error) {
+	if b.x.Movement(m) == nil {
+		return 0, CrossingPlan{}, fmt.Errorf("im: unknown movement %v", m)
+	}
+	toa := earliest
+	plan := planFor(toa)
+	if plan.EntrySpeed <= 0 {
+		return 0, CrossingPlan{}, fmt.Errorf("im: planFor(%v) returned entry speed %v", toa, plan.EntrySpeed)
+	}
+	res := b.sorted()
+	const maxRounds = 200
+	for round := 0; round < maxRounds; round++ {
+		pushed := false
+		cand := Reservation{VehicleID: vehicleID, Movement: m, ToA: toa, Plan: plan, PlanLen: planLen, Seniority: seniority}
+		for _, r := range res {
+			if r.VehicleID == vehicleID {
+				continue // replacing our own reservation
+			}
+			if r.Placeholder && r.Seniority > seniority {
+				continue // junior placeholders do not block seniors
+			}
+			if shift := b.requiredShift(cand, r); shift > 1e-9 {
+				toa += shift
+				plan = planFor(toa)
+				if plan.EntrySpeed <= 0 {
+					return 0, CrossingPlan{}, fmt.Errorf("im: planFor(%v) returned entry speed %v", toa, plan.EntrySpeed)
+				}
+				cand = Reservation{VehicleID: vehicleID, Movement: m, ToA: toa, Plan: plan, PlanLen: planLen, Seniority: seniority}
+				pushed = true
+			}
+		}
+		if !pushed {
+			return toa, plan, nil
+		}
+	}
+	// Could not stabilize: park the vehicle after everything currently
+	// booked (deeply congested corner case).
+	last := 0.0
+	for _, r := range res {
+		if t := r.exitTime(b.x.Movement(r.Movement)); t > last {
+			last = t
+		}
+	}
+	toa = math.Max(toa, last+1.0)
+	return toa, planFor(toa), nil
+}
+
+// ConstantPlan is a helper building a constant-speed crossing plan.
+func ConstantPlan(speed float64) CrossingPlan {
+	return CrossingPlan{EntrySpeed: speed, TargetSpeed: speed}
+}
+
+// AccelPlan builds a crossing plan that enters at vEntry at time toa and
+// accelerates at accel toward vMax, cruising beyond — the paper's
+// max-acceleration crossing trajectory (Fig. 6.2).
+func AccelPlan(toa, vEntry, vMax, accel float64) CrossingPlan {
+	vEntry = math.Max(vEntry, 1e-3)
+	if vEntry >= vMax || accel <= 0 {
+		return CrossingPlan{EntrySpeed: vEntry, TargetSpeed: vEntry}
+	}
+	traj := kinematics.NewProfile(toa,
+		kinematics.Phase{Duration: (vMax - vEntry) / accel, V0: vEntry, Accel: accel},
+	)
+	return CrossingPlan{EntrySpeed: vEntry, TargetSpeed: vMax, Traj: traj}
+}

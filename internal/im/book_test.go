@@ -1,0 +1,255 @@
+package im
+
+import (
+	"math"
+	"testing"
+
+	"crossroads/internal/intersection"
+)
+
+func testBook(t *testing.T) (*intersection.Intersection, *Book) {
+	t.Helper()
+	x, err := intersection.New(intersection.ScaleModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := intersection.BuildConflictTable(x, 0.724, 0.452, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, NewBook(x, table, 0.05, 0.156)
+}
+
+func mv(a intersection.Approach, turn intersection.Turn) intersection.MovementID {
+	return intersection.MovementID{Approach: a, Lane: 0, Turn: turn}
+}
+
+func constPlanFor(speed float64) func(float64) CrossingPlan {
+	return func(float64) CrossingPlan { return ConstantPlan(speed) }
+}
+
+func TestBookAddGetRemove(t *testing.T) {
+	_, b := testBook(t)
+	r := Reservation{VehicleID: 1, Movement: mv(intersection.East, intersection.Straight),
+		ToA: 5, Plan: ConstantPlan(3), PlanLen: 0.724}
+	if err := b.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	got, ok := b.Get(1)
+	if !ok || got.ToA != 5 {
+		t.Errorf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := b.Get(2); ok {
+		t.Error("phantom reservation")
+	}
+	b.Remove(1)
+	if b.Len() != 0 {
+		t.Errorf("Len after remove = %d", b.Len())
+	}
+	b.Remove(1) // no-op
+}
+
+func TestBookAddValidation(t *testing.T) {
+	_, b := testBook(t)
+	bad := []Reservation{
+		{VehicleID: 1, Movement: intersection.MovementID{Lane: 9}, ToA: 1, Plan: ConstantPlan(1), PlanLen: 1},
+		{VehicleID: 1, Movement: mv(intersection.East, intersection.Straight), ToA: 1, Plan: ConstantPlan(0), PlanLen: 1},
+		{VehicleID: 1, Movement: mv(intersection.East, intersection.Straight), ToA: 1, Plan: ConstantPlan(1), PlanLen: 0},
+	}
+	for i, r := range bad {
+		if err := b.Add(r); err == nil {
+			t.Errorf("bad reservation %d accepted", i)
+		}
+	}
+}
+
+func TestEarliestFeasibleEmptyBook(t *testing.T) {
+	_, b := testBook(t)
+	toa, plan, err := b.EarliestFeasible(1, 0, mv(intersection.East, intersection.Straight),
+		0.724, 10, constPlanFor(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toa != 10 || plan.EntrySpeed != 3 {
+		t.Errorf("toa=%v speed=%v, want 10, 3", toa, plan.EntrySpeed)
+	}
+}
+
+func TestEarliestFeasiblePushesPastConflict(t *testing.T) {
+	_, b := testBook(t)
+	// Book a northbound crossing at t=10.
+	if err := b.Add(Reservation{VehicleID: 1, Movement: mv(intersection.North, intersection.Straight),
+		ToA: 10, Plan: ConstantPlan(3), PlanLen: 0.724}); err != nil {
+		t.Fatal(err)
+	}
+	// An eastbound crossing wanting t=10 must be pushed later.
+	toa, _, err := b.EarliestFeasible(2, 1, mv(intersection.East, intersection.Straight),
+		0.724, 10, constPlanFor(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toa <= 10 {
+		t.Errorf("conflicting crossing not pushed: toa=%v", toa)
+	}
+	// But one far in the future is untouched.
+	toa2, _, err := b.EarliestFeasible(3, 2, mv(intersection.East, intersection.Straight),
+		0.724, 50, constPlanFor(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toa2 != 50 {
+		t.Errorf("non-conflicting crossing pushed: toa=%v", toa2)
+	}
+}
+
+func TestEarliestFeasibleNonConflictingMovements(t *testing.T) {
+	_, b := testBook(t)
+	// East and west straights use separated lanes: no push.
+	if err := b.Add(Reservation{VehicleID: 1, Movement: mv(intersection.East, intersection.Straight),
+		ToA: 10, Plan: ConstantPlan(3), PlanLen: 0.724}); err != nil {
+		t.Fatal(err)
+	}
+	toa, _, err := b.EarliestFeasible(2, 1, mv(intersection.West, intersection.Straight),
+		0.724, 10, constPlanFor(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toa != 10 {
+		t.Errorf("opposing straight pushed: toa=%v", toa)
+	}
+}
+
+func TestSameLanePlatoonVsSerialize(t *testing.T) {
+	_, b := testBook(t)
+	east := mv(intersection.East, intersection.Straight)
+	if err := b.Add(Reservation{VehicleID: 1, Movement: east,
+		ToA: 10, Plan: ConstantPlan(3), PlanLen: 0.724}); err != nil {
+		t.Fatal(err)
+	}
+	// A same-speed follower platoons: pushed by roughly the entry-interval
+	// spacing, far less than the whole box passage.
+	toaSame, _, err := b.EarliestFeasible(2, 1, east, 0.724, 10, constPlanFor(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A faster follower is serialized through the whole box.
+	b.Remove(2)
+	toaFast, _, err := b.EarliestFeasible(3, 2, east, 0.724, 10, func(float64) CrossingPlan {
+		return ConstantPlan(3.0001) // marginally faster: must serialize
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(toaFast > toaSame) {
+		t.Errorf("faster follower (%v) not serialized beyond platooning follower (%v)", toaFast, toaSame)
+	}
+}
+
+func TestPlaceholderSeniority(t *testing.T) {
+	_, b := testBook(t)
+	east := mv(intersection.East, intersection.Straight)
+	north := mv(intersection.North, intersection.Straight)
+	// A junior vehicle holds a placeholder at t=10 on east.
+	if err := b.Add(Reservation{VehicleID: 9, Movement: east, ToA: 10,
+		Plan: ConstantPlan(3), PlanLen: 0.724, Placeholder: true, Seniority: 9}); err != nil {
+		t.Fatal(err)
+	}
+	// A senior vehicle on a conflicting movement ignores it.
+	toa, _, err := b.EarliestFeasible(1, 1, north, 0.724, 10, constPlanFor(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toa != 10 {
+		t.Errorf("senior pushed by junior placeholder: toa=%v", toa)
+	}
+	// A junior vehicle respects it.
+	toa2, _, err := b.EarliestFeasible(20, 20, north, 0.724, 10, constPlanFor(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toa2 <= 10 {
+		t.Errorf("junior ignored senior placeholder: toa=%v", toa2)
+	}
+}
+
+func TestPruneBefore(t *testing.T) {
+	_, b := testBook(t)
+	east := mv(intersection.East, intersection.Straight)
+	b.Add(Reservation{VehicleID: 1, Movement: east, ToA: 1, Plan: ConstantPlan(3), PlanLen: 0.724})
+	b.Add(Reservation{VehicleID: 2, Movement: east, ToA: 100, Plan: ConstantPlan(3), PlanLen: 0.724})
+	b.PruneBefore(50)
+	if b.Len() != 1 {
+		t.Errorf("Len after prune = %d, want 1", b.Len())
+	}
+	if _, ok := b.Get(2); !ok {
+		t.Error("future reservation pruned")
+	}
+}
+
+func TestReservationTrajectoryMath(t *testing.T) {
+	// An accelerating crossing: enter at 1 m/s, accelerate at 3 toward 3.
+	plan := AccelPlan(10, 1, 3, 3)
+	r := Reservation{ToA: 10, Plan: plan, PlanLen: 0.724}
+	// At the entry.
+	if got := r.TimeAtArc(0); math.Abs(got-10) > 1e-9 {
+		t.Errorf("TimeAtArc(0) = %v", got)
+	}
+	// Before the entry: constant entry speed.
+	if got := r.TimeAtArc(-1); math.Abs(got-9) > 1e-9 {
+		t.Errorf("TimeAtArc(-1) = %v", got)
+	}
+	// Ramp covers (9-1)/6 = 1.333 m in 0.667 s; beyond that, 3 m/s cruise.
+	tRampEnd := r.TimeAtArc(4.0 / 3.0)
+	if math.Abs(tRampEnd-(10+2.0/3.0)) > 1e-9 {
+		t.Errorf("ramp end time = %v", tRampEnd)
+	}
+	if v := r.SpeedAtArc(4.0 / 3.0); math.Abs(v-3) > 1e-9 {
+		t.Errorf("speed at ramp end = %v", v)
+	}
+	if v := r.SpeedAtArc(-0.5); v != 1 {
+		t.Errorf("pre-entry speed = %v", v)
+	}
+	// Round trip time<->arc.
+	for _, arc := range []float64{0.2, 1.0, 2.5} {
+		tt := r.TimeAtArc(arc)
+		back := r.ArcAtTime(tt)
+		if math.Abs(back-arc) > 1e-9 {
+			t.Errorf("round trip arc %v -> %v", arc, back)
+		}
+	}
+}
+
+func TestAccelPlanDegenerate(t *testing.T) {
+	// Entry at or above vMax: constant plan.
+	p := AccelPlan(0, 5, 3, 3)
+	if len(p.Traj.Phases) != 0 || p.EntrySpeed != 5 {
+		t.Errorf("degenerate AccelPlan = %+v", p)
+	}
+	p2 := AccelPlan(0, 1, 3, 0)
+	if len(p2.Traj.Phases) != 0 {
+		t.Errorf("zero-accel AccelPlan has phases")
+	}
+	// Nonpositive entry speed is floored.
+	p3 := AccelPlan(0, 0, 3, 3)
+	if p3.EntrySpeed <= 0 {
+		t.Errorf("entry speed not floored: %v", p3.EntrySpeed)
+	}
+}
+
+func TestEarliestFeasibleUnknownMovement(t *testing.T) {
+	_, b := testBook(t)
+	if _, _, err := b.EarliestFeasible(1, 0, intersection.MovementID{Lane: 7}, 0.7, 1, constPlanFor(3)); err == nil {
+		t.Error("unknown movement accepted")
+	}
+}
+
+func TestEarliestFeasibleBadPlan(t *testing.T) {
+	_, b := testBook(t)
+	if _, _, err := b.EarliestFeasible(1, 0, mv(intersection.East, intersection.Straight),
+		0.7, 1, constPlanFor(0)); err == nil {
+		t.Error("zero-speed plan accepted")
+	}
+}

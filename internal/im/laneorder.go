@@ -1,0 +1,67 @@
+package im
+
+import "crossroads/internal/intersection"
+
+// LaneOrder tracks which vehicles occupy each entry lane and how far each
+// is from the box, as reported in their requests. Vehicles cannot pass each
+// other within a lane, so comparing last-reported distances yields the
+// physical queue order. Both the velocity-transaction core and the AIM
+// baseline need this to avoid priority inversion: granting a rear vehicle a
+// slot it cannot physically reach past its unserved leaders would starve
+// the true queue head.
+type LaneOrder struct {
+	lanes  map[laneKey]map[int64]float64
+	ofLane map[int64]laneKey
+}
+
+type laneKey struct {
+	approach intersection.Approach
+	lane     int
+}
+
+// NewLaneOrder returns an empty tracker.
+func NewLaneOrder() *LaneOrder {
+	return &LaneOrder{
+		lanes:  make(map[laneKey]map[int64]float64),
+		ofLane: make(map[int64]laneKey),
+	}
+}
+
+// Update records a vehicle's lane and current distance to the box entry.
+func (lo *LaneOrder) Update(veh int64, mv intersection.MovementID, dist float64) {
+	lk := laneKey{approach: mv.Approach, lane: mv.Lane}
+	m, ok := lo.lanes[lk]
+	if !ok {
+		m = make(map[int64]float64)
+		lo.lanes[lk] = m
+	}
+	m[veh] = dist
+	lo.ofLane[veh] = lk
+}
+
+// Ahead returns the vehicles on the same lane strictly closer to the box
+// than dist (veh itself excluded).
+func (lo *LaneOrder) Ahead(veh int64, dist float64) []int64 {
+	lk, ok := lo.ofLane[veh]
+	if !ok {
+		return nil
+	}
+	var out []int64
+	for id, d := range lo.lanes[lk] {
+		if id != veh && d < dist {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Remove drops a vehicle (it exited the box).
+func (lo *LaneOrder) Remove(veh int64) {
+	if lk, ok := lo.ofLane[veh]; ok {
+		delete(lo.lanes[lk], veh)
+		delete(lo.ofLane, veh)
+	}
+}
+
+// Len returns the number of tracked vehicles.
+func (lo *LaneOrder) Len() int { return len(lo.ofLane) }

@@ -1,0 +1,76 @@
+package im
+
+import (
+	"testing"
+
+	"crossroads/internal/des"
+	"crossroads/internal/metrics"
+	"crossroads/internal/network"
+)
+
+// pushSched implements Scheduler+Pusher, handing out one scripted push.
+type pushSched struct {
+	stubSched
+	pending []Push
+}
+
+func (p *pushSched) TakePushes() []Push {
+	out := p.pending
+	p.pending = nil
+	return out
+}
+
+// TestServerTransmitsPushes verifies the unsolicited-revision plumbing:
+// pushes drained from the scheduler go out as Seq-0 responses to the right
+// vehicles and are counted.
+func TestServerTransmitsPushes(t *testing.T) {
+	sim := des.New()
+	net := network.New(sim, nil, network.ConstantDelay{D: 0.001}, 0)
+	col := metrics.NewCollector()
+	sched := &pushSched{stubSched: stubSched{cost: 0.01}}
+	sched.pending = []Push{
+		{VehicleID: 7, Resp: Response{Kind: RespTimed, Seq: 99, ExecuteAt: 1, ArriveAt: 2, TargetSpeed: 3}},
+		{VehicleID: 8, Resp: Response{Kind: RespTimed, ExecuteAt: 1.5, ArriveAt: 2.5, TargetSpeed: 2}},
+	}
+	NewServer(sim, net, sched, col)
+
+	got := map[int64]Response{}
+	for _, id := range []int64{1, 7, 8} {
+		id := id
+		net.Register(VehicleEndpoint(id), func(now float64, msg network.Message) {
+			if r, ok := msg.Payload.(Response); ok && r.Seq == 0 {
+				got[id] = r
+			}
+		})
+	}
+	// Any request triggers the drain.
+	sim.At(0, func() {
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(1),
+			To: EndpointName, Payload: request(1, 1)})
+	})
+	sim.Run()
+
+	if len(got) != 2 {
+		t.Fatalf("pushed to %d vehicles, want 2", len(got))
+	}
+	if got[7].ArriveAt != 2 || got[8].ArriveAt != 2.5 {
+		t.Errorf("push payloads: %+v", got)
+	}
+	// Seq must be forced to 0 even if the scheduler set something else.
+	if got[7].Seq != 0 {
+		t.Errorf("push Seq = %d, want 0", got[7].Seq)
+	}
+	if col.Revisions != 2 {
+		t.Errorf("Revisions = %d, want 2", col.Revisions)
+	}
+	// Drained: a second request pushes nothing more.
+	before := col.Revisions
+	sim.At(sim.Now()+1, func() {
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(1),
+			To: EndpointName, Payload: request(1, 2)})
+	})
+	sim.Run()
+	if col.Revisions != before {
+		t.Errorf("drained pushes re-sent: %d", col.Revisions)
+	}
+}

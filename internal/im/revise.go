@@ -1,0 +1,116 @@
+package im
+
+import (
+	"math"
+
+	"crossroads/internal/kinematics"
+)
+
+// Push is an IM-initiated command revision: an unsolicited timed grant
+// (Seq 0) the server transmits to a vehicle whose earlier grant was
+// invalidated by a committed vehicle's truthful re-booking. Only policies
+// with time-anchored commands can do this — the capability a yes/no
+// protocol like AIM structurally lacks.
+type Push struct {
+	VehicleID int64
+	Resp      Response
+}
+
+// ReviseConflicts walks the book after `cause` was (re-)booked and, for
+// every reservation that now conflicts with it and can still be safely
+// revised, computes a fresh conflict-free slot, updates the book, and
+// returns the pushes to transmit. Revisions cascade (a pushed slot may
+// displace another) up to a bounded number of rounds.
+//
+// A reservation is revisable when it recorded its commanded approach
+// trajectory, its vehicle will still be dip-capable at the new execution
+// time (it can realize any later arrival), and the new command can reach
+// it in time (cmdLatency before the new TE).
+func ReviseConflicts(b *Book, cause Reservation, now, cmdLatency, minCrossSpeed float64) []Push {
+	var pushes []Push
+	frontier := []Reservation{cause}
+	revised := map[int64]bool{cause.VehicleID: true}
+
+	const maxRounds = 8
+	for round := 0; round < maxRounds && len(frontier) > 0; round++ {
+		var next []Reservation
+		for _, trigger := range frontier {
+			for _, r := range b.sorted() {
+				if r.VehicleID == trigger.VehicleID || revised[r.VehicleID] || r.Placeholder {
+					continue
+				}
+				if b.requiredShift(*r, &trigger) <= 1e-6 {
+					continue
+				}
+				nr, resp, ok := reviseOne(b, *r, now, cmdLatency, minCrossSpeed)
+				if !ok {
+					continue
+				}
+				revised[r.VehicleID] = true
+				b.Add(nr)
+				pushes = append(pushes, Push{VehicleID: nr.VehicleID, Resp: resp})
+				next = append(next, nr)
+			}
+		}
+		frontier = next
+	}
+	return pushes
+}
+
+// reviseOne recomputes one reservation's slot from its commanded state at
+// the new execution time te = now + cmdLatency.
+func reviseOne(b *Book, r Reservation, now, cmdLatency, minCrossSpeed float64) (Reservation, Response, bool) {
+	if err := r.Params.Validate(); err != nil {
+		return Reservation{}, Response{}, false
+	}
+	te := now + cmdLatency
+	remaining, speed, ok := r.Plan.StateAt(te)
+	if !ok {
+		return Reservation{}, Response{}, false
+	}
+	// The vehicle must still be dip-capable (able to realize any later
+	// arrival): it can stop, leaving room for the lip.
+	lip := r.PlanLen // conservative: a body-plus-buffers length before the entry
+	if r.Params.StoppingDistance(speed) >= remaining-lip {
+		return Reservation{}, Response{}, false
+	}
+	etaDelay, vEarliest, _ := kinematics.EarliestArrival(te, remaining, speed, r.Params)
+	earliest := math.Max(te+etaDelay, r.ToA) // revisions only push later
+	if vEarliest < minCrossSpeed {
+		vEarliest = minCrossSpeed
+	}
+	planFor := func(toa float64) CrossingPlan {
+		prof, err := kinematics.PlanArrival(te, remaining, speed, toa, r.Params)
+		vArr := vEarliest
+		if err == nil {
+			vArr = prof.VelocityAt(prof.TimeAtDistance(remaining))
+		} else {
+			_, _, prof = kinematics.EarliestArrival(te, remaining, speed, r.Params)
+		}
+		if vArr < minCrossSpeed {
+			vArr = minCrossSpeed
+		}
+		plan := AccelPlan(toa, vArr, r.Params.MaxSpeed, r.Params.MaxAccel)
+		plan.Approach = prof
+		plan.ApproachDist = remaining
+		return plan
+	}
+	toa, plan, err := b.EarliestFeasible(r.VehicleID, r.Seniority, r.Movement, r.PlanLen, earliest, planFor)
+	if err != nil {
+		return Reservation{}, Response{}, false
+	}
+	// Verify reachability of the revised slot from the commanded state.
+	if prof, perr := kinematics.PlanArrival(te, remaining, speed, toa, r.Params); perr != nil ||
+		math.Abs(prof.TimeAtDistance(remaining)-toa) > 0.05 {
+		return Reservation{}, Response{}, false
+	}
+	nr := r
+	nr.ToA = toa
+	nr.Plan = plan
+	return nr, Response{
+		Kind:        RespTimed,
+		TargetSpeed: plan.EntrySpeed,
+		ExecuteAt:   te,
+		ArriveAt:    toa,
+	}, true
+}

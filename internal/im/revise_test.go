@@ -1,0 +1,128 @@
+package im
+
+import (
+	"math"
+	"testing"
+
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+)
+
+// reviseHarness books one east-straight crossing with a recorded approach
+// trajectory, then rebooks a conflicting north-straight truth on top of it.
+func reviseHarness(t *testing.T) (*Book, Reservation, Reservation) {
+	t.Helper()
+	x, err := intersection.New(intersection.FullScaleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := intersection.BuildConflictTable(x, 5.13, 2.43, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBook(x, table, 0.05, 0.63)
+	params := kinematics.FullScaleParams()
+
+	// Victim: east-straight granted ToA=10, commanded at te=5 from 30 m out
+	// at 10 m/s (a feasible dip plan it is still executing).
+	te, de, vc := 5.0, 30.0, 10.0
+	prof, err := kinematics.PlanArrival(te, de, vc, 10.0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimPlan := AccelPlan(10.0, prof.VelocityAt(prof.TimeAtDistance(de)), params.MaxSpeed, params.MaxAccel)
+	victimPlan.Approach = prof
+	victimPlan.ApproachDist = de
+	victim := Reservation{
+		VehicleID: 1, Seniority: 1,
+		Movement: intersection.MovementID{Approach: intersection.East, Lane: 0, Turn: intersection.Straight},
+		Params:   params, ToA: 10.0, Plan: victimPlan, PlanLen: 5.13,
+	}
+	if err := b.Add(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cause: a committed north-straight truth landing right in the
+	// victim's window.
+	cause := Reservation{
+		VehicleID: 2, Seniority: 2,
+		Movement: intersection.MovementID{Approach: intersection.North, Lane: 0, Turn: intersection.Straight},
+		Params:   params, ToA: 10.1, Plan: AccelPlan(10.1, 8, params.MaxSpeed, params.MaxAccel), PlanLen: 5.13,
+	}
+	if err := b.Add(cause); err != nil {
+		t.Fatal(err)
+	}
+	return b, victim, cause
+}
+
+func TestReviseConflictsPushesVictimLater(t *testing.T) {
+	b, victim, cause := reviseHarness(t)
+	pushes := ReviseConflicts(b, cause, 6.0, 0.15, 0.1)
+	if len(pushes) != 1 {
+		t.Fatalf("pushes = %d, want 1", len(pushes))
+	}
+	p := pushes[0]
+	if p.VehicleID != victim.VehicleID {
+		t.Fatalf("pushed veh%d, want veh%d", p.VehicleID, victim.VehicleID)
+	}
+	if p.Resp.Kind != RespTimed {
+		t.Fatalf("push kind = %v", p.Resp.Kind)
+	}
+	if p.Resp.ArriveAt <= victim.ToA {
+		t.Errorf("revision did not push later: %v vs %v", p.Resp.ArriveAt, victim.ToA)
+	}
+	if math.Abs(p.Resp.ExecuteAt-6.15) > 1e-9 {
+		t.Errorf("revision TE = %v, want now+latency", p.Resp.ExecuteAt)
+	}
+	// The book now holds the revised slot and it clears the cause.
+	revised, ok := b.Get(victim.VehicleID)
+	if !ok {
+		t.Fatal("victim booking lost")
+	}
+	if revised.ToA != p.Resp.ArriveAt {
+		t.Errorf("book %v != push %v", revised.ToA, p.Resp.ArriveAt)
+	}
+	if shift := b.requiredShift(revised, &cause); shift > 1e-6 {
+		t.Errorf("revised slot still conflicts: shift %v", shift)
+	}
+}
+
+func TestReviseConflictsSkipsUnrevisable(t *testing.T) {
+	b, victim, cause := reviseHarness(t)
+	// Strip the victim's approach trajectory: the IM cannot know its
+	// state, so it must not be touched.
+	victim.Plan.Approach = kinematics.Profile{}
+	victim.Plan.ApproachDist = 0
+	b.Add(victim)
+	pushes := ReviseConflicts(b, cause, 6.0, 0.15, 0.1)
+	if len(pushes) != 0 {
+		t.Errorf("pushes = %d for unrevisable victim", len(pushes))
+	}
+	got, _ := b.Get(victim.VehicleID)
+	if got.ToA != victim.ToA {
+		t.Errorf("unrevisable victim moved: %v", got.ToA)
+	}
+}
+
+func TestReviseConflictsSkipsCommittedVictims(t *testing.T) {
+	b, victim, cause := reviseHarness(t)
+	// Late revision attempt: by now+latency the victim is nearly at the
+	// box (its profile has almost finished) — no longer dip-capable, so
+	// it must not be revised.
+	_ = victim
+	pushes := ReviseConflicts(b, cause, 9.5, 0.15, 0.1)
+	if len(pushes) != 0 {
+		t.Errorf("pushes = %d for a committed victim", len(pushes))
+	}
+}
+
+func TestReviseConflictsNoConflictNoPush(t *testing.T) {
+	b, _, cause := reviseHarness(t)
+	// A cause far in the future conflicts with nothing.
+	cause.ToA = 200
+	cause.Plan = AccelPlan(200, 8, 15, 3)
+	b.Add(cause)
+	if pushes := ReviseConflicts(b, cause, 6.0, 0.15, 0.1); len(pushes) != 0 {
+		t.Errorf("pushes = %d, want 0", len(pushes))
+	}
+}

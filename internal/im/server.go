@@ -1,0 +1,212 @@
+package im
+
+import (
+	"strconv"
+	"time"
+
+	"crossroads/internal/des"
+	"crossroads/internal/metrics"
+	"crossroads/internal/network"
+)
+
+// SyncPayload carries the NTP timestamps of a sync exchange: the client's
+// transmit time T1 and the server's receive/transmit times T2, T3 (equal
+// here: the IM replies instantly). The client adds T4 on receipt.
+type SyncPayload struct {
+	T1, T2, T3 float64
+}
+
+// ExitPayload notifies the IM that a vehicle cleared the box.
+type ExitPayload struct {
+	VehicleID int64
+	// ExitTimestamp is the vehicle's synchronized clock reading at exit,
+	// used for the paper's wait-time accounting.
+	ExitTimestamp float64
+}
+
+// EndpointName is the IM's network address.
+const EndpointName = "im"
+
+// Pusher is an optional Scheduler extension for policies that can revise
+// already-issued grants (timed-command interfaces): after each request the
+// server drains and transmits the pending unsolicited revisions (Seq 0).
+type Pusher interface {
+	TakePushes() []Push
+}
+
+// Deferred is an optional Scheduler extension for policies that hold their
+// replies past the computation time (batching windows): ReleaseAt returns
+// the earliest simulated time the response for req may be transmitted. The
+// server stays free to process other requests while a reply is held.
+type Deferred interface {
+	ReleaseAt(now float64, req Request) float64
+}
+
+// Server is the network-facing intersection manager node. It answers sync
+// exchanges immediately (they are interrupt-cheap) and serializes crossing
+// requests through a FIFO queue, modeling each one's computation delay in
+// simulated time — this is what produces the paper's worst-case 135 ms
+// queueing computation delay when four vehicles arrive at once.
+type Server struct {
+	sim   *des.Simulator
+	net   *network.Network
+	sched Scheduler
+	col   *metrics.Collector
+
+	queue      []Request
+	processing bool
+}
+
+// NewServer attaches a server running the given scheduler to the network at
+// EndpointName. col may be nil to skip metrics accounting.
+func NewServer(sim *des.Simulator, net *network.Network, sched Scheduler, col *metrics.Collector) *Server {
+	s := &Server{sim: sim, net: net, sched: sched, col: col}
+	net.Register(EndpointName, s.handle)
+	return s
+}
+
+// Scheduler returns the wrapped policy.
+func (s *Server) Scheduler() Scheduler { return s.sched }
+
+// QueueLen returns the number of requests waiting or in service.
+func (s *Server) QueueLen() int {
+	n := len(s.queue)
+	if s.processing {
+		n++
+	}
+	return n
+}
+
+func (s *Server) handle(now float64, msg network.Message) {
+	switch msg.Kind {
+	case network.KindSyncRequest:
+		p, ok := msg.Payload.(SyncPayload)
+		if !ok {
+			return
+		}
+		p.T2 = now
+		p.T3 = now
+		s.net.Send(network.Message{
+			Kind:    network.KindSyncResponse,
+			From:    EndpointName,
+			To:      msg.From,
+			Payload: p,
+		})
+	case network.KindRequest:
+		req, ok := msg.Payload.(Request)
+		if !ok {
+			return
+		}
+		// Coalesce: a newer request from the same vehicle supersedes any
+		// still-queued one (retransmissions would otherwise snowball the
+		// queue under load).
+		replaced := false
+		for i := range s.queue {
+			if s.queue[i].VehicleID == req.VehicleID {
+				s.queue[i] = req
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			s.queue = append(s.queue, req)
+		}
+		if !s.processing {
+			s.processNext()
+		}
+	case network.KindExit:
+		p, ok := msg.Payload.(ExitPayload)
+		if !ok {
+			return
+		}
+		s.sched.HandleExit(now, p.VehicleID)
+		// Exits are retransmitted until acknowledged: losing one would
+		// wedge the lane FIFO behind a ghost.
+		s.net.Send(network.Message{
+			Kind:    network.KindAck,
+			From:    EndpointName,
+			To:      msg.From,
+			Payload: p.VehicleID,
+		})
+	case network.KindRegister:
+		// Registration is implicit; nothing to track beyond the network
+		// layer's own endpoint table.
+	}
+}
+
+// processNext services the head of the FIFO queue: compute the response,
+// hold the server busy for the simulated computation delay, transmit, then
+// move on.
+func (s *Server) processNext() {
+	if len(s.queue) == 0 {
+		s.processing = false
+		return
+	}
+	s.processing = true
+	req := s.queue[0]
+	s.queue = s.queue[1:]
+
+	start := time.Now()
+	resp, cost := s.sched.HandleRequest(s.sim.Now(), req)
+	wall := time.Since(start)
+	resp.Seq = req.Seq
+	if cost < 0 {
+		cost = 0
+	}
+	if s.col != nil {
+		s.col.SchedulerInvocations++
+		s.col.SchedulerWall += wall
+		s.col.SchedulerSimDelay += cost
+	}
+	kind := network.KindResponse
+	switch resp.Kind {
+	case RespAccept:
+		kind = network.KindAccept
+	case RespReject:
+		kind = network.KindReject
+	}
+	// The reply leaves after the computation — later, if the policy holds
+	// it (batch windows) — but the server frees up after the computation
+	// alone.
+	sendDelay := cost
+	if d, ok := s.sched.(Deferred); ok {
+		if rel := d.ReleaseAt(s.sim.Now(), req); rel > s.sim.Now()+sendDelay {
+			sendDelay = rel - s.sim.Now()
+		}
+	}
+	s.sim.After(sendDelay, func() {
+		s.net.Send(network.Message{
+			Kind:    kind,
+			From:    EndpointName,
+			To:      vehicleEndpoint(req.VehicleID),
+			Payload: resp,
+		})
+	})
+	if p, ok := s.sched.(Pusher); ok {
+		for _, push := range p.TakePushes() {
+			push := push
+			push.Resp.Seq = 0 // unsolicited revision marker
+			if s.col != nil {
+				s.col.Revisions++
+			}
+			s.sim.After(cost, func() {
+				s.net.Send(network.Message{
+					Kind:    network.KindResponse,
+					From:    EndpointName,
+					To:      vehicleEndpoint(push.VehicleID),
+					Payload: push.Resp,
+				})
+			})
+		}
+	}
+	s.sim.After(cost, s.processNext)
+}
+
+// vehicleEndpoint returns the network address of a vehicle.
+func vehicleEndpoint(id int64) string {
+	return "veh" + strconv.FormatInt(id, 10)
+}
+
+// VehicleEndpoint exposes the vehicle endpoint naming scheme so the vehicle
+// package registers under the address the server replies to.
+func VehicleEndpoint(id int64) string { return vehicleEndpoint(id) }

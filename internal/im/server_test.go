@@ -1,0 +1,265 @@
+package im
+
+import (
+	"math"
+	"testing"
+
+	"crossroads/internal/des"
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/metrics"
+	"crossroads/internal/network"
+)
+
+// stubSched is a scripted scheduler for server tests.
+type stubSched struct {
+	cost     float64
+	handled  []Request
+	exits    []int64
+	respKind ResponseKind
+}
+
+func (s *stubSched) Name() string { return "stub" }
+func (s *stubSched) HandleRequest(now float64, req Request) (Response, float64) {
+	s.handled = append(s.handled, req)
+	return Response{Kind: s.respKind, TargetSpeed: 1}, s.cost
+}
+func (s *stubSched) HandleExit(now float64, id int64) { s.exits = append(s.exits, id) }
+
+func newServerHarness(t *testing.T, cost float64) (*des.Simulator, *network.Network, *stubSched, *metrics.Collector) {
+	t.Helper()
+	sim := des.New()
+	net := network.New(sim, nil, network.ConstantDelay{D: 0.001}, 0)
+	sched := &stubSched{cost: cost}
+	col := metrics.NewCollector()
+	NewServer(sim, net, sched, col)
+	return sim, net, sched, col
+}
+
+func request(id int64, seq int) Request {
+	return Request{
+		VehicleID: id, Seq: seq,
+		Movement:     intersection.MovementID{Approach: intersection.East, Lane: 0, Turn: intersection.Straight},
+		CurrentSpeed: 3, DistToEntry: 3,
+		Params: kinematics.ScaleModelParams(),
+	}
+}
+
+func TestServerRespondsWithEchoedSeq(t *testing.T) {
+	sim, net, _, _ := newServerHarness(t, 0.01)
+	var got Response
+	var at float64
+	net.Register(VehicleEndpoint(1), func(now float64, msg network.Message) {
+		if r, ok := msg.Payload.(Response); ok {
+			got = r
+			at = now
+		}
+	})
+	sim.At(0, func() {
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(1),
+			To: EndpointName, Payload: request(1, 7)})
+	})
+	sim.Run()
+	if got.Seq != 7 {
+		t.Errorf("Seq = %d, want 7", got.Seq)
+	}
+	// 1 ms there + 10 ms compute + 1 ms back.
+	if math.Abs(at-0.012) > 1e-9 {
+		t.Errorf("response at %v, want 0.012", at)
+	}
+}
+
+func TestServerFIFOQueueing(t *testing.T) {
+	sim, net, _, col := newServerHarness(t, 0.03)
+	times := map[int64]float64{}
+	for id := int64(1); id <= 4; id++ {
+		id := id
+		net.Register(VehicleEndpoint(id), func(now float64, msg network.Message) {
+			if _, ok := msg.Payload.(Response); ok {
+				times[id] = now
+			}
+		})
+	}
+	sim.At(0, func() {
+		for id := int64(1); id <= 4; id++ {
+			net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(id),
+				To: EndpointName, Payload: request(id, 1)})
+		}
+	})
+	sim.Run()
+	// Responses spaced by the 30 ms compute time: the queueing WC-CD.
+	for id := int64(2); id <= 4; id++ {
+		gap := times[id] - times[id-1]
+		if math.Abs(gap-0.03) > 1e-9 {
+			t.Errorf("gap %d->%d = %v, want 0.03", id-1, id, gap)
+		}
+	}
+	// The 4th response ~ 4*30 ms after arrival: the paper's ~135 ms worst.
+	if times[4] < 0.12 || times[4] > 0.13 {
+		t.Errorf("4th response at %v", times[4])
+	}
+	if col.SchedulerInvocations != 4 {
+		t.Errorf("invocations = %d", col.SchedulerInvocations)
+	}
+	if math.Abs(col.SchedulerSimDelay-0.12) > 1e-9 {
+		t.Errorf("sim delay = %v", col.SchedulerSimDelay)
+	}
+}
+
+func TestServerCoalescesRetransmissions(t *testing.T) {
+	sim, net, sched, _ := newServerHarness(t, 0.05)
+	net.Register(VehicleEndpoint(1), func(float64, network.Message) {})
+	net.Register(VehicleEndpoint(2), func(float64, network.Message) {})
+	sim.At(0, func() {
+		// Vehicle 1's request occupies the server; vehicle 2 retransmits
+		// three times while queued.
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(1),
+			To: EndpointName, Payload: request(1, 1)})
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(2),
+			To: EndpointName, Payload: request(2, 1)})
+	})
+	sim.At(0.01, func() {
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(2),
+			To: EndpointName, Payload: request(2, 2)})
+	})
+	sim.At(0.02, func() {
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(2),
+			To: EndpointName, Payload: request(2, 3)})
+	})
+	sim.Run()
+	// Vehicle 2 must be served exactly once, with its latest seq.
+	count := 0
+	var lastSeq int
+	for _, r := range sched.handled {
+		if r.VehicleID == 2 {
+			count++
+			lastSeq = r.Seq
+		}
+	}
+	if count != 1 {
+		t.Errorf("vehicle 2 served %d times, want 1 (coalesced)", count)
+	}
+	if lastSeq != 3 {
+		t.Errorf("served seq %d, want 3", lastSeq)
+	}
+}
+
+func TestServerSyncExchange(t *testing.T) {
+	sim, net, _, _ := newServerHarness(t, 0.03)
+	var p SyncPayload
+	net.Register(VehicleEndpoint(1), func(now float64, msg network.Message) {
+		if sp, ok := msg.Payload.(SyncPayload); ok {
+			p = sp
+		}
+	})
+	sim.At(5, func() {
+		net.Send(network.Message{Kind: network.KindSyncRequest, From: VehicleEndpoint(1),
+			To: EndpointName, Payload: SyncPayload{T1: 123}})
+	})
+	sim.Run()
+	if p.T1 != 123 {
+		t.Errorf("T1 = %v", p.T1)
+	}
+	// Server receive/transmit at 5.001 (1 ms link).
+	if math.Abs(p.T2-5.001) > 1e-9 || p.T2 != p.T3 {
+		t.Errorf("T2=%v T3=%v", p.T2, p.T3)
+	}
+}
+
+func TestServerExitForwarded(t *testing.T) {
+	sim, net, sched, _ := newServerHarness(t, 0.03)
+	sim.At(0, func() {
+		net.Send(network.Message{Kind: network.KindExit, From: VehicleEndpoint(9),
+			To: EndpointName, Payload: ExitPayload{VehicleID: 9, ExitTimestamp: 1}})
+	})
+	sim.Run()
+	if len(sched.exits) != 1 || sched.exits[0] != 9 {
+		t.Errorf("exits = %v", sched.exits)
+	}
+}
+
+func TestServerRejectKindsMapped(t *testing.T) {
+	sim, net, sched, _ := newServerHarness(t, 0.001)
+	sched.respKind = RespReject
+	var kind network.Kind
+	net.Register(VehicleEndpoint(1), func(now float64, msg network.Message) { kind = msg.Kind })
+	sim.At(0, func() {
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(1),
+			To: EndpointName, Payload: request(1, 1)})
+	})
+	sim.Run()
+	if kind != network.KindReject {
+		t.Errorf("wire kind = %v, want reject", kind)
+	}
+}
+
+func TestServerIgnoresMalformedPayloads(t *testing.T) {
+	sim, net, sched, _ := newServerHarness(t, 0.01)
+	sim.At(0, func() {
+		net.Send(network.Message{Kind: network.KindRequest, From: "x", To: EndpointName, Payload: "garbage"})
+		net.Send(network.Message{Kind: network.KindSyncRequest, From: "x", To: EndpointName, Payload: 42})
+		net.Send(network.Message{Kind: network.KindExit, From: "x", To: EndpointName, Payload: nil})
+		net.Send(network.Message{Kind: network.KindRegister, From: "x", To: EndpointName})
+	})
+	sim.Run()
+	if len(sched.handled) != 0 || len(sched.exits) != 0 {
+		t.Error("malformed payloads reached the scheduler")
+	}
+}
+
+func TestVehicleEndpointNaming(t *testing.T) {
+	if VehicleEndpoint(42) != "veh42" {
+		t.Errorf("endpoint = %q", VehicleEndpoint(42))
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := TestbedCostModel()
+	// Without jitter (nil rng), costs are deterministic.
+	c.Jitter = 0
+	if got := c.RequestCost(nil, 10); math.Abs(got-(0.030+10*0.0003)) > 1e-12 {
+		t.Errorf("RequestCost = %v", got)
+	}
+	if got := c.SimulationCost(nil, 100); math.Abs(got-(0.030+100*0.0009)) > 1e-12 {
+		t.Errorf("SimulationCost = %v", got)
+	}
+}
+
+func TestResponseKindString(t *testing.T) {
+	for _, k := range []ResponseKind{RespVelocity, RespTimed, RespAccept, RespReject} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty string", int(k))
+		}
+	}
+	if ResponseKind(99).String() != "resp(99)" {
+		t.Errorf("unknown kind = %q", ResponseKind(99).String())
+	}
+}
+
+func TestLaneOrder(t *testing.T) {
+	lo := NewLaneOrder()
+	east := intersection.MovementID{Approach: intersection.East, Lane: 0, Turn: intersection.Straight}
+	north := intersection.MovementID{Approach: intersection.North, Lane: 0, Turn: intersection.Straight}
+	lo.Update(1, east, 1.0) // closest
+	lo.Update(2, east, 2.0)
+	lo.Update(3, east, 3.0)
+	lo.Update(4, north, 0.5) // different lane
+	if lo.Len() != 4 {
+		t.Errorf("Len = %d", lo.Len())
+	}
+	ahead := lo.Ahead(3, 3.0)
+	if len(ahead) != 2 {
+		t.Errorf("Ahead(3) = %v", ahead)
+	}
+	if len(lo.Ahead(1, 1.0)) != 0 {
+		t.Error("front vehicle has leaders")
+	}
+	if lo.Ahead(99, 1.0) != nil {
+		t.Error("unknown vehicle has leaders")
+	}
+	lo.Remove(1)
+	if len(lo.Ahead(2, 2.0)) != 0 {
+		t.Error("removed vehicle still ahead")
+	}
+	lo.Remove(99) // no-op
+}

@@ -1,0 +1,149 @@
+// Package im defines the intersection-manager protocol layer shared by the
+// three policies: the request/response wire types (the paper's VehicleInfo
+// and response packets), the Scheduler interface every policy implements,
+// the FIFO server that serializes request processing and models computation
+// delay, and the reservation book used by the velocity-transaction policies
+// (plain VT-IM and Crossroads — the paper states their IM code is
+// identical; only the buffer differs).
+package im
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+)
+
+// Request is a crossing request. VT-IM and Crossroads populate
+// CurrentSpeed/DistToEntry (VC, DT); Crossroads additionally stamps
+// TransmitTime (TT) from the vehicle's synchronized clock; AIM populates
+// ProposedToA and CrossSpeed for its constant-speed proposal.
+type Request struct {
+	VehicleID int64
+	// Seq numbers the vehicle's requests so stale responses (a reply
+	// overtaking a retransmission) can be discarded; the server echoes it.
+	Seq      int
+	Movement intersection.MovementID
+	// CurrentSpeed is VC, the speed at transmit time (m/s).
+	CurrentSpeed float64
+	// DistToEntry is DT, the distance from the vehicle center to the box
+	// entry point at transmit time (m).
+	DistToEntry float64
+	// TransmitTime is TT, the vehicle's synchronized timestamp at
+	// transmission (Crossroads only).
+	TransmitTime float64
+	// Committed marks a vehicle that can no longer stop before the box:
+	// it is reporting its true (possibly delayed) state so the IM can
+	// re-book its unavoidable crossing; a stop command would be
+	// unactionable.
+	Committed bool
+	// ProposedToA is the arrival time the vehicle proposes (AIM only).
+	ProposedToA float64
+	// CrossSpeed is the constant speed of the proposed crossing (AIM only).
+	CrossSpeed float64
+	// Params is the VehicleInfo capability packet.
+	Params kinematics.Params
+}
+
+// ResponseKind discriminates the reply union.
+type ResponseKind int
+
+const (
+	// RespVelocity is the plain VT-IM reply: adopt TargetSpeed now.
+	RespVelocity ResponseKind = iota
+	// RespTimed is the Crossroads reply: begin the trajectory at
+	// ExecuteAt (TE), arrive at ArriveAt (ToA) with TargetSpeed (VT).
+	RespTimed
+	// RespAccept grants an AIM proposal.
+	RespAccept
+	// RespReject denies an AIM proposal.
+	RespReject
+)
+
+func (k ResponseKind) String() string {
+	switch k {
+	case RespVelocity:
+		return "velocity"
+	case RespTimed:
+		return "timed"
+	case RespAccept:
+		return "accept"
+	case RespReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("resp(%d)", int(k))
+	}
+}
+
+// Response is the IM's reply to a Request.
+type Response struct {
+	Kind ResponseKind
+	// Seq echoes the request's sequence number.
+	Seq int
+	// TargetSpeed is VT.
+	TargetSpeed float64
+	// ExecuteAt is TE, the command execution time (Crossroads).
+	ExecuteAt float64
+	// ArriveAt is ToA, the granted arrival time (Crossroads).
+	ArriveAt float64
+}
+
+// Scheduler is the policy brain behind the server.
+type Scheduler interface {
+	// Name identifies the policy ("vt-im", "crossroads", "aim", ...).
+	Name() string
+	// HandleRequest processes one request at simulated time now (the
+	// moment processing starts, after any queueing) and returns the reply
+	// plus the simulated computation delay the reply costs.
+	HandleRequest(now float64, req Request) (Response, float64)
+	// HandleExit tells the policy a vehicle cleared the box so its
+	// reservations can be released.
+	HandleExit(now float64, vehicleID int64)
+}
+
+// CostModel converts scheduler work into simulated computation delay. The
+// testbed defaults are calibrated so that four simultaneous arrivals
+// produce the paper's worst-case ~135 ms queueing computation delay
+// (Chapter 4).
+type CostModel struct {
+	// RequestBase is the fixed cost per request (s).
+	RequestBase float64
+	// PerReservation is the cost per active reservation scanned by the
+	// velocity-transaction policies (s).
+	PerReservation float64
+	// PerSimStep is the cost per trajectory sample simulated by AIM (s).
+	PerSimStep float64
+	// Jitter is the fractional uniform jitter applied to every cost
+	// (0.1 = +-10%).
+	Jitter float64
+}
+
+// TestbedCostModel returns the calibrated testbed costs.
+func TestbedCostModel() CostModel {
+	return CostModel{
+		RequestBase:    0.030,
+		PerReservation: 0.0003,
+		PerSimStep:     0.0009,
+		Jitter:         0.10,
+	}
+}
+
+// RequestCost returns the jittered cost of a velocity-transaction request
+// that scanned nReservations.
+func (c CostModel) RequestCost(rng *rand.Rand, nReservations int) float64 {
+	return c.jitter(rng, c.RequestBase+float64(nReservations)*c.PerReservation)
+}
+
+// SimulationCost returns the jittered cost of an AIM request that simulated
+// nSteps trajectory samples.
+func (c CostModel) SimulationCost(rng *rand.Rand, nSteps int) float64 {
+	return c.jitter(rng, c.RequestBase+float64(nSteps)*c.PerSimStep)
+}
+
+func (c CostModel) jitter(rng *rand.Rand, base float64) float64 {
+	if c.Jitter <= 0 || rng == nil {
+		return base
+	}
+	return base * (1 + (rng.Float64()*2-1)*c.Jitter)
+}

@@ -1,0 +1,281 @@
+package im
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"crossroads/internal/intersection"
+	"crossroads/internal/safety"
+)
+
+// debugVT enables scheduling-decision traces (diagnostic runs only).
+var debugVT = os.Getenv("CROSSROADS_DEBUG_IM") != ""
+
+// VTPlanner is the policy-specific piece of a velocity-transaction
+// scheduler. The paper runs the *same* IM scheduling code for plain VT-IM
+// and for Crossroads; what differs is how the commanded trajectory is
+// anchored in time (at command receipt for VT-IM, at the fixed execution
+// time TE for Crossroads) and therefore which kinematic solver maps an
+// arrival time to an achievable crossing speed.
+type VTPlanner interface {
+	// Plan analyzes a request processed at simulated time now and returns:
+	// earliest — the earliest reachable arrival at the box entry;
+	// planFor — the achievable crossing plan if arrival is delayed to
+	// toa >= earliest;
+	// respond — the wire response granting (toa, plan).
+	Plan(now float64, req Request) (earliest float64, planFor func(toa float64) CrossingPlan, respond func(toa float64, plan CrossingPlan) Response, err error)
+}
+
+// SlotVerifier is an optional VTPlanner extension: after the core picks a
+// (toa, speed) slot, the planner may reject it when its actuation primitive
+// cannot realize that arrival. Plain VT-IM needs this — a single held
+// velocity cannot delay arrival beyond the crawl limit, so the IM must tell
+// such vehicles to stop and retry instead of booking a slot the vehicle
+// would overrun.
+type SlotVerifier interface {
+	VerifySlot(now, toa float64, plan CrossingPlan, req Request) bool
+}
+
+// ArrivalBounder is an optional VTPlanner extension reporting the latest
+// arrival a vehicle can still achieve (deepest feasible dip). Committed
+// vehicles — those already inside their stopping distance — get their slot
+// clamped to this bound: their crossing happens in that window no matter
+// what, so booking the truth protects future grants.
+type ArrivalBounder interface {
+	LatestArrival(now float64, req Request) float64
+}
+
+// VTCoreConfig parameterizes the shared scheduler.
+type VTCoreConfig struct {
+	// Buffers is the per-policy footprint inflation.
+	Buffers safety.Buffers
+	// Margin is extra temporal clearance between occupancies (s).
+	Margin float64
+	// Cost models computation delay.
+	Cost CostModel
+	// SpatialMargin is the extra clearance in meters between occupancies
+	// (converted to time at each reservation's crossing speed); it covers
+	// trajectory-tracking error and should scale with the sensing buffer,
+	// not the policy's full planning buffer.
+	SpatialMargin float64
+	// TableStep is the conflict-table sampling resolution (m); 0 uses the
+	// table default.
+	TableStep float64
+	// RefLength and RefWidth are the reference vehicle body dimensions
+	// used to build the conflict table (use the largest vehicle in a
+	// heterogeneous fleet).
+	RefLength, RefWidth float64
+	// WCRTD is the command latency used when revising grants (s).
+	WCRTD float64
+}
+
+// CommandLatency returns the revision command latency.
+func (c VTCoreConfig) CommandLatency() float64 {
+	if c.WCRTD > 0 {
+		return c.WCRTD
+	}
+	return 0.15
+}
+
+// VTCore is the shared FIFO velocity-transaction scheduler: it owns the
+// reservation book and turns each request into the earliest conflict-free
+// (arrival, speed) pair the planner can achieve.
+//
+// It also enforces per-lane FIFO: vehicles cannot pass each other on a
+// lane, so a request is only grantable if every vehicle physically ahead in
+// the same lane already holds a booking, and never earlier than the last of
+// those bookings. Without this, a rear vehicle's request (processed while
+// the book happens to be empty) books the earliest slot it could never
+// physically reach past its stopped leaders — and that phantom booking
+// starves the true queue head.
+type VTCore struct {
+	name string
+	// pushes holds IM-initiated revisions awaiting transmission.
+	pushes  []Push
+	x       *intersection.Intersection
+	book    *Book
+	planner VTPlanner
+	cfg     VTCoreConfig
+	rng     *rand.Rand
+
+	// order tracks physical queue order per entry lane.
+	order *LaneOrder
+	// seniority orders vehicles by first contact (for placeholder
+	// precedence).
+	seniority map[int64]int64
+	nextSen   int64
+}
+
+// NewVTCore builds the scheduler, constructing the policy's conflict table
+// from the reference footprint inflated by the policy's buffers.
+func NewVTCore(name string, x *intersection.Intersection, planner VTPlanner, cfg VTCoreConfig, rng *rand.Rand) (*VTCore, error) {
+	if planner == nil {
+		return nil, fmt.Errorf("im: nil planner")
+	}
+	if cfg.RefLength <= 0 || cfg.RefWidth <= 0 {
+		return nil, fmt.Errorf("im: reference footprint %vx%v must be positive", cfg.RefLength, cfg.RefWidth)
+	}
+	planLen, planWid := cfg.Buffers.InflatedDims(cfg.RefLength, cfg.RefWidth)
+	table, err := intersection.BuildConflictTable(x, planLen, planWid, cfg.TableStep)
+	if err != nil {
+		return nil, err
+	}
+	return &VTCore{
+		name:      name,
+		x:         x,
+		book:      NewBook(x, table, cfg.Margin, cfg.SpatialMargin),
+		planner:   planner,
+		cfg:       cfg,
+		rng:       rng,
+		order:     NewLaneOrder(),
+		seniority: make(map[int64]int64),
+	}, nil
+}
+
+// Name implements Scheduler.
+func (c *VTCore) Name() string { return c.name }
+
+// Book exposes the reservation ledger (tests and the viz tool read it).
+func (c *VTCore) Book() *Book { return c.book }
+
+// HandleRequest implements Scheduler: enforce lane order, plan, search the
+// book for the earliest feasible slot, record the reservation, and reply.
+func (c *VTCore) HandleRequest(now float64, req Request) (Response, float64) {
+	cost := c.cfg.Cost.RequestCost(c.rng, c.book.Len())
+
+	sen, ok := c.seniority[req.VehicleID]
+	if !ok {
+		sen = c.nextSen
+		c.nextSen++
+		c.seniority[req.VehicleID] = sen
+	}
+
+	// Lane FIFO: every vehicle ahead must already be booked, and our
+	// arrival can be no earlier than the last of theirs. Committed
+	// vehicles cannot act on a stop command, so for them an unbooked
+	// leader merely stops raising the floor.
+	c.order.Update(req.VehicleID, req.Movement, req.DistToEntry)
+	floor := 0.0
+	for _, id := range c.order.Ahead(req.VehicleID, req.DistToEntry) {
+		r, booked := c.book.Get(id)
+		if !booked {
+			if req.Committed {
+				continue
+			}
+			// An unbooked leader blocks the lane: command a stop.
+			c.book.Remove(req.VehicleID)
+			if debugVT {
+				fmt.Printf("[%.2f] %s veh%d BLOCKED by unbooked veh%d\n", now, c.name, req.VehicleID, id)
+			}
+			return Response{Kind: RespVelocity, TargetSpeed: 0}, cost
+		}
+		if r.ToA+1e-3 > floor {
+			floor = r.ToA + 1e-3
+		}
+	}
+
+	earliest, planFor, respond, err := c.planner.Plan(now, req)
+	if err != nil {
+		// Unplannable request (degenerate kinematics): command a stop
+		// without booking; the vehicle stops safely and re-requests.
+		c.book.Remove(req.VehicleID)
+		return Response{Kind: RespVelocity, TargetSpeed: 0}, cost
+	}
+	if floor > earliest {
+		earliest = floor
+	}
+	planLen := req.Params.Length + 2*c.cfg.Buffers.Long
+	toa, plan, err := c.book.EarliestFeasible(req.VehicleID, sen, req.Movement, planLen, earliest, planFor)
+	if err != nil {
+		c.book.Remove(req.VehicleID)
+		return Response{Kind: RespVelocity, TargetSpeed: 0}, cost
+	}
+	if req.Committed {
+		// The crossing will happen within [earliest, latest] regardless of
+		// what anyone wants; book the truth (clamping a conflicted push
+		// back to the reachable window) so every later grant sees it.
+		if b, ok := c.planner.(ArrivalBounder); ok {
+			if latest := b.LatestArrival(now, req); toa > latest {
+				toa = latest
+				plan = planFor(toa)
+			}
+		}
+		rebooked := Reservation{
+			VehicleID: req.VehicleID,
+			Movement:  req.Movement,
+			Params:    req.Params,
+			ToA:       toa,
+			Plan:      plan,
+			PlanLen:   planLen,
+			Seniority: sen,
+		}
+		c.book.Add(rebooked)
+		if debugVT {
+			fmt.Printf("[%.2f] %s veh%d COMMITTED-REBOOK toa=%.3f ventry=%.2f\n",
+				now, c.name, req.VehicleID, toa, plan.EntrySpeed)
+		}
+		// The truth may invalidate earlier grants; revise the ones that
+		// can still comply and push them fresh commands — the capability
+		// a timed-command interface has and a yes/no one lacks.
+		c.pushes = append(c.pushes, ReviseConflicts(c.book, rebooked, now, c.cfg.CommandLatency(), 0.1)...)
+		return respond(toa, plan), cost
+	}
+	if v, ok := c.planner.(SlotVerifier); ok && !v.VerifySlot(now, toa, plan, req) {
+		// The slot cannot be realized by this policy's actuation: command
+		// a stop and the vehicle will re-request — but keep the found slot
+		// booked as a *placeholder* at a plausible crossing speed, so that
+		// later cross traffic cannot keep stealing the stopped vehicle's
+		// turn (head-of-line protection against starvation). The
+		// placeholder is replaced by the vehicle's next request.
+		holdPlan := plan
+		if min := 0.25 * req.Params.MaxSpeed; holdPlan.EntrySpeed < min {
+			holdPlan = AccelPlan(toa, min, req.Params.MaxSpeed, req.Params.MaxAccel)
+		}
+		c.book.Add(Reservation{
+			VehicleID:   req.VehicleID,
+			Movement:    req.Movement,
+			Params:      req.Params,
+			ToA:         toa,
+			Plan:        holdPlan,
+			PlanLen:     planLen,
+			Placeholder: true,
+			Seniority:   sen,
+		})
+		if debugVT {
+			fmt.Printf("[%.2f] %s veh%d UNVERIFIABLE toa=%.2f speed=%.2f earliest=%.2f dt=%.2f vc=%.2f book=%d\n",
+				now, c.name, req.VehicleID, toa, plan.EntrySpeed, earliest, req.DistToEntry, req.CurrentSpeed, c.book.Len())
+		}
+		return Response{Kind: RespVelocity, TargetSpeed: 0}, cost
+	}
+	if debugVT {
+		fmt.Printf("[%.2f] %s veh%d GRANT toa=%.3f ventry=%.2f vt=%.2f earliest=%.3f book=%d\n",
+			now, c.name, req.VehicleID, toa, plan.EntrySpeed, plan.TargetSpeed, earliest, c.book.Len())
+	}
+	c.book.Add(Reservation{
+		VehicleID: req.VehicleID,
+		Movement:  req.Movement,
+		Params:    req.Params,
+		ToA:       toa,
+		Plan:      plan,
+		PlanLen:   planLen,
+		Seniority: sen,
+	})
+	c.book.PruneBefore(now - 2)
+	return respond(toa, plan), cost
+}
+
+// TakePushes implements Pusher: drain pending IM-initiated revisions.
+func (c *VTCore) TakePushes() []Push {
+	out := c.pushes
+	c.pushes = nil
+	return out
+}
+
+// HandleExit implements Scheduler: release the vehicle's reservation and
+// drop it from its lane queue.
+func (c *VTCore) HandleExit(now float64, vehicleID int64) {
+	c.book.Remove(vehicleID)
+	c.order.Remove(vehicleID)
+	delete(c.seniority, vehicleID)
+}

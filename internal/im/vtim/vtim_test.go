@@ -1,0 +1,146 @@
+package vtim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/safety"
+)
+
+func newSched(t *testing.T, omitRTD bool) *im.VTCore {
+	t.Helper()
+	x, err := intersection.New(intersection.ScaleModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cost.Jitter = 0
+	cfg.OmitRTDBuffer = omitRTD
+	s, err := New(x, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func req(id int64, a intersection.Approach, dt, vc float64) im.Request {
+	return im.Request{
+		VehicleID: id, Seq: 1,
+		Movement:     intersection.MovementID{Approach: a, Lane: 0, Turn: intersection.Straight},
+		CurrentSpeed: vc, DistToEntry: dt,
+		Params: kinematics.ScaleModelParams(),
+	}
+}
+
+func TestVTIMGrantIsVelocity(t *testing.T) {
+	s := newSched(t, false)
+	resp, cost := s.HandleRequest(1.0, req(1, intersection.East, 3.0, 3.0))
+	if resp.Kind != im.RespVelocity {
+		t.Fatalf("Kind = %v", resp.Kind)
+	}
+	// Free intersection at full speed: hold max speed.
+	if resp.TargetSpeed != 3.0 {
+		t.Errorf("VT = %v, want 3", resp.TargetSpeed)
+	}
+	if resp.ExecuteAt != 0 || resp.ArriveAt != 0 {
+		t.Errorf("velocity response carries timing: %+v", resp)
+	}
+	if cost <= 0 {
+		t.Errorf("cost = %v", cost)
+	}
+	if s.Name() != PolicyName {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestVTIMSlowdownForConflict(t *testing.T) {
+	s := newSched(t, false)
+	s.HandleRequest(1.0, req(1, intersection.North, 3.0, 3.0))
+	resp, _ := s.HandleRequest(1.02, req(2, intersection.East, 3.0, 3.0))
+	if resp.Kind != im.RespVelocity {
+		t.Fatalf("Kind = %v", resp.Kind)
+	}
+	// Either a slower-but-substantial velocity (delayed arrival) or a stop
+	// command; never a crawl between zero and the grant floor.
+	floor := 0.25 * 3.0
+	if resp.TargetSpeed != 0 && resp.TargetSpeed < floor {
+		t.Errorf("crawl VT granted: %v", resp.TargetSpeed)
+	}
+	if resp.TargetSpeed >= 3.0 {
+		t.Errorf("conflicting request granted full speed")
+	}
+}
+
+func TestVTIMStopCommandBeyondWindow(t *testing.T) {
+	s := newSched(t, false)
+	// Saturate with slow crossings so the next slot is far beyond what a
+	// held velocity can realize.
+	for i := int64(1); i <= 4; i++ {
+		s.HandleRequest(1.0+float64(i)*0.01, req(i, intersection.North, 3.0, 0.9))
+	}
+	resp, _ := s.HandleRequest(1.2, req(9, intersection.East, 3.0, 3.0))
+	if resp.Kind != im.RespVelocity || resp.TargetSpeed != 0 {
+		t.Errorf("expected stop command, got %+v", resp)
+	}
+	// Head-of-line placeholder protects the stopped vehicle's turn.
+	if _, ok := s.Book().Get(9); !ok {
+		t.Error("no placeholder for the stopped vehicle")
+	}
+}
+
+func TestVTIMBuffersLargerThanCrossroads(t *testing.T) {
+	spec := safety.TestbedSpec()
+	vt := spec.ForVTIM().Long
+	cr := spec.ForCrossroads().Long
+	if vt <= cr {
+		t.Fatalf("VT-IM buffer %v not larger than Crossroads %v", vt, cr)
+	}
+	// And the conflict serialization shows it: the same two requests are
+	// spaced farther apart under VT-IM buffers than without the RTD term.
+	sFull := newSched(t, false)
+	sNoBuf := newSched(t, true)
+	if sNoBuf.Name() != PolicyName+"-nobuf" {
+		t.Errorf("ablation name = %q", sNoBuf.Name())
+	}
+	push := func(s *im.VTCore) float64 {
+		s.HandleRequest(1.0, req(1, intersection.North, 3.0, 3.0))
+		resp, _ := s.HandleRequest(1.02, req(2, intersection.East, 3.0, 3.0))
+		if resp.TargetSpeed <= 0 {
+			t.Fatalf("stop command in buffer comparison")
+		}
+		// Slower VT = later arrival = more separation.
+		return resp.TargetSpeed
+	}
+	vtSpeed := push(sFull)
+	nbSpeed := push(sNoBuf)
+	if vtSpeed >= nbSpeed {
+		t.Errorf("RTD-buffered VT %v not slower than unbuffered %v", vtSpeed, nbSpeed)
+	}
+}
+
+func TestVTIMStoppedVehicleLaunchGrant(t *testing.T) {
+	s := newSched(t, false)
+	// A stopped vehicle at the line on an empty intersection gets a
+	// full-throttle launch command.
+	resp, _ := s.HandleRequest(1.0, req(1, intersection.East, 0.64, 0.0))
+	if resp.Kind != im.RespVelocity {
+		t.Fatalf("Kind = %v", resp.Kind)
+	}
+	if math.Abs(resp.TargetSpeed-3.0) > 1e-6 {
+		t.Errorf("launch VT = %v, want max speed", resp.TargetSpeed)
+	}
+}
+
+func TestVTIMExitReleases(t *testing.T) {
+	s := newSched(t, false)
+	s.HandleRequest(1.0, req(1, intersection.North, 3.0, 3.0))
+	s.HandleExit(3.0, 1)
+	resp, _ := s.HandleRequest(3.02, req(2, intersection.East, 3.0, 3.0))
+	if resp.TargetSpeed != 3.0 {
+		t.Errorf("post-exit VT = %v, want full speed", resp.TargetSpeed)
+	}
+}

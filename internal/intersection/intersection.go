@@ -1,0 +1,299 @@
+// Package intersection models the four-way intersection of the paper: the
+// square conflict box, approach and exit lanes, the drivable movements
+// through the box (straight, left, right), the sampled conflict table used
+// by the velocity-transaction IMs, and the reservation tile grid used by the
+// AIM baseline.
+//
+// The box is centered at the origin. Each road carries LanesPerRoad lanes in
+// each direction with right-hand traffic: traveling along a road, incoming
+// lanes sit to the right of the road centerline. Approaches are named by the
+// compass direction of *travel* (an East approach carries vehicles driving
+// east, entering the box on its west edge).
+package intersection
+
+import (
+	"fmt"
+	"math"
+
+	"crossroads/internal/geom"
+)
+
+// Approach identifies the direction of travel of vehicles on a road.
+type Approach int
+
+// The four approaches, by direction of travel.
+const (
+	East Approach = iota
+	North
+	West
+	South
+	NumApproaches = 4
+)
+
+var approachNames = [NumApproaches]string{"east", "north", "west", "south"}
+
+func (a Approach) String() string {
+	if a >= 0 && int(a) < NumApproaches {
+		return approachNames[a]
+	}
+	return fmt.Sprintf("approach(%d)", int(a))
+}
+
+// Heading returns the direction of travel in radians (East = 0, CCW).
+func (a Approach) Heading() float64 { return float64(a) * math.Pi / 2 }
+
+// Opposite returns the approach traveling the other way.
+func (a Approach) Opposite() Approach { return (a + 2) % NumApproaches }
+
+// LeftOf returns the approach a left turn exits onto.
+func (a Approach) LeftOf() Approach { return (a + 1) % NumApproaches }
+
+// RightOf returns the approach a right turn exits onto.
+func (a Approach) RightOf() Approach { return (a + 3) % NumApproaches }
+
+// Turn is a movement type through the box.
+type Turn int
+
+// The three supported movements.
+const (
+	Straight Turn = iota
+	Left
+	Right
+)
+
+var turnNames = map[Turn]string{Straight: "straight", Left: "left", Right: "right"}
+
+func (t Turn) String() string {
+	if s, ok := turnNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("turn(%d)", int(t))
+}
+
+// Exit returns the approach direction of travel after performing the turn
+// from approach a.
+func (t Turn) Exit(a Approach) Approach {
+	switch t {
+	case Left:
+		return a.LeftOf()
+	case Right:
+		return a.RightOf()
+	default:
+		return a
+	}
+}
+
+// MovementID identifies one drivable route: entering on a given approach and
+// lane, performing a turn. Turns keep their lane index (lane i to lane i).
+type MovementID struct {
+	Approach Approach
+	Lane     int
+	Turn     Turn
+}
+
+func (id MovementID) String() string {
+	return fmt.Sprintf("%s/l%d/%s", id.Approach, id.Lane, id.Turn)
+}
+
+// Config describes the intersection geometry.
+type Config struct {
+	// BoxSize is the side length of the square conflict box in meters
+	// (1.2 in the scale model).
+	BoxSize float64
+	// LaneWidth is the width of one lane in meters.
+	LaneWidth float64
+	// LanesPerRoad is the number of lanes per direction of travel.
+	LanesPerRoad int
+	// ApproachLen is the distance from the transmission line (where
+	// vehicles first contact the IM) to the box edge, in meters (3 in the
+	// scale model).
+	ApproachLen float64
+	// ExitLen is how far past the box vehicles travel before despawning.
+	ExitLen float64
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.BoxSize <= 0:
+		return fmt.Errorf("intersection: BoxSize %v must be positive", c.BoxSize)
+	case c.LaneWidth <= 0:
+		return fmt.Errorf("intersection: LaneWidth %v must be positive", c.LaneWidth)
+	case c.LanesPerRoad < 1:
+		return fmt.Errorf("intersection: LanesPerRoad %d must be >= 1", c.LanesPerRoad)
+	case c.ApproachLen <= 0:
+		return fmt.Errorf("intersection: ApproachLen %v must be positive", c.ApproachLen)
+	case c.ExitLen < 0:
+		return fmt.Errorf("intersection: ExitLen %v must be nonnegative", c.ExitLen)
+	case float64(2*c.LanesPerRoad)*c.LaneWidth > c.BoxSize+1e-9:
+		return fmt.Errorf("intersection: %d lanes of %v m do not fit in a %v m box",
+			c.LanesPerRoad, c.LaneWidth, c.BoxSize)
+	}
+	return nil
+}
+
+// ScaleModelConfig returns the paper's 1/10-scale geometry (Chapter 2):
+// 1.2 m box, one lane per road, transmission line 3 m out. The lane width is
+// half the box (two opposing lanes fill the road).
+func ScaleModelConfig() Config {
+	return Config{
+		BoxSize:      1.2,
+		LaneWidth:    0.6,
+		LanesPerRoad: 1,
+		ApproachLen:  3.0,
+		ExitLen:      1.5,
+	}
+}
+
+// FullScaleConfig returns a representative full-size single-lane
+// intersection used by the scalability simulations.
+func FullScaleConfig() Config {
+	return Config{
+		BoxSize:      12,
+		LaneWidth:    3.5,
+		LanesPerRoad: 1,
+		ApproachLen:  30,
+		ExitLen:      25,
+	}
+}
+
+// Movement is a fully constructed drivable route.
+type Movement struct {
+	ID   MovementID
+	Exit Approach // direction of travel after the box
+	// Path runs from the transmission line, through the box, to the
+	// despawn point.
+	Path geom.Path
+	// EnterS and ExitS are the arc lengths at which the vehicle *center*
+	// crosses into and out of the box.
+	EnterS, ExitS float64
+	// Length is the total path length.
+	Length float64
+}
+
+// InsideLen returns the arc length spent inside the box (center-point).
+func (m *Movement) InsideLen() float64 { return m.ExitS - m.EnterS }
+
+// Intersection is the constructed geometry: the box plus every movement.
+type Intersection struct {
+	cfg       Config
+	box       geom.AABB
+	movements map[MovementID]*Movement
+	order     []MovementID // deterministic iteration order
+}
+
+// New constructs the intersection geometry from a validated config.
+func New(cfg Config) (*Intersection, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	half := cfg.BoxSize / 2
+	x := &Intersection{
+		cfg:       cfg,
+		box:       geom.AABB{Min: geom.V(-half, -half), Max: geom.V(half, half)},
+		movements: make(map[MovementID]*Movement),
+	}
+	for a := East; a < NumApproaches; a++ {
+		for lane := 0; lane < cfg.LanesPerRoad; lane++ {
+			for _, turn := range []Turn{Straight, Left, Right} {
+				id := MovementID{Approach: a, Lane: lane, Turn: turn}
+				m, err := buildMovement(cfg, id)
+				if err != nil {
+					return nil, err
+				}
+				x.movements[id] = m
+				x.order = append(x.order, id)
+			}
+		}
+	}
+	return x, nil
+}
+
+// buildMovement constructs the path for one movement by building it in the
+// canonical eastbound frame and rotating into place.
+func buildMovement(cfg Config, id MovementID) (*Movement, error) {
+	half := cfg.BoxSize / 2
+	// Lane centerline offset to the right of the road center.
+	off := (float64(id.Lane) + 0.5) * cfg.LaneWidth
+	theta := id.Approach.Heading()
+	rot := func(p geom.Vec2) geom.Vec2 { return p.Rotate(theta) }
+
+	// Canonical eastbound frame: travel along +X, lane center at y = -off.
+	spawn := geom.V(-half-cfg.ApproachLen, -off)
+	boxIn := geom.V(-half, -off)
+	entry := geom.LinePath{Start: rot(spawn), End: rot(boxIn)}
+
+	var inside geom.Path
+	var exitDir float64 // canonical exit heading
+	var boxOut geom.Vec2
+	switch id.Turn {
+	case Straight:
+		boxOut = geom.V(half, -off)
+		inside = geom.LinePath{Start: rot(boxIn), End: rot(boxOut)}
+		exitDir = 0
+	case Left:
+		r := half + off
+		arc := geom.ArcBetween(rot(boxIn), geom.NormalizeAngle(theta), math.Pi/2, r)
+		inside = arc
+		boxOut = geom.V(off, half)
+		exitDir = math.Pi / 2
+	case Right:
+		r := half - off
+		if r <= 0 {
+			return nil, fmt.Errorf("intersection: right turn radius nonpositive for %v", id)
+		}
+		arc := geom.ArcBetween(rot(boxIn), geom.NormalizeAngle(theta), -math.Pi/2, r)
+		inside = arc
+		boxOut = geom.V(-off, -half)
+		exitDir = -math.Pi / 2
+	default:
+		return nil, fmt.Errorf("intersection: unknown turn %v", id.Turn)
+	}
+	exitHeading := geom.NormalizeAngle(exitDir + theta)
+	exitEnd := rot(boxOut).Add(geom.Heading(exitHeading).Scale(cfg.ExitLen))
+	exit := geom.LinePath{Start: rot(boxOut), End: exitEnd}
+
+	path := geom.NewCompositePath(entry, inside, exit)
+	enterS := entry.Length()
+	exitS := enterS + inside.Length()
+	return &Movement{
+		ID:     id,
+		Exit:   id.Turn.Exit(id.Approach),
+		Path:   path,
+		EnterS: enterS,
+		ExitS:  exitS,
+		Length: path.Length(),
+	}, nil
+}
+
+// Config returns the geometry configuration.
+func (x *Intersection) Config() Config { return x.cfg }
+
+// Box returns the conflict box.
+func (x *Intersection) Box() geom.AABB { return x.box }
+
+// Movement returns the movement for id, or nil if it does not exist.
+func (x *Intersection) Movement(id MovementID) *Movement { return x.movements[id] }
+
+// Movements returns all movements in a deterministic order.
+func (x *Intersection) Movements() []*Movement {
+	out := make([]*Movement, 0, len(x.order))
+	for _, id := range x.order {
+		out = append(out, x.movements[id])
+	}
+	return out
+}
+
+// MovementIDs returns the IDs of all movements in a deterministic order.
+func (x *Intersection) MovementIDs() []MovementID {
+	return append([]MovementID(nil), x.order...)
+}
+
+// SpawnPose returns the pose at the transmission line for a movement.
+func (x *Intersection) SpawnPose(id MovementID) (geom.Pose, error) {
+	m := x.movements[id]
+	if m == nil {
+		return geom.Pose{}, fmt.Errorf("intersection: unknown movement %v", id)
+	}
+	return m.Path.PoseAt(0), nil
+}

@@ -1,0 +1,239 @@
+package intersection
+
+import (
+	"math"
+	"testing"
+
+	"crossroads/internal/geom"
+)
+
+func mustNew(t *testing.T, cfg Config) *Intersection {
+	t.Helper()
+	x, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return x
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := ScaleModelConfig().Validate(); err != nil {
+		t.Errorf("scale config invalid: %v", err)
+	}
+	if err := FullScaleConfig().Validate(); err != nil {
+		t.Errorf("full config invalid: %v", err)
+	}
+	bad := []Config{
+		{LaneWidth: 1, LanesPerRoad: 1, ApproachLen: 1},                            // no box
+		{BoxSize: 1, LanesPerRoad: 1, ApproachLen: 1},                              // no lane width
+		{BoxSize: 1, LaneWidth: 0.5, ApproachLen: 1},                               // no lanes
+		{BoxSize: 1, LaneWidth: 0.5, LanesPerRoad: 1},                              // no approach
+		{BoxSize: 1, LaneWidth: 0.5, LanesPerRoad: 1, ApproachLen: 1, ExitLen: -1}, // neg exit
+		{BoxSize: 1, LaneWidth: 0.6, LanesPerRoad: 1, ApproachLen: 1},              // lanes don't fit
+		{BoxSize: 2, LaneWidth: 0.6, LanesPerRoad: 2, ApproachLen: 1},              // 2 lanes don't fit
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated: %+v", i, c)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+}
+
+func TestApproachBasics(t *testing.T) {
+	if East.Heading() != 0 || North.Heading() != math.Pi/2 {
+		t.Error("headings wrong")
+	}
+	if East.Opposite() != West || South.Opposite() != North {
+		t.Error("Opposite wrong")
+	}
+	if East.LeftOf() != North || East.RightOf() != South {
+		t.Error("East turn exits wrong")
+	}
+	if North.LeftOf() != West || North.RightOf() != East {
+		t.Error("North turn exits wrong")
+	}
+	if East.String() != "east" || Approach(9).String() == "" {
+		t.Error("String wrong")
+	}
+	if Straight.Exit(East) != East || Left.Exit(East) != North || Right.Exit(East) != South {
+		t.Error("Turn.Exit wrong")
+	}
+	if Straight.String() != "straight" || Turn(9).String() == "" {
+		t.Error("Turn.String wrong")
+	}
+	id := MovementID{Approach: West, Lane: 0, Turn: Left}
+	if id.String() != "west/l0/left" {
+		t.Errorf("MovementID.String = %q", id.String())
+	}
+}
+
+func TestMovementCount(t *testing.T) {
+	x := mustNew(t, ScaleModelConfig())
+	if got := len(x.Movements()); got != 12 { // 4 approaches x 1 lane x 3 turns
+		t.Errorf("movements = %d, want 12", got)
+	}
+	if got := len(x.MovementIDs()); got != 12 {
+		t.Errorf("ids = %d", got)
+	}
+	// Two-lane: 24.
+	cfg := FullScaleConfig()
+	cfg.LanesPerRoad = 2
+	cfg.BoxSize = 16
+	x2 := mustNew(t, cfg)
+	if got := len(x2.Movements()); got != 24 {
+		t.Errorf("two-lane movements = %d, want 24", got)
+	}
+}
+
+func TestStraightMovementGeometry(t *testing.T) {
+	cfg := ScaleModelConfig()
+	x := mustNew(t, cfg)
+	m := x.Movement(MovementID{Approach: East, Lane: 0, Turn: Straight})
+	if m == nil {
+		t.Fatal("movement missing")
+	}
+	// Spawn at transmission line: x = -0.6-3 = -3.6, y = -0.3 (right side).
+	start := m.Path.PoseAt(0)
+	if !start.Pos.ApproxEq(geom.V(-3.6, -0.3), 1e-9) {
+		t.Errorf("spawn = %v", start.Pos)
+	}
+	if !almostEq(start.Heading, 0, 1e-9) {
+		t.Errorf("spawn heading = %v", start.Heading)
+	}
+	// Box entry at arc length 3.
+	if !almostEq(m.EnterS, 3, 1e-9) {
+		t.Errorf("EnterS = %v", m.EnterS)
+	}
+	if !almostEq(m.InsideLen(), 1.2, 1e-9) {
+		t.Errorf("InsideLen = %v", m.InsideLen())
+	}
+	// Total: 3 + 1.2 + 1.5.
+	if !almostEq(m.Length, 5.7, 1e-9) {
+		t.Errorf("Length = %v", m.Length)
+	}
+	if m.Exit != East {
+		t.Errorf("Exit = %v", m.Exit)
+	}
+	// End point.
+	end := m.Path.PoseAt(m.Length)
+	if !end.Pos.ApproxEq(geom.V(0.6+1.5, -0.3), 1e-9) {
+		t.Errorf("end = %v", end.Pos)
+	}
+}
+
+func TestLeftTurnGeometry(t *testing.T) {
+	cfg := ScaleModelConfig()
+	x := mustNew(t, cfg)
+	m := x.Movement(MovementID{Approach: East, Lane: 0, Turn: Left})
+	// Enters at (-0.6,-0.3) heading east, exits box at (0.3, 0.6) heading
+	// north (exit lane of northbound travel keeps right: x=+0.3).
+	in := m.Path.PoseAt(m.EnterS)
+	if !in.Pos.ApproxEq(geom.V(-0.6, -0.3), 1e-6) {
+		t.Errorf("box entry = %v", in.Pos)
+	}
+	out := m.Path.PoseAt(m.ExitS)
+	if !out.Pos.ApproxEq(geom.V(0.3, 0.6), 1e-6) {
+		t.Errorf("box exit = %v", out.Pos)
+	}
+	if !almostEq(geom.NormalizeAngle(out.Heading), math.Pi/2, 1e-6) {
+		t.Errorf("exit heading = %v", out.Heading)
+	}
+	if m.Exit != North {
+		t.Errorf("Exit = %v", m.Exit)
+	}
+	// Left turn radius 0.9: inside length = 0.9*pi/2.
+	if !almostEq(m.InsideLen(), 0.9*math.Pi/2, 1e-9) {
+		t.Errorf("InsideLen = %v", m.InsideLen())
+	}
+}
+
+func TestRightTurnGeometry(t *testing.T) {
+	cfg := ScaleModelConfig()
+	x := mustNew(t, cfg)
+	m := x.Movement(MovementID{Approach: East, Lane: 0, Turn: Right})
+	out := m.Path.PoseAt(m.ExitS)
+	// Exits southbound keeping right: x = -0.3, y = -0.6.
+	if !out.Pos.ApproxEq(geom.V(-0.3, -0.6), 1e-6) {
+		t.Errorf("box exit = %v", out.Pos)
+	}
+	if !almostEq(geom.NormalizeAngle(out.Heading), -math.Pi/2, 1e-6) {
+		t.Errorf("exit heading = %v", out.Heading)
+	}
+	if m.Exit != South {
+		t.Errorf("Exit = %v", m.Exit)
+	}
+	// Right turn radius 0.3.
+	if !almostEq(m.InsideLen(), 0.3*math.Pi/2, 1e-9) {
+		t.Errorf("InsideLen = %v", m.InsideLen())
+	}
+}
+
+func TestAllMovementsContinuousAndInsideBoxConsistent(t *testing.T) {
+	x := mustNew(t, ScaleModelConfig())
+	box := x.Box()
+	for _, m := range x.Movements() {
+		// Continuity: dense sampling.
+		poses := geom.SamplePath(m.Path, 300)
+		for i := 1; i < len(poses); i++ {
+			if d := poses[i].Pos.Dist(poses[i-1].Pos); d > m.Length/300*2 {
+				t.Fatalf("%v: discontinuity %v at sample %d", m.ID, d, i)
+			}
+		}
+		// Center inside box exactly on [EnterS, ExitS].
+		mid := (m.EnterS + m.ExitS) / 2
+		if !box.Contains(m.Path.PoseAt(mid).Pos) {
+			t.Errorf("%v: midpoint not inside box", m.ID)
+		}
+		if box.Contains(m.Path.PoseAt(m.EnterS - 0.05).Pos) {
+			t.Errorf("%v: point before EnterS inside box", m.ID)
+		}
+		if box.Contains(m.Path.PoseAt(m.ExitS + 0.05).Pos) {
+			t.Errorf("%v: point after ExitS inside box", m.ID)
+		}
+	}
+}
+
+func TestRotationalSymmetry(t *testing.T) {
+	x := mustNew(t, ScaleModelConfig())
+	// Every approach's straight movement must have identical lengths.
+	var ref *Movement
+	for a := East; a < NumApproaches; a++ {
+		m := x.Movement(MovementID{Approach: a, Lane: 0, Turn: Straight})
+		if ref == nil {
+			ref = m
+			continue
+		}
+		if !almostEq(m.Length, ref.Length, 1e-9) || !almostEq(m.EnterS, ref.EnterS, 1e-9) {
+			t.Errorf("approach %v straight differs: len %v vs %v", a, m.Length, ref.Length)
+		}
+	}
+	// North straight spawn should be the East spawn rotated by 90deg.
+	e, _ := x.SpawnPose(MovementID{Approach: East, Lane: 0, Turn: Straight})
+	n, _ := x.SpawnPose(MovementID{Approach: North, Lane: 0, Turn: Straight})
+	if !n.Pos.ApproxEq(e.Pos.Rotate(math.Pi/2), 1e-9) {
+		t.Errorf("north spawn %v != rotated east spawn %v", n.Pos, e.Pos.Rotate(math.Pi/2))
+	}
+}
+
+func TestSpawnPoseUnknownMovement(t *testing.T) {
+	x := mustNew(t, ScaleModelConfig())
+	if _, err := x.SpawnPose(MovementID{Approach: East, Lane: 5, Turn: Straight}); err == nil {
+		t.Error("unknown movement accepted")
+	}
+}
+
+func TestMovementsDeterministicOrder(t *testing.T) {
+	x1 := mustNew(t, ScaleModelConfig())
+	x2 := mustNew(t, ScaleModelConfig())
+	ids1, ids2 := x1.MovementIDs(), x2.MovementIDs()
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatalf("order differs at %d: %v vs %v", i, ids1[i], ids2[i])
+		}
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

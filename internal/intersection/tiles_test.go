@@ -1,0 +1,167 @@
+package intersection
+
+import (
+	"testing"
+
+	"crossroads/internal/geom"
+)
+
+func newGrid(t *testing.T, n int) *TileGrid {
+	t.Helper()
+	g, err := NewTileGrid(geom.AABB{Min: geom.V(-0.6, -0.6), Max: geom.V(0.6, 0.6)}, n)
+	if err != nil {
+		t.Fatalf("NewTileGrid: %v", err)
+	}
+	return g
+}
+
+func TestTileGridConstruction(t *testing.T) {
+	g := newGrid(t, 6)
+	if g.N() != 6 || g.NumTiles() != 36 {
+		t.Errorf("N=%d NumTiles=%d", g.N(), g.NumTiles())
+	}
+	tile := g.TileAABB(0, 0)
+	if !tile.Min.ApproxEq(geom.V(-0.6, -0.6), 1e-12) {
+		t.Errorf("tile(0,0).Min = %v", tile.Min)
+	}
+	if !almostEq(tile.Width(), 0.2, 1e-12) {
+		t.Errorf("tile width = %v", tile.Width())
+	}
+	last := g.TileAABB(5, 5)
+	if !last.Max.ApproxEq(geom.V(0.6, 0.6), 1e-9) {
+		t.Errorf("tile(5,5).Max = %v", last.Max)
+	}
+	if g.TileIndex(2, 3) != 3*6+2 {
+		t.Errorf("TileIndex = %d", g.TileIndex(2, 3))
+	}
+}
+
+func TestNewTileGridValidation(t *testing.T) {
+	if _, err := NewTileGrid(geom.AABB{Min: geom.V(0, 0), Max: geom.V(1, 1)}, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewTileGrid(geom.AABB{}, 4); err == nil {
+		t.Error("degenerate box accepted")
+	}
+}
+
+func TestTilesForSmallRect(t *testing.T) {
+	g := newGrid(t, 6)
+	// A small rect fully inside tile (3, 3): center (0.1, 0.1), tiles span
+	// [-0.6+3*0.2, -0.6+4*0.2] = [0, 0.2].
+	r := geom.NewRect(geom.V(0.1, 0.1), 0.05, 0.05, 0)
+	tiles := g.TilesFor(r)
+	if len(tiles) != 1 || tiles[0] != g.TileIndex(3, 3) {
+		t.Errorf("tiles = %v, want [%d]", tiles, g.TileIndex(3, 3))
+	}
+}
+
+func TestTilesForSpanningRect(t *testing.T) {
+	g := newGrid(t, 6)
+	// A vehicle-sized rect centered at origin spans the four central tiles.
+	r := geom.NewRect(geom.V(0, 0), 0.568, 0.296, 0)
+	tiles := g.TilesFor(r)
+	if len(tiles) < 4 {
+		t.Errorf("central vehicle covers %d tiles, want >= 4: %v", len(tiles), tiles)
+	}
+	seen := make(map[int]bool)
+	for _, tl := range tiles {
+		if tl < 0 || tl >= g.NumTiles() {
+			t.Fatalf("tile index %d out of range", tl)
+		}
+		if seen[tl] {
+			t.Fatalf("duplicate tile %d", tl)
+		}
+		seen[tl] = true
+	}
+}
+
+func TestTilesForOutsideBox(t *testing.T) {
+	g := newGrid(t, 6)
+	r := geom.NewRect(geom.V(5, 5), 0.5, 0.5, 0)
+	if tiles := g.TilesFor(r); tiles != nil {
+		t.Errorf("outside rect got tiles %v", tiles)
+	}
+}
+
+func TestTilesForRotatedRect(t *testing.T) {
+	g := newGrid(t, 12)
+	// A thin diagonal rect: AABB covers many tiles but SAT should exclude
+	// the far corners of its bounding box.
+	r := geom.NewRect(geom.V(0, 0), 1.0, 0.05, 0.785398) // 45 degrees
+	diag := g.TilesFor(r)
+	aabbCount := 0
+	bb := r.AABB()
+	for j := 0; j < g.N(); j++ {
+		for i := 0; i < g.N(); i++ {
+			if g.TileAABB(i, j).Overlaps(bb) {
+				aabbCount++
+			}
+		}
+	}
+	if len(diag) >= aabbCount {
+		t.Errorf("SAT pruning ineffective: %d vs AABB %d", len(diag), aabbCount)
+	}
+	if len(diag) == 0 {
+		t.Error("diagonal rect found no tiles")
+	}
+}
+
+func TestReservationsLifecycle(t *testing.T) {
+	g := newGrid(t, 6)
+	res := NewReservations(g)
+	steps := map[int64][]int{10: {1, 2}, 11: {2, 3}}
+	if !res.Available(steps) {
+		t.Fatal("empty reservations not available")
+	}
+	res.Reserve(100, steps)
+	if res.Available(steps) {
+		t.Error("reserved pairs still available")
+	}
+	if res.Available(map[int64][]int{10: {2}}) {
+		t.Error("partially overlapping request available")
+	}
+	if !res.Available(map[int64][]int{10: {5}, 12: {2}}) {
+		t.Error("disjoint request unavailable")
+	}
+	if got := res.HeldPairs(); got != 4 {
+		t.Errorf("HeldPairs = %d, want 4", got)
+	}
+	res.Release(100)
+	if !res.Available(steps) {
+		t.Error("released pairs unavailable")
+	}
+	if res.HeldPairs() != 0 {
+		t.Errorf("HeldPairs after release = %d", res.HeldPairs())
+	}
+}
+
+func TestReservationsReleaseOnlyOwner(t *testing.T) {
+	g := newGrid(t, 6)
+	res := NewReservations(g)
+	res.Reserve(1, map[int64][]int{5: {0}})
+	res.Reserve(2, map[int64][]int{5: {1}})
+	res.Release(1)
+	if res.Available(map[int64][]int{5: {1}}) {
+		t.Error("owner 2's reservation released")
+	}
+	if !res.Available(map[int64][]int{5: {0}}) {
+		t.Error("owner 1's reservation not released")
+	}
+}
+
+func TestReservationsPrune(t *testing.T) {
+	g := newGrid(t, 6)
+	res := NewReservations(g)
+	res.Reserve(1, map[int64][]int{1: {0}, 5: {0}, 9: {0}})
+	res.PruneBefore(5)
+	if res.HeldPairs() != 2 {
+		t.Errorf("HeldPairs after prune = %d, want 2", res.HeldPairs())
+	}
+	if res.Available(map[int64][]int{5: {0}}) {
+		t.Error("pruned too much")
+	}
+	if !res.Available(map[int64][]int{1: {0}}) {
+		t.Error("step 1 not pruned")
+	}
+}

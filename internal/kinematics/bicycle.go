@@ -1,0 +1,161 @@
+package kinematics
+
+import (
+	"math"
+
+	"crossroads/internal/geom"
+)
+
+// BicycleState is the state vector of the kinematic bicycle model used by
+// the paper's Matlab simulators (eq. 7.1).
+type BicycleState struct {
+	Pos     geom.Vec2 // x, y in meters
+	Heading float64   // phi, radians CCW from +X
+	V       float64   // speed, m/s
+}
+
+// Pose returns the state's position and heading as a geom.Pose.
+func (s BicycleState) Pose() geom.Pose { return geom.Pose{Pos: s.Pos, Heading: s.Heading} }
+
+// BicycleInput is the control input: longitudinal acceleration and steering
+// angle psi at the front axle.
+type BicycleInput struct {
+	Accel float64 // m/s^2
+	Steer float64 // psi, radians
+}
+
+// bicycleDeriv evaluates eq. (7.1):
+//
+//	x'   = v cos(phi)
+//	y'   = v sin(phi)
+//	phi' = (v / l) tan(psi)
+//	v'   = a
+func bicycleDeriv(s BicycleState, u BicycleInput, wheelbase float64) (dx, dy, dphi, dv float64) {
+	sin, cos := math.Sincos(s.Heading)
+	dx = s.V * cos
+	dy = s.V * sin
+	dphi = s.V / wheelbase * math.Tan(u.Steer)
+	dv = u.Accel
+	return
+}
+
+// StepEuler advances the bicycle model by dt using explicit Euler
+// integration. Speed is clamped at zero (the model does not reverse).
+func StepEuler(s BicycleState, u BicycleInput, wheelbase, dt float64) BicycleState {
+	dx, dy, dphi, dv := bicycleDeriv(s, u, wheelbase)
+	s.Pos.X += dx * dt
+	s.Pos.Y += dy * dt
+	s.Heading = geom.NormalizeAngle(s.Heading + dphi*dt)
+	s.V = math.Max(0, s.V+dv*dt)
+	return s
+}
+
+// StepRK4 advances the bicycle model by dt using classic fourth-order
+// Runge-Kutta integration with the input held constant over the step.
+func StepRK4(s BicycleState, u BicycleInput, wheelbase, dt float64) BicycleState {
+	type deriv struct{ dx, dy, dphi, dv float64 }
+	eval := func(st BicycleState) deriv {
+		dx, dy, dphi, dv := bicycleDeriv(st, u, wheelbase)
+		return deriv{dx, dy, dphi, dv}
+	}
+	advance := func(st BicycleState, d deriv, h float64) BicycleState {
+		st.Pos.X += d.dx * h
+		st.Pos.Y += d.dy * h
+		st.Heading += d.dphi * h
+		st.V = math.Max(0, st.V+d.dv*h)
+		return st
+	}
+	k1 := eval(s)
+	k2 := eval(advance(s, k1, dt/2))
+	k3 := eval(advance(s, k2, dt/2))
+	k4 := eval(advance(s, k3, dt))
+	combined := deriv{
+		dx:   (k1.dx + 2*k2.dx + 2*k3.dx + k4.dx) / 6,
+		dy:   (k1.dy + 2*k2.dy + 2*k3.dy + k4.dy) / 6,
+		dphi: (k1.dphi + 2*k2.dphi + 2*k3.dphi + k4.dphi) / 6,
+		dv:   (k1.dv + 2*k2.dv + 2*k3.dv + k4.dv) / 6,
+	}
+	out := advance(s, combined, dt)
+	out.Heading = geom.NormalizeAngle(out.Heading)
+	return out
+}
+
+// PurePursuit computes the steering angle that drives the bicycle model
+// toward the point on the path at arc length sTarget (typically the
+// vehicle's longitudinal progress plus a lookahead distance).
+//
+// The classic pure-pursuit law: psi = atan(2 l sin(alpha) / Ld), where alpha
+// is the angle of the lookahead point in the vehicle frame and Ld the
+// distance to it. The result is clamped to +-maxSteer.
+func PurePursuit(s BicycleState, path geom.Path, sTarget, wheelbase, maxSteer float64) float64 {
+	target := path.PoseAt(sTarget).Pos
+	toTarget := target.Sub(s.Pos)
+	ld := toTarget.Norm()
+	if ld < 1e-6 {
+		return 0
+	}
+	alpha := geom.AngleDiff(toTarget.Angle(), s.Heading)
+	psi := math.Atan(2 * wheelbase * math.Sin(alpha) / ld)
+	return geom.Clamp(psi, -maxSteer, maxSteer)
+}
+
+// PathTracker integrates a bicycle model along a geometric path while
+// following a longitudinal velocity Profile, producing the 2-D motion the
+// plant package perturbs with noise. It keeps the vehicle's arc-length
+// progress so pose lookups stay O(1) per step.
+type PathTracker struct {
+	Path      geom.Path
+	Wheelbase float64
+	MaxSteer  float64 // radians, steering limit
+	Lookahead float64 // meters ahead on the path for pure pursuit
+
+	State    BicycleState
+	Progress float64 // arc length traveled along the path
+}
+
+// NewPathTracker places a bicycle at the start of the path with the given
+// initial speed.
+func NewPathTracker(path geom.Path, wheelbase, v0 float64) *PathTracker {
+	start := path.PoseAt(0)
+	return &PathTracker{
+		Path:      path,
+		Wheelbase: wheelbase,
+		MaxSteer:  0.6, // ~34 degrees, typical steering limit
+		Lookahead: math.Max(2*wheelbase, 0.3),
+		State: BicycleState{
+			Pos:     start.Pos,
+			Heading: start.Heading,
+			V:       v0,
+		},
+	}
+}
+
+// Step advances the tracker by dt seconds, commanding the acceleration that
+// tracks wantV (the profile velocity at the end of the step) and steering by
+// pure pursuit. It returns the new state.
+func (pt *PathTracker) Step(wantV, dt float64) BicycleState {
+	if dt <= 0 {
+		return pt.State
+	}
+	accel := (wantV - pt.State.V) / dt
+	steer := PurePursuit(pt.State, pt.Path, pt.Progress+pt.Lookahead, pt.Wheelbase, pt.MaxSteer)
+	prev := pt.State
+	pt.State = StepRK4(pt.State, BicycleInput{Accel: accel, Steer: steer}, pt.Wheelbase, dt)
+	// Advance progress by the distance actually covered (midpoint speed).
+	pt.Progress += (prev.V + pt.State.V) / 2 * dt
+	if pt.Progress > pt.Path.Length() {
+		pt.Progress = pt.Path.Length()
+	}
+	return pt.State
+}
+
+// CrossTrackError returns the lateral distance between the vehicle position
+// and the path point at the current progress.
+func (pt *PathTracker) CrossTrackError() float64 {
+	return pt.Path.PoseAt(pt.Progress).Pos.Dist(pt.State.Pos)
+}
+
+// Done reports whether the tracker has reached the end of the path.
+func (pt *PathTracker) Done() bool {
+	return pt.Progress >= pt.Path.Length()-1e-9
+}

@@ -1,0 +1,199 @@
+package kinematics
+
+import (
+	"math"
+	"testing"
+
+	"crossroads/internal/geom"
+)
+
+func TestBicycleStraightLine(t *testing.T) {
+	s := BicycleState{Pos: geom.V(0, 0), Heading: 0, V: 2}
+	u := BicycleInput{Accel: 0, Steer: 0}
+	for i := 0; i < 100; i++ {
+		s = StepEuler(s, u, 0.3, 0.01)
+	}
+	if !s.Pos.ApproxEq(geom.V(2, 0), 1e-9) {
+		t.Errorf("pos = %v, want (2,0)", s.Pos)
+	}
+	if s.Heading != 0 || s.V != 2 {
+		t.Errorf("heading=%v v=%v", s.Heading, s.V)
+	}
+}
+
+func TestBicycleAcceleration(t *testing.T) {
+	s := BicycleState{V: 0}
+	u := BicycleInput{Accel: 1}
+	for i := 0; i < 100; i++ {
+		s = StepRK4(s, u, 0.3, 0.01)
+	}
+	if !almostEq(s.V, 1, 1e-9) {
+		t.Errorf("v = %v, want 1", s.V)
+	}
+	// Distance ~ 0.5*a*t^2 = 0.5.
+	if !almostEq(s.Pos.X, 0.5, 1e-6) {
+		t.Errorf("x = %v, want 0.5", s.Pos.X)
+	}
+}
+
+func TestBicycleSpeedClampedAtZero(t *testing.T) {
+	s := BicycleState{V: 0.5}
+	u := BicycleInput{Accel: -10}
+	for i := 0; i < 100; i++ {
+		s = StepEuler(s, u, 0.3, 0.01)
+		if s.V < 0 {
+			t.Fatalf("speed went negative: %v", s.V)
+		}
+	}
+	s2 := BicycleState{V: 0.5}
+	for i := 0; i < 100; i++ {
+		s2 = StepRK4(s2, u, 0.3, 0.01)
+		if s2.V < 0 {
+			t.Fatalf("RK4 speed went negative: %v", s2.V)
+		}
+	}
+}
+
+func TestBicycleTurningRadius(t *testing.T) {
+	// At constant steer psi, the bicycle follows a circle of radius
+	// R = l / tan(psi). Verify with RK4 after a full quarter turn.
+	l := 0.335
+	psi := 0.3
+	radius := l / math.Tan(psi)
+	s := BicycleState{Pos: geom.V(0, 0), Heading: 0, V: 1}
+	u := BicycleInput{Steer: psi}
+	// Circle center should be at (0, R).
+	center := geom.V(0, radius)
+	dt := 0.001
+	for i := 0; i < 5000; i++ {
+		s = StepRK4(s, u, l, dt)
+		if d := s.Pos.Dist(center); !almostEq(d, radius, 1e-3) {
+			t.Fatalf("step %d: radius drifted to %v, want %v", i, d, radius)
+		}
+	}
+}
+
+func TestRK4MoreAccurateThanEuler(t *testing.T) {
+	// Compare against a fine-step reference on a turning trajectory.
+	l := 0.3
+	u := BicycleInput{Accel: 0.5, Steer: 0.2}
+	ref := BicycleState{V: 1}
+	for i := 0; i < 100000; i++ {
+		ref = StepRK4(ref, u, l, 1e-5)
+	}
+	euler := BicycleState{V: 1}
+	rk4 := BicycleState{V: 1}
+	for i := 0; i < 100; i++ {
+		euler = StepEuler(euler, u, l, 0.01)
+		rk4 = StepRK4(rk4, u, l, 0.01)
+	}
+	errEuler := euler.Pos.Dist(ref.Pos)
+	errRK4 := rk4.Pos.Dist(ref.Pos)
+	if errRK4 >= errEuler {
+		t.Errorf("RK4 error %v not better than Euler %v", errRK4, errEuler)
+	}
+}
+
+func TestPurePursuitStraight(t *testing.T) {
+	path := geom.LinePath{Start: geom.V(0, 0), End: geom.V(10, 0)}
+	s := BicycleState{Pos: geom.V(0, 0), Heading: 0, V: 1}
+	psi := PurePursuit(s, path, 1, 0.3, 0.6)
+	if !almostEq(psi, 0, 1e-9) {
+		t.Errorf("steer on straight path = %v, want 0", psi)
+	}
+	// Offset left of the path: should steer right (negative).
+	s.Pos = geom.V(0, 0.5)
+	psi = PurePursuit(s, path, 1, 0.3, 0.6)
+	if psi >= 0 {
+		t.Errorf("steer = %v, want negative (turn right)", psi)
+	}
+	// Offset right: steer left.
+	s.Pos = geom.V(0, -0.5)
+	psi = PurePursuit(s, path, 1, 0.3, 0.6)
+	if psi <= 0 {
+		t.Errorf("steer = %v, want positive (turn left)", psi)
+	}
+}
+
+func TestPurePursuitClamped(t *testing.T) {
+	path := geom.LinePath{Start: geom.V(0, 0), End: geom.V(10, 0)}
+	s := BicycleState{Pos: geom.V(0, 3), Heading: math.Pi / 2, V: 1}
+	psi := PurePursuit(s, path, 0.5, 0.3, 0.4)
+	if math.Abs(psi) > 0.4+1e-12 {
+		t.Errorf("steer %v exceeds clamp", psi)
+	}
+	// Degenerate: standing on the target.
+	s2 := BicycleState{Pos: path.PoseAt(1).Pos}
+	if got := PurePursuit(s2, path, 1, 0.3, 0.6); got != 0 {
+		t.Errorf("steer at target = %v", got)
+	}
+}
+
+func TestPathTrackerFollowsStraight(t *testing.T) {
+	path := geom.LinePath{Start: geom.V(0, 0), End: geom.V(5, 0)}
+	pt := NewPathTracker(path, 0.335, 1)
+	for i := 0; i < 600 && !pt.Done(); i++ {
+		pt.Step(1, 0.01)
+	}
+	if !pt.Done() {
+		t.Fatalf("tracker did not finish: progress %v", pt.Progress)
+	}
+	if e := pt.CrossTrackError(); e > 0.01 {
+		t.Errorf("cross-track error %v too large", e)
+	}
+}
+
+func TestPathTrackerFollowsTurn(t *testing.T) {
+	// Straight, then a left quarter turn with 0.9 m radius (scale-model
+	// left-turn geometry), then straight.
+	entry := geom.LinePath{Start: geom.V(-2, 0), End: geom.V(0, 0)}
+	arc := geom.ArcBetween(geom.V(0, 0), 0, math.Pi/2, 0.9)
+	exitStart := arc.PoseAt(arc.Length()).Pos
+	exit := geom.LinePath{Start: exitStart, End: exitStart.Add(geom.V(0, 2))}
+	path := geom.NewCompositePath(entry, arc, exit)
+
+	pt := NewPathTracker(path, 0.335, 1.5)
+	pt.Lookahead = 0.4
+	maxErr := 0.0
+	for i := 0; i < 10000 && !pt.Done(); i++ {
+		pt.Step(1.5, 0.005)
+		if e := pt.CrossTrackError(); e > maxErr {
+			maxErr = e
+		}
+	}
+	if !pt.Done() {
+		t.Fatalf("tracker did not finish: progress %v of %v", pt.Progress, path.Length())
+	}
+	if maxErr > 0.15 {
+		t.Errorf("max cross-track error %v exceeds 0.15 m", maxErr)
+	}
+}
+
+func TestPathTrackerZeroDt(t *testing.T) {
+	path := geom.LinePath{Start: geom.V(0, 0), End: geom.V(5, 0)}
+	pt := NewPathTracker(path, 0.335, 1)
+	before := pt.State
+	after := pt.Step(1, 0)
+	if after != before {
+		t.Errorf("zero-dt step changed state")
+	}
+}
+
+func TestPathTrackerProgressClamped(t *testing.T) {
+	path := geom.LinePath{Start: geom.V(0, 0), End: geom.V(0.5, 0)}
+	pt := NewPathTracker(path, 0.335, 3)
+	for i := 0; i < 200; i++ {
+		pt.Step(3, 0.01)
+	}
+	if pt.Progress > path.Length() {
+		t.Errorf("progress %v exceeds path length %v", pt.Progress, path.Length())
+	}
+}
+
+func TestBicycleStatePose(t *testing.T) {
+	s := BicycleState{Pos: geom.V(1, 2), Heading: 0.5, V: 1}
+	p := s.Pose()
+	if p.Pos != s.Pos || p.Heading != s.Heading {
+		t.Errorf("Pose = %+v", p)
+	}
+}

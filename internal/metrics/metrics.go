@@ -1,0 +1,313 @@
+// Package metrics collects and aggregates the evaluation quantities the
+// paper reports: per-vehicle wait time (actual travel time minus free-flow
+// travel time), intersection throughput — defined in §7.2 as the number of
+// managed vehicles divided by total wait time — plus message, byte, and
+// computation accounting for the overhead comparison.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// VehicleRecord accumulates the lifecycle timestamps of one vehicle.
+type VehicleRecord struct {
+	ID       int64
+	Movement string
+	// SpawnTime is when the vehicle crossed the transmission line.
+	SpawnTime float64
+	// EnterTime is when it entered the intersection box.
+	EnterTime float64
+	// ExitTime is when it cleared the box (the paper's exit timestamp).
+	ExitTime float64
+	// FreeFlowTime is how long the spawn-to-exit trip would take with no
+	// other traffic (vehicle free to run its earliest-arrival profile).
+	FreeFlowTime float64
+	// Done marks a completed crossing.
+	Done bool
+	// Retries counts protocol re-requests (AIM's reject loop).
+	Retries int
+}
+
+// WaitTime returns the vehicle's delay versus free flow. Incomplete
+// vehicles report NaN.
+func (r VehicleRecord) WaitTime() float64 {
+	if !r.Done {
+		return math.NaN()
+	}
+	w := (r.ExitTime - r.SpawnTime) - r.FreeFlowTime
+	if w < 0 {
+		return 0 // clock noise can produce tiny negative residuals
+	}
+	return w
+}
+
+// TravelTime returns the total transmission-line-to-exit time (the paper's
+// per-vehicle "wait" accounting via the exit timestamp). Incomplete
+// vehicles report NaN.
+func (r VehicleRecord) TravelTime() float64 {
+	if !r.Done {
+		return math.NaN()
+	}
+	return r.ExitTime - r.SpawnTime
+}
+
+// Collector accumulates vehicle records and run-level counters.
+type Collector struct {
+	vehicles map[int64]*VehicleRecord
+	order    []int64
+
+	// Messages and Bytes mirror the network totals for this run.
+	Messages int
+	Bytes    int
+	// SchedulerInvocations counts IM scheduling calls; SchedulerWall is
+	// their accumulated wall-clock cost; SchedulerSimDelay is the summed
+	// *simulated* computation delay the IM imposed on replies.
+	SchedulerInvocations int
+	SchedulerWall        time.Duration
+	SchedulerSimDelay    float64
+	// Collisions counts physical body-overlap events observed by the
+	// safety checker (must be zero for any policy).
+	Collisions int
+	// BufferViolations counts overlaps of the buffer-inflated planning
+	// footprints inside the box — the safety contract the paper's buffers
+	// exist to uphold. Nonzero values appear only in the unsafe ablation
+	// (VT-IM without the RTD buffer).
+	BufferViolations int
+	// Revisions counts IM-initiated grant revisions pushed to vehicles.
+	Revisions int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{vehicles: make(map[int64]*VehicleRecord)}
+}
+
+// Vehicle returns (creating if needed) the record for id.
+func (c *Collector) Vehicle(id int64) *VehicleRecord {
+	if r, ok := c.vehicles[id]; ok {
+		return r
+	}
+	r := &VehicleRecord{ID: id}
+	c.vehicles[id] = r
+	c.order = append(c.order, id)
+	return r
+}
+
+// Records returns all records in creation order.
+func (c *Collector) Records() []*VehicleRecord {
+	out := make([]*VehicleRecord, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.vehicles[id])
+	}
+	return out
+}
+
+// Completed returns the number of vehicles that finished crossing.
+func (c *Collector) Completed() int {
+	n := 0
+	for _, r := range c.vehicles {
+		if r.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary is the aggregate view of one run.
+type Summary struct {
+	Vehicles  int
+	Completed int
+	MeanWait  float64
+	MaxWait   float64
+	P95Wait   float64
+	TotalWait float64
+	// MeanTravel and TotalTravel cover the full line-to-exit times.
+	MeanTravel  float64
+	TotalTravel float64
+	// Throughput is Completed / TotalTravel — the paper's "number of
+	// managed vehicles divided by total wait time", where each vehicle's
+	// wait is measured from the transmission line to its exit timestamp.
+	Throughput float64
+	// DelayThroughput is Completed / TotalWait (excess delay only),
+	// reported alongside for sensitivity.
+	DelayThroughput      float64
+	MakeSpan             float64 // last exit time minus first spawn time
+	Messages             int
+	Bytes                int
+	MeanRetries          float64
+	SchedulerInvocations int
+	SchedulerWall        time.Duration
+	SchedulerSimDelay    float64
+	Collisions           int
+	BufferViolations     int
+	Revisions            int
+}
+
+// Summarize computes the aggregate statistics over completed vehicles.
+func (c *Collector) Summarize() Summary {
+	s := Summary{
+		Vehicles:             len(c.vehicles),
+		Messages:             c.Messages,
+		Bytes:                c.Bytes,
+		SchedulerInvocations: c.SchedulerInvocations,
+		SchedulerWall:        c.SchedulerWall,
+		SchedulerSimDelay:    c.SchedulerSimDelay,
+		Collisions:           c.Collisions,
+		BufferViolations:     c.BufferViolations,
+		Revisions:            c.Revisions,
+	}
+	var waits []float64
+	firstSpawn := math.Inf(1)
+	lastExit := math.Inf(-1)
+	totalRetries := 0
+	for _, id := range c.order {
+		r := c.vehicles[id]
+		totalRetries += r.Retries
+		if !r.Done {
+			continue
+		}
+		s.Completed++
+		w := r.WaitTime()
+		waits = append(waits, w)
+		s.TotalWait += w
+		s.TotalTravel += r.TravelTime()
+		if w > s.MaxWait {
+			s.MaxWait = w
+		}
+		if r.SpawnTime < firstSpawn {
+			firstSpawn = r.SpawnTime
+		}
+		if r.ExitTime > lastExit {
+			lastExit = r.ExitTime
+		}
+	}
+	if s.Completed > 0 {
+		s.MeanWait = s.TotalWait / float64(s.Completed)
+		s.MeanTravel = s.TotalTravel / float64(s.Completed)
+		s.P95Wait = Percentile(waits, 0.95)
+		s.MakeSpan = lastExit - firstSpawn
+		if s.TotalTravel > 0 {
+			s.Throughput = float64(s.Completed) / s.TotalTravel
+		}
+		if s.TotalWait > 0 {
+			s.DelayThroughput = float64(s.Completed) / s.TotalWait
+		} else {
+			s.DelayThroughput = math.Inf(1)
+		}
+	}
+	if s.Vehicles > 0 {
+		s.MeanRetries = float64(totalRetries) / float64(s.Vehicles)
+	}
+	return s
+}
+
+// Percentile returns the p-quantile (0..1) of xs by linear interpolation.
+// It returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Table renders rows as an aligned text table with a header row, for the
+// experiment binaries' output.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table { return &Table{headers: headers} }
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, ","))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

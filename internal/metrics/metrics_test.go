@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVehicleRecordWaitTime(t *testing.T) {
+	r := VehicleRecord{SpawnTime: 10, ExitTime: 15, FreeFlowTime: 3, Done: true}
+	if got := r.WaitTime(); got != 2 {
+		t.Errorf("WaitTime = %v, want 2", got)
+	}
+	// Not done: NaN.
+	r.Done = false
+	if !math.IsNaN(r.WaitTime()) {
+		t.Error("incomplete vehicle should report NaN")
+	}
+	// Tiny negative residual clamps to 0.
+	r2 := VehicleRecord{SpawnTime: 0, ExitTime: 2.999, FreeFlowTime: 3, Done: true}
+	if got := r2.WaitTime(); got != 0 {
+		t.Errorf("negative residual = %v, want 0", got)
+	}
+}
+
+func TestCollectorVehicleIdentity(t *testing.T) {
+	c := NewCollector()
+	r1 := c.Vehicle(5)
+	r2 := c.Vehicle(5)
+	if r1 != r2 {
+		t.Error("Vehicle(5) returned different records")
+	}
+	if len(c.Records()) != 1 {
+		t.Errorf("Records = %d", len(c.Records()))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := NewCollector()
+	for i := int64(1); i <= 4; i++ {
+		r := c.Vehicle(i)
+		r.SpawnTime = float64(i)
+		r.ExitTime = float64(i) + 3 + float64(i) // wait time = i
+		r.FreeFlowTime = 3
+		r.Done = true
+	}
+	// One incomplete vehicle.
+	c.Vehicle(5).SpawnTime = 9
+	c.Messages = 42
+	c.Bytes = 1024
+	c.SchedulerInvocations = 7
+	c.SchedulerWall = time.Millisecond
+	c.SchedulerSimDelay = 0.5
+	c.Collisions = 0
+
+	s := c.Summarize()
+	if s.Vehicles != 5 || s.Completed != 4 {
+		t.Errorf("Vehicles=%d Completed=%d", s.Vehicles, s.Completed)
+	}
+	if s.TotalWait != 1+2+3+4 {
+		t.Errorf("TotalWait = %v", s.TotalWait)
+	}
+	if s.MeanWait != 2.5 {
+		t.Errorf("MeanWait = %v", s.MeanWait)
+	}
+	if s.MaxWait != 4 {
+		t.Errorf("MaxWait = %v", s.MaxWait)
+	}
+	if math.Abs(s.DelayThroughput-4.0/10.0) > 1e-12 {
+		t.Errorf("DelayThroughput = %v, want 0.4", s.DelayThroughput)
+	}
+	// Travel times: (3+i) seconds each => 4+5+6+7 = 22.
+	if s.TotalTravel != 22 {
+		t.Errorf("TotalTravel = %v, want 22", s.TotalTravel)
+	}
+	if math.Abs(s.Throughput-4.0/22.0) > 1e-12 {
+		t.Errorf("Throughput = %v, want 4/22", s.Throughput)
+	}
+	if s.MeanTravel != 5.5 {
+		t.Errorf("MeanTravel = %v, want 5.5", s.MeanTravel)
+	}
+	// MakeSpan: first spawn 1, last exit 4+3+4=11.
+	if s.MakeSpan != 10 {
+		t.Errorf("MakeSpan = %v", s.MakeSpan)
+	}
+	if s.Messages != 42 || s.Bytes != 1024 || s.SchedulerInvocations != 7 {
+		t.Error("counters not carried through")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := NewCollector().Summarize()
+	if s.Completed != 0 || s.Throughput != 0 || s.MeanWait != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeZeroWaitInfiniteThroughput(t *testing.T) {
+	c := NewCollector()
+	r := c.Vehicle(1)
+	r.SpawnTime = 0
+	r.ExitTime = 3
+	r.FreeFlowTime = 3
+	r.Done = true
+	s := c.Summarize()
+	if !math.IsInf(s.DelayThroughput, 1) {
+		t.Errorf("DelayThroughput = %v, want +Inf for zero wait", s.DelayThroughput)
+	}
+	// Travel-based throughput stays finite: 1 vehicle / 3 s of travel.
+	if math.Abs(s.Throughput-1.0/3.0) > 1e-12 {
+		t.Errorf("Throughput = %v, want 1/3", s.Throughput)
+	}
+}
+
+func TestMeanRetries(t *testing.T) {
+	c := NewCollector()
+	c.Vehicle(1).Retries = 4
+	c.Vehicle(2).Retries = 0
+	s := c.Summarize()
+	if s.MeanRetries != 2 {
+		t.Errorf("MeanRetries = %v", s.MeanRetries)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0.5); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 0.25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	// Interpolated.
+	if got := Percentile([]float64{0, 10}, 0.75); got != 7.5 {
+		t.Errorf("interpolated p75 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile not NaN")
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 0.5)
+	if orig[0] != 3 || orig[1] != 1 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean not NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("policy", "throughput")
+	tb.AddRow("crossroads", 0.123456)
+	tb.AddRow("vt-im", 0.07)
+	out := tb.String()
+	if !strings.Contains(out, "policy") || !strings.Contains(out, "crossroads") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+	// Float formatting: %.4g.
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("float not formatted: %s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2.5)
+	csv := tb.CSV()
+	want := "a,b\n1,2.5\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,287 @@
+// Package network simulates the V2I messaging layer of the testbed: the
+// 2.4 GHz serial links between vehicles and the intersection manager. Links
+// deliver messages after a sampled latency, can drop them, and keep
+// per-endpoint traffic statistics so the experiment harnesses can reproduce
+// the paper's network-load comparison (AIM generates up to ~20x the traffic
+// of Crossroads/VT-IM due to its reject/re-request loop).
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crossroads/internal/des"
+)
+
+// Kind enumerates the protocol message types used by the three IM designs
+// (paper Chapters 2, 4, 5, 6).
+type Kind int
+
+const (
+	// KindRegister announces a vehicle to the IM at the transmission line.
+	KindRegister Kind = iota
+	// KindSyncRequest and KindSyncResponse carry an NTP exchange.
+	KindSyncRequest
+	KindSyncResponse
+	// KindRequest is a crossing request (VT-IM/Crossroads: VC, DT,
+	// VehicleInfo, and for Crossroads the transmit timestamp TT; AIM: the
+	// proposed TOA and VC).
+	KindRequest
+	// KindResponse is a VT-IM/Crossroads reply (VT, or TE/ToA/VT).
+	KindResponse
+	// KindAccept and KindReject are AIM's yes/no replies.
+	KindAccept
+	KindReject
+	// KindExit is the exit-timestamp notification used for wait-time
+	// accounting.
+	KindExit
+	// KindAck acknowledges receipt; used for network-delay measurement.
+	KindAck
+)
+
+var kindNames = map[Kind]string{
+	KindRegister:     "register",
+	KindSyncRequest:  "sync-req",
+	KindSyncResponse: "sync-resp",
+	KindRequest:      "request",
+	KindResponse:     "response",
+	KindAccept:       "accept",
+	KindReject:       "reject",
+	KindExit:         "exit",
+	KindAck:          "ack",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// WireSize returns the modeled on-air payload size in bytes for a message
+// kind, approximating the testbed's packet formats (VehicleInfo carries
+// nine fields plus kinematic state; replies are small).
+func (k Kind) WireSize() int {
+	switch k {
+	case KindRegister:
+		return 16
+	case KindSyncRequest, KindSyncResponse:
+		return 24
+	case KindRequest:
+		return 64 // VC, DT, TT + VehicleInfo packet
+	case KindResponse:
+		return 32 // VT (+ TE, ToA for Crossroads)
+	case KindAccept, KindReject:
+		return 8
+	case KindExit:
+		return 16
+	case KindAck:
+		return 8
+	default:
+		return 16
+	}
+}
+
+// Message is one V2I datagram.
+type Message struct {
+	Kind    Kind
+	From    string
+	To      string
+	SentAt  float64 // reference time the sender handed it to the radio
+	Payload any
+}
+
+// DelayModel samples one-way link latencies.
+type DelayModel interface {
+	// Sample returns a nonnegative latency in seconds.
+	Sample(rng *rand.Rand) float64
+	// Worst returns the model's worst-case latency (used to bound
+	// WC-RTD when configuring protocols).
+	Worst() float64
+}
+
+// ConstantDelay always returns D.
+type ConstantDelay struct{ D float64 }
+
+// Sample returns the constant latency.
+func (c ConstantDelay) Sample(*rand.Rand) float64 { return c.D }
+
+// Worst returns the constant latency.
+func (c ConstantDelay) Worst() float64 { return c.D }
+
+// UniformDelay samples uniformly in [Min, Max].
+type UniformDelay struct{ Min, Max float64 }
+
+// Sample returns a latency uniform in [Min, Max].
+func (u UniformDelay) Sample(rng *rand.Rand) float64 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Float64()*(u.Max-u.Min)
+}
+
+// Worst returns Max.
+func (u UniformDelay) Worst() float64 { return u.Max }
+
+// TruncNormalDelay samples a normal(Mean, Std) latency truncated to
+// [Min, Max]. It models a radio whose typical latency sits well below its
+// rare worst case — the shape measured on the testbed's NRF24 links.
+type TruncNormalDelay struct {
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// Sample returns a truncated-normal latency.
+func (n TruncNormalDelay) Sample(rng *rand.Rand) float64 {
+	for i := 0; i < 64; i++ {
+		v := rng.NormFloat64()*n.Std + n.Mean
+		if v >= n.Min && v <= n.Max {
+			return v
+		}
+	}
+	return math.Max(n.Min, math.Min(n.Mean, n.Max))
+}
+
+// Worst returns Max.
+func (n TruncNormalDelay) Worst() float64 { return n.Max }
+
+// TestbedDelay returns the delay model matching the paper's measurements:
+// worst observed one-way network delay 15 ms with a typical latency of a
+// few milliseconds.
+func TestbedDelay() DelayModel {
+	return TruncNormalDelay{Mean: 0.004, Std: 0.003, Min: 0.0005, Max: 0.015}
+}
+
+// Stats aggregates traffic counters for an endpoint or a whole network.
+type Stats struct {
+	Sent       int
+	Delivered  int
+	Dropped    int
+	Bytes      int
+	TotalDelay float64
+	MaxDelay   float64
+}
+
+// add merges a delivery into the counters.
+func (s *Stats) add(bytes int, delay float64, dropped bool) {
+	s.Sent++
+	s.Bytes += bytes
+	if dropped {
+		s.Dropped++
+		return
+	}
+	s.Delivered++
+	s.TotalDelay += delay
+	if delay > s.MaxDelay {
+		s.MaxDelay = delay
+	}
+}
+
+// MeanDelay returns the average delivery latency, or 0 with no deliveries.
+func (s Stats) MeanDelay() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.TotalDelay / float64(s.Delivered)
+}
+
+// Handler consumes a delivered message at reference delivery time.
+type Handler func(now float64, msg Message)
+
+// Network is a star topology: every endpoint exchanges messages through the
+// shared medium with the given delay model and loss probability.
+type Network struct {
+	sim      *des.Simulator
+	rng      *rand.Rand
+	delay    DelayModel
+	lossProb float64
+
+	handlers map[string]Handler
+	total    Stats
+	perEP    map[string]*Stats // keyed by sender
+	perKind  map[Kind]int
+}
+
+// New creates a network on the given simulator. delay must not be nil.
+func New(sim *des.Simulator, rng *rand.Rand, delay DelayModel, lossProb float64) *Network {
+	if delay == nil {
+		panic("network: nil delay model")
+	}
+	if lossProb < 0 || lossProb >= 1 {
+		panic(fmt.Sprintf("network: loss probability %v out of [0,1)", lossProb))
+	}
+	return &Network{
+		sim:      sim,
+		rng:      rng,
+		delay:    delay,
+		lossProb: lossProb,
+		handlers: make(map[string]Handler),
+		perEP:    make(map[string]*Stats),
+		perKind:  make(map[Kind]int),
+	}
+}
+
+// Register attaches a named endpoint. Re-registering replaces the handler
+// (vehicles re-attach on every approach in multi-pass scenarios).
+func (n *Network) Register(name string, h Handler) {
+	if h == nil {
+		panic("network: nil handler for " + name)
+	}
+	n.handlers[name] = h
+}
+
+// Unregister detaches an endpoint; in-flight messages to it are dropped at
+// delivery time.
+func (n *Network) Unregister(name string) { delete(n.handlers, name) }
+
+// Send queues msg for delivery after a sampled latency. The message's
+// SentAt is stamped with the current simulation time. It returns the
+// sampled latency (or -1 if the message was lost), which tests use to
+// assert delay bounds.
+func (n *Network) Send(msg Message) float64 {
+	msg.SentAt = n.sim.Now()
+	n.perKind[msg.Kind]++
+	st := n.perEP[msg.From]
+	if st == nil {
+		st = &Stats{}
+		n.perEP[msg.From] = st
+	}
+	if n.lossProb > 0 && n.rng.Float64() < n.lossProb {
+		st.add(msg.Kind.WireSize(), 0, true)
+		n.total.add(msg.Kind.WireSize(), 0, true)
+		return -1
+	}
+	d := n.delay.Sample(n.rng)
+	if d < 0 {
+		d = 0
+	}
+	st.add(msg.Kind.WireSize(), d, false)
+	n.total.add(msg.Kind.WireSize(), d, false)
+	n.sim.After(d, func() {
+		if h, ok := n.handlers[msg.To]; ok {
+			h(n.sim.Now(), msg)
+		}
+	})
+	return d
+}
+
+// WorstDelay returns the delay model's worst one-way latency.
+func (n *Network) WorstDelay() float64 { return n.delay.Worst() }
+
+// TotalStats returns aggregate traffic counters.
+func (n *Network) TotalStats() Stats { return n.total }
+
+// EndpointStats returns the traffic sent by one endpoint.
+func (n *Network) EndpointStats(name string) Stats {
+	if s, ok := n.perEP[name]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// KindCount returns how many messages of kind k have been sent.
+func (n *Network) KindCount(k Kind) int { return n.perKind[k] }
+
+// MessageCount returns the total number of messages sent.
+func (n *Network) MessageCount() int { return n.total.Sent }

@@ -1,0 +1,296 @@
+package network
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"crossroads/internal/des"
+)
+
+func newTestNet(delay DelayModel, loss float64) (*des.Simulator, *Network) {
+	sim := des.New()
+	rng := rand.New(rand.NewSource(11))
+	return sim, New(sim, rng, delay, loss)
+}
+
+func TestDeliveryWithConstantDelay(t *testing.T) {
+	sim, net := newTestNet(ConstantDelay{D: 0.01}, 0)
+	var gotAt float64 = -1
+	var got Message
+	net.Register("im", func(now float64, m Message) { gotAt = now; got = m })
+	sim.At(1, func() {
+		net.Send(Message{Kind: KindRequest, From: "veh1", To: "im", Payload: 42})
+	})
+	sim.Run()
+	if gotAt != 1.01 {
+		t.Errorf("delivered at %v, want 1.01", gotAt)
+	}
+	if got.SentAt != 1 {
+		t.Errorf("SentAt = %v, want 1", got.SentAt)
+	}
+	if got.Payload != 42 || got.From != "veh1" {
+		t.Errorf("message corrupted: %+v", got)
+	}
+}
+
+func TestDeliveryToUnknownEndpointDropped(t *testing.T) {
+	sim, net := newTestNet(ConstantDelay{D: 0.01}, 0)
+	sim.At(0, func() {
+		net.Send(Message{Kind: KindRequest, From: "a", To: "ghost"})
+	})
+	sim.Run() // must not panic
+	if net.TotalStats().Sent != 1 {
+		t.Errorf("Sent = %d", net.TotalStats().Sent)
+	}
+}
+
+func TestUnregisterDropsInFlight(t *testing.T) {
+	sim, net := newTestNet(ConstantDelay{D: 0.1}, 0)
+	delivered := false
+	net.Register("b", func(float64, Message) { delivered = true })
+	sim.At(0, func() {
+		net.Send(Message{From: "a", To: "b"})
+		net.Unregister("b")
+	})
+	sim.Run()
+	if delivered {
+		t.Error("message delivered to unregistered endpoint")
+	}
+}
+
+func TestReRegisterReplacesHandler(t *testing.T) {
+	sim, net := newTestNet(ConstantDelay{D: 0.01}, 0)
+	which := 0
+	net.Register("x", func(float64, Message) { which = 1 })
+	net.Register("x", func(float64, Message) { which = 2 })
+	sim.At(0, func() { net.Send(Message{From: "a", To: "x"}) })
+	sim.Run()
+	if which != 2 {
+		t.Errorf("handler = %d, want 2", which)
+	}
+}
+
+func TestUniformDelayBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u := UniformDelay{Min: 0.002, Max: 0.015}
+	for i := 0; i < 10000; i++ {
+		d := u.Sample(rng)
+		if d < u.Min || d > u.Max {
+			t.Fatalf("sample %v out of bounds", d)
+		}
+	}
+	if u.Worst() != 0.015 {
+		t.Errorf("Worst = %v", u.Worst())
+	}
+	degenerate := UniformDelay{Min: 0.01, Max: 0.01}
+	if d := degenerate.Sample(rng); d != 0.01 {
+		t.Errorf("degenerate sample = %v", d)
+	}
+}
+
+func TestTruncNormalDelayBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := TruncNormalDelay{Mean: 0.004, Std: 0.003, Min: 0.0005, Max: 0.015}
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		d := n.Sample(rng)
+		if d < n.Min || d > n.Max {
+			t.Fatalf("sample %v out of bounds", d)
+		}
+		sum += d
+	}
+	mean := sum / trials
+	if mean < 0.003 || mean > 0.006 {
+		t.Errorf("mean %v far from configured 0.004", mean)
+	}
+	if n.Worst() != 0.015 {
+		t.Errorf("Worst = %v", n.Worst())
+	}
+}
+
+func TestTruncNormalDegenerateWindow(t *testing.T) {
+	// Window that the normal essentially never hits: fall back to a legal
+	// value instead of looping forever.
+	rng := rand.New(rand.NewSource(7))
+	n := TruncNormalDelay{Mean: 100, Std: 0.0001, Min: 0, Max: 0.001}
+	d := n.Sample(rng)
+	if d < n.Min || d > n.Max {
+		t.Errorf("fallback %v out of bounds", d)
+	}
+}
+
+func TestTestbedDelayWorstCase(t *testing.T) {
+	d := TestbedDelay()
+	if d.Worst() != 0.015 {
+		t.Errorf("testbed worst = %v, want 0.015 (paper's 15 ms)", d.Worst())
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		if s := d.Sample(rng); s > 0.015 || s < 0 {
+			t.Fatalf("sample %v out of range", s)
+		}
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	sim, net := newTestNet(ConstantDelay{D: 0.001}, 0.5)
+	delivered := 0
+	net.Register("im", func(float64, Message) { delivered++ })
+	const total = 2000
+	sim.At(0, func() {
+		for i := 0; i < total; i++ {
+			net.Send(Message{From: "v", To: "im"})
+		}
+	})
+	sim.Run()
+	st := net.TotalStats()
+	if st.Sent != total {
+		t.Errorf("Sent = %d", st.Sent)
+	}
+	if st.Dropped+st.Delivered != total {
+		t.Errorf("Dropped %d + Delivered %d != %d", st.Dropped, st.Delivered, total)
+	}
+	if delivered != st.Delivered {
+		t.Errorf("handler saw %d, stats say %d", delivered, st.Delivered)
+	}
+	frac := float64(st.Dropped) / total
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("drop fraction %v far from 0.5", frac)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	sim, net := newTestNet(ConstantDelay{D: 0.002}, 0)
+	net.Register("im", func(float64, Message) {})
+	sim.At(0, func() {
+		net.Send(Message{Kind: KindRequest, From: "v1", To: "im"})
+		net.Send(Message{Kind: KindRequest, From: "v1", To: "im"})
+		net.Send(Message{Kind: KindResponse, From: "im", To: "v1"})
+	})
+	sim.Run()
+	if got := net.EndpointStats("v1").Sent; got != 2 {
+		t.Errorf("v1 sent = %d", got)
+	}
+	if got := net.EndpointStats("im").Sent; got != 1 {
+		t.Errorf("im sent = %d", got)
+	}
+	if got := net.EndpointStats("nobody").Sent; got != 0 {
+		t.Errorf("unknown endpoint sent = %d", got)
+	}
+	if got := net.KindCount(KindRequest); got != 2 {
+		t.Errorf("request count = %d", got)
+	}
+	if got := net.MessageCount(); got != 3 {
+		t.Errorf("MessageCount = %d", got)
+	}
+	wantBytes := 2*KindRequest.WireSize() + KindResponse.WireSize()
+	if got := net.TotalStats().Bytes; got != wantBytes {
+		t.Errorf("Bytes = %d, want %d", got, wantBytes)
+	}
+	if md := net.TotalStats().MeanDelay(); math.Abs(md-0.002) > 1e-12 {
+		t.Errorf("MeanDelay = %v", md)
+	}
+	if mx := net.TotalStats().MaxDelay; mx != 0.002 {
+		t.Errorf("MaxDelay = %v", mx)
+	}
+}
+
+func TestMeanDelayNoDeliveries(t *testing.T) {
+	var s Stats
+	if s.MeanDelay() != 0 {
+		t.Errorf("MeanDelay on empty = %v", s.MeanDelay())
+	}
+}
+
+func TestSendReturnsSampledDelay(t *testing.T) {
+	sim, net := newTestNet(UniformDelay{Min: 0.001, Max: 0.01}, 0)
+	net.Register("im", func(float64, Message) {})
+	sim.At(0, func() {
+		for i := 0; i < 100; i++ {
+			d := net.Send(Message{From: "v", To: "im"})
+			if d < 0.001 || d > 0.01 {
+				t.Errorf("returned delay %v out of model bounds", d)
+			}
+		}
+	})
+	sim.Run()
+}
+
+func TestSendReturnsMinusOneOnLoss(t *testing.T) {
+	sim, net := newTestNet(ConstantDelay{D: 0.001}, 0.999999)
+	net.Register("im", func(float64, Message) {})
+	lost := false
+	sim.At(0, func() {
+		for i := 0; i < 50; i++ {
+			if net.Send(Message{From: "v", To: "im"}) < 0 {
+				lost = true
+			}
+		}
+	})
+	sim.Run()
+	if !lost {
+		t.Error("no loss observed at p=0.999999")
+	}
+}
+
+func TestKindStringAndWireSize(t *testing.T) {
+	for k := KindRegister; k <= KindAck; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if k.WireSize() <= 0 {
+			t.Errorf("kind %v has nonpositive wire size", k)
+		}
+	}
+	if s := Kind(99).String(); s != "kind(99)" {
+		t.Errorf("unknown kind string = %q", s)
+	}
+	if Kind(99).WireSize() != 16 {
+		t.Errorf("unknown kind size = %d", Kind(99).WireSize())
+	}
+	if KindRequest.WireSize() <= KindAccept.WireSize() {
+		t.Error("request should be larger than accept on the wire")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	sim := des.New()
+	rng := rand.New(rand.NewSource(1))
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil delay", func() { New(sim, rng, nil, 0) })
+	mustPanic("bad loss", func() { New(sim, rng, ConstantDelay{}, 1.5) })
+	mustPanic("nil handler", func() {
+		n := New(sim, rng, ConstantDelay{}, 0)
+		n.Register("x", nil)
+	})
+}
+
+func TestNegativeDelaySampleClamped(t *testing.T) {
+	sim := des.New()
+	rng := rand.New(rand.NewSource(1))
+	net := New(sim, rng, weirdDelay{}, 0)
+	net.Register("im", func(float64, Message) {})
+	var at float64 = -1
+	net.Register("im", func(now float64, _ Message) { at = now })
+	sim.At(5, func() { net.Send(Message{From: "v", To: "im"}) })
+	sim.Run()
+	if at != 5 {
+		t.Errorf("negative delay not clamped: delivered at %v", at)
+	}
+}
+
+type weirdDelay struct{}
+
+func (weirdDelay) Sample(*rand.Rand) float64 { return -0.5 }
+func (weirdDelay) Worst() float64            { return 0 }

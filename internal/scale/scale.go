@@ -1,0 +1,155 @@
+// Package scale reproduces the paper's 1/10-scale physical experiment
+// (§7.1, Fig. 7.1): ten traffic scenarios — scenario 1 the designed worst
+// case of simultaneous arrivals, scenario 10 the designed best case of
+// sparse traffic — each run repeatedly under both the buffered VT-IM and
+// Crossroads, comparing average wait times. The paper measured Crossroads
+// 1.24x better in the worst case down to 1.08x in the best, a ~24% average
+// wait-time reduction.
+package scale
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crossroads/internal/metrics"
+	"crossroads/internal/plant"
+	"crossroads/internal/sim"
+	"crossroads/internal/traffic"
+	"crossroads/internal/vehicle"
+)
+
+// Config parameterizes the experiment.
+type Config struct {
+	// Repetitions per scenario (paper: 10).
+	Repetitions int
+	// Seed drives scenario randomization and all simulation noise.
+	Seed int64
+	// Noisy enables the calibrated testbed plant disturbance.
+	Noisy bool
+	// Policies to compare; nil means the paper's pair (VT-IM, Crossroads).
+	Policies []vehicle.Policy
+}
+
+// DefaultConfig returns the paper's experiment setup.
+func DefaultConfig() Config {
+	return Config{Repetitions: 10, Seed: 1, Noisy: true}
+}
+
+// ScenarioResult aggregates one scenario's repetitions for one policy.
+type ScenarioResult struct {
+	Scenario int
+	Policy   string
+	// MeanWait is the paper's Fig. 7.1 metric: the line-to-exit travel
+	// time averaged over vehicles and repetitions (the best-case scenario
+	// bottoms out at the free-flow travel time, exactly as in the paper).
+	MeanWait float64
+	// MeanDelay is the excess over free flow.
+	MeanDelay  float64
+	MeanMax    float64
+	Collisions int
+	Incomplete int
+}
+
+// Result is the full experiment outcome.
+type Result struct {
+	// PerScenario[scenario-1][policyIndex]
+	PerScenario [][]ScenarioResult
+	Policies    []vehicle.Policy
+}
+
+// AverageWait returns a policy's wait time averaged over all scenarios.
+func (r Result) AverageWait(policyIdx int) float64 {
+	var total float64
+	for _, row := range r.PerScenario {
+		total += row[policyIdx].MeanWait
+	}
+	return total / float64(len(r.PerScenario))
+}
+
+// Speedup returns how much lower policy b's average wait is than policy
+// a's, as the ratio wait(a)/wait(b), per scenario.
+func (r Result) Speedup(a, b int) []float64 {
+	out := make([]float64, len(r.PerScenario))
+	for i, row := range r.PerScenario {
+		out[i] = row[a].MeanWait / row[b].MeanWait
+	}
+	return out
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (Result, error) {
+	if cfg.Repetitions < 1 {
+		cfg.Repetitions = 1
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = []vehicle.Policy{vehicle.PolicyVTIM, vehicle.PolicyCrossroads}
+	}
+	res := Result{Policies: policies}
+	for scen := 1; scen <= traffic.NumScaleScenarios; scen++ {
+		row := make([]ScenarioResult, len(policies))
+		for pi, pol := range policies {
+			row[pi] = ScenarioResult{Scenario: scen, Policy: pol.String()}
+		}
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			seed := cfg.Seed + int64(scen*1000+rep)
+			arrivals, err := traffic.ScaleScenario(scen, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return Result{}, err
+			}
+			for pi, pol := range policies {
+				simCfg := sim.Config{Policy: pol, Seed: seed}
+				if cfg.Noisy {
+					simCfg.Noise = plant.TestbedNoise()
+				}
+				out, err := sim.Run(simCfg, arrivals)
+				if err != nil {
+					return Result{}, fmt.Errorf("scale: scenario %d rep %d %v: %w", scen, rep, pol, err)
+				}
+				row[pi].MeanWait += out.Summary.MeanTravel
+				row[pi].MeanDelay += out.Summary.MeanWait
+				row[pi].MeanMax += out.Summary.MaxWait
+				row[pi].Collisions += out.Summary.Collisions
+				row[pi].Incomplete += out.Incomplete
+			}
+		}
+		for pi := range row {
+			row[pi].MeanWait /= float64(cfg.Repetitions)
+			row[pi].MeanDelay /= float64(cfg.Repetitions)
+			row[pi].MeanMax /= float64(cfg.Repetitions)
+		}
+		res.PerScenario = append(res.PerScenario, row)
+	}
+	return res, nil
+}
+
+// Table renders the Fig. 7.1 comparison.
+func (r Result) Table() *metrics.Table {
+	headers := []string{"scenario"}
+	for _, p := range r.Policies {
+		headers = append(headers, p.String()+" wait (s)")
+	}
+	if len(r.Policies) == 2 {
+		headers = append(headers, "ratio")
+	}
+	t := metrics.NewTable(headers...)
+	for i, row := range r.PerScenario {
+		cells := []any{i + 1}
+		for _, sr := range row {
+			cells = append(cells, sr.MeanWait)
+		}
+		if len(row) == 2 {
+			cells = append(cells, row[0].MeanWait/row[1].MeanWait)
+		}
+		t.AddRow(cells...)
+	}
+	avg := []any{"AVG"}
+	for pi := range r.Policies {
+		avg = append(avg, r.AverageWait(pi))
+	}
+	if len(r.Policies) == 2 {
+		avg = append(avg, r.AverageWait(0)/r.AverageWait(1))
+	}
+	t.AddRow(avg...)
+	return t
+}

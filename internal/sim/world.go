@@ -1,0 +1,563 @@
+// Package sim assembles the full closed-loop simulation: the discrete-event
+// kernel, the V2I network, the intersection geometry, one of the three IM
+// policies, and a fleet of vehicle agents with noisy plants and drifting
+// clocks. It is the Go equivalent of the paper's Matlab simulators plus the
+// physical-testbed effects (RTD, sync error, control error) those
+// simulators abstracted away.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"crossroads/internal/core"
+	"crossroads/internal/des"
+	"crossroads/internal/geom"
+	"crossroads/internal/im"
+	"crossroads/internal/im/aim"
+	"crossroads/internal/im/batch"
+	"crossroads/internal/im/vtim"
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/metrics"
+	"crossroads/internal/network"
+	"crossroads/internal/plant"
+	"crossroads/internal/safety"
+	"crossroads/internal/timesync"
+	"crossroads/internal/traffic"
+	"crossroads/internal/vehicle"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Intersection geometry; zero value uses the scale model.
+	Intersection intersection.Config
+	// Policy selects the IM under test.
+	Policy vehicle.Policy
+	// Spec carries the uncertainty bounds (buffers, WC-RTD).
+	Spec safety.Spec
+	// Cost models IM computation delay.
+	Cost im.CostModel
+	// Delay is the network latency model; nil uses the testbed model.
+	Delay network.DelayModel
+	// LossProb injects message loss.
+	LossProb float64
+	// Noise configures the plants; zero value is noiseless. Use
+	// plant.TestbedNoise() for the calibrated testbed disturbance.
+	Noise plant.NoiseConfig
+	// PhysicsDt is the plant integration step (s); 0 means 10 ms.
+	PhysicsDt float64
+	// MaxSimTime caps the run; 0 derives it from the workload.
+	MaxSimTime float64
+	// Seed drives every stochastic component.
+	Seed int64
+	// ClockMaxOffset / ClockMaxDriftPPM bound the vehicles' raw clock
+	// errors before NTP sync; zero values use 0.2 s and 20 ppm.
+	ClockMaxOffset   float64
+	ClockMaxDriftPPM float64
+	// OmitRTDBuffer runs VT-IM without its RTD buffer — the UNSAFE
+	// ablation demonstrating why the buffer exists.
+	OmitRTDBuffer bool
+	// AIMGridN and AIMTimeStep tune the AIM baseline; zero uses defaults.
+	AIMGridN    int
+	AIMTimeStep float64
+	// AgentOverrides, if non-nil, replaces the per-policy agent defaults.
+	AgentOverrides *vehicle.Config
+	// CollisionEvery checks footprint overlaps every N physics ticks;
+	// 0 means every 2 ticks.
+	CollisionEvery int
+	// Observer, if set, receives a snapshot of every active vehicle each
+	// ObserverEvery physics ticks (default every 10). Visualizers and
+	// examples use it; the snapshot slice is reused between calls.
+	Observer      func(now float64, vehicles []VehicleView)
+	ObserverEvery int
+}
+
+// VehicleView is an observer snapshot of one active vehicle.
+type VehicleView struct {
+	ID       int64
+	Pose     geom.Pose
+	Speed    float64
+	State    string
+	Movement intersection.MovementID
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Policy  string
+	Summary metrics.Summary
+	Network network.Stats
+	// Vehicles holds the per-vehicle records in arrival order.
+	Vehicles []metrics.VehicleRecord
+	// Incomplete lists vehicles that never finished (0 for healthy runs).
+	Incomplete int
+}
+
+// vehState tracks one active vehicle.
+type vehState struct {
+	arr      traffic.Arrival
+	agent    *vehicle.Agent
+	plant    *plant.Plant
+	movement *intersection.Movement
+	rec      *metrics.VehicleRecord
+	entered  bool
+	done     bool
+	gone     bool
+}
+
+// Run executes one full simulation of the workload under the configured
+// policy and returns the aggregated result.
+func Run(cfg Config, arrivals []traffic.Arrival) (Result, error) {
+	w, err := newWorld(cfg, arrivals)
+	if err != nil {
+		return Result{}, err
+	}
+	return w.run()
+}
+
+type world struct {
+	cfg      Config
+	arrivals []traffic.Arrival
+
+	sim    *des.Simulator
+	net    *network.Network
+	x      *intersection.Intersection
+	server *im.Server
+	col    *metrics.Collector
+
+	rngClock *rand.Rand
+	rngPlant *rand.Rand
+
+	agentCfg vehicle.Config
+	buffers  safety.Buffers
+
+	active  []*vehState
+	spawned int
+
+	overlapping map[[2]int64]bool
+	bufOverlap  map[[2]int64]bool
+	tick        int
+	// debug dumps collision context to stdout (diagnostic runs only).
+	debug bool
+	// views is the reusable observer snapshot buffer.
+	views []VehicleView
+}
+
+func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
+	if len(arrivals) == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
+	}
+	if cfg.Intersection == (intersection.Config{}) {
+		cfg.Intersection = intersection.ScaleModelConfig()
+	}
+	if cfg.Spec == (safety.Spec{}) {
+		cfg.Spec = safety.TestbedSpec()
+	}
+	if cfg.Cost == (im.CostModel{}) {
+		cfg.Cost = im.TestbedCostModel()
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = network.TestbedDelay()
+	}
+	if cfg.PhysicsDt <= 0 {
+		cfg.PhysicsDt = 0.01
+	}
+	if cfg.ClockMaxOffset <= 0 {
+		cfg.ClockMaxOffset = 0.2
+	}
+	if cfg.ClockMaxDriftPPM <= 0 {
+		cfg.ClockMaxDriftPPM = 20
+	}
+	if cfg.CollisionEvery <= 0 {
+		cfg.CollisionEvery = 2
+	}
+	x, err := intersection.New(cfg.Intersection)
+	if err != nil {
+		return nil, err
+	}
+	sim := des.New()
+	rngNet := rand.New(rand.NewSource(cfg.Seed + 1))
+	rngIM := rand.New(rand.NewSource(cfg.Seed + 2))
+	net := network.New(sim, rngNet, cfg.Delay, cfg.LossProb)
+	col := metrics.NewCollector()
+
+	// Reference footprint: the largest vehicle in the workload.
+	refLen, refWid := 0.0, 0.0
+	for _, a := range arrivals {
+		if err := a.Params.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: arrival %d: %w", a.ID, err)
+		}
+		refLen = math.Max(refLen, a.Params.Length)
+		refWid = math.Max(refWid, a.Params.Width)
+	}
+
+	var sched im.Scheduler
+	switch cfg.Policy {
+	case vehicle.PolicyVTIM:
+		c := vtim.DefaultConfig()
+		c.Spec = cfg.Spec
+		c.Cost = cfg.Cost
+		c.RefLength, c.RefWidth = refLen, refWid
+		c.OmitRTDBuffer = cfg.OmitRTDBuffer
+		sched, err = vtim.New(x, c, rngIM)
+	case vehicle.PolicyCrossroads:
+		c := core.DefaultConfig()
+		c.Spec = cfg.Spec
+		c.Cost = cfg.Cost
+		c.RefLength, c.RefWidth = refLen, refWid
+		sched, err = core.New(x, c, rngIM)
+	case vehicle.PolicyBatch:
+		c := batch.DefaultConfig()
+		c.Spec = cfg.Spec
+		c.Cost = cfg.Cost
+		c.RefLength, c.RefWidth = refLen, refWid
+		sched, err = batch.New(x, c, rngIM)
+	case vehicle.PolicyAIM:
+		c := aim.DefaultConfig()
+		c.Spec = cfg.Spec
+		c.Cost = cfg.Cost
+		if cfg.AIMGridN > 0 {
+			c.GridN = cfg.AIMGridN
+		}
+		if cfg.AIMTimeStep > 0 {
+			c.TimeStep = cfg.AIMTimeStep
+		}
+		sched, err = aim.New(x, c, rngIM)
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %v", cfg.Policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	refParams := arrivals[0].Params
+	for _, a := range arrivals {
+		if a.Params.Length > refParams.Length {
+			refParams = a.Params
+		}
+	}
+	agentCfg := vehicle.DeriveConfig(cfg.Policy, cfg.Spec, refParams)
+	if cfg.Policy == vehicle.PolicyBatch {
+		// Batch replies are held for the re-organization window; budget
+		// the retransmission timeout and the command latency accordingly.
+		agentCfg.ResponseTimeout = batch.DefaultConfig().Window + cfg.Spec.WorstRTD + 0.05
+		agentCfg.CommandLatency = batch.DefaultConfig().Window + cfg.Spec.WorstRTD
+	}
+	if cfg.AgentOverrides != nil {
+		agentCfg = *cfg.AgentOverrides
+	}
+
+	// The safety contract checked at runtime is on sensing-buffered
+	// footprints for every policy: the RTD buffer is a *planning* margin
+	// that absorbs execution-time deviation, so actual footprints inflated
+	// by sensing+sync error must stay disjoint — that is what the paper's
+	// buffers exist to guarantee.
+	buffers := cfg.Spec.ForCrossroads()
+
+	return &world{
+		cfg:         cfg,
+		arrivals:    arrivals,
+		sim:         sim,
+		net:         net,
+		x:           x,
+		server:      im.NewServer(sim, net, sched, col),
+		col:         col,
+		rngClock:    rand.New(rand.NewSource(cfg.Seed + 3)),
+		rngPlant:    rand.New(rand.NewSource(cfg.Seed + 4)),
+		agentCfg:    agentCfg,
+		buffers:     buffers,
+		overlapping: make(map[[2]int64]bool),
+		bufOverlap:  make(map[[2]int64]bool),
+	}, nil
+}
+
+func (w *world) run() (Result, error) {
+	for _, a := range w.arrivals {
+		a := a
+		w.sim.At(a.Time, func() { w.spawn(a) })
+	}
+	maxTime := w.cfg.MaxSimTime
+	if maxTime <= 0 {
+		maxTime = w.arrivals[len(w.arrivals)-1].Time + 60 + 3*float64(len(w.arrivals))
+	}
+	dt := w.cfg.PhysicsDt
+	stop := w.sim.Ticker(w.arrivals[0].Time, dt, func() bool {
+		w.step(dt)
+		return w.spawned < len(w.arrivals) || len(w.active) > 0
+	})
+	w.sim.RunUntil(maxTime)
+	stop()
+
+	incomplete := 0
+	for _, v := range w.active {
+		if !v.rec.Done {
+			incomplete++
+		}
+	}
+	st := w.net.TotalStats()
+	w.col.Messages = st.Sent
+	w.col.Bytes = st.Bytes
+	var vehicles []metrics.VehicleRecord
+	for _, r := range w.col.Records() {
+		vehicles = append(vehicles, *r)
+	}
+	return Result{
+		Policy:     w.server.Scheduler().Name(),
+		Summary:    w.col.Summarize(),
+		Network:    st,
+		Vehicles:   vehicles,
+		Incomplete: incomplete,
+	}, nil
+}
+
+func (w *world) spawn(a traffic.Arrival) {
+	m := w.x.Movement(a.Movement)
+	if m == nil {
+		panic(fmt.Sprintf("sim: arrival %d references unknown movement %v", a.ID, a.Movement))
+	}
+	// Gate the spawn on the queue tail: a vehicle cannot materialize at
+	// speed right behind a standing queue — upstream it would have slowed
+	// or stopped. Cap the entry speed at the safe-approach envelope and
+	// defer entirely when the queue reaches back to the transmission line.
+	speed := a.Speed
+	if tail := w.queueTail(a.Movement); tail != nil {
+		gap := tail.plant.S() - (tail.plant.Params.Length+a.Params.Length)/2 - w.agentCfg.MinGap
+		if gap < 0.05 {
+			w.sim.After(0.25, func() { w.spawn(a) })
+			return
+		}
+		vSafe := vehicle.SafeFollowSpeed(gap, tail.plant.V(), tail.plant.Params.MaxDecel,
+			a.Params.MaxDecel, w.agentCfg.HeadwayTau)
+		speed = math.Min(speed, vSafe)
+	}
+	w.spawned++
+	pl, err := plant.New(m.Path, a.Params, 0, speed, w.cfg.Noise, w.rngPlant)
+	if err != nil {
+		panic(fmt.Sprintf("sim: plant for %d: %v", a.ID, err))
+	}
+	clk := timesync.NewSyncedClock(
+		timesync.NewRandomClock(w.rngClock, w.cfg.ClockMaxOffset, w.cfg.ClockMaxDriftPPM), 8)
+
+	vs := &vehState{arr: a, plant: pl, movement: m}
+	agent, err := vehicle.New(a.ID, m, pl, clk, w.agentCfg, w.sim, w.net, w.leaderFor(vs))
+	if err != nil {
+		panic(fmt.Sprintf("sim: agent for %d: %v", a.ID, err))
+	}
+	vs.agent = agent
+
+	rec := w.col.Vehicle(a.ID)
+	rec.Movement = a.Movement.String()
+	// Wait time is measured from the *intended* transmission-line arrival,
+	// so time spent queuing behind a backed-up lane counts as delay.
+	rec.SpawnTime = a.Time
+	exitDist := m.ExitS + a.Params.Length/2
+	eta, _, _ := kinematics.EarliestArrival(0, exitDist, a.Speed, a.Params)
+	rec.FreeFlowTime = eta
+	vs.rec = rec
+
+	w.active = append(w.active, vs)
+	agent.Start()
+}
+
+// queueTail returns the rearmost active vehicle on the arrival's entry lane
+// that is still on the approach, or nil.
+func (w *world) queueTail(mv intersection.MovementID) *vehState {
+	var tail *vehState
+	minS := math.Inf(1)
+	for _, v := range w.active {
+		if v.gone {
+			continue
+		}
+		if v.movement.ID.Approach == mv.Approach && v.movement.ID.Lane == mv.Lane &&
+			v.plant.S() < v.movement.EnterS && v.plant.S() < minS {
+			minS = v.plant.S()
+			tail = v
+		}
+	}
+	return tail
+}
+
+// leaderFor builds the car-following oracle for one vehicle: the nearest
+// vehicle ahead in the same corridor (shared approach lane before the box,
+// shared exit lane after it, or the identical movement throughout).
+func (w *world) leaderFor(self *vehState) vehicle.LeaderFunc {
+	return func() (vehicle.LeaderInfo, bool) {
+		sSelf := self.plant.S()
+		best := vehicle.LeaderInfo{Gap: math.Inf(1)}
+		found := false
+		for _, o := range w.active {
+			if o == self || o.gone {
+				continue
+			}
+			gap, merge, ok := corridorGap(self, o, sSelf)
+			if ok && gap < best.Gap {
+				best = vehicle.LeaderInfo{
+					Gap:   gap,
+					Speed: o.plant.V(),
+					Decel: o.plant.Params.MaxDecel,
+					Merge: merge,
+				}
+				found = true
+			}
+		}
+		return best, found
+	}
+}
+
+// corridorGap returns the bumper-to-bumper distance from self to other if
+// other is ahead of self in the same driving corridor. Inside the box
+// itself the reservation system owns separation: a vehicle must never stop
+// there for car-following, or it breaks its own reservation and gridlocks
+// the intersection.
+func corridorGap(self, other *vehState, sSelf float64) (gap float64, merge, ok bool) {
+	sm, om := self.movement, other.movement
+	halfSum := (self.plant.Params.Length + other.plant.Params.Length) / 2
+	sOther := other.plant.S()
+
+	if sSelf < sm.EnterS {
+		// On the approach: follow anything ahead on the same entry lane
+		// that has not yet cleared the box (its in-box arc length is a
+		// close proxy for corridor distance near the entry).
+		sameEntry := sm.ID.Approach == om.ID.Approach && sm.ID.Lane == om.ID.Lane
+		if sameEntry && sOther > sSelf && sOther < om.ExitS {
+			return sOther - sSelf - halfSum, false, true
+		}
+		return 0, false, false
+	}
+	if sSelf >= sm.ExitS {
+		// Past the box: follow along the shared exit lane.
+		sameExit := sm.Exit == om.Exit && sm.ID.Lane == om.ID.Lane
+		if sameExit {
+			rs := sSelf - sm.ExitS
+			ro := sOther - om.ExitS
+			if ro > rs && sOther >= om.ExitS {
+				return ro - rs - halfSum, true, true
+			}
+		}
+		return 0, false, false
+	}
+	// Inside the box: cross-traffic separation is the reservation
+	// system's job, but a vehicle already *past* the box on our exit lane
+	// is a physical obstacle we must not catch — and since done vehicles
+	// accelerate away, yielding to them cannot stall us in the box.
+	sameExit := sm.Exit == om.Exit && sm.ID.Lane == om.ID.Lane
+	if sameExit && sOther >= om.ExitS {
+		rs := sSelf - sm.ExitS
+		ro := sOther - om.ExitS
+		if ro > rs {
+			return ro - rs - halfSum, true, true
+		}
+	}
+	return 0, false, false
+}
+
+func (w *world) step(dt float64) {
+	now := w.sim.Now()
+	// Control + physics.
+	for _, v := range w.active {
+		if v.gone {
+			continue
+		}
+		vCmd := v.agent.ControlStep(now, dt)
+		v.plant.Step(vCmd, dt)
+	}
+	// Lifecycle transitions.
+	kept := w.active[:0]
+	for _, v := range w.active {
+		s := v.plant.S()
+		if !v.entered && s >= v.movement.EnterS {
+			v.entered = true
+			v.rec.EnterTime = now
+		}
+		if !v.done && s >= v.movement.ExitS+v.plant.Params.Length/2 {
+			v.done = true
+			v.rec.ExitTime = now
+			v.rec.Done = true
+			v.rec.Retries = v.agent.Retries
+			v.agent.NotifyExit()
+		}
+		if s >= v.movement.Length-1e-6 {
+			v.gone = true
+			v.rec.Retries = v.agent.Retries
+			v.agent.Stop()
+			continue
+		}
+		kept = append(kept, v)
+	}
+	w.active = kept
+
+	w.tick++
+	if w.tick%w.cfg.CollisionEvery == 0 {
+		w.checkCollisions()
+	}
+	if w.cfg.Observer != nil {
+		every := w.cfg.ObserverEvery
+		if every <= 0 {
+			every = 10
+		}
+		if w.tick%every == 0 {
+			w.views = w.views[:0]
+			for _, v := range w.active {
+				w.views = append(w.views, VehicleView{
+					ID:       v.arr.ID,
+					Pose:     v.plant.Pose(),
+					Speed:    v.plant.V(),
+					State:    v.agent.State().String(),
+					Movement: v.movement.ID,
+				})
+			}
+			w.cfg.Observer(now, w.views)
+		}
+	}
+}
+
+// checkCollisions counts physical body overlaps (anywhere) and planning-
+// buffer overlaps between cross traffic near the box — the safety contract
+// the IM policies must uphold.
+func (w *world) checkCollisions() {
+	box := w.x.Box().Expand(w.buffers.Long + 0.5)
+	for i := 0; i < len(w.active); i++ {
+		vi := w.active[i]
+		fi := vi.plant.Footprint()
+		bi := fi.Inflate(w.buffers.Long, w.buffers.Lat)
+		for j := i + 1; j < len(w.active); j++ {
+			vj := w.active[j]
+			key := [2]int64{vi.arr.ID, vj.arr.ID}
+			fj := vj.plant.Footprint()
+
+			phys := fi.Intersects(fj)
+			if phys && !w.overlapping[key] {
+				w.col.Collisions++
+				if w.debug {
+					fmt.Printf("[%.2f] collision veh%d(%v s=%.2f v=%.2f st=%v) x veh%d(%v s=%.2f v=%.2f st=%v)\n",
+						w.sim.Now(),
+						vi.arr.ID, vi.movement.ID, vi.plant.S(), vi.plant.V(), vi.agent.State(),
+						vj.arr.ID, vj.movement.ID, vj.plant.S(), vj.plant.V(), vj.agent.State())
+					pi, pj := vi.plant.Pose(), vj.plant.Pose()
+					fmt.Printf("    pos(veh%d)=(%.2f,%.2f h=%.2f) pos(veh%d)=(%.2f,%.2f h=%.2f)\n",
+						vi.arr.ID, pi.Pos.X, pi.Pos.Y, pi.Heading, vj.arr.ID, pj.Pos.X, pj.Pos.Y, pj.Heading)
+				}
+			}
+			w.overlapping[key] = phys
+
+			// Buffer contract: only cross-approach pairs near the box are
+			// the IM's responsibility (same-lane spacing is car following).
+			if vi.movement.ID.Approach != vj.movement.ID.Approach &&
+				box.Overlaps(fi.AABB()) && box.Overlaps(fj.AABB()) {
+				bj := fj.Inflate(w.buffers.Long, w.buffers.Lat)
+				buf := bi.Intersects(bj)
+				if buf && !w.bufOverlap[key] {
+					w.col.BufferViolations++
+					if w.debug {
+						fmt.Printf("[%.2f] bufviol veh%d(%v s=%.2f v=%.2f st=%v) x veh%d(%v s=%.2f v=%.2f st=%v)\n",
+							w.sim.Now(),
+							vi.arr.ID, vi.movement.ID, vi.plant.S(), vi.plant.V(), vi.agent.State(),
+							vj.arr.ID, vj.movement.ID, vj.plant.S(), vj.plant.V(), vj.agent.State())
+					}
+				}
+				w.bufOverlap[key] = buf
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package sweep drives the paper's §7.2 scalability study (Fig. 7.2 and the
+// overhead comparison): Poisson input flows from 0.05 to 1.25 vehicles per
+// lane-second routing a fixed fleet through a single-lane four-way, under
+// all three IM policies, reporting throughput (vehicles per total wait
+// time, the paper's definition), computation, and network load.
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/metrics"
+	"crossroads/internal/plant"
+	"crossroads/internal/safety"
+	"crossroads/internal/sim"
+	"crossroads/internal/traffic"
+	"crossroads/internal/vehicle"
+)
+
+// PaperRates returns the paper's x-axis: 0.05 to 1.25 car/lane/second.
+func PaperRates() []float64 {
+	return []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.80, 1.00, 1.25}
+}
+
+// Config parameterizes the sweep.
+type Config struct {
+	// Rates are the input flows (car/lane/s).
+	Rates []float64
+	// NumVehicles is the routed fleet per run (paper: 160).
+	NumVehicles int
+	// Policies compared; nil means all three.
+	Policies []vehicle.Policy
+	// Seed drives workload generation and simulation noise.
+	Seed int64
+	// FullScale selects the full-size geometry (default) versus the
+	// 1/10-scale model.
+	ScaleModel bool
+	// Noisy enables plant noise.
+	Noisy bool
+}
+
+// DefaultConfig returns the paper's setup at full-scale geometry.
+func DefaultConfig() Config {
+	return Config{
+		Rates:       PaperRates(),
+		NumVehicles: 160,
+		Seed:        42,
+	}
+}
+
+// Cell is one (rate, policy) outcome.
+type Cell struct {
+	Rate                 float64
+	Policy               string
+	Throughput           float64 // completed / total travel time (paper definition)
+	MeanWait             float64 // excess delay over free flow
+	MeanTravel           float64
+	Messages             int
+	Bytes                int
+	MeanRetries          float64
+	SchedulerSimDelay    float64
+	SchedulerInvocations int
+	Collisions           int
+	BufferViolations     int
+	Incomplete           int
+}
+
+// Result is the full sweep.
+type Result struct {
+	Policies []vehicle.Policy
+	// Cells[rateIdx][policyIdx]
+	Cells [][]Cell
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (Result, error) {
+	if len(cfg.Rates) == 0 {
+		cfg.Rates = PaperRates()
+	}
+	if cfg.NumVehicles <= 0 {
+		cfg.NumVehicles = 160
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = []vehicle.Policy{vehicle.PolicyVTIM, vehicle.PolicyAIM, vehicle.PolicyCrossroads}
+	}
+	params := kinematics.FullScaleParams()
+	interCfg := intersection.FullScaleConfig()
+	spec := safety.FullScaleSpec()
+	if cfg.ScaleModel {
+		params = kinematics.ScaleModelParams()
+		interCfg = intersection.ScaleModelConfig()
+		spec = safety.TestbedSpec()
+	}
+	res := Result{Policies: policies}
+	for _, rate := range cfg.Rates {
+		arrivals, err := traffic.Poisson(traffic.PoissonConfig{
+			Rate:         rate,
+			NumVehicles:  cfg.NumVehicles,
+			LanesPerRoad: 1,
+			Mix:          traffic.DefaultTurnMix(),
+			Params:       params,
+		}, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return Result{}, err
+		}
+		row := make([]Cell, len(policies))
+		for pi, pol := range policies {
+			simCfg := sim.Config{
+				Policy:       pol,
+				Seed:         cfg.Seed,
+				Intersection: interCfg,
+				Spec:         spec,
+			}
+			if cfg.Noisy {
+				simCfg.Noise = plant.TestbedNoise()
+			}
+			out, err := sim.Run(simCfg, arrivals)
+			if err != nil {
+				return Result{}, fmt.Errorf("sweep: rate %v %v: %w", rate, pol, err)
+			}
+			row[pi] = Cell{
+				Rate:                 rate,
+				Policy:               out.Policy,
+				Throughput:           out.Summary.Throughput,
+				MeanWait:             out.Summary.MeanWait,
+				MeanTravel:           out.Summary.MeanTravel,
+				Messages:             out.Summary.Messages,
+				Bytes:                out.Summary.Bytes,
+				MeanRetries:          out.Summary.MeanRetries,
+				SchedulerSimDelay:    out.Summary.SchedulerSimDelay,
+				SchedulerInvocations: out.Summary.SchedulerInvocations,
+				Collisions:           out.Summary.Collisions,
+				BufferViolations:     out.Summary.BufferViolations,
+				Incomplete:           out.Incomplete,
+			}
+		}
+		res.Cells = append(res.Cells, row)
+	}
+	return res, nil
+}
+
+// ThroughputTable renders the Fig. 7.2 series.
+func (r Result) ThroughputTable() *metrics.Table {
+	headers := []string{"rate (car/s/lane)"}
+	for _, p := range r.Policies {
+		headers = append(headers, p.String()+" tput")
+	}
+	t := metrics.NewTable(headers...)
+	for _, row := range r.Cells {
+		cells := []any{row[0].Rate}
+		for _, c := range row {
+			cells = append(cells, c.Throughput)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// OverheadTable renders the computation/network comparison (paper: AIM up
+// to ~16x compute and ~20x traffic versus the velocity-transaction IMs).
+func (r Result) OverheadTable() *metrics.Table {
+	t := metrics.NewTable("rate", "policy", "messages", "bytes", "IM calls", "IM busy (s)", "retries/veh")
+	for _, row := range r.Cells {
+		for _, c := range row {
+			t.AddRow(c.Rate, c.Policy, c.Messages, c.Bytes, c.SchedulerInvocations, c.SchedulerSimDelay, c.MeanRetries)
+		}
+	}
+	return t
+}
+
+// policyIndex finds a policy column, or -1.
+func (r Result) policyIndex(name string) int {
+	for i := range r.Cells[0] {
+		if r.Cells[0][i].Policy == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Headline computes the paper's summary ratios: Crossroads versus another
+// policy's throughput, worst-case (max over rates) and average.
+func (r Result) Headline(other string) (worst, avg float64, err error) {
+	ci := r.policyIndex("crossroads")
+	oi := r.policyIndex(other)
+	if ci < 0 || oi < 0 {
+		return 0, 0, fmt.Errorf("sweep: policies missing for headline (%q)", other)
+	}
+	var sum float64
+	n := 0
+	for _, row := range r.Cells {
+		if row[oi].Throughput <= 0 {
+			continue
+		}
+		ratio := row[ci].Throughput / row[oi].Throughput
+		if ratio > worst {
+			worst = ratio
+		}
+		sum += ratio
+		n++
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("sweep: no comparable cells")
+	}
+	return worst, sum / float64(n), nil
+}

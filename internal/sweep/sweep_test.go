@@ -1,0 +1,135 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"crossroads/internal/vehicle"
+)
+
+func smallSweep(t *testing.T) Result {
+	t.Helper()
+	res, err := Run(Config{
+		Rates:       []float64{0.1, 0.8},
+		NumVehicles: 24,
+		Seed:        11,
+		ScaleModel:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSweepShape(t *testing.T) {
+	res := smallSweep(t)
+	if len(res.Cells) != 2 {
+		t.Fatalf("rate rows = %d", len(res.Cells))
+	}
+	if len(res.Policies) != 3 {
+		t.Fatalf("policies = %d", len(res.Policies))
+	}
+	for _, row := range res.Cells {
+		for _, c := range row {
+			if c.Collisions != 0 {
+				t.Errorf("%s @ %v: %d collisions", c.Policy, c.Rate, c.Collisions)
+			}
+			if c.Incomplete != 0 {
+				t.Errorf("%s @ %v: %d incomplete", c.Policy, c.Rate, c.Incomplete)
+			}
+			if c.Throughput <= 0 {
+				t.Errorf("%s @ %v: throughput %v", c.Policy, c.Rate, c.Throughput)
+			}
+		}
+	}
+}
+
+func TestSweepCrossroadsWinsUnderLoad(t *testing.T) {
+	res := smallSweep(t)
+	heavy := res.Cells[1] // rate 0.8
+	byName := map[string]Cell{}
+	for _, c := range heavy {
+		byName[c.Policy] = c
+	}
+	cr := byName["crossroads"]
+	if cr.Throughput <= byName["vt-im"].Throughput {
+		t.Errorf("Crossroads %v not above VT-IM %v at heavy load",
+			cr.Throughput, byName["vt-im"].Throughput)
+	}
+	if cr.Throughput <= byName["aim"].Throughput {
+		t.Errorf("Crossroads %v not above AIM %v at heavy load",
+			cr.Throughput, byName["aim"].Throughput)
+	}
+}
+
+func TestSweepHeadline(t *testing.T) {
+	res := smallSweep(t)
+	worst, avg, err := res.Headline("vt-im")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(worst >= avg && avg > 1) {
+		t.Errorf("headline vs VT-IM: worst %v avg %v", worst, avg)
+	}
+	if _, _, err := res.Headline("nonexistent"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestSweepTables(t *testing.T) {
+	res := smallSweep(t)
+	tp := res.ThroughputTable().String()
+	for _, want := range []string{"rate", "vt-im", "aim", "crossroads"} {
+		if !strings.Contains(tp, want) {
+			t.Errorf("throughput table missing %q", want)
+		}
+	}
+	ov := res.OverheadTable().String()
+	for _, want := range []string{"messages", "IM calls", "retries/veh"} {
+		if !strings.Contains(ov, want) {
+			t.Errorf("overhead table missing %q", want)
+		}
+	}
+}
+
+func TestSweepAIMMessageOverhead(t *testing.T) {
+	res := smallSweep(t)
+	heavy := res.Cells[1]
+	byName := map[string]Cell{}
+	for _, c := range heavy {
+		byName[c.Policy] = c
+	}
+	// AIM's reject loop must cost it more messages and IM busy time than
+	// Crossroads under load (the paper's overhead comparison).
+	if byName["aim"].Messages <= byName["crossroads"].Messages {
+		t.Errorf("AIM messages %d not above Crossroads %d",
+			byName["aim"].Messages, byName["crossroads"].Messages)
+	}
+	if byName["aim"].SchedulerSimDelay <= byName["crossroads"].SchedulerSimDelay {
+		t.Errorf("AIM IM busy %v not above Crossroads %v",
+			byName["aim"].SchedulerSimDelay, byName["crossroads"].SchedulerSimDelay)
+	}
+}
+
+func TestSweepCustomPolicies(t *testing.T) {
+	res, err := Run(Config{
+		Rates:       []float64{0.2},
+		NumVehicles: 10,
+		Seed:        3,
+		ScaleModel:  true,
+		Policies:    []vehicle.Policy{vehicle.PolicyCrossroads},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells[0]) != 1 || res.Cells[0][0].Policy != "crossroads" {
+		t.Errorf("custom policies not honored: %+v", res.Cells[0])
+	}
+}
+
+func TestPaperRates(t *testing.T) {
+	r := PaperRates()
+	if r[0] != 0.05 || r[len(r)-1] != 1.25 {
+		t.Errorf("paper rates = %v", r)
+	}
+}

@@ -1,0 +1,157 @@
+// Package timesync models the distributed-clock aspect of the testbed
+// (paper §3.2): every vehicle node runs its own oscillator with an offset
+// and a frequency drift relative to the intersection manager's reference
+// clock, and synchronizes using the NTP four-timestamp exchange
+// (Mills, 1991). The residual error after synchronization feeds the safety
+// buffer: at the paper's 1 ms bound and 3 m/s top speed it adds 3 mm.
+package timesync
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Clock converts between reference (simulation) time and a node's local
+// time. Local time advances at rate (1 + Drift) and starts displaced by
+// Offset:
+//
+//	local(t) = t*(1 + Drift) + Offset
+type Clock struct {
+	Offset float64 // seconds of initial displacement
+	Drift  float64 // fractional frequency error, e.g. 20e-6 = 20 ppm
+}
+
+// NewRandomClock draws a clock with offset uniform in [-maxOffset, maxOffset]
+// and drift uniform in [-maxDriftPPM, maxDriftPPM] parts per million.
+func NewRandomClock(rng *rand.Rand, maxOffset, maxDriftPPM float64) Clock {
+	return Clock{
+		Offset: (rng.Float64()*2 - 1) * maxOffset,
+		Drift:  (rng.Float64()*2 - 1) * maxDriftPPM * 1e-6,
+	}
+}
+
+// Local returns the node's local reading at reference time t.
+func (c Clock) Local(t float64) float64 { return t*(1+c.Drift) + c.Offset }
+
+// Reference inverts Local: the reference time at which the node's clock
+// reads local.
+func (c Clock) Reference(local float64) float64 { return (local - c.Offset) / (1 + c.Drift) }
+
+// ErrorAt returns the instantaneous clock error local(t) - t.
+func (c Clock) ErrorAt(t float64) float64 { return c.Local(t) - t }
+
+// Sample is one NTP exchange: the four timestamps of the classic algorithm.
+// T1: client transmit (client clock), T2: server receive (server clock),
+// T3: server transmit (server clock), T4: client receive (client clock).
+type Sample struct {
+	T1, T2, T3, T4 float64
+}
+
+// Offset returns the estimated client-minus-server clock offset:
+//
+//	theta = ((T2 - T1) + (T3 - T4)) / 2
+//
+// Note this is the server-relative correction the client must *subtract*
+// from its clock... theta as defined here is (server - client); adding theta
+// to a client reading yields the server-time estimate.
+func (s Sample) Offset() float64 { return ((s.T2 - s.T1) + (s.T3 - s.T4)) / 2 }
+
+// Delay returns the estimated round-trip network delay:
+//
+//	delta = (T4 - T1) - (T3 - T2)
+func (s Sample) Delay() float64 { return (s.T4 - s.T1) - (s.T3 - s.T2) }
+
+// SyncedClock is a client clock plus the correction learned from NTP
+// exchanges. The client converts its local readings into estimated server
+// (reference-synchronized) time by adding the learned offset.
+type SyncedClock struct {
+	Clock       Clock
+	corr        float64 // estimated (server - client) offset
+	synced      bool
+	samples     []Sample
+	lastDelay   float64
+	sampleLimit int
+}
+
+// NewSyncedClock wraps a raw clock. sampleLimit bounds how many exchanges
+// are retained for the minimum-delay filter (8, NTP's shift-register size,
+// when <= 0).
+func NewSyncedClock(c Clock, sampleLimit int) *SyncedClock {
+	if sampleLimit <= 0 {
+		sampleLimit = 8
+	}
+	return &SyncedClock{Clock: c, sampleLimit: sampleLimit}
+}
+
+// AddSample records an NTP exchange and refreshes the offset estimate using
+// the minimum-delay filter: the sample with the smallest round-trip delay
+// gives the most trustworthy offset (its request/response asymmetry is
+// smallest).
+func (sc *SyncedClock) AddSample(s Sample) {
+	sc.samples = append(sc.samples, s)
+	if len(sc.samples) > sc.sampleLimit {
+		sc.samples = sc.samples[len(sc.samples)-sc.sampleLimit:]
+	}
+	best := sc.samples[0]
+	for _, cand := range sc.samples[1:] {
+		if cand.Delay() < best.Delay() {
+			best = cand
+		}
+	}
+	sc.corr = best.Offset()
+	sc.lastDelay = best.Delay()
+	sc.synced = true
+}
+
+// Synced reports whether at least one exchange has completed.
+func (sc *SyncedClock) Synced() bool { return sc.synced }
+
+// EstimatedOffset returns the learned (server - client) correction.
+func (sc *SyncedClock) EstimatedOffset() float64 { return sc.corr }
+
+// EstimatedDelay returns the round-trip delay of the winning sample.
+func (sc *SyncedClock) EstimatedDelay() float64 { return sc.lastDelay }
+
+// ServerTime converts a local clock reading into estimated server time.
+func (sc *SyncedClock) ServerTime(local float64) float64 { return local + sc.corr }
+
+// Now returns the node's synchronized time estimate at reference time t:
+// read the raw local clock, then apply the correction.
+func (sc *SyncedClock) Now(t float64) float64 { return sc.ServerTime(sc.Clock.Local(t)) }
+
+// WhenSynced inverts Now: the reference time at which this node's
+// synchronized estimate reads target. A vehicle told to act at synchronized
+// time TE actually acts at WhenSynced(TE); the difference from TE is the
+// residual sync error the safety buffer covers.
+func (sc *SyncedClock) WhenSynced(target float64) float64 {
+	return sc.Clock.Reference(target - sc.corr)
+}
+
+// ResidualError returns the synchronization error at reference time t:
+// the difference between the node's synchronized estimate and true
+// reference time. This is the quantity the paper bounds at 1 ms.
+func (sc *SyncedClock) ResidualError(t float64) float64 { return sc.Now(t) - t }
+
+// Exchange performs one simulated NTP round trip at reference time t
+// between a client with clock c and an ideal server clock (identical to
+// reference time), with the given one-way network delays. It returns the
+// resulting sample expressed in each side's own clock.
+//
+// Real deployments run the server on the IM laptop; modeling it as the
+// reference is equivalent because only relative offsets matter.
+func Exchange(c Clock, t, reqDelay, respDelay float64) Sample {
+	t1 := c.Local(t)
+	tServerRecv := t + reqDelay
+	t2 := tServerRecv // server clock == reference
+	t3 := tServerRecv // instant server turnaround
+	t4 := c.Local(tServerRecv + respDelay)
+	return Sample{T1: t1, T2: t2, T3: t3, T4: t4}
+}
+
+// WorstCaseError returns an upper bound on the offset-estimate error of a
+// single NTP sample given the asymmetry between its request and response
+// delays: |err| <= |reqDelay - respDelay| / 2 (plus drift accumulated over
+// the interval, negligible at testbed timescales).
+func WorstCaseError(reqDelay, respDelay float64) float64 {
+	return math.Abs(reqDelay-respDelay) / 2
+}

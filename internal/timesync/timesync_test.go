@@ -1,0 +1,195 @@
+package timesync
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockLocalReference(t *testing.T) {
+	c := Clock{Offset: 0.5, Drift: 100e-6}
+	if got := c.Local(0); got != 0.5 {
+		t.Errorf("Local(0) = %v", got)
+	}
+	// Round trip.
+	for _, ref := range []float64{0, 1, 123.456, 1e4} {
+		back := c.Reference(c.Local(ref))
+		if math.Abs(back-ref) > 1e-9 {
+			t.Errorf("round trip %v -> %v", ref, back)
+		}
+	}
+}
+
+func TestClockErrorGrowsWithDrift(t *testing.T) {
+	c := Clock{Offset: 0, Drift: 50e-6}
+	e1 := c.ErrorAt(100)
+	e2 := c.ErrorAt(200)
+	if !(e2 > e1) {
+		t.Errorf("drift error not growing: %v, %v", e1, e2)
+	}
+	if math.Abs(e1-100*50e-6) > 1e-12 {
+		t.Errorf("ErrorAt(100) = %v, want %v", e1, 100*50e-6)
+	}
+}
+
+func TestNewRandomClockBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		c := NewRandomClock(rng, 0.1, 20)
+		if math.Abs(c.Offset) > 0.1 {
+			t.Fatalf("offset %v out of bounds", c.Offset)
+		}
+		if math.Abs(c.Drift) > 20e-6 {
+			t.Fatalf("drift %v out of bounds", c.Drift)
+		}
+	}
+}
+
+func TestSampleSymmetricDelayExactOffset(t *testing.T) {
+	// With symmetric delays the NTP offset estimate is exact (up to drift
+	// over the round trip).
+	c := Clock{Offset: -0.25, Drift: 0}
+	s := Exchange(c, 10, 0.005, 0.005)
+	theta := s.Offset()
+	// theta estimates (server - client) = -Offset.
+	if math.Abs(theta-0.25) > 1e-12 {
+		t.Errorf("offset estimate = %v, want 0.25", theta)
+	}
+	if math.Abs(s.Delay()-0.01) > 1e-12 {
+		t.Errorf("delay estimate = %v, want 0.01", s.Delay())
+	}
+}
+
+func TestSampleAsymmetryBound(t *testing.T) {
+	f := func(off, req, resp float64) bool {
+		off = math.Mod(off, 10)
+		req = math.Abs(math.Mod(req, 0.05))
+		resp = math.Abs(math.Mod(resp, 0.05))
+		c := Clock{Offset: off}
+		s := Exchange(c, 100, req, resp)
+		err := math.Abs(s.Offset() - (-off))
+		return err <= WorstCaseError(req, resp)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyncedClockConvergesUnder1ms(t *testing.T) {
+	// Reproduce the paper's bound: after NTP sync the residual error stays
+	// under 1 ms with testbed-like delays (<= 15 ms one-way, mild
+	// asymmetry) thanks to the minimum-delay filter.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c := NewRandomClock(rng, 0.5, 20)
+		sc := NewSyncedClock(c, 8)
+		tNow := 0.0
+		for i := 0; i < 8; i++ {
+			base := 0.001 + rng.Float64()*0.014
+			asym := (rng.Float64()*2 - 1) * 0.0008 // <= 0.8 ms asymmetry
+			sc.AddSample(Exchange(c, tNow, base+asym, base-asym))
+			tNow += 0.05
+		}
+		if !sc.Synced() {
+			t.Fatal("not synced after samples")
+		}
+		if e := math.Abs(sc.ResidualError(tNow)); e > 1e-3 {
+			t.Errorf("trial %d: residual error %v exceeds 1 ms", trial, e)
+		}
+	}
+}
+
+func TestSyncedClockMinimumDelayFilter(t *testing.T) {
+	c := Clock{Offset: 1.0}
+	sc := NewSyncedClock(c, 8)
+	// A terrible, highly asymmetric sample...
+	sc.AddSample(Exchange(c, 0, 0.100, 0.001))
+	badErr := math.Abs(sc.ResidualError(0))
+	// ...then a clean low-delay one; the filter must prefer it.
+	sc.AddSample(Exchange(c, 1, 0.001, 0.001))
+	goodErr := math.Abs(sc.ResidualError(1))
+	if goodErr >= badErr {
+		t.Errorf("filter did not improve: %v -> %v", badErr, goodErr)
+	}
+	if goodErr > 1e-9 {
+		t.Errorf("clean symmetric sample should be near-exact, got %v", goodErr)
+	}
+	if sc.EstimatedDelay() > 0.0021 {
+		t.Errorf("EstimatedDelay = %v, want the low-delay sample's", sc.EstimatedDelay())
+	}
+}
+
+func TestSyncedClockSampleLimit(t *testing.T) {
+	c := Clock{Offset: 2}
+	sc := NewSyncedClock(c, 3)
+	// One excellent sample, then flood with mediocre ones: after the
+	// window slides past it, accuracy downgrades to the best recent one.
+	sc.AddSample(Exchange(c, 0, 0.001, 0.001))
+	exact := sc.EstimatedOffset()
+	for i := 1; i <= 5; i++ {
+		sc.AddSample(Exchange(c, float64(i), 0.030, 0.010))
+	}
+	if sc.EstimatedOffset() == exact {
+		t.Error("window did not slide; stale best sample retained")
+	}
+	if len(sc.samples) != 3 {
+		t.Errorf("retained %d samples, want 3", len(sc.samples))
+	}
+}
+
+func TestSyncedClockDefaultLimit(t *testing.T) {
+	sc := NewSyncedClock(Clock{}, 0)
+	if sc.sampleLimit != 8 {
+		t.Errorf("default limit = %d, want 8", sc.sampleLimit)
+	}
+}
+
+func TestServerTimeAndNow(t *testing.T) {
+	c := Clock{Offset: 0.3}
+	sc := NewSyncedClock(c, 8)
+	sc.AddSample(Exchange(c, 0, 0.002, 0.002))
+	// Now(t) must be within microseconds of t.
+	if e := math.Abs(sc.Now(5) - 5); e > 1e-6 {
+		t.Errorf("Now error = %v", e)
+	}
+	local := c.Local(5)
+	if e := math.Abs(sc.ServerTime(local) - 5); e > 1e-6 {
+		t.Errorf("ServerTime error = %v", e)
+	}
+}
+
+func TestUnsyncedClockPassesRawError(t *testing.T) {
+	c := Clock{Offset: 0.7}
+	sc := NewSyncedClock(c, 8)
+	if sc.Synced() {
+		t.Error("fresh clock reports synced")
+	}
+	if e := sc.ResidualError(0); math.Abs(e-0.7) > 1e-12 {
+		t.Errorf("unsynced residual = %v, want raw offset 0.7", e)
+	}
+}
+
+func TestWorstCaseError(t *testing.T) {
+	if got := WorstCaseError(0.010, 0.002); math.Abs(got-0.004) > 1e-12 {
+		t.Errorf("WorstCaseError = %v, want 0.004", got)
+	}
+	if got := WorstCaseError(0.005, 0.005); got != 0 {
+		t.Errorf("symmetric worst case = %v, want 0", got)
+	}
+}
+
+func TestDriftAccumulationBetweenSyncs(t *testing.T) {
+	// Even a synced clock drifts between exchanges; error at +10 s with
+	// 20 ppm drift is ~0.2 ms, still under the 1 ms budget the paper uses.
+	c := Clock{Offset: 0.1, Drift: 20e-6}
+	sc := NewSyncedClock(c, 8)
+	sc.AddSample(Exchange(c, 0, 0.002, 0.002))
+	e := math.Abs(sc.ResidualError(10))
+	if e > 1e-3 {
+		t.Errorf("drift error after 10 s = %v, exceeds 1 ms", e)
+	}
+	if e < 1e-5 {
+		t.Errorf("drift error suspiciously small: %v", e)
+	}
+}

@@ -1,0 +1,260 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+)
+
+func defaultPoisson() PoissonConfig {
+	return PoissonConfig{
+		Rate:         0.5,
+		NumVehicles:  200,
+		LanesPerRoad: 1,
+		Mix:          DefaultTurnMix(),
+		Params:       kinematics.ScaleModelParams(),
+	}
+}
+
+func TestPoissonBasicProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	arr, err := Poisson(defaultPoisson(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 200 {
+		t.Fatalf("got %d arrivals", len(arr))
+	}
+	// Sorted by time.
+	if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i].Time < arr[j].Time }) {
+		t.Error("arrivals not sorted")
+	}
+	// Unique IDs.
+	ids := make(map[int64]bool)
+	for _, a := range arr {
+		if ids[a.ID] {
+			t.Fatalf("duplicate ID %d", a.ID)
+		}
+		ids[a.ID] = true
+		if a.Speed != 3 {
+			t.Fatalf("speed = %v, want MaxSpeed default", a.Speed)
+		}
+		if a.Movement.Lane != 0 {
+			t.Fatalf("lane = %d", a.Movement.Lane)
+		}
+	}
+}
+
+func TestPoissonRateControlsDensity(t *testing.T) {
+	slow, _ := Poisson(PoissonConfig{
+		Rate: 0.05, NumVehicles: 100, LanesPerRoad: 1,
+		Mix: DefaultTurnMix(), Params: kinematics.ScaleModelParams(),
+	}, rand.New(rand.NewSource(2)))
+	fast, _ := Poisson(PoissonConfig{
+		Rate: 1.0, NumVehicles: 100, LanesPerRoad: 1,
+		Mix: DefaultTurnMix(), Params: kinematics.ScaleModelParams(),
+	}, rand.New(rand.NewSource(2)))
+	if fast[len(fast)-1].Time >= slow[len(slow)-1].Time {
+		t.Errorf("high rate should finish sooner: %v vs %v",
+			fast[len(fast)-1].Time, slow[len(slow)-1].Time)
+	}
+	// Mean per-lane interarrival for the slow case ~ 1/0.05 = 20 s.
+	perLane := make(map[intersection.Approach][]float64)
+	for _, a := range slow {
+		perLane[a.Movement.Approach] = append(perLane[a.Movement.Approach], a.Time)
+	}
+	for ap, times := range perLane {
+		if len(times) < 5 {
+			continue
+		}
+		sort.Float64s(times)
+		var gaps []float64
+		for i := 1; i < len(times); i++ {
+			gaps = append(gaps, times[i]-times[i-1])
+		}
+		var mean float64
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		if mean < 8 || mean > 45 {
+			t.Errorf("approach %v mean gap %v far from 20", ap, mean)
+		}
+	}
+}
+
+func TestPoissonSameLaneHeadway(t *testing.T) {
+	cfg := defaultPoisson()
+	cfg.Rate = 5 // saturating: headway floor must kick in
+	rng := rand.New(rand.NewSource(3))
+	arr, err := Poisson(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minGap := 2 * cfg.Params.Length / cfg.Params.MaxSpeed
+	last := make(map[intersection.Approach]float64)
+	for _, a := range arr {
+		if prev, ok := last[a.Movement.Approach]; ok {
+			if gap := a.Time - prev; gap < minGap-1e-9 {
+				t.Fatalf("same-lane gap %v below floor %v", gap, minGap)
+			}
+		}
+		last[a.Movement.Approach] = a.Time
+	}
+}
+
+func TestPoissonTurnMixRespected(t *testing.T) {
+	cfg := defaultPoisson()
+	cfg.NumVehicles = 4000
+	cfg.Mix = TurnMix{Straight: 1, Left: 0, Right: 0}
+	arr, err := Poisson(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range arr {
+		if a.Movement.Turn != intersection.Straight {
+			t.Fatalf("non-straight turn with pure-straight mix")
+		}
+	}
+	cfg.Mix = TurnMix{Straight: 0.5, Left: 0.25, Right: 0.25}
+	arr, _ = Poisson(cfg, rand.New(rand.NewSource(5)))
+	counts := map[intersection.Turn]int{}
+	for _, a := range arr {
+		counts[a.Movement.Turn]++
+	}
+	frac := float64(counts[intersection.Straight]) / float64(len(arr))
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("straight fraction %v far from 0.5", frac)
+	}
+}
+
+func TestPoissonDeterministicWithSeed(t *testing.T) {
+	a1, _ := Poisson(defaultPoisson(), rand.New(rand.NewSource(7)))
+	a2, _ := Poisson(defaultPoisson(), rand.New(rand.NewSource(7)))
+	if len(a1) != len(a2) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []PoissonConfig{
+		{Rate: 0, NumVehicles: 1, LanesPerRoad: 1, Mix: DefaultTurnMix(), Params: kinematics.ScaleModelParams()},
+		{Rate: 1, NumVehicles: 0, LanesPerRoad: 1, Mix: DefaultTurnMix(), Params: kinematics.ScaleModelParams()},
+		{Rate: 1, NumVehicles: 1, LanesPerRoad: 0, Mix: DefaultTurnMix(), Params: kinematics.ScaleModelParams()},
+		{Rate: 1, NumVehicles: 1, LanesPerRoad: 1, Mix: TurnMix{0.5, 0.1, 0.1}, Params: kinematics.ScaleModelParams()},
+		{Rate: 1, NumVehicles: 1, LanesPerRoad: 1, Mix: DefaultTurnMix()},
+		{Rate: 1, NumVehicles: 1, LanesPerRoad: 1, Mix: DefaultTurnMix(), Params: kinematics.ScaleModelParams(), Speed: 99},
+	}
+	for i, cfg := range bad {
+		if _, err := Poisson(cfg, rng); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTurnMixValidate(t *testing.T) {
+	if err := DefaultTurnMix().Validate(); err != nil {
+		t.Errorf("default mix invalid: %v", err)
+	}
+	if err := (TurnMix{Straight: -0.1, Left: 0.6, Right: 0.5}).Validate(); err == nil {
+		t.Error("negative entry accepted")
+	}
+	if err := (TurnMix{Straight: 0.5, Left: 0.2, Right: 0.2}).Validate(); err == nil {
+		t.Error("non-unit sum accepted")
+	}
+}
+
+func TestScaleScenarioWorstCase(t *testing.T) {
+	arr, err := ScaleScenario(1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 5 {
+		t.Fatalf("fleet = %d, want 5", len(arr))
+	}
+	// First four arrive simultaneously from distinct approaches.
+	seen := map[intersection.Approach]bool{}
+	for _, a := range arr[:4] {
+		if a.Time != 0 {
+			t.Errorf("worst case arrival at %v, want 0", a.Time)
+		}
+		if seen[a.Movement.Approach] {
+			t.Errorf("duplicate approach in worst case")
+		}
+		seen[a.Movement.Approach] = true
+	}
+	if arr[4].Time <= 0 {
+		t.Errorf("fifth vehicle should trail")
+	}
+}
+
+func TestScaleScenarioBestCase(t *testing.T) {
+	arr, err := ScaleScenario(10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(arr); i++ {
+		if gap := arr[i].Time - arr[i-1].Time; gap < 3.9 {
+			t.Errorf("best-case gap %v too small", gap)
+		}
+	}
+}
+
+func TestScaleScenarioRandomMiddle(t *testing.T) {
+	for n := 2; n <= 9; n++ {
+		arr, err := ScaleScenario(n, rand.New(rand.NewSource(int64(n))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(arr) != 5 {
+			t.Fatalf("scenario %d fleet = %d", n, len(arr))
+		}
+		if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i].Time < arr[j].Time }) {
+			t.Errorf("scenario %d not sorted", n)
+		}
+		// Same-approach spawn separation.
+		last := map[intersection.Approach]float64{}
+		minGap := 2 * kinematics.ScaleModelParams().Length / 3.0
+		for _, a := range arr {
+			if prev, ok := last[a.Movement.Approach]; ok && a.Time-prev < minGap-1e-9 {
+				t.Errorf("scenario %d same-lane gap %v below %v", n, a.Time-prev, minGap)
+			}
+			last[a.Movement.Approach] = a.Time
+		}
+	}
+}
+
+func TestScaleScenarioWindowGrowsWithN(t *testing.T) {
+	// Average span over seeds should grow with scenario number (sparser).
+	span := func(n int) float64 {
+		var total float64
+		for seed := int64(0); seed < 20; seed++ {
+			arr, _ := ScaleScenario(n, rand.New(rand.NewSource(seed)))
+			total += arr[len(arr)-1].Time - arr[0].Time
+		}
+		return total / 20
+	}
+	if !(span(2) < span(9)) {
+		t.Errorf("scenario spans not increasing: s2=%v s9=%v", span(2), span(9))
+	}
+}
+
+func TestScaleScenarioBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ScaleScenario(0, rng); err == nil {
+		t.Error("scenario 0 accepted")
+	}
+	if _, err := ScaleScenario(11, rng); err == nil {
+		t.Error("scenario 11 accepted")
+	}
+}
