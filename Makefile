@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test bench bench-report race vet fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race runs the full suite under the race detector — required for any
+## change touching internal/parallel or the experiment drivers.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$'
+
+## bench-report regenerates the committed machine-readable benchmark
+## artifact. Re-run on a multi-core host to refresh the speedup evidence.
+bench-report:
+	$(GO) run ./cmd/benchreport -out BENCH_1.json
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: vet fmt race

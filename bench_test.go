@@ -17,7 +17,9 @@
 package crossroads
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"crossroads/internal/calib"
@@ -66,7 +68,7 @@ func BenchmarkCalibrateSync(b *testing.B) {
 func BenchmarkCalibrateRTD(b *testing.B) {
 	var res calib.RTDResult
 	for i := 0; i < b.N; i++ {
-		r, err := calib.MeasureRTD(10, int64(i+1), func(x *intersection.Intersection, rng *rand.Rand) (im.Scheduler, error) {
+		r, err := calib.MeasureRTD(10, 1, int64(i+1), func(x *intersection.Intersection, rng *rand.Rand) (im.Scheduler, error) {
 			return core.New(x, core.DefaultConfig(), rng)
 		})
 		if err != nil {
@@ -247,6 +249,72 @@ func formatMs(s float64) string {
 }
 
 // Micro-benchmarks: the costs behind the simulated computation model.
+
+// BenchmarkBookEarliestFeasible exercises the reservation-book hot path:
+// repeated feasibility queries against a standing ledger of bookings. The
+// book caches entry/exit intervals and padded conflict-zone occupancy per
+// reservation, so each query costs one pass over the ToA-sorted ledger
+// with no sorting and no per-reservation recomputation.
+func BenchmarkBookEarliestFeasible(b *testing.B) {
+	x, err := intersection.New(intersection.ScaleModelConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := intersection.BuildConflictTable(x, 0.724, 0.452, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	book := im.NewBook(x, table, 0.05, 0.156)
+	moves := x.Movements()
+	// A standing ledger of 36 reservations spread over the movements,
+	// spaced tightly enough that queries walk real conflicts.
+	for i := 0; i < 36; i++ {
+		m := moves[i%len(moves)]
+		if err := book.Add(im.Reservation{
+			VehicleID: int64(i + 1),
+			Seniority: int64(i),
+			Movement:  m.ID,
+			ToA:       1 + 0.5*float64(i),
+			Plan:      im.ConstantPlan(3),
+			PlanLen:   m.Path.Length(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query := moves[0]
+	plan := func(float64) im.CrossingPlan { return im.ConstantPlan(3) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := book.EarliestFeasible(1000, 1000, query.ID, query.Path.Length(), 2, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same small Fig. 7.2 sweep serially and
+// with one worker per core; the workers=1/workersN ns/op ratio is the
+// experiment engine's parallel speedup (≈1 on a single-core host, and the
+// two runs produce bit-identical Results at any width).
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := sweep.Config{
+		Rates:       []float64{0.1, 0.4, 0.7, 1.0},
+		NumVehicles: 40,
+		Seed:        42,
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := cfg
+			c.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := sweep.Run(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkSchedulerCrossroadsRequest(b *testing.B) {
 	x, err := intersection.New(intersection.ScaleModelConfig())

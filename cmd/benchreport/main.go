@@ -1,0 +1,130 @@
+// Command benchreport measures the two performance-critical paths — the
+// reservation-book feasibility query and the parallel experiment engine —
+// and writes a machine-readable report (BENCH_*.json) for review alongside
+// code changes.
+//
+// Usage:
+//
+//	benchreport [-out BENCH_1.json] [-label text]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/metrics"
+	"crossroads/internal/parallel"
+	"crossroads/internal/sweep"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output path")
+	label := flag.String("label", "parallel-engine+book-cache", "report label")
+	flag.Parse()
+
+	rep := metrics.BenchReport{
+		Label:  *label,
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+	}
+
+	fmt.Println("benchreport: measuring book hot path...")
+	rep.Metrics = append(rep.Metrics, record("BookEarliestFeasible", benchBook()))
+
+	fmt.Println("benchreport: measuring sweep, workers=1...")
+	serial := benchSweep(1)
+	rep.Metrics = append(rep.Metrics, record("SweepParallel/workers=1", serial))
+
+	workers := parallel.Workers(0)
+	fmt.Printf("benchreport: measuring sweep, workers=%d...\n", workers)
+	par := benchSweep(workers)
+	rep.Metrics = append(rep.Metrics,
+		record(fmt.Sprintf("SweepParallel/workers=%d", workers), par))
+
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchreport: wrote %s (%d cores)\n", *out, rep.NumCPU)
+	if par.NsPerOp() > 0 {
+		fmt.Printf("benchreport: sweep speedup workers=1 -> workers=%d: %.2fx\n",
+			workers, float64(serial.NsPerOp())/float64(par.NsPerOp()))
+	}
+}
+
+// record converts a testing.BenchmarkResult into the report schema.
+func record(name string, r testing.BenchmarkResult) metrics.BenchMetric {
+	return metrics.BenchMetric{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}
+}
+
+// benchBook measures repeated EarliestFeasible queries against a standing
+// 36-reservation ledger — the same workload as BenchmarkBookEarliestFeasible
+// in the repo's bench suite.
+func benchBook() testing.BenchmarkResult {
+	x, err := intersection.New(intersection.ScaleModelConfig())
+	fatal(err)
+	table, err := intersection.BuildConflictTable(x, 0.724, 0.452, 0.05)
+	fatal(err)
+	book := im.NewBook(x, table, 0.05, 0.156)
+	moves := x.Movements()
+	for i := 0; i < 36; i++ {
+		m := moves[i%len(moves)]
+		fatal(book.Add(im.Reservation{
+			VehicleID: int64(i + 1),
+			Seniority: int64(i),
+			Movement:  m.ID,
+			ToA:       1 + 0.5*float64(i),
+			Plan:      im.ConstantPlan(3),
+			PlanLen:   m.Path.Length(),
+		}))
+	}
+	query := moves[0]
+	plan := func(float64) im.CrossingPlan { return im.ConstantPlan(3) }
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := book.EarliestFeasible(1000, 1000, query.ID, query.Path.Length(), 2, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchSweep measures one reduced Fig. 7.2 sweep per iteration at the given
+// worker count; the Result is bit-identical across widths, only the wall
+// time changes.
+func benchSweep(workers int) testing.BenchmarkResult {
+	cfg := sweep.Config{
+		Rates:       []float64{0.1, 0.4, 0.7, 1.0},
+		NumVehicles: 24,
+		Seed:        42,
+		Workers:     workers,
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}

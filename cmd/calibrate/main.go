@@ -24,12 +24,13 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: elong, sync, net, rtd, or all")
 	trials := flag.Int("trials", 0, "override trial count (0 = paper default)")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := flag.Int64("seed", 0, "random seed (0 = each experiment's calibrated default)")
+	workers := flag.Int("workers", 1, "concurrent trials (1 = serial, 0 = all CPU cores); results are identical either way")
 	flag.Parse()
 
 	ran := false
 	if *exp == "elong" || *exp == "all" {
-		runElong(*trials, *seed)
+		runElong(*trials, *workers, *seed)
 		ran = true
 	}
 	if *exp == "sync" || *exp == "all" {
@@ -41,7 +42,7 @@ func main() {
 		ran = true
 	}
 	if *exp == "rtd" || *exp == "all" {
-		runRTD(*trials, *seed)
+		runRTD(*trials, *workers, *seed)
 		ran = true
 	}
 	if !ran {
@@ -50,12 +51,15 @@ func main() {
 	}
 }
 
-func runElong(trials int, seed int64) {
+func runElong(trials, workers int, seed int64) {
 	cfg := calib.DefaultElongConfig()
 	if trials > 0 {
 		cfg.Trials = trials
 	}
-	cfg.Seed = seed
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	cfg.Workers = workers
 	res, err := calib.MeasureElong(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calibrate:", err)
@@ -71,6 +75,9 @@ func runElong(trials int, seed int64) {
 }
 
 func runSync(seed int64) {
+	if seed == 0 {
+		seed = 1
+	}
 	res := calib.MeasureSync(50, 8, seed)
 	fmt.Println("== E2: clock-synchronization error (paper §3.2) ==")
 	fmt.Printf("  worst NTP residual over %d nodes: %.2f ms (paper: 1 ms)\n",
@@ -81,17 +88,23 @@ func runSync(seed int64) {
 }
 
 func runNetDelay(seed int64) {
+	if seed == 0 {
+		seed = 1
+	}
 	res := calib.MeasureNetDelay(500, seed)
 	fmt.Println("== E3a: ack-based network delay (paper Ch. 4 procedure) ==")
 	fmt.Printf("  %d probes: worst one-way %.1f ms (paper: 15 ms), mean %.1f ms\n\n",
 		res.Samples, res.WorstOneWay*1000, res.MeanOneWay*1000)
 }
 
-func runRTD(trials int, seed int64) {
+func runRTD(trials, workers int, seed int64) {
 	if trials <= 0 {
 		trials = 10
 	}
-	res, err := calib.MeasureRTD(trials, seed, func(x *intersection.Intersection, rng *rand.Rand) (im.Scheduler, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := calib.MeasureRTD(trials, workers, seed, func(x *intersection.Intersection, rng *rand.Rand) (im.Scheduler, error) {
 		return core.New(x, core.DefaultConfig(), rng)
 	})
 	if err != nil {

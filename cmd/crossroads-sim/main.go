@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	crossroads-sim [-n 160] [-seed 42] [-scale] [-noise] [-overhead] [-summary] [-csv]
+//	crossroads-sim [-n 160] [-seed 42] [-workers 1] [-scale] [-noise] [-overhead] [-summary] [-csv]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 func main() {
 	n := flag.Int("n", 160, "vehicles routed per run (paper: 160)")
 	seed := flag.Int64("seed", 42, "random seed")
+	workers := flag.Int("workers", 1, "concurrent sweep cells (1 = serial, 0 = all CPU cores); results are identical either way")
 	scaleModel := flag.Bool("scale", false, "use the 1/10-scale geometry instead of full-scale")
 	noisy := flag.Bool("noise", false, "enable plant actuation/sensing noise")
 	withBatch := flag.Bool("batch", false, "include the Tachet-style batching extension")
@@ -31,6 +32,7 @@ func main() {
 	cfg := sweep.DefaultConfig()
 	cfg.NumVehicles = *n
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.ScaleModel = *scaleModel
 	cfg.Noisy = *noisy
 	if *withBatch {

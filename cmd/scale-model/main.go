@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	scale-model [-reps N] [-seed S] [-noiseless] [-aim] [-csv]
+//	scale-model [-reps N] [-seed S] [-workers 1] [-noiseless] [-aim] [-csv]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 func main() {
 	reps := flag.Int("reps", 10, "repetitions per scenario")
 	seed := flag.Int64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 1, "concurrent scenario/policy cells (1 = serial, 0 = all CPU cores); results are identical either way")
 	noiseless := flag.Bool("noiseless", false, "disable plant actuation/sensing noise")
 	withAIM := flag.Bool("aim", false, "also run the AIM baseline")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -28,6 +29,7 @@ func main() {
 		Repetitions: *reps,
 		Seed:        *seed,
 		Noisy:       !*noiseless,
+		Workers:     *workers,
 	}
 	if *withAIM {
 		cfg.Policies = []vehicle.Policy{vehicle.PolicyVTIM, vehicle.PolicyCrossroads, vehicle.PolicyAIM}

@@ -2,6 +2,7 @@ package calib
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"crossroads/internal/core"
@@ -84,7 +85,7 @@ func TestMeasureSyncDefaults(t *testing.T) {
 }
 
 func TestMeasureRTDNearPaperBound(t *testing.T) {
-	res, err := MeasureRTD(10, 3, func(x *intersection.Intersection, rng *rand.Rand) (im.Scheduler, error) {
+	res, err := MeasureRTD(10, 1, 3, func(x *intersection.Intersection, rng *rand.Rand) (im.Scheduler, error) {
 		return core.New(x, core.DefaultConfig(), rng)
 	})
 	if err != nil {
@@ -128,5 +129,39 @@ func TestMeasureNetDelayDefaults(t *testing.T) {
 	res := MeasureNetDelay(0, 1)
 	if res.Samples != 100 {
 		t.Errorf("default samples = %d", res.Samples)
+	}
+}
+
+func TestMeasureElongParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultElongConfig()
+	cfg.Trials = 6
+	serial, err := MeasureElong(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := MeasureElong(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("parallel Elong diverged: serial %+v parallel %+v", serial, par)
+	}
+}
+
+func TestMeasureRTDParallelMatchesSerial(t *testing.T) {
+	newSched := func(x *intersection.Intersection, rng *rand.Rand) (im.Scheduler, error) {
+		return core.New(x, core.DefaultConfig(), rng)
+	}
+	serial, err := MeasureRTD(6, 1, 3, newSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MeasureRTD(6, 4, 3, newSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("parallel RTD diverged: serial %+v parallel %+v", serial, par)
 	}
 }

@@ -107,6 +107,9 @@ type interval struct{ lo, hi float64 }
 
 func (i interval) overlaps(o interval) bool { return i.lo <= o.hi && o.lo <= i.hi }
 
+// pad grows an interval by m on both sides.
+func (i interval) pad(m float64) interval { return interval{i.lo - m, i.hi + m} }
+
 // entryInterval is the time window the inflated footprint occupies the box
 // entry cross-section.
 func (r Reservation) entryInterval() interval {
@@ -141,11 +144,60 @@ func (r Reservation) zoneInterval(m *intersection.Movement, sLo, sHi float64) in
 	}
 }
 
+// resDerived holds the per-reservation quantities the conflict check
+// needs, memoized at insertion so requiredShift reads structs instead of
+// re-running the trajectory root finds behind exitTime/exitSpeed for
+// every candidate/reservation pair.
+type resDerived struct {
+	// pad is the temporal margin plus the spatial margin converted at the
+	// reservation's entry speed.
+	pad   float64
+	entry interval
+	exitT float64
+	exitV float64
+	exit  interval
+	// Padded views of the above, as requiredShift consumes them.
+	paddedEntry    interval
+	paddedExit     interval
+	paddedCorridor interval // entry.lo .. exit.hi, padded
+}
+
+// bookEntry is one ledger slot: the reservation, its movement resolved to
+// a dense index, the memoized kinematic quantities, and the padded time
+// window it occupies each conflict zone (indexed by the *other* party's
+// movement index).
+type bookEntry struct {
+	res  Reservation
+	m    *intersection.Movement
+	mIdx int
+	// seq is the insertion rank; it is preserved when a vehicle's
+	// reservation is replaced, so (ToA, seq) ordering reproduces exactly
+	// the old stable-sort-by-ToA-over-insertion-order iteration.
+	seq        int64
+	d          resDerived
+	zonePadded []interval
+	zoneOK     []bool
+}
+
+// zoneRef is one cell of the dense movement-pair conflict matrix; z is
+// oriented with its A side on the row movement and B side on the column
+// movement.
+type zoneRef struct {
+	z  intersection.ConflictZone
+	ok bool
+}
+
 // Book is the reservation ledger shared by VT-IM and Crossroads. It answers
 // "what is the earliest conflict-free arrival at or after t for this
 // movement, where the crossing trajectory itself depends on the arrival
 // time" — the paper's safe-ToA calculation against the trajectories of
 // already-admitted vehicles.
+//
+// The ledger is kept incrementally sorted by ToA (binary-search insert on
+// Add, binary-search locate on Remove), and every entry memoizes its
+// derived intervals, so the hot EarliestFeasible search neither re-sorts
+// nor re-derives anything per call. Book methods are not safe for
+// concurrent use; each simulated IM owns exactly one Book.
 type Book struct {
 	x     *intersection.Intersection
 	table *intersection.ConflictTable
@@ -157,8 +209,25 @@ type Book struct {
 	// purely temporal margin would shrink to centimeters for slow (dip-
 	// arrival) crossings.
 	spatial float64
-	active  map[int64]*Reservation
-	order   []int64 // insertion (FIFO) order
+	// exitLen caches x.Config().ExitLen for the catch-up margin.
+	exitLen float64
+
+	// Dense movement indexing: moveIdx maps MovementID to an index into
+	// moves, and zones[a][b] pre-resolves the conflict table's Zone(a, b)
+	// lookup (two map probes + a possible swap) into one array access.
+	moves   []*intersection.Movement
+	moveIdx map[intersection.MovementID]int
+	zones   [][]zoneRef
+
+	active  map[int64]*bookEntry
+	byToA   []*bookEntry // sorted by (res.ToA, seq)
+	nextSeq int64
+
+	// Candidate-side scratch for EarliestFeasible: the candidate's zone
+	// occupancy per counter-movement, computed lazily once per candidate
+	// plan and reused across every reservation with that movement.
+	candZone    []interval
+	candZoneSet []bool
 }
 
 // NewBook creates a ledger over the intersection using the policy's
@@ -172,7 +241,32 @@ func NewBook(x *intersection.Intersection, table *intersection.ConflictTable, ma
 	if spatial < 0 {
 		spatial = 0
 	}
-	return &Book{x: x, table: table, margin: margin, spatial: spatial, active: make(map[int64]*Reservation)}
+	ids := x.MovementIDs()
+	b := &Book{
+		x:           x,
+		table:       table,
+		margin:      margin,
+		spatial:     spatial,
+		exitLen:     x.Config().ExitLen,
+		moves:       make([]*intersection.Movement, len(ids)),
+		moveIdx:     make(map[intersection.MovementID]int, len(ids)),
+		zones:       make([][]zoneRef, len(ids)),
+		active:      make(map[int64]*bookEntry),
+		candZone:    make([]interval, len(ids)),
+		candZoneSet: make([]bool, len(ids)),
+	}
+	for i, id := range ids {
+		b.moves[i] = x.Movement(id)
+		b.moveIdx[id] = i
+	}
+	for i, a := range ids {
+		b.zones[i] = make([]zoneRef, len(ids))
+		for j, bid := range ids {
+			z, ok := table.Zone(a, bid)
+			b.zones[i][j] = zoneRef{z: z, ok: ok}
+		}
+	}
+	return b
 }
 
 // Len returns the number of active reservations.
@@ -180,15 +274,75 @@ func (b *Book) Len() int { return len(b.active) }
 
 // Get returns the active reservation for a vehicle, if any.
 func (b *Book) Get(vehicleID int64) (Reservation, bool) {
-	if r, ok := b.active[vehicleID]; ok {
-		return *r, true
+	if e, ok := b.active[vehicleID]; ok {
+		return e.res, true
 	}
 	return Reservation{}, false
 }
 
+// derive memoizes the entry's kinematic quantities; the expressions
+// mirror entryInterval/exitTime/exitSpeed/exitInterval exactly so cached
+// and freshly computed values are bit-identical.
+func (b *Book) derive(e *bookEntry) {
+	r := &e.res
+	e.d = b.deriveBase(r, e.m)
+	d := &e.d
+	d.paddedEntry = d.entry.pad(d.pad)
+	d.paddedExit = d.exit.pad(d.pad)
+	d.paddedCorridor = interval{d.entry.lo, d.exit.hi}.pad(d.pad)
+
+	if len(e.zonePadded) != len(b.moves) {
+		e.zonePadded = make([]interval, len(b.moves))
+		e.zoneOK = make([]bool, len(b.moves))
+	}
+	for i := range b.moves {
+		zr := &b.zones[i][e.mIdx]
+		if !zr.ok {
+			e.zoneOK[i] = false
+			continue
+		}
+		e.zoneOK[i] = true
+		e.zonePadded[i] = r.zoneInterval(e.m, zr.z.BStart, zr.z.BEnd).pad(d.pad)
+	}
+}
+
+// less orders ledger slots by (ToA, seq).
+func entryLess(a, e *bookEntry) bool {
+	if a.res.ToA != e.res.ToA {
+		return a.res.ToA < e.res.ToA
+	}
+	return a.seq < e.seq
+}
+
+// insertSorted places e into byToA at its (ToA, seq) position.
+func (b *Book) insertSorted(e *bookEntry) {
+	i := sort.Search(len(b.byToA), func(i int) bool { return entryLess(e, b.byToA[i]) })
+	b.byToA = append(b.byToA, nil)
+	copy(b.byToA[i+1:], b.byToA[i:])
+	b.byToA[i] = e
+}
+
+// unlink removes e from byToA, locating it by binary search on (ToA, seq).
+func (b *Book) unlink(e *bookEntry) {
+	i := sort.Search(len(b.byToA), func(i int) bool { return !entryLess(b.byToA[i], e) })
+	// (ToA, seq) keys are unique, so the search lands on e; scan forward
+	// as insurance against an invariant breach rather than corrupting the
+	// ledger.
+	for i < len(b.byToA) && b.byToA[i] != e {
+		i++
+	}
+	if i == len(b.byToA) {
+		return
+	}
+	copy(b.byToA[i:], b.byToA[i+1:])
+	b.byToA[len(b.byToA)-1] = nil
+	b.byToA = b.byToA[:len(b.byToA)-1]
+}
+
 // Add inserts (or replaces) the reservation for r.VehicleID.
 func (b *Book) Add(r Reservation) error {
-	if b.x.Movement(r.Movement) == nil {
+	mIdx, ok := b.moveIdx[r.Movement]
+	if !ok {
 		return fmt.Errorf("im: unknown movement %v", r.Movement)
 	}
 	if r.Plan.EntrySpeed <= 0 {
@@ -197,68 +351,125 @@ func (b *Book) Add(r Reservation) error {
 	if r.PlanLen <= 0 {
 		return fmt.Errorf("im: reservation plan length %v must be positive", r.PlanLen)
 	}
-	if _, exists := b.active[r.VehicleID]; !exists {
-		b.order = append(b.order, r.VehicleID)
+	seq := b.nextSeq
+	if old, exists := b.active[r.VehicleID]; exists {
+		// Replacement keeps the vehicle's insertion rank (the old ledger
+		// kept its slot in the FIFO order list). A fresh entry is
+		// allocated so pointers handed out by sorted() keep observing the
+		// pre-replacement values, as they did when Add swapped the
+		// map value wholesale.
+		seq = old.seq
+		b.unlink(old)
+		delete(b.active, r.VehicleID)
+	} else {
+		b.nextSeq++
 	}
-	cp := r
-	b.active[r.VehicleID] = &cp
+	e := &bookEntry{res: r, m: b.moves[mIdx], mIdx: mIdx, seq: seq}
+	b.derive(e)
+	b.active[r.VehicleID] = e
+	b.insertSorted(e)
 	return nil
 }
 
 // Remove deletes a vehicle's reservation; missing IDs are a no-op.
 func (b *Book) Remove(vehicleID int64) {
-	if _, ok := b.active[vehicleID]; !ok {
+	e, ok := b.active[vehicleID]
+	if !ok {
 		return
 	}
 	delete(b.active, vehicleID)
-	for i, id := range b.order {
-		if id == vehicleID {
-			b.order = append(b.order[:i], b.order[i+1:]...)
-			break
-		}
-	}
+	b.unlink(e)
 }
 
 // PruneBefore drops reservations whose vehicles have fully cleared the box
 // (entry, zones, and exit all strictly before t).
 func (b *Book) PruneBefore(t float64) {
-	var keep []int64
-	for _, id := range b.order {
-		r := b.active[id]
-		m := b.x.Movement(r.Movement)
-		if r.exitInterval(m).hi+b.margin < t {
-			delete(b.active, id)
+	keep := b.byToA[:0]
+	for _, e := range b.byToA {
+		if e.d.exit.hi+b.margin < t {
+			delete(b.active, e.res.VehicleID)
 			continue
 		}
-		keep = append(keep, id)
+		keep = append(keep, e)
 	}
-	b.order = keep
+	for i := len(keep); i < len(b.byToA); i++ {
+		b.byToA[i] = nil
+	}
+	b.byToA = keep
 }
 
 // sorted returns active reservations ordered by ToA (stable by insertion).
 func (b *Book) sorted() []*Reservation {
-	out := make([]*Reservation, 0, len(b.order))
-	for _, id := range b.order {
-		out = append(out, b.active[id])
+	out := make([]*Reservation, len(b.byToA))
+	for i, e := range b.byToA {
+		out[i] = &e.res
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].ToA < out[j].ToA })
 	return out
 }
 
-// padFor grows an interval by the temporal margin plus the spatial margin
-// converted at the reservation's (minimum) crossing speed.
-func (b *Book) padFor(i interval, r *Reservation) interval {
-	m := b.margin + b.spatial/math.Max(r.Plan.EntrySpeed, 0.5)
-	return interval{i.lo - m, i.hi + m}
+// candCtx is the candidate side of the conflict check: the in-flight
+// (toa, plan) pair with its derived quantities, refreshed whenever the
+// solver pushes the arrival later. Zone occupancies live in the Book's
+// scratch buffers and are computed lazily per counter-movement.
+type candCtx struct {
+	res  Reservation
+	m    *intersection.Movement
+	mIdx int
+	d    resDerived
 }
 
-// requiredShift returns how much later cand must arrive to clear r (0 if it
-// already does). Constraints considered: shared entry corridor, shared exit
-// lane (with catch-up margin for faster followers), and crossing conflict
-// zones from the table.
-func (b *Book) requiredShift(cand Reservation, r *Reservation) float64 {
-	cm := b.x.Movement(cand.Movement)
-	rm := b.x.Movement(r.Movement)
+// setCand derives the candidate context and resets the zone scratch.
+func (b *Book) setCand(c *candCtx, r Reservation) {
+	c.res = r
+	c.mIdx = b.moveIdx[r.Movement]
+	c.m = b.moves[c.mIdx]
+	c.d = b.deriveBase(&c.res, c.m)
+	for i := range b.candZoneSet {
+		b.candZoneSet[i] = false
+	}
+}
+
+// deriveBase computes the unpadded derived values shared by ledger
+// entries and in-flight candidates (candidates never need the padded
+// fields — only the entry side of a conflict check is ever padded).
+func (b *Book) deriveBase(r *Reservation, m *intersection.Movement) resDerived {
+	var d resDerived
+	d.pad = b.margin + b.spatial/math.Max(r.Plan.EntrySpeed, 0.5)
+	d.entry = r.entryInterval()
+	inside := m.InsideLen()
+	if inside > 0 && len(r.Plan.Traj.Phases) > 0 {
+		d.exitT = r.Plan.Traj.TimeAtDistance(inside)
+		d.exitV = math.Max(r.Plan.Traj.VelocityAt(d.exitT), 1e-6)
+	} else {
+		d.exitT = r.ToA + inside/math.Max(r.Plan.EntrySpeed, 1e-6)
+		d.exitV = math.Max(r.Plan.EntrySpeed, 1e-6)
+	}
+	h := r.PlanLen / (2 * d.exitV)
+	d.exit = interval{d.exitT - h, d.exitT + h}
+	return d
+}
+
+// candZoneFor returns the candidate's occupancy of its conflict zone
+// against movement index ri, computing it at most once per candidate.
+func (b *Book) candZoneFor(c *candCtx, ri int) (interval, bool) {
+	zr := &b.zones[c.mIdx][ri]
+	if !zr.ok {
+		return interval{}, false
+	}
+	if !b.candZoneSet[ri] {
+		b.candZone[ri] = c.res.zoneInterval(c.m, zr.z.AStart, zr.z.AEnd)
+		b.candZoneSet[ri] = true
+	}
+	return b.candZone[ri], true
+}
+
+// shiftFor returns how much later the candidate must arrive to clear e
+// (0 if it already does), reading every e-side quantity from the entry's
+// memoized derived struct. Constraints considered: shared entry corridor,
+// shared exit lane (with catch-up margin for faster followers), and
+// crossing conflict zones from the table.
+func (b *Book) shiftFor(c *candCtx, e *bookEntry) float64 {
+	cand, r := &c.res, &e.res
 	shift := 0.0
 	bump := func(cInt, rInt interval) {
 		if cInt.overlaps(rInt) {
@@ -278,21 +489,18 @@ func (b *Book) requiredShift(cand Reservation, r *Reservation) float64 {
 	if sameLane {
 		later := cand.ToA >= r.ToA
 		faster := cand.Plan.EntrySpeed > r.Plan.EntrySpeed+1e-9 ||
-			cand.exitSpeed(cm) > r.exitSpeed(rm)+1e-9
+			c.d.exitV > e.d.exitV+1e-9
 		if later && faster {
-			bump(
-				interval{cand.entryInterval().lo, cand.exitInterval(cm).hi},
-				b.padFor(interval{r.entryInterval().lo, r.exitInterval(rm).hi}, r),
-			)
+			bump(interval{c.d.entry.lo, c.d.exit.hi}, e.d.paddedCorridor)
 		} else {
 			// Platooning entry separation, plus a launch-following
 			// allowance: a follower accelerating directly behind its
 			// leader tracks slightly below the leader's speed (reaction
 			// margin), losing a few tenths of a second it cannot recover
 			// once its own plan saturates.
-			rInt := b.padFor(r.entryInterval(), r)
+			rInt := e.d.paddedEntry
 			rInt.hi += 4 * b.margin
-			bump(cand.entryInterval(), rInt)
+			bump(c.d.entry, rInt)
 		}
 	}
 
@@ -301,22 +509,46 @@ func (b *Book) requiredShift(cand Reservation, r *Reservation) float64 {
 	// for the leader running its exit slower than reserved (cascaded
 	// lateness) — merging vehicles braking inside the box would otherwise
 	// fall off their own reservations.
-	if cm.Exit == rm.Exit && cand.Movement.Lane == r.Movement.Lane {
-		rInt := b.padFor(r.exitInterval(rm), r)
-		ce, re := cand.exitSpeed(cm), r.exitSpeed(rm)
+	if c.m.Exit == e.m.Exit && cand.Movement.Lane == r.Movement.Lane {
+		rInt := e.d.paddedExit
+		ce, re := c.d.exitV, e.d.exitV
 		if cand.ToA >= r.ToA && ce > re {
-			rInt.hi += b.x.Config().ExitLen * (1/re - 1/ce)
+			rInt.hi += b.exitLen * (1/re - 1/ce)
 		}
 		rInt.hi += 6 * b.margin
-		bump(cand.exitInterval(cm), rInt)
+		bump(c.d.exit, rInt)
 	}
 
 	// Crossing conflict zone (same-lane pairs are fully handled above —
 	// their table zone is just the shared corridor).
-	if z, ok := b.table.Zone(cand.Movement, r.Movement); ok && !sameLane {
-		bump(cand.zoneInterval(cm, z.AStart, z.AEnd), b.padFor(r.zoneInterval(rm, z.BStart, z.BEnd), r))
+	if !sameLane && e.zoneOK[c.mIdx] {
+		if cInt, ok := b.candZoneFor(c, e.mIdx); ok {
+			bump(cInt, e.zonePadded[c.mIdx])
+		}
 	}
 	return shift
+}
+
+// requiredShift returns how much later cand must arrive to clear r (0 if
+// it already does). When r is the live ledger entry for its vehicle the
+// memoized quantities are reused; otherwise (tests, revision what-ifs
+// against detached values) they are derived on the spot.
+func (b *Book) requiredShift(cand Reservation, r *Reservation) float64 {
+	if _, ok := b.moveIdx[cand.Movement]; !ok {
+		return 0
+	}
+	var c candCtx
+	b.setCand(&c, cand)
+	if e, ok := b.active[r.VehicleID]; ok && &e.res == r {
+		return b.shiftFor(&c, e)
+	}
+	mIdx, ok := b.moveIdx[r.Movement]
+	if !ok {
+		return 0
+	}
+	e := &bookEntry{res: *r, m: b.moves[mIdx], mIdx: mIdx}
+	b.derive(e)
+	return b.shiftFor(&c, e)
 }
 
 // EarliestFeasible finds the earliest conflict-free arrival at or after
@@ -327,7 +559,7 @@ func (b *Book) requiredShift(cand Reservation, r *Reservation) float64 {
 // The solver alternates conflict pushing with plan refreshes; arrival time
 // is monotonically nondecreasing, so it terminates.
 func (b *Book) EarliestFeasible(vehicleID, seniority int64, m intersection.MovementID, planLen, earliest float64, planFor func(toa float64) CrossingPlan) (float64, CrossingPlan, error) {
-	if b.x.Movement(m) == nil {
+	if _, ok := b.moveIdx[m]; !ok {
 		return 0, CrossingPlan{}, fmt.Errorf("im: unknown movement %v", m)
 	}
 	toa := earliest
@@ -335,25 +567,25 @@ func (b *Book) EarliestFeasible(vehicleID, seniority int64, m intersection.Movem
 	if plan.EntrySpeed <= 0 {
 		return 0, CrossingPlan{}, fmt.Errorf("im: planFor(%v) returned entry speed %v", toa, plan.EntrySpeed)
 	}
-	res := b.sorted()
+	var c candCtx
+	b.setCand(&c, Reservation{VehicleID: vehicleID, Movement: m, ToA: toa, Plan: plan, PlanLen: planLen, Seniority: seniority})
 	const maxRounds = 200
 	for round := 0; round < maxRounds; round++ {
 		pushed := false
-		cand := Reservation{VehicleID: vehicleID, Movement: m, ToA: toa, Plan: plan, PlanLen: planLen, Seniority: seniority}
-		for _, r := range res {
-			if r.VehicleID == vehicleID {
+		for _, e := range b.byToA {
+			if e.res.VehicleID == vehicleID {
 				continue // replacing our own reservation
 			}
-			if r.Placeholder && r.Seniority > seniority {
+			if e.res.Placeholder && e.res.Seniority > seniority {
 				continue // junior placeholders do not block seniors
 			}
-			if shift := b.requiredShift(cand, r); shift > 1e-9 {
+			if shift := b.shiftFor(&c, e); shift > 1e-9 {
 				toa += shift
 				plan = planFor(toa)
 				if plan.EntrySpeed <= 0 {
 					return 0, CrossingPlan{}, fmt.Errorf("im: planFor(%v) returned entry speed %v", toa, plan.EntrySpeed)
 				}
-				cand = Reservation{VehicleID: vehicleID, Movement: m, ToA: toa, Plan: plan, PlanLen: planLen, Seniority: seniority}
+				b.setCand(&c, Reservation{VehicleID: vehicleID, Movement: m, ToA: toa, Plan: plan, PlanLen: planLen, Seniority: seniority})
 				pushed = true
 			}
 		}
@@ -364,9 +596,9 @@ func (b *Book) EarliestFeasible(vehicleID, seniority int64, m intersection.Movem
 	// Could not stabilize: park the vehicle after everything currently
 	// booked (deeply congested corner case).
 	last := 0.0
-	for _, r := range res {
-		if t := r.exitTime(b.x.Movement(r.Movement)); t > last {
-			last = t
+	for _, e := range b.byToA {
+		if e.d.exitT > last {
+			last = e.d.exitT
 		}
 	}
 	toa = math.Max(toa, last+1.0)

@@ -1,0 +1,179 @@
+package im
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crossroads/internal/intersection"
+)
+
+// freshDerived recomputes an entry's memoized quantities from scratch via
+// the Reservation methods, the way the pre-cache ledger did on every
+// conflict check.
+func freshDerived(b *Book, e *bookEntry) resDerived {
+	r := e.res
+	var d resDerived
+	d.pad = b.margin + b.spatial/math.Max(r.Plan.EntrySpeed, 0.5)
+	d.entry = r.entryInterval()
+	d.exitT = r.exitTime(e.m)
+	d.exitV = r.exitSpeed(e.m)
+	d.exit = r.exitInterval(e.m)
+	d.paddedEntry = d.entry.pad(d.pad)
+	d.paddedExit = d.exit.pad(d.pad)
+	d.paddedCorridor = interval{d.entry.lo, d.exit.hi}.pad(d.pad)
+	return d
+}
+
+func checkEntryCache(t *testing.T, b *Book, e *bookEntry, step int) {
+	t.Helper()
+	want := freshDerived(b, e)
+	if e.d != want {
+		t.Fatalf("step %d veh %d: cached derived %+v != fresh %+v", step, e.res.VehicleID, e.d, want)
+	}
+	for i, id := range b.x.MovementIDs() {
+		z, ok := b.table.Zone(id, e.res.Movement)
+		if e.zoneOK[i] != ok {
+			t.Fatalf("step %d veh %d: zoneOK[%v] = %v, table says %v", step, e.res.VehicleID, id, e.zoneOK[i], ok)
+		}
+		if !ok {
+			continue
+		}
+		fresh := e.res.zoneInterval(e.m, z.BStart, z.BEnd).pad(e.d.pad)
+		if e.zonePadded[i] != fresh {
+			t.Fatalf("step %d veh %d vs %v: cached zone %+v != fresh %+v", step, e.res.VehicleID, id, e.zonePadded[i], fresh)
+		}
+	}
+}
+
+// TestBookCacheStaysFresh drives the ledger through a long random
+// Add/Remove/PruneBefore/replace sequence and, after every mutation,
+// checks that each entry's memoized intervals equal freshly computed
+// ones and that the incremental (ToA, seq) order matches what a stable
+// sort would produce — the stale-cache and broken-order failure modes.
+func TestBookCacheStaysFresh(t *testing.T) {
+	x, b := testBook(t)
+	ids := x.MovementIDs()
+	rng := rand.New(rand.NewSource(99))
+
+	randomRes := func(vehID int64) Reservation {
+		mvID := ids[rng.Intn(len(ids))]
+		toa := 1 + rng.Float64()*40
+		var plan CrossingPlan
+		if rng.Intn(2) == 0 {
+			plan = ConstantPlan(0.5 + rng.Float64()*2.5)
+		} else {
+			v := 0.5 + rng.Float64()*1.5
+			plan = AccelPlan(toa, v, 3.0, 1.5)
+		}
+		return Reservation{
+			VehicleID: vehID,
+			Movement:  mvID,
+			ToA:       toa,
+			Plan:      plan,
+			PlanLen:   0.724,
+			Seniority: vehID,
+		}
+	}
+
+	live := map[int64]bool{}
+	nextID := int64(1)
+	for step := 0; step < 400; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // add a new vehicle
+			id := nextID
+			nextID++
+			if err := b.Add(randomRes(id)); err != nil {
+				t.Fatal(err)
+			}
+			live[id] = true
+		case op < 7 && len(live) > 0: // replace an existing reservation
+			id := anyLive(rng, live)
+			if err := b.Add(randomRes(id)); err != nil {
+				t.Fatal(err)
+			}
+		case op < 9 && len(live) > 0: // remove
+			id := anyLive(rng, live)
+			b.Remove(id)
+			delete(live, id)
+		default: // prune
+			cut := rng.Float64() * 30
+			b.PruneBefore(cut)
+			for id := range live {
+				if _, ok := b.Get(id); !ok {
+					delete(live, id)
+				}
+			}
+		}
+
+		if len(b.byToA) != len(b.active) || b.Len() != len(live) {
+			t.Fatalf("step %d: order %d / active %d / live %d out of sync",
+				step, len(b.byToA), len(b.active), len(live))
+		}
+		for i, e := range b.byToA {
+			if i > 0 && !entryLess(b.byToA[i-1], e) {
+				t.Fatalf("step %d: byToA out of order at %d: (%v,%d) !< (%v,%d)",
+					step, i, b.byToA[i-1].res.ToA, b.byToA[i-1].seq, e.res.ToA, e.seq)
+			}
+			if b.active[e.res.VehicleID] != e {
+				t.Fatalf("step %d: byToA[%d] not the active entry for veh %d", step, i, e.res.VehicleID)
+			}
+			checkEntryCache(t, b, e, step)
+		}
+	}
+}
+
+func anyLive(rng *rand.Rand, live map[int64]bool) int64 {
+	ids := make([]int64, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	// Map iteration order is random; sort for a deterministic pick.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids[rng.Intn(len(ids))]
+}
+
+// TestBookRemoveMiddleKeepsOrder exercises the binary-search unlink on
+// interior elements specifically.
+func TestBookRemoveMiddleKeepsOrder(t *testing.T) {
+	_, b := testBook(t)
+	east := mv(intersection.East, intersection.Straight)
+	for i := int64(1); i <= 9; i++ {
+		if err := b.Add(Reservation{VehicleID: i, Movement: east, ToA: float64(i), Plan: ConstantPlan(2), PlanLen: 0.724}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Remove(5)
+	b.Remove(1)
+	b.Remove(9)
+	want := []int64{2, 3, 4, 6, 7, 8}
+	if len(b.byToA) != len(want) {
+		t.Fatalf("len = %d", len(b.byToA))
+	}
+	for i, e := range b.byToA {
+		if e.res.VehicleID != want[i] {
+			t.Errorf("byToA[%d] = veh %d, want %d", i, e.res.VehicleID, want[i])
+		}
+	}
+}
+
+// TestBookReplaceKeepsInsertionRank: replacing a reservation must keep the
+// vehicle's original insertion rank so equal-ToA ordering reproduces the
+// old stable sort over FIFO order.
+func TestBookReplaceKeepsInsertionRank(t *testing.T) {
+	_, b := testBook(t)
+	east := mv(intersection.East, intersection.Straight)
+	north := mv(intersection.North, intersection.Straight)
+	b.Add(Reservation{VehicleID: 1, Movement: east, ToA: 5, Plan: ConstantPlan(2), PlanLen: 0.724})
+	b.Add(Reservation{VehicleID: 2, Movement: north, ToA: 5, Plan: ConstantPlan(2), PlanLen: 0.724})
+	// Replace veh 1 at the same ToA: it must still sort ahead of veh 2.
+	b.Add(Reservation{VehicleID: 1, Movement: east, ToA: 5, Plan: ConstantPlan(2.5), PlanLen: 0.724})
+	res := b.sorted()
+	if res[0].VehicleID != 1 || res[1].VehicleID != 2 {
+		t.Errorf("order after same-ToA replace = [%d %d], want [1 2]", res[0].VehicleID, res[1].VehicleID)
+	}
+}

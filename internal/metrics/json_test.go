@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := BenchReport{
+		Label:  "test",
+		GoOS:   "linux",
+		GoArch: "amd64",
+		NumCPU: 4,
+		Metrics: []BenchMetric{
+			{Name: "A", NsPerOp: 200, AllocsPerOp: 10, BytesPerOp: 512, N: 100},
+			{Name: "B", NsPerOp: 50, N: 400, Extra: map[string]float64{"tput": 1.5}},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Errorf("round trip mismatch:\nwrote %+v\nread  %+v", rep, got)
+	}
+}
+
+func TestBenchReportSpeedup(t *testing.T) {
+	rep := BenchReport{Metrics: []BenchMetric{
+		{Name: "serial", NsPerOp: 400},
+		{Name: "parallel", NsPerOp: 100},
+	}}
+	sp, err := rep.Speedup("serial", "parallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp != 4 {
+		t.Errorf("speedup = %v, want 4", sp)
+	}
+	if _, err := rep.Speedup("missing", "parallel"); err == nil {
+		t.Error("missing numerator accepted")
+	}
+	if _, err := rep.Speedup("serial", "missing"); err == nil {
+		t.Error("missing denominator accepted")
+	}
+	rep.Metrics[1].NsPerOp = 0
+	if _, err := rep.Speedup("serial", "parallel"); err == nil {
+		t.Error("zero denominator accepted")
+	}
+}
+
+func TestReadBenchReportErrors(t *testing.T) {
+	if _, err := ReadBenchReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchReport(path); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}

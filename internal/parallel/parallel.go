@@ -1,0 +1,103 @@
+// Package parallel is the bounded worker pool the experiment drivers
+// (sweep, calib, scale) fan out over. The paper's evaluation is
+// embarrassingly parallel — every (rate, policy) cell and every
+// calibration trial is an independent simulation — so the pool is
+// deliberately simple: plain goroutines pulling indices off an atomic
+// counter, no external dependencies, and no context plumbing (the first
+// error stops new work being claimed).
+//
+// Determinism contract: ForEach gives no ordering guarantees about *when*
+// jobs run, so callers must make each job self-contained — derive the
+// job's RNG seed from the job index (see DeriveSeed), write results into
+// a slot indexed by the job index, and reduce serially afterwards. Under
+// that discipline the output is bit-identical for any worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select
+// runtime.NumCPU(), everything else is returned unchanged.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.NumCPU()
+	}
+	return requested
+}
+
+// ForEach runs fn(i) for every i in [0, n) over a bounded pool of
+// workers (<= 0 means runtime.NumCPU()). Jobs are claimed in index order;
+// after a job fails no new jobs are claimed, already-claimed jobs run to
+// completion, and the error of the lowest failing index is returned —
+// exactly the error a serial loop would have stopped on, for any worker
+// count.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// DeriveSeed maps (base seed, job index) to an independent RNG seed via a
+// SplitMix64 finalizer, so neighboring indices land in statistically
+// unrelated streams. The mapping is pure: the same inputs always yield
+// the same seed, which is what makes parallel runs bit-identical to
+// serial ones.
+func DeriveSeed(base, idx int64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(idx)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		n := 100
+		hits := make([]atomic.Int64, n)
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Indices 30 and 60 fail; regardless of worker count the reported
+	// error must be index 30's — the one a serial loop stops on.
+	for _, workers := range []int{1, 3, 16} {
+		err := ForEach(100, workers, func(i int) error {
+			if i == 30 || i == 60 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 30 failed" {
+			t.Errorf("workers=%d: err = %v, want job 30's", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(1000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("first job fails")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if n := ran.Load(); n > 100 {
+		t.Errorf("ran %d jobs after early failure, want far fewer than 1000", n)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Error("Workers(0) must be at least 1")
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestDeriveSeedDeterministicAndSpread(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := int64(0); i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if s != DeriveSeed(42, i) {
+			t.Fatal("DeriveSeed is not pure")
+		}
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Error("different bases should diverge")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"crossroads/internal/metrics"
+	"crossroads/internal/parallel"
 	"crossroads/internal/plant"
 	"crossroads/internal/sim"
 	"crossroads/internal/traffic"
@@ -28,6 +29,11 @@ type Config struct {
 	Noisy bool
 	// Policies to compare; nil means the paper's pair (VT-IM, Crossroads).
 	Policies []vehicle.Policy
+	// Workers bounds how many (scenario, policy) cells run concurrently:
+	// 1 is serial, <= 0 uses runtime.NumCPU(). Each cell's repetitions
+	// are seeded from Seed alone, so the Result is bit-identical for any
+	// worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's experiment setup.
@@ -86,39 +92,49 @@ func Run(cfg Config) (Result, error) {
 		policies = []vehicle.Policy{vehicle.PolicyVTIM, vehicle.PolicyCrossroads}
 	}
 	res := Result{Policies: policies}
-	for scen := 1; scen <= traffic.NumScaleScenarios; scen++ {
-		row := make([]ScenarioResult, len(policies))
-		for pi, pol := range policies {
-			row[pi] = ScenarioResult{Scenario: scen, Policy: pol.String()}
-		}
+	res.PerScenario = make([][]ScenarioResult, traffic.NumScaleScenarios)
+	for i := range res.PerScenario {
+		res.PerScenario[i] = make([]ScenarioResult, len(policies))
+	}
+
+	// Each (scenario, policy) cell is an independent job: its repetitions
+	// run serially inside the job (so the floating-point accumulation
+	// order is fixed) and the workload for each repetition is regenerated
+	// from the same scenario seed the serial code used — every policy
+	// still faces identical arrivals, and the Result is bit-identical for
+	// any worker count.
+	err := parallel.ForEach(traffic.NumScaleScenarios*len(policies), cfg.Workers, func(job int) error {
+		scen, pi := job/len(policies)+1, job%len(policies)
+		pol := policies[pi]
+		cell := ScenarioResult{Scenario: scen, Policy: pol.String()}
 		for rep := 0; rep < cfg.Repetitions; rep++ {
 			seed := cfg.Seed + int64(scen*1000+rep)
 			arrivals, err := traffic.ScaleScenario(scen, rand.New(rand.NewSource(seed)))
 			if err != nil {
-				return Result{}, err
+				return err
 			}
-			for pi, pol := range policies {
-				simCfg := sim.Config{Policy: pol, Seed: seed}
-				if cfg.Noisy {
-					simCfg.Noise = plant.TestbedNoise()
-				}
-				out, err := sim.Run(simCfg, arrivals)
-				if err != nil {
-					return Result{}, fmt.Errorf("scale: scenario %d rep %d %v: %w", scen, rep, pol, err)
-				}
-				row[pi].MeanWait += out.Summary.MeanTravel
-				row[pi].MeanDelay += out.Summary.MeanWait
-				row[pi].MeanMax += out.Summary.MaxWait
-				row[pi].Collisions += out.Summary.Collisions
-				row[pi].Incomplete += out.Incomplete
+			simCfg := sim.Config{Policy: pol, Seed: seed}
+			if cfg.Noisy {
+				simCfg.Noise = plant.TestbedNoise()
 			}
+			out, err := sim.Run(simCfg, arrivals)
+			if err != nil {
+				return fmt.Errorf("scale: scenario %d rep %d %v: %w", scen, rep, pol, err)
+			}
+			cell.MeanWait += out.Summary.MeanTravel
+			cell.MeanDelay += out.Summary.MeanWait
+			cell.MeanMax += out.Summary.MaxWait
+			cell.Collisions += out.Summary.Collisions
+			cell.Incomplete += out.Incomplete
 		}
-		for pi := range row {
-			row[pi].MeanWait /= float64(cfg.Repetitions)
-			row[pi].MeanDelay /= float64(cfg.Repetitions)
-			row[pi].MeanMax /= float64(cfg.Repetitions)
-		}
-		res.PerScenario = append(res.PerScenario, row)
+		cell.MeanWait /= float64(cfg.Repetitions)
+		cell.MeanDelay /= float64(cfg.Repetitions)
+		cell.MeanMax /= float64(cfg.Repetitions)
+		res.PerScenario[scen-1][pi] = cell
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return res, nil
 }

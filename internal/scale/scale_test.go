@@ -1,6 +1,7 @@
 package scale
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -75,6 +76,22 @@ func TestTableRenders(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestScaleParallelMatchesSerial(t *testing.T) {
+	cfg := Config{Repetitions: 1, Seed: 7, Noisy: true, Workers: 1}
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("parallel scale result diverged from serial")
 	}
 }
 

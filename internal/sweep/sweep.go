@@ -12,6 +12,7 @@ import (
 	"crossroads/internal/intersection"
 	"crossroads/internal/kinematics"
 	"crossroads/internal/metrics"
+	"crossroads/internal/parallel"
 	"crossroads/internal/plant"
 	"crossroads/internal/safety"
 	"crossroads/internal/sim"
@@ -39,6 +40,11 @@ type Config struct {
 	ScaleModel bool
 	// Noisy enables plant noise.
 	Noisy bool
+	// Workers bounds the number of (rate, policy) cells simulated
+	// concurrently: 1 runs serially, <= 0 uses runtime.NumCPU(). Every
+	// cell derives its workload and simulation RNGs from Seed alone, so
+	// the Result is bit-identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's setup at full-scale geometry.
@@ -95,7 +101,20 @@ func Run(cfg Config) (Result, error) {
 		spec = safety.TestbedSpec()
 	}
 	res := Result{Policies: policies}
-	for _, rate := range cfg.Rates {
+	res.Cells = make([][]Cell, len(cfg.Rates))
+	for i := range res.Cells {
+		res.Cells[i] = make([]Cell, len(policies))
+	}
+
+	// Every (rate, policy) cell is an independent simulation: the
+	// workload is regenerated per cell from the same seed (so policies
+	// at one rate still face identical arrivals, exactly as the serial
+	// code shared one slice), and each result lands in its own
+	// pre-allocated slot. That makes the fan-out embarrassingly parallel
+	// and the output bit-identical for any worker count.
+	err := parallel.ForEach(len(cfg.Rates)*len(policies), cfg.Workers, func(job int) error {
+		ri, pi := job/len(policies), job%len(policies)
+		rate, pol := cfg.Rates[ri], policies[pi]
 		arrivals, err := traffic.Poisson(traffic.PoissonConfig{
 			Rate:         rate,
 			NumVehicles:  cfg.NumVehicles,
@@ -104,40 +123,40 @@ func Run(cfg Config) (Result, error) {
 			Params:       params,
 		}, rand.New(rand.NewSource(cfg.Seed)))
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		row := make([]Cell, len(policies))
-		for pi, pol := range policies {
-			simCfg := sim.Config{
-				Policy:       pol,
-				Seed:         cfg.Seed,
-				Intersection: interCfg,
-				Spec:         spec,
-			}
-			if cfg.Noisy {
-				simCfg.Noise = plant.TestbedNoise()
-			}
-			out, err := sim.Run(simCfg, arrivals)
-			if err != nil {
-				return Result{}, fmt.Errorf("sweep: rate %v %v: %w", rate, pol, err)
-			}
-			row[pi] = Cell{
-				Rate:                 rate,
-				Policy:               out.Policy,
-				Throughput:           out.Summary.Throughput,
-				MeanWait:             out.Summary.MeanWait,
-				MeanTravel:           out.Summary.MeanTravel,
-				Messages:             out.Summary.Messages,
-				Bytes:                out.Summary.Bytes,
-				MeanRetries:          out.Summary.MeanRetries,
-				SchedulerSimDelay:    out.Summary.SchedulerSimDelay,
-				SchedulerInvocations: out.Summary.SchedulerInvocations,
-				Collisions:           out.Summary.Collisions,
-				BufferViolations:     out.Summary.BufferViolations,
-				Incomplete:           out.Incomplete,
-			}
+		simCfg := sim.Config{
+			Policy:       pol,
+			Seed:         cfg.Seed,
+			Intersection: interCfg,
+			Spec:         spec,
 		}
-		res.Cells = append(res.Cells, row)
+		if cfg.Noisy {
+			simCfg.Noise = plant.TestbedNoise()
+		}
+		out, err := sim.Run(simCfg, arrivals)
+		if err != nil {
+			return fmt.Errorf("sweep: rate %v %v: %w", rate, pol, err)
+		}
+		res.Cells[ri][pi] = Cell{
+			Rate:                 rate,
+			Policy:               out.Policy,
+			Throughput:           out.Summary.Throughput,
+			MeanWait:             out.Summary.MeanWait,
+			MeanTravel:           out.Summary.MeanTravel,
+			Messages:             out.Summary.Messages,
+			Bytes:                out.Summary.Bytes,
+			MeanRetries:          out.Summary.MeanRetries,
+			SchedulerSimDelay:    out.Summary.SchedulerSimDelay,
+			SchedulerInvocations: out.Summary.SchedulerInvocations,
+			Collisions:           out.Summary.Collisions,
+			BufferViolations:     out.Summary.BufferViolations,
+			Incomplete:           out.Incomplete,
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return res, nil
 }
@@ -171,8 +190,11 @@ func (r Result) OverheadTable() *metrics.Table {
 	return t
 }
 
-// policyIndex finds a policy column, or -1.
+// policyIndex finds a policy column, or -1 (including on an empty sweep).
 func (r Result) policyIndex(name string) int {
+	if len(r.Cells) == 0 {
+		return -1
+	}
 	for i := range r.Cells[0] {
 		if r.Cells[0][i].Policy == name {
 			return i

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -131,5 +132,38 @@ func TestPaperRates(t *testing.T) {
 	r := PaperRates()
 	if r[0] != 0.05 || r[len(r)-1] != 1.25 {
 		t.Errorf("paper rates = %v", r)
+	}
+}
+
+func TestHeadlineEmptyCells(t *testing.T) {
+	// A zero-value Result (no cells yet) must return an error, not panic.
+	var r Result
+	if _, _, err := r.Headline("vt-im"); err == nil {
+		t.Error("empty Result accepted")
+	}
+	if idx := r.policyIndex("crossroads"); idx != -1 {
+		t.Errorf("policyIndex on empty Result = %d, want -1", idx)
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	cfg := Config{
+		Rates:       []float64{0.1, 0.6},
+		NumVehicles: 16,
+		Seed:        5,
+		ScaleModel:  true,
+	}
+	cfg.Workers = 1
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("parallel sweep diverged from serial:\nserial: %+v\nparallel: %+v", serial, par)
 	}
 }
