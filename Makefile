@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-report race vet fmt check
+.PHONY: build test bench bench-report race vet fmt check trace-demo
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,17 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$'
 
 ## bench-report regenerates the committed machine-readable benchmark
-## artifact. Re-run on a multi-core host to refresh the speedup evidence.
+## artifact. Re-run on a multi-core host to refresh the speedup evidence
+## (on a single-core host the parallel variant is skipped and noted).
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_1.json
+	$(GO) run ./cmd/benchreport -out BENCH_2.json
+
+## trace-demo runs a tiny traced sweep and validates the JSONL output
+## against the schema — the end-to-end check for the observability layer.
+trace-demo:
+	$(GO) run ./cmd/crossroads-sim -n 8 -seed 7 -workers 1 -scale -trace trace-demo.jsonl
+	$(GO) run ./cmd/tracecheck trace-demo.jsonl
+	@rm -f trace-demo.jsonl
 
 vet:
 	$(GO) vet ./...

@@ -138,6 +138,28 @@ func BenchmarkFlowSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowSweepTraced is BenchmarkFlowSweep with full event tracing
+// on, so the two benchmarks bound the observability layer's enabled cost;
+// the un-traced run also guards the nil-recorder ≤5% overhead contract
+// (the per-emit side of that contract is pinned numerically in
+// internal/trace's TestNilEmitNearZeroOverhead).
+func BenchmarkFlowSweepTraced(b *testing.B) {
+	var events int
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(sweep.Config{
+			Rates:       []float64{0.1, 0.4, 1.0},
+			NumVehicles: 80,
+			Seed:        int64(i + 42),
+			TraceFull:   true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.TraceSummary().Total
+	}
+	b.ReportMetric(float64(events), "events/sweep")
+}
+
 // BenchmarkFlowSweepPerPolicy times each policy's full simulation
 // separately so regressions are attributable.
 func BenchmarkFlowSweepPerPolicy(b *testing.B) {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchreport [-out BENCH_1.json] [-label text]
+//	benchreport [-out BENCH_2.json] [-label text]
 package main
 
 import (
@@ -23,8 +23,8 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output path")
-	label := flag.String("label", "parallel-engine+book-cache", "report label")
+	out := flag.String("out", "BENCH_2.json", "output path")
+	label := flag.String("label", "trace-layer+accounting-fixes", "report label")
 	flag.Parse()
 
 	rep := metrics.BenchReport{
@@ -41,21 +41,30 @@ func main() {
 	serial := benchSweep(1)
 	rep.Metrics = append(rep.Metrics, record("SweepParallel/workers=1", serial))
 
+	// On a single-core machine the "parallel" variant resolves to
+	// workers=1 — identical to the serial measurement, and a duplicate
+	// metric name the report writer would reject. Skip it and say so.
 	workers := parallel.Workers(0)
-	fmt.Printf("benchreport: measuring sweep, workers=%d...\n", workers)
-	par := benchSweep(workers)
-	rep.Metrics = append(rep.Metrics,
-		record(fmt.Sprintf("SweepParallel/workers=%d", workers), par))
+	if workers > 1 {
+		fmt.Printf("benchreport: measuring sweep, workers=%d...\n", workers)
+		par := benchSweep(workers)
+		rep.Metrics = append(rep.Metrics,
+			record(fmt.Sprintf("SweepParallel/workers=%d", workers), par))
+		if par.NsPerOp() > 0 {
+			fmt.Printf("benchreport: sweep speedup workers=1 -> workers=%d: %.2fx\n",
+				workers, float64(serial.NsPerOp())/float64(par.NsPerOp()))
+		}
+	} else {
+		note := "parallel sweep variant skipped: single-core machine (workers=1 equals the serial measurement)"
+		rep.Notes = append(rep.Notes, note)
+		fmt.Println("benchreport:", note)
+	}
 
 	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("benchreport: wrote %s (%d cores)\n", *out, rep.NumCPU)
-	if par.NsPerOp() > 0 {
-		fmt.Printf("benchreport: sweep speedup workers=1 -> workers=%d: %.2fx\n",
-			workers, float64(serial.NsPerOp())/float64(par.NsPerOp()))
-	}
 }
 
 // record converts a testing.BenchmarkResult into the report schema.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	crossroads-sim [-n 160] [-seed 42] [-workers 1] [-scale] [-noise] [-overhead] [-summary] [-csv]
+//	crossroads-sim [-n 160] [-seed 42] [-workers 1] [-scale] [-noise] [-overhead] [-summary] [-csv] [-trace out.jsonl]
 package main
 
 import (
@@ -27,6 +27,8 @@ func main() {
 	overhead := flag.Bool("overhead", false, "also print the computation/network overhead table")
 	summary := flag.Bool("summary", false, "also print the headline throughput ratios")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	tracePath := flag.String("trace", "", "write the structured event trace (JSONL) to this file and print its summary")
+	traceDES := flag.Bool("trace-des", false, "include the kernel event firehose in the trace (large)")
 	flag.Parse()
 
 	cfg := sweep.DefaultConfig()
@@ -39,6 +41,10 @@ func main() {
 		cfg.Policies = []vehicle.Policy{
 			vehicle.PolicyVTIM, vehicle.PolicyAIM, vehicle.PolicyBatch, vehicle.PolicyCrossroads,
 		}
+	}
+	if *tracePath != "" {
+		cfg.TraceFull = true
+		cfg.TraceDES = *traceDES
 	}
 
 	res, err := sweep.Run(cfg)
@@ -73,6 +79,13 @@ func main() {
 		if w, a, err := res.Headline("aim"); err == nil {
 			fmt.Printf("  vs AIM:   worst %.2fx, average %.2fx (paper: 1.28x / 1.15x)\n", w, a)
 		}
+	}
+	if *tracePath != "" {
+		if err := res.WriteTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "crossroads-sim: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nTrace written to %s\n%s", *tracePath, res.TraceSummary())
 	}
 }
 

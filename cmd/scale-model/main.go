@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	scale-model [-reps N] [-seed S] [-workers 1] [-noiseless] [-aim] [-csv]
+//	scale-model [-reps N] [-seed S] [-workers 1] [-noiseless] [-aim] [-csv] [-trace out.jsonl]
 package main
 
 import (
@@ -23,6 +23,8 @@ func main() {
 	noiseless := flag.Bool("noiseless", false, "disable plant actuation/sensing noise")
 	withAIM := flag.Bool("aim", false, "also run the AIM baseline")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	tracePath := flag.String("trace", "", "write the structured event trace (JSONL) to this file and print its summary")
+	traceDES := flag.Bool("trace-des", false, "include the kernel event firehose in the trace (large)")
 	flag.Parse()
 
 	cfg := scale.Config{
@@ -33,6 +35,10 @@ func main() {
 	}
 	if *withAIM {
 		cfg.Policies = []vehicle.Policy{vehicle.PolicyVTIM, vehicle.PolicyCrossroads, vehicle.PolicyAIM}
+	}
+	if *tracePath != "" {
+		cfg.TraceFull = true
+		cfg.TraceDES = *traceDES
 	}
 	res, err := scale.Run(cfg)
 	if err != nil {
@@ -50,5 +56,12 @@ func main() {
 		vt, cr := res.AverageWait(0), res.AverageWait(1)
 		fmt.Printf("\nCrossroads reduces average wait by %.0f%% vs VT-IM (paper: ~24%%)\n",
 			(1-cr/vt)*100)
+	}
+	if *tracePath != "" {
+		if err := res.WriteTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "scale-model: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nTrace written to %s\n%s", *tracePath, res.TraceSummary())
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"crossroads/internal/trace"
 )
 
 // Event is a scheduled callback. Cancel it via its handle; a cancelled event
@@ -76,7 +78,15 @@ type Simulator struct {
 	executed uint64
 	wall     time.Duration
 	running  bool
+	trace    *trace.Recorder
 }
+
+// SetTrace attaches an event recorder: every executed event emits a
+// des.event record carrying its simulated time and measured handler wall
+// time. This is the kernel firehose — physics ticks dominate it — so it is
+// wired separately from the protocol-level tracing (sim.Config.TraceDES)
+// and best paired with a ring-mode recorder. nil detaches it.
+func (s *Simulator) SetTrace(rec *trace.Recorder) { s.trace = rec }
 
 // New returns a simulator with the clock at 0.
 func New() *Simulator { return &Simulator{} }
@@ -132,8 +142,14 @@ func (s *Simulator) Step() bool {
 		s.now = ev.time
 		start := time.Now()
 		ev.fn()
-		s.wall += time.Since(start)
+		elapsed := time.Since(start)
+		s.wall += elapsed
 		s.executed++
+		if s.trace != nil {
+			s.trace.Emit(trace.Event{
+				Kind: trace.KindDESEvent, T: ev.time, WallNs: elapsed.Nanoseconds(),
+			})
+		}
 		return true
 	}
 	return false

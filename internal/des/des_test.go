@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"crossroads/internal/trace"
 )
 
 func TestEventsRunInTimeOrder(t *testing.T) {
@@ -292,5 +294,29 @@ func TestHandlerWallTimeAccumulates(t *testing.T) {
 	s.Run()
 	if s.HandlerWallTime() <= 0 {
 		t.Error("wall time not accounted")
+	}
+}
+
+func TestTraceRecordsExecutedEvents(t *testing.T) {
+	s := New()
+	rec := trace.NewFull()
+	s.SetTrace(rec)
+	s.At(1, func() {})
+	s.At(2, func() {})
+	h := s.At(3, func() {})
+	h.Cancel()
+	s.Run()
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("traced %d events, want 2 (cancelled events must not trace)", len(evs))
+	}
+	if evs[0].Kind != trace.KindDESEvent || evs[0].T != 1 || evs[1].T != 2 {
+		t.Errorf("trace stream wrong: %+v", evs)
+	}
+	if evs[0].WallNs < 0 {
+		t.Errorf("negative wall time: %+v", evs[0])
+	}
+	if int(s.Executed()) != rec.Total() {
+		t.Errorf("Executed %d != traced %d", s.Executed(), rec.Total())
 	}
 }

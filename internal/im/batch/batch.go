@@ -25,6 +25,7 @@ import (
 	"crossroads/internal/intersection"
 	"crossroads/internal/kinematics"
 	"crossroads/internal/safety"
+	"crossroads/internal/trace"
 )
 
 // PolicyName is the scheduler name reported in results.
@@ -136,6 +137,10 @@ func New(x *intersection.Intersection, cfg Config, rng *rand.Rand) (*Scheduler, 
 
 // Name implements im.Scheduler.
 func (s *Scheduler) Name() string { return PolicyName }
+
+// SetTrace implements im.TraceSetter: like the VT cores, the batch
+// scheduler's traced internals are its reservation-book mutations.
+func (s *Scheduler) SetTrace(rec *trace.Recorder) { s.book.SetTrace(rec) }
 
 // HandleRequest implements im.Scheduler. Requests are buffered until the
 // window that contains them closes; the response for each is computed with

@@ -7,6 +7,7 @@ import (
 
 	"crossroads/internal/intersection"
 	"crossroads/internal/kinematics"
+	"crossroads/internal/trace"
 )
 
 // CrossingPlan describes how a vehicle will traverse the box if granted an
@@ -228,7 +229,15 @@ type Book struct {
 	// plan and reused across every reservation with that movement.
 	candZone    []interval
 	candZoneSet []bool
+
+	trace *trace.Recorder
 }
+
+// SetTrace attaches an event recorder to the ledger's mutations (add,
+// remove, prune). The book has no clock of its own: event times come from
+// the recorder's clock (Recorder.Now), which the world harness points at
+// the simulator. nil detaches.
+func (b *Book) SetTrace(rec *trace.Recorder) { b.trace = rec }
 
 // NewBook creates a ledger over the intersection using the policy's
 // conflict table (already built with buffer-inflated footprints). margin is
@@ -368,6 +377,13 @@ func (b *Book) Add(r Reservation) error {
 	b.derive(e)
 	b.active[r.VehicleID] = e
 	b.insertSorted(e)
+	if b.trace != nil {
+		ev := trace.Event{Kind: trace.KindBookAdd, Vehicle: r.VehicleID, Value: r.ToA}
+		if r.Placeholder {
+			ev.Detail = "placeholder"
+		}
+		b.trace.Emit(ev)
+	}
 	return nil
 }
 
@@ -379,15 +395,20 @@ func (b *Book) Remove(vehicleID int64) {
 	}
 	delete(b.active, vehicleID)
 	b.unlink(e)
+	if b.trace != nil {
+		b.trace.Emit(trace.Event{Kind: trace.KindBookRemove, Vehicle: vehicleID})
+	}
 }
 
 // PruneBefore drops reservations whose vehicles have fully cleared the box
 // (entry, zones, and exit all strictly before t).
 func (b *Book) PruneBefore(t float64) {
 	keep := b.byToA[:0]
+	pruned := 0
 	for _, e := range b.byToA {
 		if e.d.exit.hi+b.margin < t {
 			delete(b.active, e.res.VehicleID)
+			pruned++
 			continue
 		}
 		keep = append(keep, e)
@@ -396,6 +417,9 @@ func (b *Book) PruneBefore(t float64) {
 		b.byToA[i] = nil
 	}
 	b.byToA = keep
+	if pruned > 0 && b.trace != nil {
+		b.trace.Emit(trace.Event{Kind: trace.KindBookPrune, Value: float64(pruned)})
+	}
 }
 
 // sorted returns active reservations ordered by ToA (stable by insertion).

@@ -7,7 +7,15 @@ import (
 	"crossroads/internal/des"
 	"crossroads/internal/metrics"
 	"crossroads/internal/network"
+	"crossroads/internal/trace"
 )
+
+// TraceSetter is implemented by schedulers that can forward an event
+// recorder into their internals (the VT-family cores propagate it to the
+// reservation book). Server.SetTrace uses it.
+type TraceSetter interface {
+	SetTrace(rec *trace.Recorder)
+}
 
 // SyncPayload carries the NTP timestamps of a sync exchange: the client's
 // transmit time T1 and the server's receive/transmit times T2, T3 (equal
@@ -52,9 +60,21 @@ type Server struct {
 	net   *network.Network
 	sched Scheduler
 	col   *metrics.Collector
+	trace *trace.Recorder
 
 	queue      []Request
 	processing bool
+}
+
+// SetTrace attaches an event recorder to the server's decision stream
+// (request intake with queue depth, grant/stop/reject verdicts, pushed
+// revisions, sync exchanges) and forwards it to the scheduler when the
+// policy supports it. nil detaches.
+func (s *Server) SetTrace(rec *trace.Recorder) {
+	s.trace = rec
+	if ts, ok := s.sched.(TraceSetter); ok {
+		ts.SetTrace(rec)
+	}
 }
 
 // NewServer attaches a server running the given scheduler to the network at
@@ -86,6 +106,9 @@ func (s *Server) handle(now float64, msg network.Message) {
 		}
 		p.T2 = now
 		p.T3 = now
+		if s.trace != nil {
+			s.trace.Emit(trace.Event{Kind: trace.KindSyncExchange, T: now, From: msg.From})
+		}
 		s.net.Send(network.Message{
 			Kind:    network.KindSyncResponse,
 			From:    EndpointName,
@@ -110,6 +133,12 @@ func (s *Server) handle(now float64, msg network.Message) {
 		}
 		if !replaced {
 			s.queue = append(s.queue, req)
+		}
+		if s.trace != nil {
+			s.trace.Emit(trace.Event{
+				Kind: trace.KindIMRequest, T: now,
+				Vehicle: req.VehicleID, Seq: req.Seq, Queue: s.QueueLen(),
+			})
 		}
 		if !s.processing {
 			s.processNext()
@@ -165,6 +194,25 @@ func (s *Server) processNext() {
 	case RespReject:
 		kind = network.KindReject
 	}
+	if s.trace != nil {
+		ev := trace.Event{
+			T: s.sim.Now(), Vehicle: req.VehicleID, Seq: req.Seq,
+			Detail: resp.Kind.String(), WallNs: wall.Nanoseconds(),
+		}
+		switch {
+		case resp.Kind == RespReject:
+			ev.Kind = trace.KindIMReject
+		case resp.Kind == RespVelocity && resp.TargetSpeed <= 0.01:
+			ev.Kind = trace.KindIMStop
+		case resp.Kind == RespVelocity:
+			ev.Kind = trace.KindIMGrant
+			ev.Value = resp.TargetSpeed
+		default: // RespTimed, RespAccept
+			ev.Kind = trace.KindIMGrant
+			ev.Value = resp.ArriveAt
+		}
+		s.trace.Emit(ev)
+	}
 	// The reply leaves after the computation — later, if the policy holds
 	// it (batch windows) — but the server frees up after the computation
 	// alone.
@@ -188,6 +236,13 @@ func (s *Server) processNext() {
 			push.Resp.Seq = 0 // unsolicited revision marker
 			if s.col != nil {
 				s.col.Revisions++
+			}
+			if s.trace != nil {
+				s.trace.Emit(trace.Event{
+					Kind: trace.KindIMRevision, T: s.sim.Now(),
+					Vehicle: push.VehicleID, Value: push.Resp.ArriveAt,
+					Detail: push.Resp.Kind.String(),
+				})
 			}
 			s.sim.After(cost, func() {
 				s.net.Send(network.Message{

@@ -7,6 +7,7 @@ import (
 
 	"crossroads/internal/intersection"
 	"crossroads/internal/safety"
+	"crossroads/internal/trace"
 )
 
 // debugVT enables scheduling-decision traces (diagnostic runs only).
@@ -135,6 +136,10 @@ func NewVTCore(name string, x *intersection.Intersection, planner VTPlanner, cfg
 
 // Name implements Scheduler.
 func (c *VTCore) Name() string { return c.name }
+
+// SetTrace implements TraceSetter: the core's only traced internals are
+// the reservation-book mutations.
+func (c *VTCore) SetTrace(rec *trace.Recorder) { c.book.SetTrace(rec) }
 
 // Book exposes the reservation ledger (tests and the viz tool read it).
 func (c *VTCore) Book() *Book { return c.book }

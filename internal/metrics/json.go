@@ -34,6 +34,10 @@ type BenchReport struct {
 	GoArch  string        `json:"goarch"`
 	NumCPU  int           `json:"num_cpu"`
 	Metrics []BenchMetric `json:"metrics"`
+	// Notes records measurement caveats (e.g. the parallel variant being
+	// skipped on a single-core machine, where it would duplicate the
+	// serial measurement).
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Speedup returns metric a's ns/op divided by metric b's — how many times
@@ -62,7 +66,17 @@ func (r BenchReport) Speedup(a, b string) (float64, error) {
 }
 
 // WriteFile serializes the report as indented JSON, newline-terminated.
+// Duplicate metric names are rejected: Speedup resolves metrics by name,
+// so a report with two entries under one name is ambiguous (the bug a
+// single-core machine used to trigger by measuring workers=1 twice).
 func (r BenchReport) WriteFile(path string) error {
+	seen := make(map[string]bool, len(r.Metrics))
+	for _, m := range r.Metrics {
+		if seen[m.Name] {
+			return fmt.Errorf("metrics: duplicate benchmark name %q in report", m.Name)
+		}
+		seen[m.Name] = true
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err

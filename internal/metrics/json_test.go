@@ -31,6 +31,26 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBenchReportRejectsDuplicateNames(t *testing.T) {
+	// Two metrics under one name make Speedup ambiguous — exactly what a
+	// single-core benchreport run used to produce by measuring the
+	// "parallel" sweep at workers=1 alongside the serial one.
+	rep := BenchReport{
+		Label: "dup",
+		Metrics: []BenchMetric{
+			{Name: "SweepParallel/workers=1", NsPerOp: 100, N: 1},
+			{Name: "SweepParallel/workers=1", NsPerOp: 101, N: 1},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err == nil {
+		t.Fatal("WriteFile accepted duplicate metric names")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("rejected report still wrote a file (stat err: %v)", err)
+	}
+}
+
 func TestBenchReportSpeedup(t *testing.T) {
 	rep := BenchReport{Metrics: []BenchMetric{
 		{Name: "serial", NsPerOp: 400},

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"crossroads/internal/des"
+	"crossroads/internal/trace"
 )
 
 // Kind enumerates the protocol message types used by the three IM designs
@@ -154,23 +155,32 @@ func TestbedDelay() DelayModel {
 }
 
 // Stats aggregates traffic counters for an endpoint or a whole network.
+// For a finished run Sent == Delivered + Dropped + Undeliverable + the
+// messages still in flight when the simulation was cut off.
 type Stats struct {
-	Sent       int
-	Delivered  int
-	Dropped    int
-	Bytes      int
-	TotalDelay float64
-	MaxDelay   float64
+	Sent int
+	// Delivered counts messages whose destination handler ran; it is
+	// decided at delivery time, not send time.
+	Delivered int
+	// Dropped counts radio losses (the loss-probability coin).
+	Dropped int
+	// Undeliverable counts messages whose destination had no registered
+	// handler at delivery time (e.g. a vehicle that despawned while the
+	// message was in flight). They carry no delay statistics.
+	Undeliverable int
+	Bytes         int
+	TotalDelay    float64
+	MaxDelay      float64
 }
 
-// add merges a delivery into the counters.
-func (s *Stats) add(bytes int, delay float64, dropped bool) {
+// send records a message handed to the radio.
+func (s *Stats) send(bytes int) {
 	s.Sent++
 	s.Bytes += bytes
-	if dropped {
-		s.Dropped++
-		return
-	}
+}
+
+// deliver records a completed delivery with its sampled latency.
+func (s *Stats) deliver(delay float64) {
 	s.Delivered++
 	s.TotalDelay += delay
 	if delay > s.MaxDelay {
@@ -201,7 +211,12 @@ type Network struct {
 	total    Stats
 	perEP    map[string]*Stats // keyed by sender
 	perKind  map[Kind]int
+	trace    *trace.Recorder
 }
+
+// SetTrace attaches an event recorder to the message lifecycle (send,
+// loss, deliver, undeliverable-drop). nil detaches it.
+func (n *Network) SetTrace(rec *trace.Recorder) { n.trace = rec }
 
 // New creates a network on the given simulator. delay must not be nil.
 func New(sim *des.Simulator, rng *rand.Rand, delay DelayModel, lossProb float64) *Network {
@@ -239,6 +254,11 @@ func (n *Network) Unregister(name string) { delete(n.handlers, name) }
 // SentAt is stamped with the current simulation time. It returns the
 // sampled latency (or -1 if the message was lost), which tests use to
 // assert delay bounds.
+//
+// Whether a message is Delivered is decided at delivery time: if the
+// destination has no registered handler when the latency elapses, the
+// message counts as Undeliverable — not as Delivered, and without
+// polluting the delay statistics.
 func (n *Network) Send(msg Message) float64 {
 	msg.SentAt = n.sim.Now()
 	n.perKind[msg.Kind]++
@@ -247,21 +267,52 @@ func (n *Network) Send(msg Message) float64 {
 		st = &Stats{}
 		n.perEP[msg.From] = st
 	}
+	size := msg.Kind.WireSize()
+	st.send(size)
+	n.total.send(size)
+	if n.trace != nil {
+		n.trace.Emit(trace.Event{
+			Kind: trace.KindMsgSend, T: msg.SentAt,
+			MsgKind: msg.Kind.String(), From: msg.From, To: msg.To, Bytes: size,
+		})
+	}
 	if n.lossProb > 0 && n.rng.Float64() < n.lossProb {
-		st.add(msg.Kind.WireSize(), 0, true)
-		n.total.add(msg.Kind.WireSize(), 0, true)
+		st.Dropped++
+		n.total.Dropped++
+		if n.trace != nil {
+			n.trace.Emit(trace.Event{
+				Kind: trace.KindMsgLoss, T: msg.SentAt,
+				MsgKind: msg.Kind.String(), From: msg.From, To: msg.To,
+			})
+		}
 		return -1
 	}
 	d := n.delay.Sample(n.rng)
 	if d < 0 {
 		d = 0
 	}
-	st.add(msg.Kind.WireSize(), d, false)
-	n.total.add(msg.Kind.WireSize(), d, false)
 	n.sim.After(d, func() {
-		if h, ok := n.handlers[msg.To]; ok {
-			h(n.sim.Now(), msg)
+		h, ok := n.handlers[msg.To]
+		if !ok {
+			st.Undeliverable++
+			n.total.Undeliverable++
+			if n.trace != nil {
+				n.trace.Emit(trace.Event{
+					Kind: trace.KindMsgDrop, T: n.sim.Now(),
+					MsgKind: msg.Kind.String(), From: msg.From, To: msg.To,
+				})
+			}
+			return
 		}
+		st.deliver(d)
+		n.total.deliver(d)
+		if n.trace != nil {
+			n.trace.Emit(trace.Event{
+				Kind: trace.KindMsgDeliver, T: n.sim.Now(),
+				MsgKind: msg.Kind.String(), From: msg.From, To: msg.To, Latency: d,
+			})
+		}
+		h(n.sim.Now(), msg)
 	})
 	return d
 }

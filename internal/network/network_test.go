@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"crossroads/internal/des"
+	"crossroads/internal/trace"
 )
 
 func newTestNet(delay DelayModel, loss float64) (*des.Simulator, *Network) {
@@ -41,11 +42,19 @@ func TestDeliveryToUnknownEndpointDropped(t *testing.T) {
 		net.Send(Message{Kind: KindRequest, From: "a", To: "ghost"})
 	})
 	sim.Run() // must not panic
-	if net.TotalStats().Sent != 1 {
-		t.Errorf("Sent = %d", net.TotalStats().Sent)
+	st := net.TotalStats()
+	if st.Sent != 1 {
+		t.Errorf("Sent = %d", st.Sent)
+	}
+	if st.Undeliverable != 1 || st.Delivered != 0 {
+		t.Errorf("Undeliverable = %d, Delivered = %d; want 1, 0", st.Undeliverable, st.Delivered)
 	}
 }
 
+// TestUnregisterDropsInFlight is the regression test for the
+// delivery-accounting bug: a message in flight to an endpoint that
+// unregisters before the latency elapses must be counted Undeliverable,
+// not Delivered, and must not contribute to the delay statistics.
 func TestUnregisterDropsInFlight(t *testing.T) {
 	sim, net := newTestNet(ConstantDelay{D: 0.1}, 0)
 	delivered := false
@@ -57,6 +66,19 @@ func TestUnregisterDropsInFlight(t *testing.T) {
 	sim.Run()
 	if delivered {
 		t.Error("message delivered to unregistered endpoint")
+	}
+	st := net.TotalStats()
+	if st.Undeliverable != 1 {
+		t.Errorf("Undeliverable = %d, want 1", st.Undeliverable)
+	}
+	if st.Delivered != 0 || st.TotalDelay != 0 || st.MaxDelay != 0 {
+		t.Errorf("undeliverable message polluted delivery stats: %+v", st)
+	}
+	if ep := net.EndpointStats("a"); ep.Undeliverable != 1 || ep.Delivered != 0 {
+		t.Errorf("per-endpoint accounting wrong: %+v", ep)
+	}
+	if st.MeanDelay() != 0 {
+		t.Errorf("MeanDelay = %v, want 0", st.MeanDelay())
 	}
 }
 
@@ -195,6 +217,53 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	if mx := net.TotalStats().MaxDelay; mx != 0.002 {
 		t.Errorf("MaxDelay = %v", mx)
+	}
+}
+
+// TestTraceLifecycleReconciles drives a lossy network with a mid-run
+// unregister and checks the emitted event stream reconciles exactly with
+// the Stats counters: every Send is one msg.send, every loss one msg.loss,
+// every handler invocation one msg.deliver, every dead-endpoint delivery
+// one msg.drop.
+func TestTraceLifecycleReconciles(t *testing.T) {
+	sim, net := newTestNet(UniformDelay{Min: 0.001, Max: 0.01}, 0.2)
+	rec := trace.NewFull()
+	net.SetTrace(rec)
+	net.Register("im", func(float64, Message) {})
+	const total = 500
+	sim.At(0, func() {
+		for i := 0; i < total; i++ {
+			net.Send(Message{Kind: KindRequest, From: "v", To: "im"})
+		}
+		// Half the traffic aimed at an endpoint that disappears.
+		net.Register("gone", func(float64, Message) {})
+		for i := 0; i < 100; i++ {
+			net.Send(Message{Kind: KindAck, From: "v", To: "gone"})
+		}
+		net.Unregister("gone")
+	})
+	sim.Run()
+	st := net.TotalStats()
+	if got := rec.KindCount(trace.KindMsgSend); got != st.Sent {
+		t.Errorf("msg.send events %d != Sent %d", got, st.Sent)
+	}
+	if got := rec.KindCount(trace.KindMsgLoss); got != st.Dropped {
+		t.Errorf("msg.loss events %d != Dropped %d", got, st.Dropped)
+	}
+	if got := rec.KindCount(trace.KindMsgDeliver); got != st.Delivered {
+		t.Errorf("msg.deliver events %d != Delivered %d", got, st.Delivered)
+	}
+	if got := rec.KindCount(trace.KindMsgDrop); got != st.Undeliverable {
+		t.Errorf("msg.drop events %d != Undeliverable %d", got, st.Undeliverable)
+	}
+	if st.Undeliverable == 0 || st.Dropped == 0 || st.Delivered == 0 {
+		t.Errorf("test vacuous: %+v", st)
+	}
+	if st.Sent != st.Delivered+st.Dropped+st.Undeliverable {
+		t.Errorf("counters don't close: %+v", st)
+	}
+	if sum := rec.Summary(); sum.Latency.Total() != st.Delivered {
+		t.Errorf("latency histogram has %d samples, want %d", sum.Latency.Total(), st.Delivered)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"crossroads/internal/parallel"
 	"crossroads/internal/plant"
 	"crossroads/internal/sim"
+	"crossroads/internal/trace"
 	"crossroads/internal/traffic"
 	"crossroads/internal/vehicle"
 )
@@ -34,6 +35,12 @@ type Config struct {
 	// are seeded from Seed alone, so the Result is bit-identical for any
 	// worker count.
 	Workers int
+	// TraceFull gives every (scenario, policy) cell its own full-retention
+	// event recorder spanning all of the cell's repetitions (they run
+	// serially inside the cell); streams land in Result.Traces.
+	TraceFull bool
+	// TraceDES additionally records the kernel event firehose per cell.
+	TraceDES bool
 }
 
 // DefaultConfig returns the paper's experiment setup.
@@ -61,6 +68,37 @@ type Result struct {
 	// PerScenario[scenario-1][policyIndex]
 	PerScenario [][]ScenarioResult
 	Policies    []vehicle.Policy
+	// Traces[scenario-1][policyIndex] holds each cell's event recorder
+	// when Config.TraceFull is set (nil otherwise).
+	Traces [][]*trace.Recorder
+}
+
+// TraceSummary merges every cell's trace summary into one.
+func (r Result) TraceSummary() trace.Summary {
+	var s trace.Summary
+	for _, row := range r.Traces {
+		for _, rec := range row {
+			s.Merge(rec.Summary())
+		}
+	}
+	return s
+}
+
+// WriteTrace streams every cell's events as JSONL in deterministic cell
+// order, labelling each event's run field "scenario=<n>/<policy>".
+func (r Result) WriteTrace(path string) error {
+	recs := make([]*trace.Recorder, 0, len(r.Traces)*len(r.Policies))
+	labels := make([]string, 0, cap(recs))
+	for si, row := range r.Traces {
+		for pi, rec := range row {
+			if rec == nil {
+				continue
+			}
+			recs = append(recs, rec)
+			labels = append(labels, fmt.Sprintf("scenario=%d/%s", si+1, r.Policies[pi]))
+		}
+	}
+	return trace.WriteJSONLMulti(path, recs, labels)
 }
 
 // AverageWait returns a policy's wait time averaged over all scenarios.
@@ -96,6 +134,12 @@ func Run(cfg Config) (Result, error) {
 	for i := range res.PerScenario {
 		res.PerScenario[i] = make([]ScenarioResult, len(policies))
 	}
+	if cfg.TraceFull {
+		res.Traces = make([][]*trace.Recorder, traffic.NumScaleScenarios)
+		for i := range res.Traces {
+			res.Traces[i] = make([]*trace.Recorder, len(policies))
+		}
+	}
 
 	// Each (scenario, policy) cell is an independent job: its repetitions
 	// run serially inside the job (so the floating-point accumulation
@@ -116,6 +160,13 @@ func Run(cfg Config) (Result, error) {
 			simCfg := sim.Config{Policy: pol, Seed: seed}
 			if cfg.Noisy {
 				simCfg.Noise = plant.TestbedNoise()
+			}
+			if cfg.TraceFull {
+				if res.Traces[scen-1][pi] == nil {
+					res.Traces[scen-1][pi] = trace.NewFull()
+				}
+				simCfg.Trace = res.Traces[scen-1][pi]
+				simCfg.TraceDES = cfg.TraceDES
 			}
 			out, err := sim.Run(simCfg, arrivals)
 			if err != nil {

@@ -25,6 +25,7 @@ import (
 	"crossroads/internal/plant"
 	"crossroads/internal/safety"
 	"crossroads/internal/timesync"
+	"crossroads/internal/trace"
 	"crossroads/internal/traffic"
 	"crossroads/internal/vehicle"
 )
@@ -72,6 +73,14 @@ type Config struct {
 	// examples use it; the snapshot slice is reused between calls.
 	Observer      func(now float64, vehicles []VehicleView)
 	ObserverEvery int
+	// Trace, if set, receives the run's structured event stream: message
+	// lifecycle, IM decisions, book mutations, vehicle state transitions,
+	// spawns/exits, and safety violations. The recorder's clock is bound
+	// to the run's simulated clock. nil disables tracing (zero overhead).
+	Trace *trace.Recorder
+	// TraceDES additionally traces every executed kernel event (the
+	// physics-tick firehose); pair it with a ring-mode recorder.
+	TraceDES bool
 }
 
 // VehicleView is an observer snapshot of one active vehicle.
@@ -247,6 +256,9 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 	if cfg.AgentOverrides != nil {
 		agentCfg = *cfg.AgentOverrides
 	}
+	// Tracing is wired after overrides so a caller-supplied agent config
+	// cannot silently detach the run's recorder.
+	agentCfg.Trace = cfg.Trace
 
 	// The safety contract checked at runtime is on sensing-buffered
 	// footprints for every policy: the RTD buffer is a *planning* margin
@@ -255,13 +267,25 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 	// buffers exist to guarantee.
 	buffers := cfg.Spec.ForCrossroads()
 
+	server := im.NewServer(sim, net, sched, col)
+	if cfg.Trace != nil {
+		// Layers without a clock (the reservation book) stamp events via
+		// the recorder's injected clock.
+		cfg.Trace.Now = sim.Now
+		net.SetTrace(cfg.Trace)
+		server.SetTrace(cfg.Trace)
+		if cfg.TraceDES {
+			sim.SetTrace(cfg.Trace)
+		}
+	}
+
 	return &world{
 		cfg:         cfg,
 		arrivals:    arrivals,
 		sim:         sim,
 		net:         net,
 		x:           x,
-		server:      im.NewServer(sim, net, sched, col),
+		server:      server,
 		col:         col,
 		rngClock:    rand.New(rand.NewSource(cfg.Seed + 3)),
 		rngPlant:    rand.New(rand.NewSource(cfg.Seed + 4)),
@@ -332,6 +356,12 @@ func (w *world) spawn(a traffic.Arrival) {
 		speed = math.Min(speed, vSafe)
 	}
 	w.spawned++
+	if w.cfg.Trace != nil {
+		w.cfg.Trace.Emit(trace.Event{
+			Kind: trace.KindSimSpawn, T: w.sim.Now(), Vehicle: a.ID,
+			Detail: a.Movement.String(), Value: speed,
+		})
+	}
 	pl, err := plant.New(m.Path, a.Params, 0, speed, w.cfg.Noise, w.rngPlant)
 	if err != nil {
 		panic(fmt.Sprintf("sim: plant for %d: %v", a.ID, err))
@@ -475,6 +505,12 @@ func (w *world) step(dt float64) {
 			v.rec.ExitTime = now
 			v.rec.Done = true
 			v.rec.Retries = v.agent.Retries
+			if w.cfg.Trace != nil {
+				w.cfg.Trace.Emit(trace.Event{
+					Kind: trace.KindSimExit, T: now, Vehicle: v.arr.ID,
+					Detail: v.movement.ID.String(),
+				})
+			}
 			v.agent.NotifyExit()
 		}
 		if s >= v.movement.Length-1e-6 {
@@ -529,6 +565,12 @@ func (w *world) checkCollisions() {
 			phys := fi.Intersects(fj)
 			if phys && !w.overlapping[key] {
 				w.col.Collisions++
+				if w.cfg.Trace != nil {
+					w.cfg.Trace.Emit(trace.Event{
+						Kind: trace.KindSimCollision, T: w.sim.Now(),
+						Vehicle: vi.arr.ID, Other: vj.arr.ID,
+					})
+				}
 				if w.debug {
 					fmt.Printf("[%.2f] collision veh%d(%v s=%.2f v=%.2f st=%v) x veh%d(%v s=%.2f v=%.2f st=%v)\n",
 						w.sim.Now(),
@@ -549,6 +591,12 @@ func (w *world) checkCollisions() {
 				buf := bi.Intersects(bj)
 				if buf && !w.bufOverlap[key] {
 					w.col.BufferViolations++
+					if w.cfg.Trace != nil {
+						w.cfg.Trace.Emit(trace.Event{
+							Kind: trace.KindSimBufViol, T: w.sim.Now(),
+							Vehicle: vi.arr.ID, Other: vj.arr.ID,
+						})
+					}
 					if w.debug {
 						fmt.Printf("[%.2f] bufviol veh%d(%v s=%.2f v=%.2f st=%v) x veh%d(%v s=%.2f v=%.2f st=%v)\n",
 							w.sim.Now(),

@@ -16,6 +16,7 @@ import (
 	"crossroads/internal/plant"
 	"crossroads/internal/safety"
 	"crossroads/internal/sim"
+	"crossroads/internal/trace"
 	"crossroads/internal/traffic"
 	"crossroads/internal/vehicle"
 )
@@ -45,6 +46,13 @@ type Config struct {
 	// cell derives its workload and simulation RNGs from Seed alone, so
 	// the Result is bit-identical for any worker count.
 	Workers int
+	// TraceFull gives every cell its own full-retention event recorder
+	// (a Recorder is single-goroutine, so cells cannot share one); the
+	// per-cell streams land in Result.Traces in cell order, which keeps
+	// the merged trace identical for any worker count.
+	TraceFull bool
+	// TraceDES additionally records the kernel event firehose per cell.
+	TraceDES bool
 }
 
 // DefaultConfig returns the paper's setup at full-scale geometry.
@@ -78,6 +86,39 @@ type Result struct {
 	Policies []vehicle.Policy
 	// Cells[rateIdx][policyIdx]
 	Cells [][]Cell
+	// Traces[rateIdx][policyIdx] holds each cell's event recorder when
+	// Config.TraceFull is set (nil otherwise).
+	Traces [][]*trace.Recorder
+}
+
+// TraceSummary merges every cell's per-kind counts, latency histogram, and
+// queue high-water mark into one sweep-wide summary.
+func (r Result) TraceSummary() trace.Summary {
+	var s trace.Summary
+	for _, row := range r.Traces {
+		for _, rec := range row {
+			s.Merge(rec.Summary())
+		}
+	}
+	return s
+}
+
+// WriteTrace streams every cell's events as JSONL in deterministic cell
+// order, labelling each event's run field "rate=<rate>/<policy>" so a
+// single file holds the whole sweep unambiguously.
+func (r Result) WriteTrace(path string) error {
+	recs := make([]*trace.Recorder, 0, len(r.Traces)*len(r.Policies))
+	labels := make([]string, 0, cap(recs))
+	for ri, row := range r.Traces {
+		for pi, rec := range row {
+			if rec == nil {
+				continue
+			}
+			recs = append(recs, rec)
+			labels = append(labels, fmt.Sprintf("rate=%g/%s", r.Cells[ri][pi].Rate, r.Cells[ri][pi].Policy))
+		}
+	}
+	return trace.WriteJSONLMulti(path, recs, labels)
 }
 
 // Run executes the sweep.
@@ -104,6 +145,12 @@ func Run(cfg Config) (Result, error) {
 	res.Cells = make([][]Cell, len(cfg.Rates))
 	for i := range res.Cells {
 		res.Cells[i] = make([]Cell, len(policies))
+	}
+	if cfg.TraceFull {
+		res.Traces = make([][]*trace.Recorder, len(cfg.Rates))
+		for i := range res.Traces {
+			res.Traces[i] = make([]*trace.Recorder, len(policies))
+		}
 	}
 
 	// Every (rate, policy) cell is an independent simulation: the
@@ -133,6 +180,12 @@ func Run(cfg Config) (Result, error) {
 		}
 		if cfg.Noisy {
 			simCfg.Noise = plant.TestbedNoise()
+		}
+		if cfg.TraceFull {
+			rec := trace.NewFull()
+			res.Traces[ri][pi] = rec
+			simCfg.Trace = rec
+			simCfg.TraceDES = cfg.TraceDES
 		}
 		out, err := sim.Run(simCfg, arrivals)
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"crossroads/internal/plant"
 	"crossroads/internal/safety"
 	"crossroads/internal/timesync"
+	"crossroads/internal/trace"
 )
 
 // Policy selects which protocol the agent speaks.
@@ -121,6 +122,9 @@ type Config struct {
 	HeadwayTau float64
 	// MaxTimeout caps the exponential retransmission backoff (s).
 	MaxTimeout float64
+	// Trace receives protocol state transitions and commit-point events;
+	// nil disables agent tracing.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns testbed-scaled protocol parameters.
@@ -259,6 +263,19 @@ func (a *Agent) Endpoint() string { return im.VehicleEndpoint(a.ID) }
 // State returns the current protocol state.
 func (a *Agent) State() State { return a.state }
 
+// setState transitions the protocol state machine, tracing the edge.
+// Self-transitions (retransmissions re-entering StateRequest, repeated
+// holds) are real protocol events and are traced too.
+func (a *Agent) setState(next State) {
+	if a.cfg.Trace != nil {
+		a.cfg.Trace.Emit(trace.Event{
+			Kind: trace.KindVehState, T: a.sim.Now(), Vehicle: a.ID,
+			Detail: a.state.String() + "->" + next.String(),
+		})
+	}
+	a.state = next
+}
+
 // Start registers the agent on the network and begins the sync phase.
 func (a *Agent) Start() {
 	a.holdSpeed = a.Plant.V()
@@ -361,7 +378,7 @@ func (a *Agent) sendRequest(retransmit bool) {
 		a.backoff = a.cfg.ResponseTimeout
 	}
 	a.seq++
-	a.state = StateRequest
+	a.setState(StateRequest)
 	a.confirmed = false
 	now := a.sim.Now()
 	a.lastRequest = now
@@ -422,6 +439,12 @@ func (a *Agent) sendCommittedRequest() {
 	a.Retries++
 	a.seq++
 	now := a.sim.Now()
+	if a.cfg.Trace != nil {
+		a.cfg.Trace.Emit(trace.Event{
+			Kind: trace.KindVehCommit, T: now, Vehicle: a.ID,
+			Seq: a.seq, Detail: "committed-rebook",
+		})
+	}
 	a.lastRequest = now
 	vc := a.Plant.MeasuredV()
 	dt := math.Max(a.DistToEntry(), 0)
@@ -457,6 +480,12 @@ func (a *Agent) sendCommittedRequest() {
 func (a *Agent) sendConfirm() {
 	a.seq++
 	now := a.sim.Now()
+	if a.cfg.Trace != nil {
+		a.cfg.Trace.Emit(trace.Event{
+			Kind: trace.KindVehCommit, T: now, Vehicle: a.ID,
+			Seq: a.seq, Detail: "aim-confirm",
+		})
+	}
 	a.lastRequest = now
 	req := im.Request{
 		VehicleID:    a.ID,
@@ -498,7 +527,7 @@ func (a *Agent) handleResponse(now float64, resp im.Response) {
 		a.profile = kinematics.RampHoldProfile(now, dist, a.Plant.MeasuredV(), resp.TargetSpeed, a.Plant.Params)
 		a.originS = s
 		a.hasProfile = true
-		a.state = StateFollow
+		a.setState(StateFollow)
 	case PolicyCrossroads, PolicyBatch:
 		if resp.Kind == im.RespVelocity && resp.TargetSpeed <= 0.01 {
 			// Degenerate-request stop command.
@@ -517,7 +546,7 @@ func (a *Agent) handleResponse(now float64, resp im.Response) {
 			// Algorithm 6: slow down and re-propose after the interval.
 			a.hasProfile = false
 			a.holdSpeed = math.Max(a.Plant.MeasuredV()*a.cfg.SlowdownFactor, 0)
-			a.state = StateHold
+			a.setState(StateHold)
 			a.retry.Cancel()
 			a.retry = a.sim.After(a.cfg.RetryInterval, func() {
 				if a.state == StateHold {
@@ -565,7 +594,7 @@ func (a *Agent) stopAndRetry() {
 	a.holdSpeed = 0
 	a.hasProfile = false
 	a.hasArrival = false
-	a.state = StateHold
+	a.setState(StateHold)
 	a.retry.Cancel()
 	a.retry = a.sim.After(a.cfg.RetryInterval, func() {
 		if a.state == StateHold {
@@ -588,7 +617,7 @@ func (a *Agent) applyTimedCommand(now float64, resp im.Response) {
 		if !a.canStillStop(a.Plant.MeasuredS()) {
 			return
 		}
-		a.state = StateHold
+		a.setState(StateHold)
 		a.retry.Cancel()
 		a.retry = a.sim.After(0.01, func() {
 			if a.state == StateHold {
@@ -629,7 +658,7 @@ func (a *Agent) applyTimedCommand(now float64, resp im.Response) {
 	a.profile = prof
 	a.originS = originS
 	a.hasProfile = true
-	a.state = StateFollow
+	a.setState(StateFollow)
 	if debugAgent {
 		fmt.Printf("[%.3f] veh%d TIMED tExec=%.3f tArrive=%.3f v=%.2f s=%.3f originS=%.3f dist=%.3f profDur=%.3f arrAt=%.3f\n",
 			now, a.ID, tExec, tArrive, v, s, originS, dist, prof.Duration(), prof.TimeAtDistance(dist))
@@ -664,7 +693,7 @@ func (a *Agent) applyAIMAccept(now float64, resp im.Response) {
 		a.originS = s
 	}
 	a.hasProfile = true
-	a.state = StateFollow
+	a.setState(StateFollow)
 }
 
 // appendBoxAccel extends a profile that ends at the box entry with the
@@ -851,7 +880,7 @@ func (a *Agent) NotifyExit() {
 	a.exited = true
 	a.timeout.Cancel()
 	a.retry.Cancel()
-	a.state = StateDone
+	a.setState(StateDone)
 	a.sendExit()
 }
 
@@ -879,6 +908,6 @@ func (a *Agent) sendExit() {
 func (a *Agent) Stop() {
 	a.timeout.Cancel()
 	a.retry.Cancel()
-	a.state = StateDone
+	a.setState(StateDone)
 	a.net.Unregister(a.Endpoint())
 }
