@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-report race vet fmt check trace-demo
+.PHONY: build test bench bench-report race vet fmt check trace-demo corridor-demo
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ bench:
 ## artifact. Re-run on a multi-core host to refresh the speedup evidence
 ## (on a single-core host the parallel variant is skipped and noted).
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_2.json
+	$(GO) run ./cmd/benchreport -out BENCH_3.json
 
 ## trace-demo runs a tiny traced sweep and validates the JSONL output
 ## against the schema — the end-to-end check for the observability layer.
@@ -28,6 +28,15 @@ trace-demo:
 	$(GO) run ./cmd/crossroads-sim -n 8 -seed 7 -workers 1 -scale -trace trace-demo.jsonl
 	$(GO) run ./cmd/tracecheck trace-demo.jsonl
 	@rm -f trace-demo.jsonl
+
+## corridor-demo exercises the multi-IM engine end to end: a traced
+## 3-intersection corridor run validated against the trace schema, plus a
+## 2x2 grid smoke run.
+corridor-demo:
+	$(GO) run ./cmd/crossroads-sim -corridor 3 -n 16 -seed 7 -scale -noise -trace corridor-demo.jsonl
+	$(GO) run ./cmd/tracecheck corridor-demo.jsonl
+	@rm -f corridor-demo.jsonl
+	$(GO) run ./cmd/crossroads-sim -grid 2x2 -n 12 -seed 7 -scale -noise
 
 vet:
 	$(GO) vet ./...

@@ -32,6 +32,7 @@ import (
 	"crossroads/internal/scale"
 	"crossroads/internal/sim"
 	"crossroads/internal/sweep"
+	"crossroads/internal/topology"
 	"crossroads/internal/traffic"
 	"crossroads/internal/vehicle"
 )
@@ -377,6 +378,50 @@ func BenchmarkConflictTableBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCorridor runs the multi-IM engine over a 3-intersection
+// corridor under Crossroads: one routed Poisson workload, three IM shards
+// sharing the kernel and the V2I network. Reported metrics are the
+// end-to-end journey throughput and the total crossings scheduled across
+// the corridor (journeys × nodes traversed).
+func BenchmarkCorridor(b *testing.B) {
+	topo, err := topology.Line(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo = topo.WithSegmentLen(0.8)
+	arr, err := traffic.PoissonRoutes(traffic.PoissonConfig{
+		Rate: 0.3, NumVehicles: 40, LanesPerRoad: 1,
+		Mix: traffic.DefaultTurnMix(), Params: kinematics.ScaleModelParams(),
+	}, topo, 0, rand.New(rand.NewSource(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res sim.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(sim.Config{
+			Topology: topo,
+			Policy:   vehicle.PolicyCrossroads,
+			Seed:     42,
+			Spec:     safety.TestbedSpec(),
+		}, arr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Summary.Completed != 40 || r.Summary.Collisions != 0 {
+			b.Fatalf("corridor run unhealthy: completed=%d collisions=%d",
+				r.Summary.Completed, r.Summary.Collisions)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Summary.Throughput, "journey-tput")
+	crossings := 0
+	for _, s := range res.PerNode {
+		crossings += s.Completed
+	}
+	b.ReportMetric(float64(crossings), "crossings")
 }
 
 func BenchmarkFullSimulation160Vehicles(b *testing.B) {

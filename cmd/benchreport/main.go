@@ -1,30 +1,37 @@
-// Command benchreport measures the two performance-critical paths — the
-// reservation-book feasibility query and the parallel experiment engine —
-// and writes a machine-readable report (BENCH_*.json) for review alongside
-// code changes.
+// Command benchreport measures the performance-critical paths — the
+// reservation-book feasibility query, the parallel experiment engine, and
+// the multi-IM corridor engine — and writes a machine-readable report
+// (BENCH_*.json) for review alongside code changes.
 //
 // Usage:
 //
-//	benchreport [-out BENCH_2.json] [-label text]
+//	benchreport [-out BENCH_3.json] [-label text]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
 
 	"crossroads/internal/im"
 	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
 	"crossroads/internal/metrics"
 	"crossroads/internal/parallel"
+	"crossroads/internal/safety"
+	"crossroads/internal/sim"
 	"crossroads/internal/sweep"
+	"crossroads/internal/topology"
+	"crossroads/internal/traffic"
+	"crossroads/internal/vehicle"
 )
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output path")
-	label := flag.String("label", "trace-layer+accounting-fixes", "report label")
+	out := flag.String("out", "BENCH_3.json", "output path")
+	label := flag.String("label", "multi-im-topology-engine", "report label")
 	flag.Parse()
 
 	rep := metrics.BenchReport{
@@ -59,6 +66,9 @@ func main() {
 		rep.Notes = append(rep.Notes, note)
 		fmt.Println("benchreport:", note)
 	}
+
+	fmt.Println("benchreport: measuring 3-intersection corridor...")
+	rep.Metrics = append(rep.Metrics, record("Corridor3/crossroads", benchCorridor()))
 
 	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -126,6 +136,38 @@ func benchSweep(workers int) testing.BenchmarkResult {
 		for i := 0; i < b.N; i++ {
 			if _, err := sweep.Run(cfg); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchCorridor measures one full 3-intersection corridor run per
+// iteration under the Crossroads policy — the same workload as
+// BenchmarkCorridor in the repo's bench suite.
+func benchCorridor() testing.BenchmarkResult {
+	topo, err := topology.Line(3)
+	fatal(err)
+	topo = topo.WithSegmentLen(0.8)
+	arr, err := traffic.PoissonRoutes(traffic.PoissonConfig{
+		Rate: 0.3, NumVehicles: 40, LanesPerRoad: 1,
+		Mix: traffic.DefaultTurnMix(), Params: kinematics.ScaleModelParams(),
+	}, topo, 0, rand.New(rand.NewSource(42)))
+	fatal(err)
+	cfg := sim.Config{
+		Topology: topo,
+		Policy:   vehicle.PolicyCrossroads,
+		Seed:     42,
+		Spec:     safety.TestbedSpec(),
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(cfg, arr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Summary.Completed != 40 {
+				b.Fatalf("completed %d", res.Summary.Completed)
 			}
 		}
 	})

@@ -3,9 +3,16 @@
 // Crossroads, plus the computation/network overhead comparison and the
 // headline throughput ratios.
 //
+// With -corridor or -grid it instead runs the multi-intersection
+// experiment: one routed Poisson workload over the topology, each
+// intersection managed by its own IM shard, reporting end-to-end journey
+// statistics plus a per-node breakdown.
+//
 // Usage:
 //
 //	crossroads-sim [-n 160] [-seed 42] [-workers 1] [-scale] [-noise] [-overhead] [-summary] [-csv] [-trace out.jsonl]
+//	crossroads-sim -corridor 3 [-rate 0.3] [...]
+//	crossroads-sim -grid 2x2 [-rate 0.3] [...]
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"os"
 
 	"crossroads/internal/sweep"
+	"crossroads/internal/topology"
 	"crossroads/internal/vehicle"
 )
 
@@ -29,7 +37,22 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	tracePath := flag.String("trace", "", "write the structured event trace (JSONL) to this file and print its summary")
 	traceDES := flag.Bool("trace-des", false, "include the kernel event firehose in the trace (large)")
+	corridor := flag.Int("corridor", 0, "run an N-intersection east-west corridor instead of the single-intersection sweep")
+	grid := flag.String("grid", "", "run an RxC Manhattan grid (e.g. 2x2) instead of the single-intersection sweep")
+	rate := flag.Float64("rate", 0.3, "input flow per boundary entry lane for -corridor/-grid runs (car/lane/s)")
+	segLen := flag.Float64("seglen", 0, "extra road between adjacent intersections for -corridor/-grid runs (m); 0 abuts them")
 	flag.Parse()
+
+	topo, err := parseTopology(*corridor, *grid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
+		os.Exit(1)
+	}
+	if topo != nil {
+		runTopology(topo.WithSegmentLen(*segLen), *rate, *n, *seed, *workers,
+			*scaleModel, *noisy, *withBatch, *csv, *tracePath, *traceDES)
+		return
+	}
 
 	cfg := sweep.DefaultConfig()
 	cfg.NumVehicles = *n
@@ -55,16 +78,7 @@ func main() {
 
 	fmt.Println("Fig. 7.2 — throughput (vehicles / total wait) vs input flow rate")
 	fmt.Printf("fleet=%d seed=%d geometry=%s noise=%v\n\n", *n, *seed, geometry(*scaleModel), *noisy)
-	emit := func(t interface {
-		String() string
-		CSV() string
-	}) {
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Print(t.String())
-		}
-	}
+	emit := emitter(*csv)
 	emit(res.ThroughputTable())
 
 	if *overhead {
@@ -86,6 +100,82 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nTrace written to %s\n%s", *tracePath, res.TraceSummary())
+	}
+}
+
+// parseTopology resolves the -corridor/-grid flags; nil means the classic
+// single-intersection sweep.
+func parseTopology(corridor int, grid string) (*topology.Topology, error) {
+	if corridor != 0 && grid != "" {
+		return nil, fmt.Errorf("-corridor and -grid are mutually exclusive")
+	}
+	if corridor != 0 {
+		return topology.Line(corridor)
+	}
+	if grid != "" {
+		var r, c int
+		if _, err := fmt.Sscanf(grid, "%dx%d", &r, &c); err != nil {
+			return nil, fmt.Errorf("-grid wants RxC (e.g. 2x2), got %q", grid)
+		}
+		return topology.Grid(r, c)
+	}
+	return nil, nil
+}
+
+func runTopology(topo *topology.Topology, rate float64, n int, seed int64, workers int,
+	scaleModel, noisy, withBatch, csv bool, tracePath string, traceDES bool) {
+	cfg := sweep.TopoConfig{
+		Topology:    topo,
+		Rate:        rate,
+		NumVehicles: n,
+		Seed:        seed,
+		Workers:     workers,
+		ScaleModel:  scaleModel,
+		Noisy:       noisy,
+	}
+	if withBatch {
+		cfg.Policies = []vehicle.Policy{
+			vehicle.PolicyVTIM, vehicle.PolicyAIM, vehicle.PolicyBatch, vehicle.PolicyCrossroads,
+		}
+	}
+	if tracePath != "" {
+		cfg.TraceFull = true
+		cfg.TraceDES = traceDES
+	}
+	res, err := sweep.RunTopology(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Multi-IM topology %s — end-to-end journeys\n", topo)
+	fmt.Printf("fleet=%d rate=%g seed=%d geometry=%s noise=%v seglen=%gm\n\n",
+		n, rate, seed, geometry(scaleModel), noisy, topo.SegmentLen())
+	emit := emitter(csv)
+	emit(res.JourneyTable())
+	fmt.Println("\nPer-intersection breakdown (wait vs unimpeded arrival at each node)")
+	emit(res.PerNodeTable())
+	if tracePath != "" {
+		if err := res.WriteTrace(tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "crossroads-sim: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nTrace written to %s\n", tracePath)
+	}
+}
+
+func emitter(csv bool) func(t interface {
+	String() string
+	CSV() string
+}) {
+	return func(t interface {
+		String() string
+		CSV() string
+	}) {
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+		}
 	}
 }
 

@@ -1,0 +1,25 @@
+package aim
+
+import (
+	"math/rand"
+
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+)
+
+// The registry entry lets the world construct one AIM shard per topology
+// node without linking a policy switch into the sim package.
+func init() {
+	im.RegisterPolicy(PolicyName, func(x *intersection.Intersection, opts im.PolicyOptions, rng *rand.Rand) (im.Scheduler, error) {
+		c := DefaultConfig()
+		c.Spec = opts.Spec
+		c.Cost = opts.Cost
+		if opts.AIMGridN > 0 {
+			c.GridN = opts.AIMGridN
+		}
+		if opts.AIMTimeStep > 0 {
+			c.TimeStep = opts.AIMTimeStep
+		}
+		return New(x, c, rng)
+	})
+}

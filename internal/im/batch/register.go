@@ -1,0 +1,20 @@
+package batch
+
+import (
+	"math/rand"
+
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+)
+
+// The registry entry lets the world construct one batch shard per topology
+// node without linking a policy switch into the sim package.
+func init() {
+	im.RegisterPolicy(PolicyName, func(x *intersection.Intersection, opts im.PolicyOptions, rng *rand.Rand) (im.Scheduler, error) {
+		c := DefaultConfig()
+		c.Spec = opts.Spec
+		c.Cost = opts.Cost
+		c.RefLength, c.RefWidth = opts.RefLength, opts.RefWidth
+		return New(x, c, rng)
+	})
+}

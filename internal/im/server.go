@@ -56,11 +56,13 @@ type Deferred interface {
 // simulated time — this is what produces the paper's worst-case 135 ms
 // queueing computation delay when four vehicles arrive at once.
 type Server struct {
-	sim   *des.Simulator
-	net   *network.Network
-	sched Scheduler
-	col   *metrics.Collector
-	trace *trace.Recorder
+	sim      *des.Simulator
+	net      *network.Network
+	sched    Scheduler
+	col      *metrics.Collector
+	trace    *trace.Recorder
+	endpoint string
+	node     int
 
 	queue      []Request
 	processing bool
@@ -78,12 +80,24 @@ func (s *Server) SetTrace(rec *trace.Recorder) {
 }
 
 // NewServer attaches a server running the given scheduler to the network at
-// EndpointName. col may be nil to skip metrics accounting.
+// EndpointName (topology node 0). col may be nil to skip metrics accounting.
 func NewServer(sim *des.Simulator, net *network.Network, sched Scheduler, col *metrics.Collector) *Server {
-	s := &Server{sim: sim, net: net, sched: sched, col: col}
-	net.Register(EndpointName, s.handle)
+	return NewServerAt(sim, net, sched, col, EndpointName, 0)
+}
+
+// NewServerAt attaches a server at an explicit network address, tagging its
+// trace events with the topology node it shards. Multi-node worlds run one
+// server per intersection; use NodeEndpoint for the address so vehicles and
+// servers agree on the naming scheme.
+func NewServerAt(sim *des.Simulator, net *network.Network, sched Scheduler, col *metrics.Collector,
+	endpoint string, node int) *Server {
+	s := &Server{sim: sim, net: net, sched: sched, col: col, endpoint: endpoint, node: node}
+	net.Register(endpoint, s.handle)
 	return s
 }
+
+// Endpoint returns the server's network address.
+func (s *Server) Endpoint() string { return s.endpoint }
 
 // Scheduler returns the wrapped policy.
 func (s *Server) Scheduler() Scheduler { return s.sched }
@@ -107,11 +121,11 @@ func (s *Server) handle(now float64, msg network.Message) {
 		p.T2 = now
 		p.T3 = now
 		if s.trace != nil {
-			s.trace.Emit(trace.Event{Kind: trace.KindSyncExchange, T: now, From: msg.From})
+			s.trace.Emit(trace.Event{Kind: trace.KindSyncExchange, T: now, From: msg.From, Node: s.node})
 		}
 		s.net.Send(network.Message{
 			Kind:    network.KindSyncResponse,
-			From:    EndpointName,
+			From:    s.endpoint,
 			To:      msg.From,
 			Payload: p,
 		})
@@ -136,7 +150,7 @@ func (s *Server) handle(now float64, msg network.Message) {
 		}
 		if s.trace != nil {
 			s.trace.Emit(trace.Event{
-				Kind: trace.KindIMRequest, T: now,
+				Kind: trace.KindIMRequest, T: now, Node: s.node,
 				Vehicle: req.VehicleID, Seq: req.Seq, Queue: s.QueueLen(),
 			})
 		}
@@ -153,9 +167,9 @@ func (s *Server) handle(now float64, msg network.Message) {
 		// wedge the lane FIFO behind a ghost.
 		s.net.Send(network.Message{
 			Kind:    network.KindAck,
-			From:    EndpointName,
+			From:    s.endpoint,
 			To:      msg.From,
-			Payload: p.VehicleID,
+			Payload: p,
 		})
 	case network.KindRegister:
 		// Registration is implicit; nothing to track beyond the network
@@ -196,7 +210,7 @@ func (s *Server) processNext() {
 	}
 	if s.trace != nil {
 		ev := trace.Event{
-			T: s.sim.Now(), Vehicle: req.VehicleID, Seq: req.Seq,
+			T: s.sim.Now(), Vehicle: req.VehicleID, Seq: req.Seq, Node: s.node,
 			Detail: resp.Kind.String(), WallNs: wall.Nanoseconds(),
 		}
 		switch {
@@ -225,7 +239,7 @@ func (s *Server) processNext() {
 	s.sim.After(sendDelay, func() {
 		s.net.Send(network.Message{
 			Kind:    kind,
-			From:    EndpointName,
+			From:    s.endpoint,
 			To:      vehicleEndpoint(req.VehicleID),
 			Payload: resp,
 		})
@@ -239,7 +253,7 @@ func (s *Server) processNext() {
 			}
 			if s.trace != nil {
 				s.trace.Emit(trace.Event{
-					Kind: trace.KindIMRevision, T: s.sim.Now(),
+					Kind: trace.KindIMRevision, T: s.sim.Now(), Node: s.node,
 					Vehicle: push.VehicleID, Value: push.Resp.ArriveAt,
 					Detail: push.Resp.Kind.String(),
 				})
@@ -247,7 +261,7 @@ func (s *Server) processNext() {
 			s.sim.After(cost, func() {
 				s.net.Send(network.Message{
 					Kind:    network.KindResponse,
-					From:    EndpointName,
+					From:    s.endpoint,
 					To:      vehicleEndpoint(push.VehicleID),
 					Payload: push.Resp,
 				})

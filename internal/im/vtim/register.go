@@ -1,0 +1,21 @@
+package vtim
+
+import (
+	"math/rand"
+
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+)
+
+// The registry entry lets the world construct one VT-IM shard per topology
+// node without linking a policy switch into the sim package.
+func init() {
+	im.RegisterPolicy(PolicyName, func(x *intersection.Intersection, opts im.PolicyOptions, rng *rand.Rand) (im.Scheduler, error) {
+		c := DefaultConfig()
+		c.Spec = opts.Spec
+		c.Cost = opts.Cost
+		c.RefLength, c.RefWidth = opts.RefLength, opts.RefWidth
+		c.OmitRTDBuffer = opts.OmitRTDBuffer
+		return New(x, c, rng)
+	})
+}

@@ -117,6 +117,25 @@ func (c *Collector) Completed() int {
 	return n
 }
 
+// AbsorbCounters folds another collector's run-level counters into this
+// one, leaving vehicle records untouched. Multi-node worlds keep one
+// collector per intersection for per-node scheduler accounting plus a
+// journey collector for end-to-end vehicle records; this merges the node
+// counters into the journey view. (Messages and Bytes are network-global
+// and set once on the journey collector, so they are deliberately not
+// summed here.)
+func (c *Collector) AbsorbCounters(o *Collector) {
+	if o == nil {
+		return
+	}
+	c.SchedulerInvocations += o.SchedulerInvocations
+	c.SchedulerWall += o.SchedulerWall
+	c.SchedulerSimDelay += o.SchedulerSimDelay
+	c.Collisions += o.Collisions
+	c.BufferViolations += o.BufferViolations
+	c.Revisions += o.Revisions
+}
+
 // Summary is the aggregate view of one run.
 type Summary struct {
 	Vehicles  int

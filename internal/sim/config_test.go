@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"crossroads/internal/trace"
+	"crossroads/internal/vehicle"
+)
+
+// TestConfigValidate pins the contradictions Validate must reject and the
+// defaults it must leave alone.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring; empty means valid
+	}{
+		{"zero value", Config{}, ""},
+		{"vtim ablation", Config{Policy: vehicle.PolicyVTIM, OmitRTDBuffer: true}, ""},
+		{"crossroads ablation", Config{Policy: vehicle.PolicyCrossroads, OmitRTDBuffer: true}, "OmitRTDBuffer"},
+		{"aim ablation", Config{Policy: vehicle.PolicyAIM, OmitRTDBuffer: true}, "OmitRTDBuffer"},
+		{"negative loss", Config{LossProb: -0.1}, "LossProb"},
+		{"certain loss", Config{LossProb: 1.0}, "LossProb"},
+		{"heavy but lawful loss", Config{LossProb: 0.5}, ""},
+		{"negative dt", Config{PhysicsDt: -0.01}, "PhysicsDt"},
+		{"negative max time", Config{MaxSimTime: -1}, "MaxSimTime"},
+		{"negative clock offset", Config{ClockMaxOffset: -0.2}, "ClockMaxOffset"},
+		{"negative drift", Config{ClockMaxDriftPPM: -20}, "ClockMaxDriftPPM"},
+		{"negative collision stride", Config{CollisionEvery: -1}, "CollisionEvery"},
+		{"negative aim grid", Config{Policy: vehicle.PolicyAIM, AIMGridN: -4}, "AIMGridN"},
+		{"negative aim step", Config{Policy: vehicle.PolicyAIM, AIMTimeStep: -0.1}, "AIMTimeStep"},
+		{"aim tuning on vtim", Config{Policy: vehicle.PolicyVTIM, AIMGridN: 16}, "AIM tuning"},
+		{"aim tuning on aim", Config{Policy: vehicle.PolicyAIM, AIMGridN: 16, AIMTimeStep: 0.05}, ""},
+		{"des firehose without recorder", Config{TraceDES: true}, "TraceDES"},
+		{"des firehose with recorder", Config{TraceDES: true, Trace: trace.NewFull()}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error mentioning %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidConfig checks the validation actually gates Run.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	arr := singleArrival()
+	_, err := Run(Config{Policy: vehicle.PolicyCrossroads, OmitRTDBuffer: true}, arr)
+	if err == nil || !strings.Contains(err.Error(), "OmitRTDBuffer") {
+		t.Fatalf("Run accepted a contradictory config (err=%v)", err)
+	}
+}

@@ -1,9 +1,12 @@
 // Package sim assembles the full closed-loop simulation: the discrete-event
-// kernel, the V2I network, the intersection geometry, one of the three IM
-// policies, and a fleet of vehicle agents with noisy plants and drifting
-// clocks. It is the Go equivalent of the paper's Matlab simulators plus the
-// physical-testbed effects (RTD, sync error, control error) those
-// simulators abstracted away.
+// kernel, the V2I network, a topology of intersections each managed by its
+// own IM shard, and a fleet of vehicle agents with noisy plants and
+// drifting clocks. It is the Go equivalent of the paper's Matlab simulators
+// plus the physical-testbed effects (RTD, sync error, control error) those
+// simulators abstracted away, generalized from the paper's single
+// intersection to corridors and grids: vehicles follow routes through a
+// sequence of intersections, re-entering the approach state machine at each
+// one while their synchronized clock and plant state carry across segments.
 package sim
 
 import (
@@ -11,13 +14,13 @@ import (
 	"math"
 	"math/rand"
 
-	"crossroads/internal/core"
+	_ "crossroads/internal/core" // register the crossroads policy
 	"crossroads/internal/des"
 	"crossroads/internal/geom"
 	"crossroads/internal/im"
-	"crossroads/internal/im/aim"
+	_ "crossroads/internal/im/aim" // register the aim policy
 	"crossroads/internal/im/batch"
-	"crossroads/internal/im/vtim"
+	_ "crossroads/internal/im/vtim" // register the vt-im policy
 	"crossroads/internal/intersection"
 	"crossroads/internal/kinematics"
 	"crossroads/internal/metrics"
@@ -25,6 +28,7 @@ import (
 	"crossroads/internal/plant"
 	"crossroads/internal/safety"
 	"crossroads/internal/timesync"
+	"crossroads/internal/topology"
 	"crossroads/internal/trace"
 	"crossroads/internal/traffic"
 	"crossroads/internal/vehicle"
@@ -32,8 +36,13 @@ import (
 
 // Config describes one simulation run.
 type Config struct {
-	// Intersection geometry; zero value uses the scale model.
+	// Intersection geometry; zero value uses the scale model. Every
+	// topology node reuses this geometry.
 	Intersection intersection.Config
+	// Topology is the road network; nil means topology.Single() — the
+	// classic one-intersection experiments, bit-identical to the
+	// pre-topology engine.
+	Topology *topology.Topology
 	// Policy selects the IM under test.
 	Policy vehicle.Policy
 	// Spec carries the uncertainty bounds (buffers, WC-RTD).
@@ -58,12 +67,15 @@ type Config struct {
 	ClockMaxOffset   float64
 	ClockMaxDriftPPM float64
 	// OmitRTDBuffer runs VT-IM without its RTD buffer — the UNSAFE
-	// ablation demonstrating why the buffer exists.
+	// ablation demonstrating why the buffer exists. Valid only with
+	// PolicyVTIM (the other policies have no such ablation).
 	OmitRTDBuffer bool
 	// AIMGridN and AIMTimeStep tune the AIM baseline; zero uses defaults.
 	AIMGridN    int
 	AIMTimeStep float64
 	// AgentOverrides, if non-nil, replaces the per-policy agent defaults.
+	// The per-leg IM binding (IMEndpoint, Node) is still forced by the
+	// world.
 	AgentOverrides *vehicle.Config
 	// CollisionEvery checks footprint overlaps every N physics ticks;
 	// 0 means every 2 ticks.
@@ -83,6 +95,46 @@ type Config struct {
 	TraceDES bool
 }
 
+// Validate rejects configurations that would silently run a different
+// experiment than the caller intended. Zero values that mean "use the
+// default" stay valid; contradictions and out-of-range knobs do not.
+func (cfg Config) Validate() error {
+	if cfg.OmitRTDBuffer && cfg.Policy != vehicle.PolicyVTIM {
+		return fmt.Errorf("sim: OmitRTDBuffer is a VT-IM ablation; policy %v has no RTD buffer to omit", cfg.Policy)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return fmt.Errorf("sim: LossProb %v outside [0, 1)", cfg.LossProb)
+	}
+	if cfg.PhysicsDt < 0 {
+		return fmt.Errorf("sim: negative PhysicsDt %v", cfg.PhysicsDt)
+	}
+	if cfg.MaxSimTime < 0 {
+		return fmt.Errorf("sim: negative MaxSimTime %v", cfg.MaxSimTime)
+	}
+	if cfg.ClockMaxOffset < 0 {
+		return fmt.Errorf("sim: negative ClockMaxOffset %v", cfg.ClockMaxOffset)
+	}
+	if cfg.ClockMaxDriftPPM < 0 {
+		return fmt.Errorf("sim: negative ClockMaxDriftPPM %v", cfg.ClockMaxDriftPPM)
+	}
+	if cfg.CollisionEvery < 0 {
+		return fmt.Errorf("sim: negative CollisionEvery %d", cfg.CollisionEvery)
+	}
+	if cfg.AIMGridN < 0 {
+		return fmt.Errorf("sim: negative AIMGridN %d", cfg.AIMGridN)
+	}
+	if cfg.AIMTimeStep < 0 {
+		return fmt.Errorf("sim: negative AIMTimeStep %v", cfg.AIMTimeStep)
+	}
+	if cfg.Policy != vehicle.PolicyAIM && (cfg.AIMGridN != 0 || cfg.AIMTimeStep != 0) {
+		return fmt.Errorf("sim: AIM tuning (GridN=%d, TimeStep=%v) set for policy %v", cfg.AIMGridN, cfg.AIMTimeStep, cfg.Policy)
+	}
+	if cfg.TraceDES && cfg.Trace == nil {
+		return fmt.Errorf("sim: TraceDES requires a Trace recorder")
+	}
+	return nil
+}
+
 // VehicleView is an observer snapshot of one active vehicle.
 type VehicleView struct {
 	ID       int64
@@ -90,6 +142,8 @@ type VehicleView struct {
 	Speed    float64
 	State    string
 	Movement intersection.MovementID
+	// Node is the topology node whose local frame Pose is expressed in.
+	Node int
 }
 
 // Result is the outcome of one run.
@@ -97,23 +151,53 @@ type Result struct {
 	Policy  string
 	Summary metrics.Summary
 	Network network.Stats
-	// Vehicles holds the per-vehicle records in arrival order.
+	// Vehicles holds the end-to-end journey records in arrival order.
 	Vehicles []metrics.VehicleRecord
+	// PerNode holds one summary per topology node: the crossings of that
+	// intersection alone, with wait measured against the vehicle's
+	// unimpeded arrival at the node's transmission line. On single-
+	// intersection runs PerNode[0] equals Summary's vehicle statistics.
+	PerNode []metrics.Summary
 	// Incomplete lists vehicles that never finished (0 for healthy runs).
 	Incomplete int
 }
 
-// vehState tracks one active vehicle.
+// vehState tracks one active vehicle along its route.
 type vehState struct {
-	arr      traffic.Arrival
-	agent    *vehicle.Agent
-	plant    *plant.Plant
+	arr   traffic.Arrival
+	agent *vehicle.Agent
+	plant *plant.Plant
+
+	// legs/movs/turns describe the route; leg indexes the current one.
+	legs  []topology.Leg
+	movs  []*intersection.Movement
+	turns []intersection.Turn
+	leg   int
+	node  int
+
 	movement *intersection.Movement
-	rec      *metrics.VehicleRecord
-	entered  bool
-	done     bool
-	gone     bool
+	// jrec is the end-to-end journey record; nrec the current node's
+	// crossing record. On single-node runs they are the same record.
+	jrec *metrics.VehicleRecord
+	nrec *metrics.VehicleRecord
+	// legRetries0 snapshots the agent's cumulative retries at leg entry so
+	// nrec can report the per-node delta.
+	legRetries0 int
+
+	entered bool
+	done    bool
+	// transit marks a vehicle cruising the road segment between two
+	// nodes: it has despawned from the previous node's local frame and
+	// re-enters the next one's at its scheduled arrival.
+	transit bool
+	// legArrive and legSpeed are the unimpeded arrival time and speed at
+	// the next node's transmission line, fixed when transit begins.
+	legArrive float64
+	legSpeed  float64
+	gone      bool
 }
+
+func (v *vehState) lastLeg() bool { return v.leg == len(v.legs)-1 }
 
 // Run executes one full simulation of the workload under the configured
 // policy and returns the aggregated result.
@@ -125,15 +209,25 @@ func Run(cfg Config, arrivals []traffic.Arrival) (Result, error) {
 	return w.run()
 }
 
+// worldNode is one intersection's IM shard and its node-local accounting.
+type worldNode struct {
+	server *im.Server
+	col    *metrics.Collector
+}
+
 type world struct {
 	cfg      Config
 	arrivals []traffic.Arrival
 
-	sim    *des.Simulator
-	net    *network.Network
-	x      *intersection.Intersection
-	server *im.Server
-	col    *metrics.Collector
+	sim   *des.Simulator
+	net   *network.Network
+	x     *intersection.Intersection
+	topo  *topology.Topology
+	nodes []worldNode
+	// col is the journey-level collector. On single-node runs it is the
+	// same object as nodes[0].col, which keeps the classic results
+	// bit-identical (every counter lands exactly where it used to).
+	col *metrics.Collector
 
 	rngClock *rand.Rand
 	rngPlant *rand.Rand
@@ -154,11 +248,17 @@ type world struct {
 }
 
 func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(arrivals) == 0 {
 		return nil, fmt.Errorf("sim: empty workload")
 	}
 	if cfg.Intersection == (intersection.Config{}) {
 		cfg.Intersection = intersection.ScaleModelConfig()
+	}
+	if cfg.Topology == nil {
+		cfg.Topology = topology.Single()
 	}
 	if cfg.Spec == (safety.Spec{}) {
 		cfg.Spec = safety.TestbedSpec()
@@ -187,57 +287,51 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 	}
 	sim := des.New()
 	rngNet := rand.New(rand.NewSource(cfg.Seed + 1))
-	rngIM := rand.New(rand.NewSource(cfg.Seed + 2))
 	net := network.New(sim, rngNet, cfg.Delay, cfg.LossProb)
 	col := metrics.NewCollector()
 
 	// Reference footprint: the largest vehicle in the workload.
 	refLen, refWid := 0.0, 0.0
+	numNodes := cfg.Topology.NumNodes()
 	for _, a := range arrivals {
 		if err := a.Params.Validate(); err != nil {
 			return nil, fmt.Errorf("sim: arrival %d: %w", a.ID, err)
+		}
+		if a.Node < 0 || a.Node >= numNodes {
+			return nil, fmt.Errorf("sim: arrival %d enters at node %d; topology %s has %d nodes",
+				a.ID, a.Node, cfg.Topology, numNodes)
 		}
 		refLen = math.Max(refLen, a.Params.Length)
 		refWid = math.Max(refWid, a.Params.Width)
 	}
 
-	var sched im.Scheduler
-	switch cfg.Policy {
-	case vehicle.PolicyVTIM:
-		c := vtim.DefaultConfig()
-		c.Spec = cfg.Spec
-		c.Cost = cfg.Cost
-		c.RefLength, c.RefWidth = refLen, refWid
-		c.OmitRTDBuffer = cfg.OmitRTDBuffer
-		sched, err = vtim.New(x, c, rngIM)
-	case vehicle.PolicyCrossroads:
-		c := core.DefaultConfig()
-		c.Spec = cfg.Spec
-		c.Cost = cfg.Cost
-		c.RefLength, c.RefWidth = refLen, refWid
-		sched, err = core.New(x, c, rngIM)
-	case vehicle.PolicyBatch:
-		c := batch.DefaultConfig()
-		c.Spec = cfg.Spec
-		c.Cost = cfg.Cost
-		c.RefLength, c.RefWidth = refLen, refWid
-		sched, err = batch.New(x, c, rngIM)
-	case vehicle.PolicyAIM:
-		c := aim.DefaultConfig()
-		c.Spec = cfg.Spec
-		c.Cost = cfg.Cost
-		if cfg.AIMGridN > 0 {
-			c.GridN = cfg.AIMGridN
-		}
-		if cfg.AIMTimeStep > 0 {
-			c.TimeStep = cfg.AIMTimeStep
-		}
-		sched, err = aim.New(x, c, rngIM)
-	default:
-		return nil, fmt.Errorf("sim: unknown policy %v", cfg.Policy)
+	opts := im.PolicyOptions{
+		Spec:          cfg.Spec,
+		Cost:          cfg.Cost,
+		RefLength:     refLen,
+		RefWidth:      refWid,
+		OmitRTDBuffer: cfg.OmitRTDBuffer,
+		AIMGridN:      cfg.AIMGridN,
+		AIMTimeStep:   cfg.AIMTimeStep,
 	}
-	if err != nil {
-		return nil, err
+	// One IM shard per topology node, each with its own scheduler state and
+	// RNG stream (node 0 keeps the classic Seed+2 stream), all sharing the
+	// kernel and the V2I network.
+	nodes := make([]worldNode, numNodes)
+	for k := range nodes {
+		nodeCol := col
+		if numNodes > 1 {
+			nodeCol = metrics.NewCollector()
+		}
+		rngIM := rand.New(rand.NewSource(cfg.Seed + 2 + 1000*int64(k)))
+		sched, err := im.NewScheduler(cfg.Policy.String(), x, opts, rngIM)
+		if err != nil {
+			return nil, err
+		}
+		nodes[k] = worldNode{
+			server: im.NewServerAt(sim, net, sched, nodeCol, im.NodeEndpoint(k), k),
+			col:    nodeCol,
+		}
 	}
 
 	refParams := arrivals[0].Params
@@ -267,13 +361,14 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 	// buffers exist to guarantee.
 	buffers := cfg.Spec.ForCrossroads()
 
-	server := im.NewServer(sim, net, sched, col)
 	if cfg.Trace != nil {
 		// Layers without a clock (the reservation book) stamp events via
 		// the recorder's injected clock.
 		cfg.Trace.Now = sim.Now
 		net.SetTrace(cfg.Trace)
-		server.SetTrace(cfg.Trace)
+		for k := range nodes {
+			nodes[k].server.SetTrace(cfg.Trace)
+		}
 		if cfg.TraceDES {
 			sim.SetTrace(cfg.Trace)
 		}
@@ -285,7 +380,8 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 		sim:         sim,
 		net:         net,
 		x:           x,
-		server:      server,
+		topo:        cfg.Topology,
+		nodes:       nodes,
 		col:         col,
 		rngClock:    rand.New(rand.NewSource(cfg.Seed + 3)),
 		rngPlant:    rand.New(rand.NewSource(cfg.Seed + 4)),
@@ -297,13 +393,19 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 }
 
 func (w *world) run() (Result, error) {
+	maxLegs := 1
 	for _, a := range w.arrivals {
 		a := a
 		w.sim.At(a.Time, func() { w.spawn(a) })
+		if n := 1 + len(a.OnwardTurns); n > maxLegs {
+			maxLegs = n
+		}
 	}
 	maxTime := w.cfg.MaxSimTime
 	if maxTime <= 0 {
-		maxTime = w.arrivals[len(w.arrivals)-1].Time + 60 + 3*float64(len(w.arrivals))
+		perLeg := 60 + 3*float64(len(w.arrivals))
+		maxTime = w.arrivals[len(w.arrivals)-1].Time + perLeg*float64(maxLegs) +
+			float64(maxLegs-1)*w.topo.SegmentLen()
 	}
 	dt := w.cfg.PhysicsDt
 	stop := w.sim.Ticker(w.arrivals[0].Time, dt, func() bool {
@@ -315,37 +417,68 @@ func (w *world) run() (Result, error) {
 
 	incomplete := 0
 	for _, v := range w.active {
-		if !v.rec.Done {
+		if !v.jrec.Done {
 			incomplete++
 		}
 	}
 	st := w.net.TotalStats()
 	w.col.Messages = st.Sent
 	w.col.Bytes = st.Bytes
+	if len(w.nodes) > 1 {
+		// Fold the per-node scheduler and safety counters into the journey
+		// view (single-node runs share the collector, so there is nothing
+		// to fold).
+		for _, n := range w.nodes {
+			w.col.AbsorbCounters(n.col)
+		}
+	}
 	var vehicles []metrics.VehicleRecord
 	for _, r := range w.col.Records() {
 		vehicles = append(vehicles, *r)
 	}
+	perNode := make([]metrics.Summary, len(w.nodes))
+	for k := range w.nodes {
+		perNode[k] = w.nodes[k].col.Summarize()
+	}
 	return Result{
-		Policy:     w.server.Scheduler().Name(),
+		Policy:     w.nodes[0].server.Scheduler().Name(),
 		Summary:    w.col.Summarize(),
 		Network:    st,
 		Vehicles:   vehicles,
+		PerNode:    perNode,
 		Incomplete: incomplete,
 	}, nil
 }
 
-func (w *world) spawn(a traffic.Arrival) {
-	m := w.x.Movement(a.Movement)
-	if m == nil {
-		panic(fmt.Sprintf("sim: arrival %d references unknown movement %v", a.ID, a.Movement))
+// route resolves an arrival's turn list against the topology.
+func (w *world) route(a traffic.Arrival) (legs []topology.Leg, movs []*intersection.Movement, turns []intersection.Turn) {
+	turns = make([]intersection.Turn, 0, 1+len(a.OnwardTurns))
+	turns = append(turns, a.Movement.Turn)
+	turns = append(turns, a.OnwardTurns...)
+	legs = w.topo.Route(topology.NodeID(a.Node), a.Movement.Approach, turns)
+	if len(legs) == 0 {
+		panic(fmt.Sprintf("sim: arrival %d has no route from node %d approach %v", a.ID, a.Node, a.Movement.Approach))
 	}
+	movs = make([]*intersection.Movement, len(legs))
+	for k, leg := range legs {
+		id := intersection.MovementID{Approach: leg.Approach, Lane: a.Movement.Lane, Turn: turns[k]}
+		movs[k] = w.x.Movement(id)
+		if movs[k] == nil {
+			panic(fmt.Sprintf("sim: arrival %d references unknown movement %v", a.ID, id))
+		}
+	}
+	return legs, movs, turns[:len(legs)]
+}
+
+func (w *world) spawn(a traffic.Arrival) {
+	legs, movs, turns := w.route(a)
+	m := movs[0]
 	// Gate the spawn on the queue tail: a vehicle cannot materialize at
 	// speed right behind a standing queue — upstream it would have slowed
 	// or stopped. Cap the entry speed at the safe-approach envelope and
 	// defer entirely when the queue reaches back to the transmission line.
 	speed := a.Speed
-	if tail := w.queueTail(a.Movement); tail != nil {
+	if tail := w.queueTail(a.Node, m.ID); tail != nil {
 		gap := tail.plant.S() - (tail.plant.Params.Length+a.Params.Length)/2 - w.agentCfg.MinGap
 		if gap < 0.05 {
 			w.sim.After(0.25, func() { w.spawn(a) })
@@ -358,7 +491,7 @@ func (w *world) spawn(a traffic.Arrival) {
 	w.spawned++
 	if w.cfg.Trace != nil {
 		w.cfg.Trace.Emit(trace.Event{
-			Kind: trace.KindSimSpawn, T: w.sim.Now(), Vehicle: a.ID,
+			Kind: trace.KindSimSpawn, T: w.sim.Now(), Vehicle: a.ID, Node: a.Node,
 			Detail: a.Movement.String(), Value: speed,
 		})
 	}
@@ -369,34 +502,111 @@ func (w *world) spawn(a traffic.Arrival) {
 	clk := timesync.NewSyncedClock(
 		timesync.NewRandomClock(w.rngClock, w.cfg.ClockMaxOffset, w.cfg.ClockMaxDriftPPM), 8)
 
-	vs := &vehState{arr: a, plant: pl, movement: m}
-	agent, err := vehicle.New(a.ID, m, pl, clk, w.agentCfg, w.sim, w.net, w.leaderFor(vs))
+	vs := &vehState{arr: a, plant: pl, movement: m, legs: legs, movs: movs, turns: turns, node: a.Node}
+	acfg := w.agentCfg
+	acfg.IMEndpoint = im.NodeEndpoint(a.Node)
+	acfg.Node = a.Node
+	agent, err := vehicle.New(a.ID, m, pl, clk, acfg, w.sim, w.net, w.leaderFor(vs))
 	if err != nil {
 		panic(fmt.Sprintf("sim: agent for %d: %v", a.ID, err))
 	}
 	vs.agent = agent
 
-	rec := w.col.Vehicle(a.ID)
-	rec.Movement = a.Movement.String()
+	jrec := w.col.Vehicle(a.ID)
+	jrec.Movement = a.Movement.String()
 	// Wait time is measured from the *intended* transmission-line arrival,
 	// so time spent queuing behind a backed-up lane counts as delay.
-	rec.SpawnTime = a.Time
-	exitDist := m.ExitS + a.Params.Length/2
-	eta, _, _ := kinematics.EarliestArrival(0, exitDist, a.Speed, a.Params)
-	rec.FreeFlowTime = eta
-	vs.rec = rec
+	jrec.SpawnTime = a.Time
+	// Journey free flow covers the full route: each non-final leg's local
+	// path plus the inter-node segment, then the final leg to box exit.
+	total := movs[len(movs)-1].ExitS + a.Params.Length/2
+	for k := 0; k < len(movs)-1; k++ {
+		total += movs[k].Length + w.topo.SegmentLen()
+	}
+	eta, _, _ := kinematics.EarliestArrival(0, total, a.Speed, a.Params)
+	jrec.FreeFlowTime = eta
+	vs.jrec = jrec
+
+	nrec := jrec
+	if len(w.nodes) > 1 {
+		nrec = w.nodes[a.Node].col.Vehicle(a.ID)
+		nrec.Movement = m.ID.String()
+		nrec.SpawnTime = a.Time
+		legEta, _, _ := kinematics.EarliestArrival(0, m.ExitS+a.Params.Length/2, a.Speed, a.Params)
+		nrec.FreeFlowTime = legEta
+	}
+	vs.nrec = nrec
 
 	w.active = append(w.active, vs)
 	agent.Start()
 }
 
-// queueTail returns the rearmost active vehicle on the arrival's entry lane
+// beginTransit despawns a vehicle from its current node's local frame and
+// schedules its arrival at the next node's transmission line, carrying the
+// exit speed across the connecting segment.
+func (w *world) beginTransit(v *vehState) {
+	v.transit = true
+	eta, vArr, _ := kinematics.EarliestArrival(0, w.topo.SegmentLen(), v.plant.V(), v.plant.Params)
+	v.legArrive = w.sim.Now() + eta
+	v.legSpeed = vArr
+	w.sim.After(eta, func() { w.enterLeg(v) })
+}
+
+// enterLeg re-enters a transiting vehicle at the next node on its route,
+// with the same spawn gating as a fresh arrival: a queue reaching back to
+// the transmission line defers entry, otherwise the entry speed is capped
+// by the safe-following envelope behind the queue tail.
+func (w *world) enterLeg(v *vehState) {
+	leg := v.leg + 1
+	m := v.movs[leg]
+	node := int(v.legs[leg].Node)
+	speed := v.legSpeed
+	if tail := w.queueTail(node, m.ID); tail != nil {
+		gap := tail.plant.S() - (tail.plant.Params.Length+v.plant.Params.Length)/2 - w.agentCfg.MinGap
+		if gap < 0.05 {
+			w.sim.After(0.25, func() { w.enterLeg(v) })
+			return
+		}
+		vSafe := vehicle.SafeFollowSpeed(gap, tail.plant.V(), tail.plant.Params.MaxDecel,
+			v.plant.Params.MaxDecel, w.agentCfg.HeadwayTau)
+		speed = math.Min(speed, vSafe)
+	}
+	pl, err := plant.New(m.Path, v.plant.Params, 0, speed, w.cfg.Noise, w.rngPlant)
+	if err != nil {
+		panic(fmt.Sprintf("sim: leg plant for %d: %v", v.arr.ID, err))
+	}
+	v.leg = leg
+	v.node = node
+	v.movement = m
+	v.plant = pl
+	v.entered = false
+	v.done = false
+	v.transit = false
+	v.legRetries0 = v.agent.Retries
+
+	nrec := w.nodes[node].col.Vehicle(v.arr.ID)
+	nrec.Movement = m.ID.String()
+	nrec.SpawnTime = v.legArrive
+	legEta, _, _ := kinematics.EarliestArrival(0, m.ExitS+v.plant.Params.Length/2, v.legSpeed, v.plant.Params)
+	nrec.FreeFlowTime = legEta
+	v.nrec = nrec
+
+	if w.cfg.Trace != nil {
+		w.cfg.Trace.Emit(trace.Event{
+			Kind: trace.KindSimHop, T: w.sim.Now(), Vehicle: v.arr.ID, Node: node,
+			Detail: m.ID.String(), Value: speed,
+		})
+	}
+	v.agent.BeginLeg(m, pl, im.NodeEndpoint(node), node)
+}
+
+// queueTail returns the rearmost active vehicle on the node's entry lane
 // that is still on the approach, or nil.
-func (w *world) queueTail(mv intersection.MovementID) *vehState {
+func (w *world) queueTail(node int, mv intersection.MovementID) *vehState {
 	var tail *vehState
 	minS := math.Inf(1)
 	for _, v := range w.active {
-		if v.gone {
+		if v.gone || v.transit || v.node != node {
 			continue
 		}
 		if v.movement.ID.Approach == mv.Approach && v.movement.ID.Lane == mv.Lane &&
@@ -410,14 +620,15 @@ func (w *world) queueTail(mv intersection.MovementID) *vehState {
 
 // leaderFor builds the car-following oracle for one vehicle: the nearest
 // vehicle ahead in the same corridor (shared approach lane before the box,
-// shared exit lane after it, or the identical movement throughout).
+// shared exit lane after it, or the identical movement throughout) at the
+// same topology node.
 func (w *world) leaderFor(self *vehState) vehicle.LeaderFunc {
 	return func() (vehicle.LeaderInfo, bool) {
 		sSelf := self.plant.S()
 		best := vehicle.LeaderInfo{Gap: math.Inf(1)}
 		found := false
 		for _, o := range w.active {
-			if o == self || o.gone {
+			if o == self || o.gone || o.transit || o.node != self.node {
 				continue
 			}
 			gap, merge, ok := corridorGap(self, o, sSelf)
@@ -486,7 +697,7 @@ func (w *world) step(dt float64) {
 	now := w.sim.Now()
 	// Control + physics.
 	for _, v := range w.active {
-		if v.gone {
+		if v.gone || v.transit {
 			continue
 		}
 		vCmd := v.agent.ControlStep(now, dt)
@@ -495,29 +706,41 @@ func (w *world) step(dt float64) {
 	// Lifecycle transitions.
 	kept := w.active[:0]
 	for _, v := range w.active {
+		if v.transit {
+			kept = append(kept, v)
+			continue
+		}
 		s := v.plant.S()
 		if !v.entered && s >= v.movement.EnterS {
 			v.entered = true
-			v.rec.EnterTime = now
+			v.nrec.EnterTime = now
 		}
 		if !v.done && s >= v.movement.ExitS+v.plant.Params.Length/2 {
 			v.done = true
-			v.rec.ExitTime = now
-			v.rec.Done = true
-			v.rec.Retries = v.agent.Retries
+			v.nrec.ExitTime = now
+			v.nrec.Done = true
+			v.nrec.Retries = v.agent.Retries - v.legRetries0
+			if v.lastLeg() {
+				v.jrec.ExitTime = now
+				v.jrec.Done = true
+				v.jrec.Retries = v.agent.Retries
+			}
 			if w.cfg.Trace != nil {
 				w.cfg.Trace.Emit(trace.Event{
-					Kind: trace.KindSimExit, T: now, Vehicle: v.arr.ID,
+					Kind: trace.KindSimExit, T: now, Vehicle: v.arr.ID, Node: v.node,
 					Detail: v.movement.ID.String(),
 				})
 			}
 			v.agent.NotifyExit()
 		}
 		if s >= v.movement.Length-1e-6 {
-			v.gone = true
-			v.rec.Retries = v.agent.Retries
-			v.agent.Stop()
-			continue
+			if v.lastLeg() {
+				v.gone = true
+				v.jrec.Retries = v.agent.Retries
+				v.agent.Stop()
+				continue
+			}
+			w.beginTransit(v)
 		}
 		kept = append(kept, v)
 	}
@@ -535,12 +758,16 @@ func (w *world) step(dt float64) {
 		if w.tick%every == 0 {
 			w.views = w.views[:0]
 			for _, v := range w.active {
+				if v.transit {
+					continue
+				}
 				w.views = append(w.views, VehicleView{
 					ID:       v.arr.ID,
 					Pose:     v.plant.Pose(),
 					Speed:    v.plant.V(),
 					State:    v.agent.State().String(),
 					Movement: v.movement.ID,
+					Node:     v.node,
 				})
 			}
 			w.cfg.Observer(now, w.views)
@@ -550,24 +777,32 @@ func (w *world) step(dt float64) {
 
 // checkCollisions counts physical body overlaps (anywhere) and planning-
 // buffer overlaps between cross traffic near the box — the safety contract
-// the IM policies must uphold.
+// the IM policies must uphold. Plants live in their node's local frame, so
+// only same-node pairs are compared; violations are charged to the node
+// where they happened.
 func (w *world) checkCollisions() {
 	box := w.x.Box().Expand(w.buffers.Long + 0.5)
 	for i := 0; i < len(w.active); i++ {
 		vi := w.active[i]
+		if vi.transit {
+			continue
+		}
 		fi := vi.plant.Footprint()
 		bi := fi.Inflate(w.buffers.Long, w.buffers.Lat)
 		for j := i + 1; j < len(w.active); j++ {
 			vj := w.active[j]
+			if vj.transit || vj.node != vi.node {
+				continue
+			}
 			key := [2]int64{vi.arr.ID, vj.arr.ID}
 			fj := vj.plant.Footprint()
 
 			phys := fi.Intersects(fj)
 			if phys && !w.overlapping[key] {
-				w.col.Collisions++
+				w.nodes[vi.node].col.Collisions++
 				if w.cfg.Trace != nil {
 					w.cfg.Trace.Emit(trace.Event{
-						Kind: trace.KindSimCollision, T: w.sim.Now(),
+						Kind: trace.KindSimCollision, T: w.sim.Now(), Node: vi.node,
 						Vehicle: vi.arr.ID, Other: vj.arr.ID,
 					})
 				}
@@ -590,10 +825,10 @@ func (w *world) checkCollisions() {
 				bj := fj.Inflate(w.buffers.Long, w.buffers.Lat)
 				buf := bi.Intersects(bj)
 				if buf && !w.bufOverlap[key] {
-					w.col.BufferViolations++
+					w.nodes[vi.node].col.BufferViolations++
 					if w.cfg.Trace != nil {
 						w.cfg.Trace.Emit(trace.Event{
-							Kind: trace.KindSimBufViol, T: w.sim.Now(),
+							Kind: trace.KindSimBufViol, T: w.sim.Now(), Node: vi.node,
 							Vehicle: vi.arr.ID, Other: vj.arr.ID,
 						})
 					}

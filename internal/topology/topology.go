@@ -1,0 +1,220 @@
+// Package topology describes the road network a simulation runs on: a
+// directed graph of intersections (nodes), each managed by its own IM
+// shard, connected by road segments. The classic single-intersection
+// experiments are the Single() special case; Line(n) builds an n-node
+// corridor and Grid(r, c) a full r x c Manhattan grid.
+//
+// Nodes sit on an integer (Row, Col) layout grid. Adjacency follows the
+// direction of travel: a vehicle leaving node (r, c) traveling east reaches
+// node (r, c+1) and enters it on its East approach (approaches are named by
+// direction of travel, see package intersection). Every node reuses the
+// same intersection geometry; SegmentLen meters of plain road separate one
+// node's despawn point from the next node's transmission line.
+package topology
+
+import (
+	"fmt"
+
+	"crossroads/internal/intersection"
+)
+
+// NodeID identifies one intersection in the network. IDs are dense,
+// starting at 0; Single()'s only node is 0, which is how the single-node
+// special case keeps the historic IM endpoint name and trace shape.
+type NodeID int
+
+// Node is one intersection in the network.
+type Node struct {
+	ID NodeID
+	// Row and Col place the node on the layout grid. Col increases
+	// eastward, Row increases northward (matching the geometry's heading
+	// convention: East = +X, North = +Y). Corridors have Row == 0.
+	Row, Col int
+}
+
+// EntryPoint is a boundary approach: a (node, direction-of-travel) pair
+// with no upstream intersection feeding it. Workload generators spawn
+// vehicles only at entry points.
+type EntryPoint struct {
+	Node     NodeID
+	Approach intersection.Approach
+}
+
+// Leg is one intersection crossing of a route: the node and the approach
+// (direction of travel) on which the vehicle enters it.
+type Leg struct {
+	Node     NodeID
+	Approach intersection.Approach
+}
+
+// Topology is an immutable road network. Construct with Single, Line, or
+// Grid.
+type Topology struct {
+	rows, cols int
+	nodes      []Node
+	byPos      map[[2]int]NodeID
+	// segmentLen is the extra road (m) between one node's despawn point
+	// and the next node's transmission line; 0 means the exit lane feeds
+	// the approach lane directly.
+	segmentLen float64
+}
+
+// Single returns the one-intersection network of the classic experiments.
+func Single() *Topology {
+	t, err := Grid(1, 1)
+	if err != nil {
+		panic(err) // unreachable: 1x1 is always valid
+	}
+	return t
+}
+
+// Line returns an n-intersection east-west corridor (nodes (0,0)..(0,n-1)).
+func Line(n int) (*Topology, error) {
+	return Grid(1, n)
+}
+
+// Grid returns a rows x cols Manhattan grid of intersections.
+func Grid(rows, cols int) (*Topology, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topology: grid %dx%d must be at least 1x1", rows, cols)
+	}
+	t := &Topology{
+		rows:  rows,
+		cols:  cols,
+		byPos: make(map[[2]int]NodeID, rows*cols),
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := NodeID(len(t.nodes))
+			t.nodes = append(t.nodes, Node{ID: id, Row: r, Col: c})
+			t.byPos[[2]int{r, c}] = id
+		}
+	}
+	return t, nil
+}
+
+// WithSegmentLen returns the same topology with the given inter-node road
+// length (m). Negative lengths are clamped to 0.
+func (t *Topology) WithSegmentLen(l float64) *Topology {
+	if l < 0 {
+		l = 0
+	}
+	out := *t
+	out.segmentLen = l
+	return &out
+}
+
+// SegmentLen returns the road length between adjacent nodes (m).
+func (t *Topology) SegmentLen() float64 { return t.segmentLen }
+
+// NumNodes returns how many intersections the network has.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// Diameter returns the number of intersections on the longest monotone
+// (no-backtracking) route through the grid: rows + cols - 1. Workload
+// generators use it as the natural bound on route length.
+func (t *Topology) Diameter() int { return t.rows + t.cols - 1 }
+
+// Nodes returns the nodes in ID order.
+func (t *Topology) Nodes() []Node { return append([]Node(nil), t.nodes...) }
+
+// Node returns the node with the given ID.
+func (t *Topology) Node(id NodeID) (Node, bool) {
+	if id < 0 || int(id) >= len(t.nodes) {
+		return Node{}, false
+	}
+	return t.nodes[id], true
+}
+
+// At returns the node at a layout position.
+func (t *Topology) At(row, col int) (NodeID, bool) {
+	id, ok := t.byPos[[2]int{row, col}]
+	return id, ok
+}
+
+// Next returns the downstream node a vehicle reaches when it leaves id
+// traveling in direction dir, or false when that road leaves the network.
+func (t *Topology) Next(id NodeID, dir intersection.Approach) (NodeID, bool) {
+	n, ok := t.Node(id)
+	if !ok {
+		return 0, false
+	}
+	r, c := n.Row, n.Col
+	switch dir {
+	case intersection.East:
+		c++
+	case intersection.North:
+		r++
+	case intersection.West:
+		c--
+	case intersection.South:
+		r--
+	default:
+		return 0, false
+	}
+	return t.At(r, c)
+}
+
+// IsEntry reports whether (id, approach) is a boundary entry: no upstream
+// node feeds traffic arriving at id traveling in direction approach.
+func (t *Topology) IsEntry(id NodeID, approach intersection.Approach) bool {
+	// The upstream feeder sits opposite to the direction of travel.
+	_, ok := t.Next(id, approach.Opposite())
+	return !ok
+}
+
+// EntryPoints enumerates the boundary entries in deterministic order:
+// nodes by ID, approaches East, North, West, South. For Single() this is
+// exactly the four approaches of node 0, matching the classic single-
+// intersection workload generators.
+func (t *Topology) EntryPoints() []EntryPoint {
+	var out []EntryPoint
+	for _, n := range t.nodes {
+		for a := intersection.East; a < intersection.NumApproaches; a++ {
+			if t.IsEntry(n.ID, a) {
+				out = append(out, EntryPoint{Node: n.ID, Approach: a})
+			}
+		}
+	}
+	return out
+}
+
+// Route expands an entry point and a per-node turn sequence into the legs
+// of a journey: leg k is crossed with turns[k], and that turn's exit
+// direction selects the next node, so a route never has more legs than
+// turns. The route ends when it leaves the network, exhausts the turn
+// sequence, or would revisit a node (routes are loop-free so per-node
+// metrics stay well defined). At least the entry leg is returned when the
+// entry node exists and a turn is supplied for it.
+func (t *Topology) Route(entry NodeID, approach intersection.Approach, turns []intersection.Turn) []Leg {
+	if _, ok := t.Node(entry); !ok || len(turns) == 0 {
+		return nil
+	}
+	legs := []Leg{{Node: entry, Approach: approach}}
+	visited := map[NodeID]bool{entry: true}
+	for len(legs) < len(turns) {
+		cur := legs[len(legs)-1]
+		exitDir := turns[len(legs)-1].Exit(cur.Approach)
+		nxt, ok := t.Next(cur.Node, exitDir)
+		if !ok || visited[nxt] {
+			break
+		}
+		legs = append(legs, Leg{Node: nxt, Approach: exitDir})
+		visited[nxt] = true
+	}
+	return legs
+}
+
+// String names the network: "single", "corridor-<n>", or "grid-<r>x<c>".
+func (t *Topology) String() string {
+	switch {
+	case t.rows == 1 && t.cols == 1:
+		return "single"
+	case t.rows == 1:
+		return fmt.Sprintf("corridor-%d", t.cols)
+	case t.cols == 1:
+		return fmt.Sprintf("corridor-%dns", t.rows)
+	default:
+		return fmt.Sprintf("grid-%dx%d", t.rows, t.cols)
+	}
+}

@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"testing"
+
+	"crossroads/internal/intersection"
+)
+
+func TestSingle(t *testing.T) {
+	topo := Single()
+	if topo.NumNodes() != 1 {
+		t.Fatalf("Single has %d nodes, want 1", topo.NumNodes())
+	}
+	if topo.String() != "single" {
+		t.Errorf("Single name %q", topo.String())
+	}
+	eps := topo.EntryPoints()
+	if len(eps) != 4 {
+		t.Fatalf("Single has %d entry points, want 4", len(eps))
+	}
+	// Entry order must match the classic generators: E, N, W, S at node 0.
+	for i, ep := range eps {
+		if ep.Node != 0 || ep.Approach != intersection.Approach(i) {
+			t.Errorf("entry %d = %+v", i, ep)
+		}
+	}
+	if _, ok := topo.Next(0, intersection.East); ok {
+		t.Error("Single should have no downstream nodes")
+	}
+}
+
+func TestLineAdjacency(t *testing.T) {
+	topo, err := Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 3 {
+		t.Fatalf("Line(3) has %d nodes", topo.NumNodes())
+	}
+	if topo.String() != "corridor-3" {
+		t.Errorf("Line(3) name %q", topo.String())
+	}
+	// Eastbound chain 0 -> 1 -> 2, westbound chain 2 -> 1 -> 0.
+	for i := 0; i < 2; i++ {
+		nxt, ok := topo.Next(NodeID(i), intersection.East)
+		if !ok || nxt != NodeID(i+1) {
+			t.Errorf("Next(%d, east) = %v, %v", i, nxt, ok)
+		}
+		prev, ok := topo.Next(NodeID(i+1), intersection.West)
+		if !ok || prev != NodeID(i) {
+			t.Errorf("Next(%d, west) = %v, %v", i+1, prev, ok)
+		}
+	}
+	// North/south always leave a corridor.
+	for i := 0; i < 3; i++ {
+		if _, ok := topo.Next(NodeID(i), intersection.North); ok {
+			t.Errorf("node %d unexpectedly has a northern neighbor", i)
+		}
+	}
+	// Entry points: all four at the ends, N/S everywhere, but eastbound
+	// only at node 0 and westbound only at node 2.
+	eps := topo.EntryPoints()
+	has := make(map[EntryPoint]bool, len(eps))
+	for _, ep := range eps {
+		has[ep] = true
+	}
+	if !has[EntryPoint{0, intersection.East}] || has[EntryPoint{1, intersection.East}] {
+		t.Errorf("eastbound entries wrong: %v", eps)
+	}
+	if !has[EntryPoint{2, intersection.West}] || has[EntryPoint{1, intersection.West}] {
+		t.Errorf("westbound entries wrong: %v", eps)
+	}
+	if !has[EntryPoint{1, intersection.North}] || !has[EntryPoint{1, intersection.South}] {
+		t.Errorf("cross-street entries missing: %v", eps)
+	}
+}
+
+func TestGridAdjacency(t *testing.T) {
+	topo, err := Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.String() != "grid-2x2" {
+		t.Errorf("Grid(2,2) name %q", topo.String())
+	}
+	id00, _ := topo.At(0, 0)
+	id01, _ := topo.At(0, 1)
+	id10, _ := topo.At(1, 0)
+	if nxt, ok := topo.Next(id00, intersection.East); !ok || nxt != id01 {
+		t.Errorf("Next((0,0), east) = %v, %v, want %v", nxt, ok, id01)
+	}
+	if nxt, ok := topo.Next(id00, intersection.North); !ok || nxt != id10 {
+		t.Errorf("Next((0,0), north) = %v, %v, want %v", nxt, ok, id10)
+	}
+	if _, ok := topo.Next(id00, intersection.West); ok {
+		t.Error("(0,0) should have no western neighbor")
+	}
+	// Every node of a 2x2 grid is a boundary node with two entries.
+	if eps := topo.EntryPoints(); len(eps) != 8 {
+		t.Errorf("2x2 grid has %d entry points, want 8", len(eps))
+	}
+}
+
+func TestGridRejectsBadSizes(t *testing.T) {
+	for _, rc := range [][2]int{{0, 3}, {3, 0}, {-1, 2}} {
+		if _, err := Grid(rc[0], rc[1]); err == nil {
+			t.Errorf("Grid(%d,%d) should fail", rc[0], rc[1])
+		}
+	}
+}
+
+func TestRouteCorridor(t *testing.T) {
+	topo, _ := Line(3)
+	// Straight through the whole corridor.
+	legs := topo.Route(0, intersection.East, []intersection.Turn{
+		intersection.Straight, intersection.Straight, intersection.Straight,
+	})
+	if len(legs) != 3 {
+		t.Fatalf("route has %d legs, want 3: %v", len(legs), legs)
+	}
+	for i, leg := range legs {
+		if leg.Node != NodeID(i) || leg.Approach != intersection.East {
+			t.Errorf("leg %d = %+v", i, leg)
+		}
+	}
+	// A left at node 1 leaves the corridor: the route truncates there.
+	legs = topo.Route(0, intersection.East, []intersection.Turn{
+		intersection.Straight, intersection.Left, intersection.Straight,
+	})
+	if len(legs) != 2 {
+		t.Fatalf("turning route has %d legs, want 2: %v", len(legs), legs)
+	}
+	// Cross traffic at the middle node: single leg.
+	legs = topo.Route(1, intersection.North, []intersection.Turn{intersection.Straight})
+	if len(legs) != 1 || legs[0].Node != 1 {
+		t.Fatalf("cross route = %v", legs)
+	}
+}
+
+func TestRouteIsLoopFree(t *testing.T) {
+	topo, _ := Grid(2, 2)
+	id00, _ := topo.At(0, 0)
+	// Four lefts circle the block; the route must stop before revisiting
+	// the entry node.
+	turns := []intersection.Turn{
+		intersection.Left, intersection.Left, intersection.Left, intersection.Left, intersection.Left,
+	}
+	legs := topo.Route(id00, intersection.East, turns)
+	seen := map[NodeID]bool{}
+	for _, leg := range legs {
+		if seen[leg.Node] {
+			t.Fatalf("route revisits node %d: %v", leg.Node, legs)
+		}
+		seen[leg.Node] = true
+	}
+	if len(legs) > topo.NumNodes() {
+		t.Fatalf("route longer than node count: %v", legs)
+	}
+}
+
+func TestRouteNeverExceedsTurns(t *testing.T) {
+	topo, _ := Line(4)
+	legs := topo.Route(0, intersection.East, []intersection.Turn{intersection.Straight})
+	if len(legs) != 1 {
+		t.Fatalf("route with one turn has %d legs", len(legs))
+	}
+	if legs := topo.Route(0, intersection.East, nil); legs != nil {
+		t.Fatalf("route with no turns = %v", legs)
+	}
+}
+
+func TestWithSegmentLen(t *testing.T) {
+	topo, _ := Line(2)
+	long := topo.WithSegmentLen(5)
+	if topo.SegmentLen() != 0 {
+		t.Errorf("base topology mutated: %v", topo.SegmentLen())
+	}
+	if long.SegmentLen() != 5 {
+		t.Errorf("SegmentLen = %v", long.SegmentLen())
+	}
+	if neg := topo.WithSegmentLen(-1); neg.SegmentLen() != 0 {
+		t.Errorf("negative segment length not clamped: %v", neg.SegmentLen())
+	}
+}

@@ -73,6 +73,11 @@ const (
 	KindSimExit      = "sim.exit"
 	KindSimCollision = "sim.collision"
 	KindSimBufViol   = "sim.bufviol"
+
+	// KindSimHop is a vehicle re-entering the approach of the next
+	// intersection on its route (multi-node topologies only; detail is the
+	// movement, value the entry speed, node the downstream intersection).
+	KindSimHop = "sim.hop"
 )
 
 // KnownKinds is the closed set of event kinds in the JSONL schema.
@@ -97,6 +102,7 @@ var KnownKinds = map[string]bool{
 	KindSimExit:      true,
 	KindSimCollision: true,
 	KindSimBufViol:   true,
+	KindSimHop:       true,
 }
 
 // Event is one recorded occurrence. Only Kind and T are universal; the
@@ -113,6 +119,10 @@ type Event struct {
 	WallNs int64 `json:"wall_ns,omitempty"`
 	// Vehicle is the subject vehicle ID, when the event concerns one.
 	Vehicle int64 `json:"veh,omitempty"`
+	// Node is the topology node (intersection shard) the event belongs
+	// to. Single-intersection runs use node 0, which is omitted from
+	// JSONL — their traces are byte-identical to the pre-topology schema.
+	Node int `json:"node,omitempty"`
 	// Other is a second vehicle ID (collision pairs, revision victims).
 	Other int64 `json:"other,omitempty"`
 	// MsgKind / From / To / Seq / Bytes describe a message event.
@@ -530,6 +540,9 @@ func (ev Event) Validate() error {
 	if math.IsNaN(ev.T) || math.IsInf(ev.T, 0) || ev.T < 0 {
 		return fmt.Errorf("%s: bad time %v", ev.Kind, ev.T)
 	}
+	if ev.Node < 0 {
+		return fmt.Errorf("%s: negative node %d", ev.Kind, ev.Node)
+	}
 	switch ev.Kind {
 	case KindMsgSend, KindMsgDeliver, KindMsgLoss, KindMsgDrop:
 		if ev.MsgKind == "" || ev.From == "" || ev.To == "" {
@@ -543,7 +556,7 @@ func (ev Event) Validate() error {
 			return fmt.Errorf("%s: need veh and old->new detail", ev.Kind)
 		}
 	case KindIMGrant, KindIMStop, KindIMReject, KindIMRevision,
-		KindVehCommit, KindSimSpawn, KindSimExit,
+		KindVehCommit, KindSimSpawn, KindSimExit, KindSimHop,
 		KindBookAdd, KindBookRemove:
 		if ev.Vehicle == 0 {
 			return fmt.Errorf("%s: missing veh", ev.Kind)

@@ -1,0 +1,129 @@
+package traffic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/topology"
+)
+
+func edgeConfig(n int) PoissonConfig {
+	return PoissonConfig{
+		Rate: 0.5, NumVehicles: n, LanesPerRoad: 1,
+		Mix: DefaultTurnMix(), Params: kinematics.ScaleModelParams(),
+	}
+}
+
+// TestPoissonRejectsZeroFlow: a lane with no input flow is a configuration
+// error, not an empty schedule.
+func TestPoissonRejectsZeroFlow(t *testing.T) {
+	for _, rate := range []float64{0, -0.3} {
+		cfg := edgeConfig(10)
+		cfg.Rate = rate
+		if _, err := Poisson(cfg, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("rate %v: want error, got none", rate)
+		}
+		topo, _ := topology.Line(2)
+		if _, err := PoissonRoutes(cfg, topo, 0, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("routes rate %v: want error, got none", rate)
+		}
+	}
+}
+
+// TestPoissonBurstKeepsHeadway: at absurd rates the generator must still
+// separate same-lane arrivals by the physical minimum headway — two
+// vehicles cannot cross the transmission line overlapping.
+func TestPoissonBurstKeepsHeadway(t *testing.T) {
+	cfg := edgeConfig(200)
+	cfg.Rate = 1000 // burst: exponential gaps essentially zero
+	arr, err := Poisson(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minHeadway := 2 * cfg.Params.Length / cfg.Params.MaxSpeed
+	last := map[intersection.MovementID]float64{}
+	for _, a := range arr {
+		lane := intersection.MovementID{Approach: a.Movement.Approach, Lane: a.Movement.Lane}
+		if prev, ok := last[lane]; ok {
+			if gap := a.Time - prev; gap < minHeadway-1e-9 {
+				t.Fatalf("same-lane gap %v below minimum headway %v", gap, minHeadway)
+			}
+		}
+		last[lane] = a.Time
+	}
+}
+
+// TestPoissonExhaustsAtFleetSize: the round-robin draw must stop exactly at
+// NumVehicles even when the fleet does not divide evenly across lanes, and
+// IDs must stay dense and unique.
+func TestPoissonExhaustsAtFleetSize(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7} { // 4 lanes, deliberately uneven
+		arr, err := Poisson(edgeConfig(n), rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(arr) != n {
+			t.Fatalf("fleet %d: got %d arrivals", n, len(arr))
+		}
+		seen := map[int64]bool{}
+		for _, a := range arr {
+			if a.ID < 1 || a.ID > int64(n) || seen[a.ID] {
+				t.Fatalf("fleet %d: bad or duplicate ID %d", n, a.ID)
+			}
+			seen[a.ID] = true
+		}
+	}
+}
+
+// TestPoissonRoutesSpawnOnlyAtBoundaries: on a corridor, no vehicle may
+// materialize on an approach that an upstream intersection feeds.
+func TestPoissonRoutesSpawnOnlyAtBoundaries(t *testing.T) {
+	topo, err := topology.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := PoissonRoutes(edgeConfig(120), topo, 0, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOnward := false
+	for _, a := range arr {
+		if !topo.IsEntry(topology.NodeID(a.Node), a.Movement.Approach) {
+			t.Fatalf("arrival %d spawns at node %d approach %v, which has an upstream feeder",
+				a.ID, a.Node, a.Movement.Approach)
+		}
+		if len(a.OnwardTurns) != topo.Diameter()-1 {
+			t.Fatalf("arrival %d carries %d onward turns, want %d", a.ID, len(a.OnwardTurns), topo.Diameter()-1)
+		}
+		if len(topo.Route(topology.NodeID(a.Node), a.Movement.Approach,
+			append([]intersection.Turn{a.Movement.Turn}, a.OnwardTurns...))) > 1 {
+			sawOnward = true
+		}
+	}
+	if !sawOnward {
+		t.Error("no generated route spans more than one intersection")
+	}
+}
+
+// TestPoissonRoutesDeterministic: identical seeds must reproduce the exact
+// schedule — the workload layer is part of the determinism contract.
+func TestPoissonRoutesDeterministic(t *testing.T) {
+	topo, err := topology.Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := PoissonRoutes(edgeConfig(60), topo, 0, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := PoissonRoutes(edgeConfig(60), topo, 0, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same seed produced different routed workloads")
+	}
+}

@@ -26,6 +26,15 @@ type Arrival struct {
 	Speed float64
 	// Params are the vehicle's physical capabilities.
 	Params kinematics.Params
+	// Node is the topology node whose transmission line the vehicle
+	// crosses first (always 0 on single-intersection workloads).
+	Node int
+	// OnwardTurns are the turn choices for the route legs after the first
+	// (Movement.Turn covers the entry intersection). The world resolves
+	// them against the topology; turns that would leave the grid or
+	// revisit a node truncate the route there. Empty on single-
+	// intersection workloads.
+	OnwardTurns []intersection.Turn
 }
 
 // TurnMix is the probability of each turn choice; entries must sum to 1.

@@ -3,6 +3,7 @@ package traffic
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -138,10 +139,8 @@ func TestPoissonDeterministicWithSeed(t *testing.T) {
 	if len(a1) != len(a2) {
 		t.Fatal("lengths differ")
 	}
-	for i := range a1 {
-		if a1[i] != a2[i] {
-			t.Fatalf("arrival %d differs", i)
-		}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same seed produced different workloads")
 	}
 }
 

@@ -3,6 +3,23 @@
 // retransmit and safe-stop clauses of Algorithms 2, 6, and 8. One Agent type
 // speaks all three protocols (plain VT-IM, AIM queries, Crossroads timed
 // commands), selected by Config.Policy.
+//
+// The implementation is split by concern:
+//
+//   - agent.go: policy/state enums, configuration, the Agent type, and its
+//     lifecycle (Start, BeginLeg, NotifyExit, Stop).
+//   - handshake.go: the wire protocol — sync exchanges, request
+//     composition and retransmission, response handling, exit reporting.
+//   - actuation.go: trajectory planning and the per-tick longitudinal
+//     controller (ControlStep), including the safe-stop and car-following
+//     envelopes.
+//
+// An agent is not bound to a single intersection: on a multi-node topology
+// the world calls BeginLeg after each crossing, re-entering the approach
+// state machine for the next IM shard on the route. The synchronized clock
+// carries over (every IM serves the same reference time), so only the first
+// leg pays the sync phase; each subsequent IM still receives a fresh
+// time-stamped request.
 package vehicle
 
 import (
@@ -11,7 +28,6 @@ import (
 	"os"
 
 	"crossroads/internal/des"
-	"crossroads/internal/geom"
 	"crossroads/internal/im"
 	"crossroads/internal/intersection"
 	"crossroads/internal/kinematics"
@@ -122,6 +138,13 @@ type Config struct {
 	HeadwayTau float64
 	// MaxTimeout caps the exponential retransmission backoff (s).
 	MaxTimeout float64
+	// IMEndpoint is the network address of the IM serving the vehicle's
+	// first leg; empty means the classic single-intersection address
+	// (im.EndpointName). BeginLeg retargets it per node.
+	IMEndpoint string
+	// Node tags the agent's trace events with the topology node it is
+	// currently negotiating with (0 for single-intersection runs).
+	Node int
 	// Trace receives protocol state transitions and commit-point events;
 	// nil disables agent tracing.
 	Trace *trace.Recorder
@@ -195,6 +218,10 @@ type Agent struct {
 	net    *network.Network
 	leader LeaderFunc
 
+	// imAddr and node identify the IM shard of the current leg.
+	imAddr string
+	node   int
+
 	state     State
 	syncLeft  int
 	seq       int
@@ -221,10 +248,18 @@ type Agent struct {
 	reservedToA float64
 	reservedV   float64
 
-	// Retries counts retransmissions and AIM re-proposals.
-	Retries   int
+	// Retries counts retransmissions and AIM re-proposals, accumulated
+	// over every leg of the route.
+	Retries int
+	// Exit bookkeeping for the current (or most recent) leg. exitAddr and
+	// exitStamp pin the pending exit notification to the IM that owns it,
+	// so retransmissions to a previous node survive a leg transition and a
+	// late acknowledgement cannot be confused with the next leg's exit.
 	exited    bool
 	exitAcked bool
+	exitAddr  string
+	exitStamp float64
+	exitRetry des.Handle
 }
 
 // New wires an agent to its plant, clock, and network. leader may be nil
@@ -240,6 +275,9 @@ func New(id int64, m *intersection.Movement, pl *plant.Plant, clk *timesync.Sync
 	if cfg.NumSyncExchanges < 1 {
 		cfg.NumSyncExchanges = 1
 	}
+	if cfg.IMEndpoint == "" {
+		cfg.IMEndpoint = im.EndpointName
+	}
 	if leader == nil {
 		leader = func() (LeaderInfo, bool) { return LeaderInfo{}, false }
 	}
@@ -252,6 +290,8 @@ func New(id int64, m *intersection.Movement, pl *plant.Plant, clk *timesync.Sync
 		sim:      sim,
 		net:      net,
 		leader:   leader,
+		imAddr:   cfg.IMEndpoint,
+		node:     cfg.Node,
 		state:    StateSync,
 	}
 	return a, nil
@@ -263,13 +303,16 @@ func (a *Agent) Endpoint() string { return im.VehicleEndpoint(a.ID) }
 // State returns the current protocol state.
 func (a *Agent) State() State { return a.state }
 
+// Node returns the topology node of the agent's current leg.
+func (a *Agent) Node() int { return a.node }
+
 // setState transitions the protocol state machine, tracing the edge.
 // Self-transitions (retransmissions re-entering StateRequest, repeated
 // holds) are real protocol events and are traced too.
 func (a *Agent) setState(next State) {
 	if a.cfg.Trace != nil {
 		a.cfg.Trace.Emit(trace.Event{
-			Kind: trace.KindVehState, T: a.sim.Now(), Vehicle: a.ID,
+			Kind: trace.KindVehState, T: a.sim.Now(), Vehicle: a.ID, Node: a.node,
 			Detail: a.state.String() + "->" + next.String(),
 		})
 	}
@@ -284,595 +327,44 @@ func (a *Agent) Start() {
 	a.net.Send(network.Message{
 		Kind: network.KindRegister,
 		From: a.Endpoint(),
-		To:   im.EndpointName,
+		To:   a.imAddr,
 	})
 	a.sendSync()
 }
 
-func (a *Agent) sendSync() {
-	a.net.Send(network.Message{
-		Kind:    network.KindSyncRequest,
-		From:    a.Endpoint(),
-		To:      im.EndpointName,
-		Payload: im.SyncPayload{T1: a.Clock.Clock.Local(a.sim.Now())},
-	})
-	// Sync frames can be lost like any other; resend until answered.
+// BeginLeg re-enters the approach state machine for the next intersection
+// on the vehicle's route: rebind to the node's movement geometry, the new
+// road segment's plant, and the node's IM shard, then announce and request
+// a slot. The synchronized clock carries over — every IM stamps T2/T3 from
+// the same reference clock, so the offset estimate from the first leg's
+// sync phase stays valid — and the agent issues a fresh time-stamped
+// request to the new IM immediately. A still-unacknowledged exit
+// notification to the previous node keeps retransmitting untouched.
+func (a *Agent) BeginLeg(m *intersection.Movement, pl *plant.Plant, imEndpoint string, node int) {
+	a.Movement = m
+	a.Plant = pl
+	a.imAddr = imEndpoint
+	a.node = node
 	a.timeout.Cancel()
-	left := a.syncLeft
-	a.timeout = a.sim.After(a.cfg.ResponseTimeout, func() {
-		if a.state == StateSync && a.syncLeft == left {
-			a.Retries++
-			a.sendSync()
-		}
-	})
-}
-
-// handle dispatches network deliveries.
-func (a *Agent) handle(now float64, msg network.Message) {
-	if msg.Kind == network.KindAck {
-		// The IM confirmed our exit notification.
-		a.exitAcked = true
-		a.retry.Cancel()
-		return
-	}
-	if a.state == StateDone {
-		return
-	}
-	switch msg.Kind {
-	case network.KindSyncResponse:
-		p, ok := msg.Payload.(im.SyncPayload)
-		if !ok {
-			return
-		}
-		a.Clock.AddSample(timesync.Sample{
-			T1: p.T1, T2: p.T2, T3: p.T3,
-			T4: a.Clock.Clock.Local(now),
-		})
-		a.timeout.Cancel()
-		a.syncLeft--
-		if a.syncLeft > 0 {
-			a.sim.After(a.cfg.SyncInterval, a.sendSync)
-			return
-		}
-		a.sendRequest(false)
-	case network.KindResponse, network.KindAccept, network.KindReject:
-		resp, ok := msg.Payload.(im.Response)
-		if !ok {
-			return
-		}
-		if resp.Seq == 0 {
-			// An IM-initiated grant revision: applicable only while
-			// following a timed command.
-			if resp.Kind == im.RespTimed && a.hasArrival && a.state == StateFollow &&
-				(a.cfg.Policy == PolicyCrossroads || a.cfg.Policy == PolicyBatch) {
-				a.applyTimedCommand(now, resp)
-			}
-			return
-		}
-		if resp.Seq != a.seq {
-			return // stale
-		}
-		if a.state != StateRequest && a.state != StateFollow {
-			return // unexpected
-		}
-		a.timeout.Cancel()
-		a.handleResponse(now, resp)
-	}
-}
-
-// DistToEntry returns the measured distance from the vehicle center to the
-// box entry point.
-func (a *Agent) DistToEntry() float64 { return a.Movement.EnterS - a.Plant.MeasuredS() }
-
-// sendRequest composes and transmits a crossing request per the active
-// policy. retransmit marks timeout-triggered resends for retry accounting
-// and doubles the backoff so a congested IM is not flooded.
-func (a *Agent) sendRequest(retransmit bool) {
-	if retransmit {
-		a.Retries++
-		if a.backoff <= 0 {
-			a.backoff = a.cfg.ResponseTimeout
-		}
-		a.backoff = math.Min(a.backoff*2, a.cfg.MaxTimeout)
-	} else {
-		a.backoff = a.cfg.ResponseTimeout
-	}
-	a.seq++
-	a.setState(StateRequest)
-	a.confirmed = false
-	now := a.sim.Now()
-	a.lastRequest = now
-	vc := a.Plant.MeasuredV()
-	dt := math.Max(a.DistToEntry(), 0)
-	tt := a.Clock.Now(now)
-
-	req := im.Request{
-		VehicleID: a.ID,
-		Seq:       a.seq,
-		Movement:  a.Movement.ID,
-		Params:    a.Plant.Params,
-	}
-	switch a.cfg.Policy {
-	case PolicyVTIM:
-		req.CurrentSpeed = vc
-		req.DistToEntry = dt
-	case PolicyCrossroads, PolicyBatch:
-		req.CurrentSpeed = vc
-		req.DistToEntry = dt
-		req.TransmitTime = tt
-	case PolicyAIM:
-		if vc >= 0.15*a.Plant.Params.MaxSpeed {
-			// Constant-speed proposal (Algorithm 6): TOA dictated by the
-			// current speed.
-			req.ProposedToA = tt + dt/vc
-			req.CrossSpeed = vc
-		} else {
-			// Too slow to propose a held crossing — a crawl would occupy
-			// the grid for tens of seconds. Propose a max-acceleration
-			// launch instead, budgeting the round trip before it begins.
-			eta, vArr, _ := kinematics.EarliestArrival(0, dt, vc, a.Plant.Params)
-			req.ProposedToA = tt + a.cfg.WCRTD + eta
-			req.CrossSpeed = math.Max(vArr, 0.1)
-		}
-		req.CurrentSpeed = vc
-		req.DistToEntry = dt
-	}
-	a.net.Send(network.Message{
-		Kind:    network.KindRequest,
-		From:    a.Endpoint(),
-		To:      im.EndpointName,
-		Payload: req,
-	})
-	a.timeout.Cancel()
-	seq := a.seq
-	a.timeout = a.sim.After(a.backoff, func() {
-		if a.state == StateRequest && a.seq == seq {
-			a.sendRequest(true)
-		}
-	})
-}
-
-// sendCommittedRequest reports a committed (cannot-stop) vehicle's true
-// state to the IM without abandoning the current plan; the timed reply
-// replaces the trajectory.
-func (a *Agent) sendCommittedRequest() {
-	a.Retries++
-	a.seq++
-	now := a.sim.Now()
-	if a.cfg.Trace != nil {
-		a.cfg.Trace.Emit(trace.Event{
-			Kind: trace.KindVehCommit, T: now, Vehicle: a.ID,
-			Seq: a.seq, Detail: "committed-rebook",
-		})
-	}
-	a.lastRequest = now
-	vc := a.Plant.MeasuredV()
-	dt := math.Max(a.DistToEntry(), 0)
-	tt := a.Clock.Now(now)
-	req := im.Request{
-		VehicleID:    a.ID,
-		Seq:          a.seq,
-		Movement:     a.Movement.ID,
-		CurrentSpeed: vc,
-		DistToEntry:  dt,
-		TransmitTime: tt,
-		Committed:    true,
-		Params:       a.Plant.Params,
-	}
-	if a.cfg.Policy == PolicyAIM {
-		// Report the truthful (full-throttle) arrival from the current
-		// state; the IM re-reserves it unconditionally.
-		eta, vArr, _ := kinematics.EarliestArrival(0, dt, vc, a.Plant.Params)
-		req.ProposedToA = tt + eta
-		req.CrossSpeed = math.Max(vArr, 0.1)
-	}
-	a.net.Send(network.Message{
-		Kind:    network.KindRequest,
-		From:    a.Endpoint(),
-		To:      im.EndpointName,
-		Payload: req,
-	})
-}
-
-// sendConfirm re-submits the current AIM reservation verbatim; the IM
-// releases and re-checks it against the latest grid. A reject means the
-// window was invalidated — the vehicle is still stop-capable and retries.
-func (a *Agent) sendConfirm() {
-	a.seq++
-	now := a.sim.Now()
-	if a.cfg.Trace != nil {
-		a.cfg.Trace.Emit(trace.Event{
-			Kind: trace.KindVehCommit, T: now, Vehicle: a.ID,
-			Seq: a.seq, Detail: "aim-confirm",
-		})
-	}
-	a.lastRequest = now
-	req := im.Request{
-		VehicleID:    a.ID,
-		Seq:          a.seq,
-		Movement:     a.Movement.ID,
-		CurrentSpeed: a.Plant.MeasuredV(),
-		DistToEntry:  math.Max(a.DistToEntry(), 0),
-		TransmitTime: a.Clock.Now(now),
-		ProposedToA:  a.reservedToA,
-		CrossSpeed:   a.reservedV,
-		Params:       a.Plant.Params,
-	}
-	a.net.Send(network.Message{
-		Kind:    network.KindRequest,
-		From:    a.Endpoint(),
-		To:      im.EndpointName,
-		Payload: req,
-	})
-}
-
-// handleResponse consumes the IM's reply per policy.
-func (a *Agent) handleResponse(now float64, resp im.Response) {
-	switch a.cfg.Policy {
-	case PolicyVTIM:
-		if resp.Kind != im.RespVelocity {
-			return
-		}
-		if resp.TargetSpeed <= 0.01 {
-			// The IM cannot schedule a held velocity this late: stop
-			// (the safe-stop guard brings us to the line) and retry.
-			a.stopAndRetry()
-			return
-		}
-		// Algorithm 2: adopt VT immediately and maintain until exit. The
-		// profile spans through the box so a ramp that is still running at
-		// the entry finishes inside, exactly as the IM booked it.
-		s := a.Plant.MeasuredS()
-		dist := math.Max(a.Movement.ExitS+a.Plant.Params.Length-s, 0.01)
-		a.profile = kinematics.RampHoldProfile(now, dist, a.Plant.MeasuredV(), resp.TargetSpeed, a.Plant.Params)
-		a.originS = s
-		a.hasProfile = true
-		a.setState(StateFollow)
-	case PolicyCrossroads, PolicyBatch:
-		if resp.Kind == im.RespVelocity && resp.TargetSpeed <= 0.01 {
-			// Degenerate-request stop command.
-			a.stopAndRetry()
-			return
-		}
-		if resp.Kind != im.RespTimed {
-			return
-		}
-		a.applyTimedCommand(now, resp)
-	case PolicyAIM:
-		switch resp.Kind {
-		case im.RespAccept:
-			a.applyAIMAccept(now, resp)
-		case im.RespReject:
-			// Algorithm 6: slow down and re-propose after the interval.
-			a.hasProfile = false
-			a.holdSpeed = math.Max(a.Plant.MeasuredV()*a.cfg.SlowdownFactor, 0)
-			a.setState(StateHold)
-			a.retry.Cancel()
-			a.retry = a.sim.After(a.cfg.RetryInterval, func() {
-				if a.state == StateHold {
-					a.Retries++
-					a.sendRequest(false)
-				}
-			})
-		}
-	}
-}
-
-// canStillStop reports whether the vehicle could still brake to a stop at
-// the stop line from its current position and speed. Past this commitment
-// point the vehicle cannot renegotiate its slot: a re-request could be
-// answered with a stop command or a delayed arrival that physics no longer
-// permits.
-func (a *Agent) canStillStop(sMeas float64) bool {
-	stopAt := a.Movement.EnterS - a.Plant.Params.Length/2 - a.cfg.StopLineOffset
-	v := a.Plant.MeasuredV()
-	// The vehicle holds speed until a renegotiated command executes
-	// (CommandLatency after transmission), so stop-capability is judged
-	// from the execution position.
-	atExec := sMeas + v*a.cfg.CommandLatency
-	return atExec+a.Plant.Params.StoppingDistance(v) < stopAt
-}
-
-// dwellClearsLip reports whether a plan covering dist meters to the box
-// entry keeps any dwell (speed below 0.3 m/s) at or behind the stop line.
-func (a *Agent) dwellClearsLip(prof kinematics.Profile, dist float64) bool {
-	minV, remaining := kinematics.SlowestPoint(prof, dist)
-	if minV >= 0.3 {
-		return true
-	}
-	if remaining >= dist-1e-6 {
-		// The slow point is the plan's start: the vehicle already stands
-		// there.
-		return true
-	}
-	return remaining >= a.Plant.Params.Length/2+a.cfg.StopLineOffset-1e-6
-}
-
-// stopAndRetry brings the vehicle to a safe stop (the safe-stop guard
-// enforces the stop line) and schedules a fresh request.
-func (a *Agent) stopAndRetry() {
-	a.holdSpeed = 0
+	a.retry.Cancel()
+	a.holdSpeed = pl.V()
 	a.hasProfile = false
 	a.hasArrival = false
-	a.setState(StateHold)
-	a.retry.Cancel()
-	a.retry = a.sim.After(a.cfg.RetryInterval, func() {
-		if a.state == StateHold {
-			a.Retries++
-			a.sendRequest(false)
-		}
+	a.confirmed = false
+	a.exited = false
+	a.backoff = 0
+	a.net.Send(network.Message{
+		Kind: network.KindRegister,
+		From: a.Endpoint(),
+		To:   a.imAddr,
 	})
-}
-
-// applyTimedCommand implements Algorithm 8's actuate(TE, ToA, VT): plan the
-// trajectory anchored at the commanded execution time on the vehicle's own
-// synchronized clock.
-func (a *Agent) applyTimedCommand(now float64, resp im.Response) {
-	tExec := a.Clock.WhenSynced(resp.ExecuteAt)
-	tArrive := a.Clock.WhenSynced(resp.ArriveAt)
-	if tExec <= now {
-		// The reply arrived after its own execution time (RTD bound was
-		// violated); the position contract is broken. Ask again if a stop
-		// is still possible; a committed vehicle keeps its current plan.
-		if !a.canStillStop(a.Plant.MeasuredS()) {
-			return
-		}
-		a.setState(StateHold)
-		a.retry.Cancel()
-		a.retry = a.sim.After(0.01, func() {
-			if a.state == StateHold {
-				a.sendRequest(true)
-			}
-		})
-		return
-	}
-	v := a.Plant.MeasuredV()
-	s := a.Plant.MeasuredS()
-	// Request-driven grants assume the vehicle holds its current speed
-	// until TE; IM-initiated revisions (Seq 0) were computed from the
-	// commanded trajectory instead, so anchor accordingly.
-	originS := s + v*(tExec-now)
-	if resp.Seq == 0 && a.hasProfile {
-		originS = a.originS + a.profile.DistanceAt(tExec)
-		v = a.profile.VelocityAt(tExec)
-	}
-	dist := math.Max(a.Movement.EnterS-originS, 0)
-	prof, err := kinematics.PlanArrival(tExec, dist, v, tArrive, a.Plant.Params)
-	if err != nil {
-		// Measurement noise can make the granted ToA momentarily
-		// infeasible; fall back to the earliest profile (arriving a hair
-		// early, within the sensing buffer).
-		_, _, prof = kinematics.EarliestArrival(tExec, dist, v, a.Plant.Params)
-	}
-	if (math.Abs(prof.TimeAtDistance(dist)-tArrive) > 0.05 || !a.dwellClearsLip(prof, dist)) && a.canStillStop(s) {
-		// The plan cannot realize the granted arrival (the slot slid past
-		// the latest arrival reachable from here), or it would park the
-		// nose inside the conflict-zone lip. Renegotiate from a safe stop.
-		a.stopAndRetry()
-		return
-	}
-	prof = appendBoxAccel(prof, a.Plant.Params)
-	a.tArriveRef = tArrive
-	a.hasArrival = true
-	a.lastPlan = now
-	a.profile = prof
-	a.originS = originS
-	a.hasProfile = true
-	a.setState(StateFollow)
-	if debugAgent {
-		fmt.Printf("[%.3f] veh%d TIMED tExec=%.3f tArrive=%.3f v=%.2f s=%.3f originS=%.3f dist=%.3f profDur=%.3f arrAt=%.3f\n",
-			now, a.ID, tExec, tArrive, v, s, originS, dist, prof.Duration(), prof.TimeAtDistance(dist))
-	}
-}
-
-// applyAIMAccept locks in the granted constant-speed crossing.
-func (a *Agent) applyAIMAccept(now float64, resp im.Response) {
-	tArrive := a.Clock.WhenSynced(resp.ArriveAt)
-	v := resp.TargetSpeed
-	if v <= 0 {
-		return
-	}
-	a.reservedToA = resp.ArriveAt
-	a.reservedV = v
-	cur := a.Plant.MeasuredV()
-	if cur >= 0.15*a.Plant.Params.MaxSpeed {
-		// Moving proposal: keep cruising at the proposed speed until the
-		// reserved entry, then accelerate through the box as reserved.
-		a.originS = a.Movement.EnterS - v*(tArrive-now)
-		a.profile = appendBoxAccel(kinematics.HoldProfile(now, v, math.Max(tArrive-now, 0)), a.Plant.Params)
-	} else {
-		// Launch proposal: dwell if needed, then accelerate to arrive on
-		// the reservation and keep accelerating through the box.
-		s := a.Plant.MeasuredS()
-		dist := math.Max(a.Movement.EnterS-s, 0)
-		prof, err := kinematics.PlanArrival(now, dist, cur, tArrive, a.Plant.Params)
-		if err != nil {
-			_, _, prof = kinematics.EarliestArrival(now, dist, cur, a.Plant.Params)
-		}
-		a.profile = appendBoxAccel(prof, a.Plant.Params)
-		a.originS = s
-	}
-	a.hasProfile = true
-	a.setState(StateFollow)
-}
-
-// appendBoxAccel extends a profile that ends at the box entry with the
-// max-acceleration crossing of the paper's Fig. 6.2: accelerate from the
-// arrival speed to top speed and hold (the constant-speed extrapolation
-// beyond the final phase covers the rest of the crossing).
-func appendBoxAccel(prof kinematics.Profile, params kinematics.Params) kinematics.Profile {
-	v := prof.FinalVelocity()
-	if v >= params.MaxSpeed-1e-9 {
-		return prof
-	}
-	return prof.Append(kinematics.Phase{
-		Duration: (params.MaxSpeed - v) / params.MaxAccel,
-		V0:       v,
-		Accel:    params.MaxAccel,
-	})
-}
-
-// ControlStep returns the commanded speed for this tick. The world calls it
-// once per physics step and feeds the result to the plant.
-func (a *Agent) ControlStep(now, dt float64) float64 {
-	sMeas := a.Plant.MeasuredS()
-
-	// Car-following envelope, computed up front so the planner logic can
-	// see whether the leader is the binding constraint. On the approach
-	// the law is Gipps-style: even if the leader brakes to a stop at its
-	// full capability, this vehicle — after a reaction-time margin and
-	// braking at only 70% of its own capability — must stop before
-	// closing the gap below MinGap. For in-box merge leaders the envelope
-	// assumes the leader holds speed instead.
-	vFollow := math.Inf(1)
-	if l, ok := a.leader(); ok {
-		if l.Merge {
-			free := math.Max(l.Gap-a.cfg.MinGap-a.Plant.MeasuredV()*a.cfg.HeadwayTau, 0)
-			vFollow = math.Sqrt(l.Speed*l.Speed + 2*0.7*a.Plant.Params.MaxDecel*free)
-		} else {
-			vFollow = SafeFollowSpeed(l.Gap-a.cfg.MinGap, l.Speed, l.Decel,
-				a.Plant.Params.MaxDecel, a.cfg.HeadwayTau)
-		}
-	}
-
-	var vCmd float64
-	switch a.state {
-	case StateFollow:
-		// Crossroads grants carry an absolute arrival time, so the vehicle
-		// periodically re-plans from its *actual* state toward the granted
-		// ToA instead of chasing a stale trajectory — tracking drift would
-		// otherwise become unrecoverable lateness once the plan saturates
-		// at maximum acceleration.
-		if a.hasArrival && now-a.lastPlan > 0.4 && sMeas < a.Movement.EnterS-a.Plant.Params.Length/2 {
-			dist := a.Movement.EnterS - sMeas
-			prof, err := kinematics.PlanArrival(now, dist, a.Plant.MeasuredV(), a.tArriveRef, a.Plant.Params)
-			switch {
-			case err == nil && a.dwellClearsLip(prof, dist):
-				a.profile = appendBoxAccel(prof, a.Plant.Params)
-				a.originS = sMeas
-			case err != nil:
-				// The granted arrival is no longer reachable (time was
-				// lost following a leader). Measure the slip: a few
-				// milliseconds rides on the margins with the earliest
-				// profile; a real slip is renegotiated before it becomes
-				// an in-box conflict.
-				eta, _, fastProf := kinematics.EarliestArrival(now, dist, a.Plant.MeasuredV(), a.Plant.Params)
-				slip := (now + eta) - a.tArriveRef
-				if slip <= 0.08 {
-					a.profile = appendBoxAccel(fastProf, a.Plant.Params)
-					a.originS = sMeas
-				} else if a.canStillStop(sMeas) {
-					a.hasProfile = false
-					a.hasArrival = false
-					a.holdSpeed = a.Plant.MeasuredV()
-					a.sendRequest(true)
-				} else {
-					a.sendCommittedRequest()
-				}
-			}
-			a.lastPlan = now
-		}
-		vTarget := a.profile.VelocityAt(now + dt)
-		sTarget := a.originS + a.profile.DistanceAt(now)
-		lag := sTarget - sMeas
-		vCmd = math.Max(vTarget+a.cfg.ControlGain*lag, 0)
-		if debugAgent && a.ID == 2 && int(now*100)%10 == 0 {
-			fmt.Printf("[%.2f] veh2 FOLLOW s=%.3f vTarget=%.2f sTarget=%.3f lag=%.3f vCmd=%.2f\n",
-				now, sMeas, vTarget, sTarget, lag, vCmd)
-		}
-		// An AIM reservation is re-validated once, at the last moment a
-		// stop is still possible: a committed vehicle's truthful re-booking
-		// may have landed inside our window since we were accepted.
-		if a.cfg.Policy == PolicyAIM && !a.confirmed &&
-			sMeas < a.Movement.EnterS-a.Plant.Params.Length {
-			stopAt := a.Movement.EnterS - a.Plant.Params.Length/2 - a.cfg.StopLineOffset
-			v := a.Plant.MeasuredV()
-			lead := 2 * v * a.cfg.HeadwayTau
-			if sMeas+a.Plant.Params.StoppingDistance(v)+lead >= stopAt {
-				a.confirmed = true
-				a.sendConfirm()
-			}
-		}
-
-		// Falling badly behind plan (queued behind a slower leader) breaks
-		// the reservation contract: give the slot back and ask again —
-		// but only while the commitment can still be renegotiated
-		// (before the box). For AIM the tolerance is temporal (its tile
-		// reservations are time-quantized), so slow crossings convert the
-		// lag to time.
-		lagExceeded := lag > a.cfg.ReRequestLag
-		if a.cfg.Policy == PolicyAIM {
-			lagExceeded = lag/math.Max(vTarget, 0.2) > 0.1
-		}
-		if lagExceeded && now-a.lastRequest > a.cfg.ReRequestMinInterval {
-			if a.canStillStop(sMeas) {
-				a.hasProfile = false
-				a.hasArrival = false
-				a.holdSpeed = a.Plant.MeasuredV()
-				a.sendRequest(true)
-				vCmd = a.holdSpeed
-			} else if lagExceeded &&
-				(a.cfg.Policy == PolicyAIM || lag/math.Max(vTarget, 0.3) > 0.2) &&
-				a.cfg.Policy != PolicyVTIM &&
-				sMeas < a.Movement.EnterS-a.Plant.Params.Length/2 {
-				// Committed and badly late (well beyond what the margins
-				// absorb): keep driving the old plan but tell the IM the
-				// truth so it re-books this crossing at its real timing
-				// and future grants respect it. Mild lateness rides on the
-				// margins instead.
-				a.sendCommittedRequest()
-			}
-		}
-	case StateDone:
-		// Clear the exit road briskly: lingering at a slow crossing speed
-		// would park an obstacle in front of the merge.
-		vCmd = a.Plant.Params.MaxSpeed
-	default: // Sync, Request, Hold: coast with the safe-stop guard
-		vCmd = a.holdSpeed
-	}
-
-	// Safe-stop clause: without an active plan the vehicle must be able to
-	// stop with its front bumper at the stop line.
-	if a.state != StateFollow && a.state != StateDone {
-		stopAt := a.Movement.EnterS - a.Plant.Params.Length/2 - a.cfg.StopLineOffset
-		remaining := stopAt - sMeas
-		vSafe := math.Sqrt(2 * a.Plant.Params.MaxDecel * math.Max(remaining, 0))
-		vCmd = math.Min(vCmd, vSafe)
-	}
-
-	vCmd = math.Min(vCmd, vFollow)
-	return geom.Clamp(vCmd, 0, a.Plant.Params.MaxSpeed)
-}
-
-// SafeFollowSpeed returns the highest speed from which a follower can
-// still avoid closing a (bumper-to-bumper minus minimum) gap of `free`
-// meters on a leader moving at leaderV that may brake to a stop at
-// leaderDecel, given the follower reacts after tau seconds and then brakes
-// at its own maxDecel:
-//
-//	v*tau + v^2/(2*d) <= free + leaderV^2/(2*leaderDecel)
-//
-// Discretization overshoot while riding the envelope is absorbed by the
-// MinGap slack the caller already subtracted from the gap.
-func SafeFollowSpeed(free, leaderV, leaderDecel, maxDecel, tau float64) float64 {
-	if free < 0 {
-		free = 0
-	}
-	if leaderDecel <= 0 {
-		leaderDecel = maxDecel
-	}
-	b := maxDecel
-	room := free + leaderV*leaderV/(2*leaderDecel)
-	v := -b*tau + math.Sqrt(b*tau*b*tau+2*b*room)
-	if v < 0 {
-		return 0
-	}
-	return v
+	a.sendRequest(false)
 }
 
 // NotifyExit is called by the world when the vehicle has fully cleared the
 // box: send the exit timestamp (Chapter 2's wait-time accounting) and
-// release protocol state.
+// release protocol state. The notification is pinned to the current leg's
+// IM so its retransmission loop survives a subsequent BeginLeg.
 func (a *Agent) NotifyExit() {
 	if a.exited {
 		return
@@ -881,33 +373,17 @@ func (a *Agent) NotifyExit() {
 	a.timeout.Cancel()
 	a.retry.Cancel()
 	a.setState(StateDone)
+	a.exitAcked = false
+	a.exitAddr = a.imAddr
+	a.exitStamp = a.Clock.Now(a.sim.Now())
 	a.sendExit()
-}
-
-// sendExit transmits the exit timestamp and keeps retransmitting until the
-// IM acknowledges — a lost exit would leave the lane FIFO waiting on a
-// ghost forever.
-func (a *Agent) sendExit() {
-	if a.exitAcked {
-		return
-	}
-	a.net.Send(network.Message{
-		Kind: network.KindExit,
-		From: a.Endpoint(),
-		To:   im.EndpointName,
-		Payload: im.ExitPayload{
-			VehicleID:     a.ID,
-			ExitTimestamp: a.Clock.Now(a.sim.Now()),
-		},
-	})
-	a.retry.Cancel()
-	a.retry = a.sim.After(a.cfg.ResponseTimeout, a.sendExit)
 }
 
 // Stop detaches the agent from the network (despawn).
 func (a *Agent) Stop() {
 	a.timeout.Cancel()
 	a.retry.Cancel()
+	a.exitRetry.Cancel()
 	a.setState(StateDone)
 	a.net.Unregister(a.Endpoint())
 }
