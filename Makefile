@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-report race vet fmt check trace-demo corridor-demo
+.PHONY: build test bench bench-report race vet fmt check trace-demo corridor-demo chaos-demo
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ bench:
 ## artifact. Re-run on a multi-core host to refresh the speedup evidence
 ## (on a single-core host the parallel variant is skipped and noted).
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_3.json
+	$(GO) run ./cmd/benchreport -out BENCH_4.json
 
 ## trace-demo runs a tiny traced sweep and validates the JSONL output
 ## against the schema — the end-to-end check for the observability layer.
@@ -37,6 +37,16 @@ corridor-demo:
 	$(GO) run ./cmd/tracecheck corridor-demo.jsonl
 	@rm -f corridor-demo.jsonl
 	$(GO) run ./cmd/crossroads-sim -grid 2x2 -n 12 -seed 7 -scale -noise
+
+## chaos-demo runs the fault-injection robustness matrix (every named
+## scenario x every policy x seeds 1-3) and fails on any collision,
+## buffer violation, or stranded vehicle in the coordinated policies,
+## then validates a traced mixed-fault cell against the trace schema.
+chaos-demo:
+	$(GO) run ./cmd/crossroads-sim -faults matrix -seed 1 -workers 0
+	$(GO) run ./cmd/crossroads-sim -faults mix -seed 1 -workers 0 -trace chaos-demo.jsonl
+	$(GO) run ./cmd/tracecheck chaos-demo.jsonl
+	@rm -f chaos-demo.jsonl
 
 vet:
 	$(GO) vet ./...

@@ -30,8 +30,8 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output path")
-	label := flag.String("label", "multi-im-topology-engine", "report label")
+	out := flag.String("out", "BENCH_4.json", "output path")
+	label := flag.String("label", "fault-resilience-layer", "report label")
 	flag.Parse()
 
 	rep := metrics.BenchReport{
@@ -69,6 +69,22 @@ func main() {
 
 	fmt.Println("benchreport: measuring 3-intersection corridor...")
 	rep.Metrics = append(rep.Metrics, record("Corridor3/crossroads", benchCorridor()))
+
+	fmt.Println("benchreport: measuring fault-injection overhead (mix scenario)...")
+	fm, matrix := benchFaultMatrix()
+	m := record("FaultMatrix/mix/crossroads", fm)
+	clean := matrix.Cells[0][0][0].Throughput
+	faulted := matrix.Cells[1][0][0].Throughput
+	m.Extra = map[string]float64{
+		"clean_tput":   clean,
+		"faulted_tput": faulted,
+	}
+	if clean > 0 {
+		m.Extra["tput_ratio"] = faulted / clean
+	}
+	rep.Metrics = append(rep.Metrics, m)
+	fmt.Printf("benchreport: mix-scenario throughput %.4f vs clean %.4f (%.2fx)\n",
+		faulted, clean, m.Extra["tput_ratio"])
 
 	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -171,6 +187,34 @@ func benchCorridor() testing.BenchmarkResult {
 			}
 		}
 	})
+}
+
+// benchFaultMatrix measures one clean-vs-mix fault-matrix column per
+// iteration under Crossroads — the cost of a fully scripted disruption run
+// — and returns the last result so the report can carry the
+// faulted-vs-clean throughput ratio alongside the timing.
+func benchFaultMatrix() (testing.BenchmarkResult, sweep.FaultMatrixResult) {
+	cfg := sweep.FaultMatrixConfig{
+		Scenarios: []string{"mix"},
+		Policies:  []vehicle.Policy{vehicle.PolicyCrossroads},
+		Seeds:     []int64{1},
+		Workers:   1,
+	}
+	var last sweep.FaultMatrixResult
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.RunFaultMatrix(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v := res.SafetyViolations(); v != 0 {
+				b.Fatalf("%d safety violations", v)
+			}
+			last = res
+		}
+	})
+	return r, last
 }
 
 func fatal(err error) {

@@ -41,7 +41,27 @@ func main() {
 	grid := flag.String("grid", "", "run an RxC Manhattan grid (e.g. 2x2) instead of the single-intersection sweep")
 	rate := flag.Float64("rate", 0.3, "input flow per boundary entry lane for -corridor/-grid runs (car/lane/s)")
 	segLen := flag.Float64("seglen", 0, "extra road between adjacent intersections for -corridor/-grid runs (m); 0 abuts them")
+	faults := flag.String("faults", "", `run the fault-injection robustness matrix instead of the sweep: "matrix" for every named scenario, or one scenario name / window DSL (see internal/fault)`)
 	flag.Parse()
+
+	if *faults != "" {
+		if *corridor != 0 || *grid != "" {
+			fmt.Fprintln(os.Stderr, "crossroads-sim: -faults is mutually exclusive with -corridor/-grid")
+			os.Exit(1)
+		}
+		// The matrix has its own fleet/rate defaults tuned so every
+		// scenario window catches vehicles mid-handshake; -n and -rate
+		// override them only when given explicitly.
+		nOverride, rateOverride := 0, 0.0
+		if flagWasSet("n") {
+			nOverride = *n
+		}
+		if flagWasSet("rate") {
+			rateOverride = *rate
+		}
+		runFaultMatrix(*faults, *seed, *workers, *csv, *tracePath, nOverride, rateOverride)
+		return
+	}
 
 	topo, err := parseTopology(*corridor, *grid)
 	if err != nil {
@@ -101,6 +121,59 @@ func main() {
 		}
 		fmt.Printf("\nTrace written to %s\n%s", *tracePath, res.TraceSummary())
 	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runFaultMatrix executes the robustness matrix: fault scenarios crossed
+// with every policy and three consecutive seeds. Exits non-zero when any
+// coordinated policy (crossroads, batch) collides, violates a buffer, or
+// strands a vehicle — the matrix doubles as the resilience acceptance gate.
+func runFaultMatrix(spec string, seed int64, workers int, csv bool, tracePath string, n int, rate float64) {
+	cfg := sweep.DefaultFaultMatrixConfig()
+	if spec != "matrix" {
+		cfg.Scenarios = []string{spec}
+	}
+	cfg.Seeds = []int64{seed, seed + 1, seed + 2}
+	cfg.Workers = workers
+	cfg.NumVehicles = n
+	cfg.Rate = rate
+	cfg.TraceFull = tracePath != ""
+
+	res, err := sweep.RunFaultMatrix(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Robustness matrix — faulted throughput relative to the clean baseline")
+	fmt.Printf("scenarios=%v seeds=%v\n\n", res.Scenarios, res.Seeds)
+	emit := emitter(csv)
+	emit(res.Table())
+	fmt.Println("\nPer-scenario summary (seed-averaged):")
+	emit(res.SummaryTable())
+
+	if tracePath != "" {
+		if err := res.WriteTrace(tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "crossroads-sim: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nTrace written to %s\n", tracePath)
+	}
+	if v := res.SafetyViolations(); v > 0 {
+		fmt.Fprintf(os.Stderr, "crossroads-sim: FAIL: %d safety violation(s) in coordinated policies\n", v)
+		os.Exit(1)
+	}
+	fmt.Println("\nPASS: zero collisions, buffer violations, and stranded vehicles for crossroads/batch")
 }
 
 // parseTopology resolves the -corridor/-grid flags; nil means the classic

@@ -216,7 +216,7 @@ func MeasureRTD(trials, workers int, seed int64, newSched func(x *intersection.I
 	err = parallel.ForEach(trials, workers, func(trial int) error {
 		simulator := des.New()
 		rng := rand.New(rand.NewSource(seed + int64(trial)))
-		net := network.New(simulator, rng, network.TestbedDelay(), 0)
+		net := network.New(simulator, rng, nil, network.TestbedDelay(), 0)
 		sched, err := newSched(x, rng)
 		if err != nil {
 			return err
@@ -312,7 +312,7 @@ func MeasureNetDelay(messages int, seed int64) NetDelayResult {
 	}
 	simulator := des.New()
 	rng := rand.New(rand.NewSource(seed))
-	net := network.New(simulator, rng, network.TestbedDelay(), 0)
+	net := network.New(simulator, rng, nil, network.TestbedDelay(), 0)
 
 	res := NetDelayResult{}
 	var total float64

@@ -80,9 +80,13 @@ type planner struct {
 	lipDist float64
 }
 
-// LatestArrival implements im.ArrivalBounder: the latest arrival reachable
-// by the deepest feasible dip from the request's state. +Inf when the
-// vehicle can still stop (it can wait forever).
+// LatestArrival implements im.ArrivalBounder: the latest arrival the
+// vehicle can *safely* realize from the request's state. +Inf when it can
+// still stop behind the conflict-zone lip (it can wait forever at the stop
+// line). Past the lip's stopping point there is no safe waiting position —
+// a stop-and-dwell plan would park the nose inside crossing movements'
+// conflict zones — so the bound is the deepest no-dwell dip, floored at
+// the minimum crossing speed.
 func (p planner) LatestArrival(now float64, req im.Request) float64 {
 	vc := math.Min(math.Max(req.CurrentSpeed, 0), req.Params.MaxSpeed)
 	te := req.TransmitTime + p.wcRTD
@@ -92,13 +96,11 @@ func (p planner) LatestArrival(now float64, req im.Request) float64 {
 		// is reachable.
 		return math.Inf(1)
 	}
-	// Cannot stop: the deepest-dip profile is PlanArrival's fallback for
-	// an unreachable late target.
-	prof, err := kinematics.PlanArrival(te, de, vc, te+1e6, req.Params)
-	if err != nil {
+	eta, ok := kinematics.LatestNoDwell(de, vc, p.minSpeed, req.Params)
+	if !ok {
 		return te
 	}
-	return prof.TimeAtDistance(de)
+	return te + eta
 }
 
 // VerifySlot implements im.SlotVerifier: reject slots whose approach plan

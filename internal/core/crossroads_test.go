@@ -175,3 +175,38 @@ func TestNewValidation(t *testing.T) {
 		t.Error("zero MinCrossSpeed accepted")
 	}
 }
+
+func TestLatestArrivalNoDwellBound(t *testing.T) {
+	p := planner{wcRTD: 0.15, minSpeed: 0.1, lipDist: 0.6}
+
+	// Far out at low speed: the vehicle can still stop behind the lip, so
+	// any later arrival is reachable (it waits at the stop line).
+	far := req(1, 1, intersection.East, 0, 3.0, 1.0)
+	if got := p.LatestArrival(0, far); !math.IsInf(got, 1) {
+		t.Errorf("stop-capable latest = %v, want +Inf", got)
+	}
+
+	// Close in at full speed: stopping would park the nose inside the lip,
+	// so the latest is the finite no-dwell dip bound — NOT the effectively
+	// unbounded stop-and-dwell arrival the planner used to report.
+	near := req(2, 1, intersection.East, 0, 1.5, 3.0)
+	te := near.TransmitTime + p.wcRTD
+	de := near.DistToEntry - near.CurrentSpeed*(te-near.TransmitTime)
+	if near.Params.StoppingDistance(near.CurrentSpeed) < de-p.lipDist {
+		t.Fatal("test setup: vehicle unexpectedly stop-capable")
+	}
+	got := p.LatestArrival(0, near)
+	if math.IsInf(got, 1) {
+		t.Fatal("lip-bound vehicle reported unbounded latest arrival")
+	}
+	eta, ok := kinematics.LatestNoDwell(de, near.CurrentSpeed, p.minSpeed, near.Params)
+	if !ok {
+		t.Fatal("no-dwell bound infeasible")
+	}
+	if math.Abs(got-(te+eta)) > 1e-9 {
+		t.Errorf("latest = %v, want te+noDwellEta = %v", got, te+eta)
+	}
+	if earliest, _, _ := kinematics.EarliestArrival(te, de, near.CurrentSpeed, near.Params); got < te+earliest {
+		t.Errorf("latest %v before earliest %v", got, te+earliest)
+	}
+}

@@ -1,0 +1,244 @@
+// Package fault is a deterministic, seeded fault-injection subsystem for
+// the simulation stack. A Schedule scripts fault windows onto a run's
+// timeline: Gilbert–Elliott burst loss, per-endpoint partitions, one-way
+// delay spikes, message duplication, and IM stall/outage with recovery.
+// The Injector half plugs into the network's Send path (network.Injector);
+// stall windows are wired by the world onto the IM servers. All randomness
+// comes from the injector's own RNG stream, so a faulted run samples the
+// exact same network delays and losses as its clean twin, and results stay
+// bit-identical at any worker count.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind enumerates the scripted fault types.
+type Kind int
+
+const (
+	// Burst is Gilbert–Elliott correlated loss: a two-state Markov chain
+	// (Good/Bad) stepped once per matching message, each state with its
+	// own loss probability.
+	Burst Kind = iota
+	// Partition blackholes traffic between the matched endpoints.
+	Partition
+	// DelaySpike adds fixed one-way latency to matched traffic.
+	DelaySpike
+	// Duplicate delivers an extra copy of matched messages.
+	Duplicate
+	// Stall freezes one IM node's request service; queued work resumes
+	// when the window closes.
+	Stall
+)
+
+var kindNames = map[Kind]string{
+	Burst:      "burst",
+	Partition:  "partition",
+	DelaySpike: "spike",
+	Duplicate:  "dup",
+	Stall:      "stall",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Window is one scripted fault interval [Start, Start+Duration).
+type Window struct {
+	Kind  Kind
+	Start float64
+	// Duration of the window (s); the fault heals at Start+Duration.
+	Duration float64
+
+	// From/To scope Burst/Partition/DelaySpike/Duplicate windows to
+	// matching endpoints. A pattern is an exact name, a prefix with a
+	// trailing '*' ("veh*", "im*"), or ""/"*" for any endpoint. Unless
+	// OneWay is set the window applies to both directions of the matched
+	// pair, so from=veh*,to=im* is a full vehicle<->IM partition.
+	From, To string
+	OneWay   bool
+
+	// Gilbert–Elliott parameters (Burst): per-message transition
+	// probabilities Good->Bad and Bad->Good, and per-state loss
+	// probabilities. The chain starts each window in Good.
+	PGoodBad, PBadGood float64
+	LossGood, LossBad  float64
+
+	// Extra is the added one-way latency of a DelaySpike window (s).
+	Extra float64
+
+	// Prob is the per-message duplication probability of a Duplicate
+	// window; DupLag bounds the duplicate copy's extra latency beyond the
+	// original's (uniform in [0, DupLag]).
+	Prob   float64
+	DupLag float64
+
+	// Node is the stalled IM shard of a Stall window.
+	Node int
+}
+
+// End returns the window's closing time.
+func (w Window) End() float64 { return w.Start + w.Duration }
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t float64) bool { return t >= w.Start && t < w.End() }
+
+// Default resilience parameters applied by the world when a schedule
+// leaves them zero.
+const (
+	// DefaultLeaseTTL is how long an IM tolerates silence from a vehicle
+	// it has bookkeeping for before pruning it as a ghost (active
+	// reservations are never pruned; see im.GhostPruner).
+	DefaultLeaseTTL = 4.0
+	// DefaultGrantTTL is the vehicle-side grace past the granted arrival
+	// time before a still-stoppable vehicle abandons the expired plan and
+	// fails safe at the stop line.
+	DefaultGrantTTL = 1.5
+)
+
+// Schedule scripts a run's fault windows and the resilience parameters
+// both protocol sides arm while faults are enabled.
+type Schedule struct {
+	// Windows are the scripted fault intervals. Same-kind windows with
+	// the same scope must not overlap (Validate rejects it); different
+	// kinds compose freely.
+	Windows []Window
+	// LeaseTTL overrides DefaultLeaseTTL when positive.
+	LeaseTTL float64
+	// GrantTTL overrides DefaultGrantTTL when positive.
+	GrantTTL float64
+}
+
+// End returns the latest window end, or 0 for an empty schedule. Worlds
+// use it to extend a derived run horizon so fleets delayed by faults still
+// finish.
+func (s *Schedule) End() float64 {
+	end := 0.0
+	for _, w := range s.Windows {
+		if w.End() > end {
+			end = w.End()
+		}
+	}
+	return end
+}
+
+// ResolvedLeaseTTL returns the lease TTL with the default applied.
+func (s *Schedule) ResolvedLeaseTTL() float64 {
+	if s.LeaseTTL > 0 {
+		return s.LeaseTTL
+	}
+	return DefaultLeaseTTL
+}
+
+// ResolvedGrantTTL returns the grant TTL with the default applied.
+func (s *Schedule) ResolvedGrantTTL() float64 {
+	if s.GrantTTL > 0 {
+		return s.GrantTTL
+	}
+	return DefaultGrantTTL
+}
+
+// Validate rejects schedules that would silently script a different fault
+// scenario than intended: negative times or durations, out-of-range
+// probabilities, and overlapping same-kind windows on the same scope.
+func (s *Schedule) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.LeaseTTL < 0 {
+		return fmt.Errorf("fault: negative LeaseTTL %v", s.LeaseTTL)
+	}
+	if s.GrantTTL < 0 {
+		return fmt.Errorf("fault: negative GrantTTL %v", s.GrantTTL)
+	}
+	for i, w := range s.Windows {
+		if err := w.validate(); err != nil {
+			return fmt.Errorf("fault: window %d (%s@%g): %w", i, w.Kind, w.Start, err)
+		}
+		for j := 0; j < i; j++ {
+			o := s.Windows[j]
+			if w.Kind == o.Kind && w.From == o.From && w.To == o.To && w.Node == o.Node &&
+				w.Start < o.End() && o.Start < w.End() {
+				return fmt.Errorf("fault: %s windows %d and %d overlap ([%g,%g) vs [%g,%g))",
+					w.Kind, j, i, o.Start, o.End(), w.Start, w.End())
+			}
+		}
+	}
+	return nil
+}
+
+func (w Window) validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"start", w.Start}, {"duration", w.Duration},
+		{"extra", w.Extra}, {"duplag", w.DupLag},
+	} {
+		if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+			return fmt.Errorf("bad %s %v", v.name, v.val)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		val  float64
+	}{
+		{"pgb", w.PGoodBad}, {"pbg", w.PBadGood},
+		{"lossgood", w.LossGood}, {"lossbad", w.LossBad}, {"prob", w.Prob},
+	} {
+		if math.IsNaN(p.val) || p.val < 0 || p.val > 1 {
+			return fmt.Errorf("probability %s=%v outside [0,1]", p.name, p.val)
+		}
+	}
+	if w.Node < 0 {
+		return fmt.Errorf("negative node %d", w.Node)
+	}
+	switch w.Kind {
+	case Burst:
+		if w.LossGood == 0 && w.LossBad == 0 {
+			return fmt.Errorf("burst window with zero loss in both states")
+		}
+	case DelaySpike:
+		if w.Extra == 0 {
+			return fmt.Errorf("spike window with zero extra delay")
+		}
+	case Duplicate:
+		if w.Prob == 0 {
+			return fmt.Errorf("dup window with zero probability")
+		}
+	case Partition, Stall:
+	default:
+		return fmt.Errorf("unknown kind %d", int(w.Kind))
+	}
+	return nil
+}
+
+// matchEndpoint reports whether an endpoint name matches a scope pattern:
+// ""/"*" match everything, a trailing '*' matches the prefix, anything
+// else is exact.
+func matchEndpoint(pattern, name string) bool {
+	if pattern == "" || pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(name, pattern[:len(pattern)-1])
+	}
+	return pattern == name
+}
+
+// appliesTo reports whether the window scopes a message from->to.
+func (w Window) appliesTo(from, to string) bool {
+	if matchEndpoint(w.From, from) && matchEndpoint(w.To, to) {
+		return true
+	}
+	if !w.OneWay && matchEndpoint(w.From, to) && matchEndpoint(w.To, from) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package fault
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"crossroads/internal/network"
+)
+
+// TestScheduleValidate pins the malformed schedules Validate must reject
+// and the lawful shapes it must leave alone.
+func TestScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		s       *Schedule
+		wantErr string // substring; empty means valid
+	}{
+		{"nil schedule", nil, ""},
+		{"empty schedule", &Schedule{}, ""},
+		{"negative lease ttl", &Schedule{LeaseTTL: -1}, "LeaseTTL"},
+		{"negative grant ttl", &Schedule{GrantTTL: -0.5}, "GrantTTL"},
+		{"negative start", &Schedule{Windows: []Window{
+			{Kind: Partition, Start: -1, Duration: 2},
+		}}, "start"},
+		{"negative duration", &Schedule{Windows: []Window{
+			{Kind: Partition, Start: 1, Duration: -2},
+		}}, "duration"},
+		{"probability above one", &Schedule{Windows: []Window{
+			{Kind: Duplicate, Start: 0, Duration: 1, Prob: 1.5},
+		}}, "prob"},
+		{"burst without loss", &Schedule{Windows: []Window{
+			{Kind: Burst, Start: 0, Duration: 1, PGoodBad: 0.1, PBadGood: 0.1},
+		}}, "zero loss"},
+		{"spike without extra", &Schedule{Windows: []Window{
+			{Kind: DelaySpike, Start: 0, Duration: 1},
+		}}, "zero extra"},
+		{"dup without prob", &Schedule{Windows: []Window{
+			{Kind: Duplicate, Start: 0, Duration: 1, DupLag: 0.1},
+		}}, "zero probability"},
+		{"negative stall node", &Schedule{Windows: []Window{
+			{Kind: Stall, Start: 0, Duration: 1, Node: -1},
+		}}, "node"},
+		{"overlapping same scope", &Schedule{Windows: []Window{
+			{Kind: Partition, Start: 0, Duration: 5, From: "veh*", To: "im*"},
+			{Kind: Partition, Start: 4, Duration: 2, From: "veh*", To: "im*"},
+		}}, "overlap"},
+		{"overlapping different kinds", &Schedule{Windows: []Window{
+			{Kind: Partition, Start: 0, Duration: 5},
+			{Kind: DelaySpike, Start: 2, Duration: 5, Extra: 0.03},
+		}}, ""},
+		{"overlapping different scopes", &Schedule{Windows: []Window{
+			{Kind: Partition, Start: 0, Duration: 5, From: "veh1"},
+			{Kind: Partition, Start: 2, Duration: 5, From: "veh2"},
+		}}, ""},
+		{"adjacent windows", &Schedule{Windows: []Window{
+			{Kind: Stall, Start: 0, Duration: 2},
+			{Kind: Stall, Start: 2, Duration: 2},
+		}}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error mentioning %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+// TestResolvedTTLs checks the default substitution.
+func TestResolvedTTLs(t *testing.T) {
+	s := &Schedule{}
+	if got := s.ResolvedLeaseTTL(); got != DefaultLeaseTTL {
+		t.Errorf("ResolvedLeaseTTL() = %v, want default %v", got, DefaultLeaseTTL)
+	}
+	if got := s.ResolvedGrantTTL(); got != DefaultGrantTTL {
+		t.Errorf("ResolvedGrantTTL() = %v, want default %v", got, DefaultGrantTTL)
+	}
+	s = &Schedule{LeaseTTL: 7, GrantTTL: 2.5}
+	if got := s.ResolvedLeaseTTL(); got != 7 {
+		t.Errorf("ResolvedLeaseTTL() = %v, want 7", got)
+	}
+	if got := s.ResolvedGrantTTL(); got != 2.5 {
+		t.Errorf("ResolvedGrantTTL() = %v, want 2.5", got)
+	}
+}
+
+// TestScheduleEnd checks the horizon-extension helper.
+func TestScheduleEnd(t *testing.T) {
+	s := &Schedule{Windows: []Window{
+		{Kind: Stall, Start: 4, Duration: 4},
+		{Kind: Partition, Start: 1, Duration: 10},
+	}}
+	if got := s.End(); got != 11 {
+		t.Errorf("End() = %v, want 11", got)
+	}
+	if got := (&Schedule{}).End(); got != 0 {
+		t.Errorf("empty End() = %v, want 0", got)
+	}
+}
+
+// TestScenarios checks every named scenario resolves, validates, and
+// round-trips through ParseSpec.
+func TestScenarios(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) == 0 {
+		t.Fatal("no named scenarios")
+	}
+	for _, name := range names {
+		s, ok := Scenario(name)
+		if !ok {
+			t.Fatalf("Scenario(%q) not found despite being listed", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("scenario %q does not validate: %v", name, err)
+		}
+		if len(s.Windows) == 0 {
+			t.Errorf("scenario %q has no windows", name)
+		}
+		parsed, err := ParseSpec(name)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", name, err)
+		} else if len(parsed.Windows) != len(s.Windows) {
+			t.Errorf("ParseSpec(%q) returned %d windows, Scenario %d",
+				name, len(parsed.Windows), len(s.Windows))
+		}
+	}
+	if _, ok := Scenario("no-such-scenario"); ok {
+		t.Error("Scenario accepted an unknown name")
+	}
+}
+
+// TestParseSpecDSL exercises the window DSL.
+func TestParseSpecDSL(t *testing.T) {
+	s, err := ParseSpec("burst@2+6,pgb=0.1,pbg=0.3,lossbad=0.9;stall@9+2,node=0;spike@1+4,extra=0.05,from=im*,to=veh*,oneway=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(s.Windows))
+	}
+	b := s.Windows[0]
+	if b.Kind != Burst || b.Start != 2 || b.Duration != 6 || b.PGoodBad != 0.1 || b.PBadGood != 0.3 || b.LossBad != 0.9 {
+		t.Errorf("burst window parsed as %+v", b)
+	}
+	if b.LossGood != 0.01 {
+		t.Errorf("burst default lossgood = %v, want 0.01", b.LossGood)
+	}
+	st := s.Windows[1]
+	if st.Kind != Stall || st.Start != 9 || st.Duration != 2 || st.Node != 0 {
+		t.Errorf("stall window parsed as %+v", st)
+	}
+	sp := s.Windows[2]
+	if sp.Kind != DelaySpike || sp.Extra != 0.05 || sp.From != "im*" || sp.To != "veh*" || !sp.OneWay {
+		t.Errorf("spike window parsed as %+v", sp)
+	}
+
+	for _, bad := range []string{
+		"", "frogs@1+2", "burst@x+2", "burst@1+y", "burst@1+2,zzz=1",
+		"burst@1+2,pgb", "spike@1+2,extra=0", "partition@3+-1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func msg(from, to string) network.Message {
+	return network.Message{From: from, To: to, Kind: network.KindRequest}
+}
+
+// TestInjectorPartition checks endpoint scoping: bidirectional by default,
+// one direction with OneWay, prefix and exact patterns.
+func TestInjectorPartition(t *testing.T) {
+	inj := NewInjector(&Schedule{Windows: []Window{
+		{Kind: Partition, Start: 1, Duration: 2, From: "veh*", To: "im0"},
+	}}, rand.New(rand.NewSource(1)))
+
+	if v := inj.OnSend(0.5, msg("veh3", "im0")); v.Drop {
+		t.Error("partition dropped a message before its window opened")
+	}
+	if v := inj.OnSend(1.5, msg("veh3", "im0")); !v.Drop || v.Reason != "fault:partition" {
+		t.Errorf("forward match not dropped: %+v", v)
+	}
+	if v := inj.OnSend(1.5, msg("im0", "veh3")); !v.Drop {
+		t.Error("reverse direction not dropped by a bidirectional partition")
+	}
+	if v := inj.OnSend(1.5, msg("im1", "veh3")); v.Drop {
+		t.Error("unmatched endpoint dropped")
+	}
+	if v := inj.OnSend(3.0, msg("veh3", "im0")); v.Drop {
+		t.Error("partition dropped a message after healing")
+	}
+
+	oneWay := NewInjector(&Schedule{Windows: []Window{
+		{Kind: Partition, Start: 0, Duration: 10, From: "im*", To: "veh*", OneWay: true},
+	}}, rand.New(rand.NewSource(1)))
+	if v := oneWay.OnSend(1, msg("im0", "veh7")); !v.Drop {
+		t.Error("one-way partition let the scoped direction through")
+	}
+	if v := oneWay.OnSend(1, msg("veh7", "im0")); v.Drop {
+		t.Error("one-way partition dropped the unscoped direction")
+	}
+}
+
+// TestInjectorBurstChain drives the Gilbert–Elliott chain through a
+// deterministic corner: lossless Good state, certain Good->Bad transition,
+// certain loss in Bad. The first message must pass and flip the chain; every
+// later in-window message must drop; after the window the chain resets.
+func TestInjectorBurstChain(t *testing.T) {
+	s := &Schedule{Windows: []Window{
+		{Kind: Burst, Start: 0, Duration: 5, PGoodBad: 1, PBadGood: 0, LossGood: 0, LossBad: 1},
+	}}
+	inj := NewInjector(s, rand.New(rand.NewSource(1)))
+	if v := inj.OnSend(0.1, msg("a", "b")); v.Drop {
+		t.Fatal("first message dropped while the chain was still Good")
+	}
+	for i := 0; i < 5; i++ {
+		if v := inj.OnSend(0.2+float64(i), msg("a", "b")); !v.Drop || v.Reason != "fault:burst" {
+			t.Fatalf("message %d not dropped in Bad state: %+v", i, v)
+		}
+	}
+	// Past the window the fault heals and the chain state resets, so a
+	// reopened identical window would start Good again.
+	if v := inj.OnSend(6, msg("a", "b")); v.Drop {
+		t.Error("message dropped after the burst window healed")
+	}
+}
+
+// TestInjectorSpikeAndDup checks delay accumulation and duplication fields.
+func TestInjectorSpikeAndDup(t *testing.T) {
+	s := &Schedule{Windows: []Window{
+		{Kind: DelaySpike, Start: 0, Duration: 10, Extra: 0.03},
+		{Kind: DelaySpike, Start: 0, Duration: 10, Extra: 0.02, From: "veh*"},
+		{Kind: Duplicate, Start: 0, Duration: 10, Prob: 1, DupLag: 0.05},
+	}}
+	inj := NewInjector(s, rand.New(rand.NewSource(1)))
+	v := inj.OnSend(1, msg("veh1", "im0"))
+	if v.ExtraDelay != 0.05 {
+		t.Errorf("overlapping spikes gave ExtraDelay %v, want 0.05", v.ExtraDelay)
+	}
+	if !v.Duplicate {
+		t.Error("prob=1 duplicate window did not duplicate")
+	}
+	if v.DupDelay < 0 || v.DupDelay > 0.05 {
+		t.Errorf("DupDelay %v outside [0, DupLag]", v.DupDelay)
+	}
+	if v.Drop {
+		t.Error("spike/dup verdict must not drop")
+	}
+}
+
+// TestInjectorDeterminism pins that the same schedule and seed produce the
+// same verdict sequence.
+func TestInjectorDeterminism(t *testing.T) {
+	s, err := ParseSpec("mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []network.Verdict {
+		inj := NewInjector(s, rand.New(rand.NewSource(42)))
+		var out []network.Verdict
+		for i := 0; i < 400; i++ {
+			from, to := "veh1", "im0"
+			if i%2 == 1 {
+				from, to = "im0", "veh1"
+			}
+			out = append(out, inj.OnSend(float64(i)*0.05, msg(from, to)))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

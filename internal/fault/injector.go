@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"math/rand"
+
+	"crossroads/internal/network"
+)
+
+// Injector applies a schedule's network-facing windows (everything except
+// Stall) to each message handed to the radio. It implements
+// network.Injector and owns its RNG: all fault coins come from this
+// stream, never from the network's delay or loss streams.
+type Injector struct {
+	windows []Window
+	rng     *rand.Rand
+	// bad is the Gilbert–Elliott chain state per window (Burst only);
+	// each chain restarts in Good when its window reopens.
+	bad []bool
+}
+
+// NewInjector builds an injector over the schedule's network windows.
+// The schedule must already be validated.
+func NewInjector(s *Schedule, rng *rand.Rand) *Injector {
+	inj := &Injector{rng: rng}
+	for _, w := range s.Windows {
+		if w.Kind != Stall {
+			inj.windows = append(inj.windows, w)
+		}
+	}
+	inj.bad = make([]bool, len(inj.windows))
+	return inj
+}
+
+// OnSend implements network.Injector. Every window is evaluated on every
+// matching message — earlier drops never short-circuit later windows — so
+// the fault RNG stream advances identically however the verdicts combine,
+// keeping runs comparable across schedule variations of a single window.
+func (inj *Injector) OnSend(now float64, msg network.Message) network.Verdict {
+	var v network.Verdict
+	for i, w := range inj.windows {
+		if !w.Contains(now) {
+			if w.Kind == Burst && now >= w.End() {
+				inj.bad[i] = false
+			}
+			continue
+		}
+		if !w.appliesTo(msg.From, msg.To) {
+			continue
+		}
+		switch w.Kind {
+		case Burst:
+			lossP := w.LossGood
+			if inj.bad[i] {
+				lossP = w.LossBad
+			}
+			if inj.rng.Float64() < lossP {
+				v.Drop = true
+				v.Reason = "fault:burst"
+			}
+			if inj.bad[i] {
+				if inj.rng.Float64() < w.PBadGood {
+					inj.bad[i] = false
+				}
+			} else {
+				if inj.rng.Float64() < w.PGoodBad {
+					inj.bad[i] = true
+				}
+			}
+		case Partition:
+			v.Drop = true
+			v.Reason = "fault:partition"
+		case DelaySpike:
+			v.ExtraDelay += w.Extra
+		case Duplicate:
+			if inj.rng.Float64() < w.Prob {
+				v.Duplicate = true
+				v.DupDelay = inj.rng.Float64() * w.DupLag
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scenario returns a named fault scenario — the robustness matrix's rows
+// and the -faults flag's shorthand. The boolean is false for unknown names.
+//
+// Timings assume the standard experiment shape: arrivals begin near t=0
+// and the interesting contention happens in the first ~15 s.
+func Scenario(name string) (*Schedule, bool) {
+	switch name {
+	case "burst":
+		// Correlated loss: ~1% background loss, bursts losing ~85% with a
+		// mean bad-state length of 4 messages.
+		return &Schedule{Windows: []Window{
+			{Kind: Burst, Start: 2, Duration: 8, PGoodBad: 0.08, PBadGood: 0.25, LossGood: 0.01, LossBad: 0.85},
+		}}, true
+	case "partition":
+		// A total vehicle<->IM blackout, then a later one-way outage where
+		// the IM hears requests but its replies vanish.
+		return &Schedule{Windows: []Window{
+			{Kind: Partition, Start: 3, Duration: 3, From: "veh*", To: "im*"},
+			{Kind: Partition, Start: 10, Duration: 2, From: "im*", To: "veh*", OneWay: true},
+		}}, true
+	case "stall":
+		// The IM freezes mid-rush and recovers with a full queue.
+		return &Schedule{Windows: []Window{
+			{Kind: Stall, Start: 4, Duration: 4, Node: 0},
+		}}, true
+	case "spike":
+		// One-way delay spike on the downlink: grants arrive late enough
+		// to stress the TE anchoring (15 ms worst-case +40 ms).
+		return &Schedule{Windows: []Window{
+			{Kind: DelaySpike, Start: 2, Duration: 6, Extra: 0.04, From: "im*", To: "veh*", OneWay: true},
+		}}, true
+	case "dup":
+		// Duplicated frames: every handler must tolerate replays.
+		return &Schedule{Windows: []Window{
+			{Kind: Duplicate, Start: 1, Duration: 10, Prob: 0.6, DupLag: 0.05},
+		}}, true
+	case "mix":
+		// Everything at once, staggered: burst loss, an IM stall, a
+		// partition, a delay spike, with duplication throughout. The spike
+		// here is symmetric: a one-way spike overlapping a vehicle's sync
+		// phase biases its NTP offset estimate by up to Extra/2 and erodes
+		// slot margins (the dedicated "spike" scenario covers that mode).
+		return &Schedule{Windows: []Window{
+			{Kind: Burst, Start: 2, Duration: 3, PGoodBad: 0.1, PBadGood: 0.3, LossGood: 0.01, LossBad: 0.9},
+			{Kind: Stall, Start: 6, Duration: 2, Node: 0},
+			{Kind: Partition, Start: 9, Duration: 2, From: "veh*", To: "im*"},
+			{Kind: DelaySpike, Start: 11, Duration: 3, Extra: 0.03, From: "veh*", To: "im*"},
+			{Kind: Duplicate, Start: 1, Duration: 13, Prob: 0.3, DupLag: 0.05},
+		}}, true
+	}
+	return nil, false
+}
+
+// ScenarioNames lists the named scenarios in a fixed order.
+func ScenarioNames() []string {
+	names := []string{"burst", "partition", "stall", "spike", "dup", "mix"}
+	sort.Strings(names)
+	return names
+}
+
+// ParseSpec resolves a -faults argument: a named scenario, or a
+// semicolon-separated window list in the DSL
+//
+//	kind@start+duration[,key=value...]
+//
+// e.g. "burst@2+6,pgb=0.08,pbg=0.25,lossbad=0.85;stall@9+2,node=0".
+// Recognized kinds: burst, partition, spike, dup, stall. Recognized keys:
+// from, to, oneway, pgb, pbg, lossgood, lossbad, extra, prob, duplag,
+// node. The returned schedule is validated.
+func ParseSpec(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("fault: empty spec")
+	}
+	if s, ok := Scenario(spec); ok {
+		return s, nil
+	}
+	s := &Schedule{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := parseWindow(part)
+		if err != nil {
+			return nil, fmt.Errorf("fault: %q: %w", part, err)
+		}
+		s.Windows = append(s.Windows, w)
+	}
+	if len(s.Windows) == 0 {
+		return nil, fmt.Errorf("fault: spec %q has no windows", spec)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseWindow(part string) (Window, error) {
+	fields := strings.Split(part, ",")
+	head := fields[0]
+	at := strings.IndexByte(head, '@')
+	plus := strings.IndexByte(head, '+')
+	if at < 0 || plus < at {
+		return Window{}, fmt.Errorf("want kind@start+duration")
+	}
+	var w Window
+	switch head[:at] {
+	case "burst":
+		w.Kind = Burst
+		// A bare "burst@s+d" still means something: moderate bursts.
+		w.PGoodBad, w.PBadGood, w.LossGood, w.LossBad = 0.08, 0.25, 0.01, 0.85
+	case "partition":
+		w.Kind = Partition
+	case "spike":
+		w.Kind = DelaySpike
+		w.Extra = 0.03
+	case "dup":
+		w.Kind = Duplicate
+		w.Prob, w.DupLag = 0.5, 0.05
+	case "stall":
+		w.Kind = Stall
+	default:
+		return Window{}, fmt.Errorf("unknown fault kind %q", head[:at])
+	}
+	var err error
+	if w.Start, err = strconv.ParseFloat(head[at+1:plus], 64); err != nil {
+		return Window{}, fmt.Errorf("bad start: %w", err)
+	}
+	if w.Duration, err = strconv.ParseFloat(head[plus+1:], 64); err != nil {
+		return Window{}, fmt.Errorf("bad duration: %w", err)
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok {
+			return Window{}, fmt.Errorf("want key=value, got %q", f)
+		}
+		switch k {
+		case "from":
+			w.From = v
+		case "to":
+			w.To = v
+		case "oneway":
+			w.OneWay = v == "true" || v == "1"
+		case "node":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return Window{}, fmt.Errorf("bad node: %w", err)
+			}
+			w.Node = n
+		default:
+			dst := map[string]*float64{
+				"pgb": &w.PGoodBad, "pbg": &w.PBadGood,
+				"lossgood": &w.LossGood, "lossbad": &w.LossBad,
+				"extra": &w.Extra, "prob": &w.Prob, "duplag": &w.DupLag,
+			}[k]
+			if dst == nil {
+				return Window{}, fmt.Errorf("unknown key %q", k)
+			}
+			if *dst, err = strconv.ParseFloat(v, 64); err != nil {
+				return Window{}, fmt.Errorf("bad %s: %w", k, err)
+			}
+		}
+	}
+	return w, nil
+}

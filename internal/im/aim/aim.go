@@ -264,6 +264,17 @@ func (s *Scheduler) HandleExit(now float64, vehicleID int64) {
 	s.order.Remove(vehicleID)
 }
 
+// PruneGhost implements im.GhostPruner: free a silent vehicle's tiles and
+// lane-FIFO slot, refusing while its accepted crossing is not comfortably
+// past (an accepted vehicle is silent until its exit report).
+func (s *Scheduler) PruneGhost(now float64, vehicleID int64) bool {
+	if toa, ok := s.accepted[vehicleID]; ok && toa > now-2 {
+		return false
+	}
+	s.HandleExit(now, vehicleID)
+	return true
+}
+
 // exitSeparated reports whether two same-exit-lane crossings are ordered
 // with enough margin: their exit-point passages must not overlap, and when
 // the later one is faster it additionally needs the catch-up time over the

@@ -321,18 +321,21 @@ func (s *Scheduler) schedule(now float64, req im.Request) im.Response {
 	}
 }
 
-// latestArrival returns the latest arrival reachable from the request
-// state (infinite when the vehicle can still wait behind the lip).
+// latestArrival returns the latest arrival *safely* reachable from the
+// request state: infinite when the vehicle can still wait behind the lip,
+// else the deepest no-dwell dip floored at the minimum crossing speed.
+// A stop-and-dwell plan past the lip's stopping point would park the nose
+// inside crossing movements' conflict zones, so dwells don't count.
 func (s *Scheduler) latestArrival(te, de, vc float64, params kinematics.Params) float64 {
 	lip := s.cfg.RefWidth/2 + 2*s.cfg.Spec.SensingBuffer() + 0.05 + s.cfg.RefLength/2
 	if params.StoppingDistance(vc) < de-lip {
 		return math.Inf(1)
 	}
-	prof, err := kinematics.PlanArrival(te, de, vc, te+1e6, params)
-	if err != nil {
+	eta, ok := kinematics.LatestNoDwell(de, vc, s.cfg.MinCrossSpeed, params)
+	if !ok {
 		return te
 	}
-	return prof.TimeAtDistance(de)
+	return te + eta
 }
 
 // dwellClearsLip reports whether the dip plan for (te, de, vc, toa) keeps
@@ -363,6 +366,17 @@ func (s *Scheduler) HandleExit(now float64, vehicleID int64) {
 	s.book.Remove(vehicleID)
 	s.order.Remove(vehicleID)
 	delete(s.seniority, vehicleID)
+}
+
+// PruneGhost implements im.GhostPruner: drop a silent vehicle's
+// bookkeeping, refusing while it still holds a reservation whose crossing
+// is not comfortably past (granted vehicles are silent until exit).
+func (s *Scheduler) PruneGhost(now float64, vehicleID int64) bool {
+	if r, ok := s.book.Get(vehicleID); ok && r.ToA > now-2 {
+		return false
+	}
+	s.HandleExit(now, vehicleID)
+	return true
 }
 
 // Book exposes the ledger for tests.

@@ -42,7 +42,17 @@ func (p CrossingPlan) StateAt(t float64) (remaining, speed float64, ok bool) {
 		return 0, 0, false
 	}
 	if t < p.Approach.StartTime {
-		return 0, 0, false
+		// The grant contract has the vehicle holding its anchor speed
+		// until the plan's TE (the IM dead-reckoned it there at constant
+		// speed), so shortly before the anchor the state is well-defined:
+		// extrapolate the same contract backwards. Far before the anchor
+		// the contract no longer applies (the vehicle was still driving
+		// its previous plan), so give up.
+		if p.Approach.StartTime-t > 1.0 {
+			return 0, 0, false
+		}
+		v0 := p.Approach.VelocityAt(p.Approach.StartTime)
+		return p.ApproachDist + v0*(p.Approach.StartTime-t), v0, true
 	}
 	covered := p.Approach.DistanceAt(t)
 	if covered >= p.ApproachDist {

@@ -25,7 +25,7 @@ func (p *pushSched) TakePushes() []Push {
 // vehicles and are counted.
 func TestServerTransmitsPushes(t *testing.T) {
 	sim := des.New()
-	net := network.New(sim, nil, network.ConstantDelay{D: 0.001}, 0)
+	net := network.New(sim, nil, nil, network.ConstantDelay{D: 0.001}, 0)
 	col := metrics.NewCollector()
 	sched := &pushSched{stubSched: stubSched{cost: 0.01}}
 	sched.pending = []Push{

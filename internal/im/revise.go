@@ -68,11 +68,21 @@ func reviseOne(b *Book, r Reservation, now, cmdLatency, minCrossSpeed float64) (
 	if !ok {
 		return Reservation{}, Response{}, false
 	}
-	// The vehicle must still be dip-capable (able to realize any later
-	// arrival): it can stop, leaving room for the lip.
+	// Bound the push by what the vehicle can still *safely* realize. A
+	// vehicle that can stop behind the conflict-zone lip can absorb any
+	// delay (it waits at the stop line). One that cannot is not thereby
+	// unrevisable — a mild delay fits in a no-dwell dip — but the revised
+	// slot must stay within that dip's reach: a stop-and-dwell plan past
+	// the lip's stopping point would park the nose inside crossing
+	// movements' conflict zones.
 	lip := r.PlanLen // conservative: a body-plus-buffers length before the entry
+	latest := math.Inf(1)
 	if r.Params.StoppingDistance(speed) >= remaining-lip {
-		return Reservation{}, Response{}, false
+		eta, ok := kinematics.LatestNoDwell(remaining, speed, minCrossSpeed, r.Params)
+		if !ok {
+			return Reservation{}, Response{}, false
+		}
+		latest = te + eta
 	}
 	etaDelay, vEarliest, _ := kinematics.EarliestArrival(te, remaining, speed, r.Params)
 	earliest := math.Max(te+etaDelay, r.ToA) // revisions only push later
@@ -96,12 +106,16 @@ func reviseOne(b *Book, r Reservation, now, cmdLatency, minCrossSpeed float64) (
 		return plan
 	}
 	toa, plan, err := b.EarliestFeasible(r.VehicleID, r.Seniority, r.Movement, r.PlanLen, earliest, planFor)
-	if err != nil {
+	if err != nil || toa > latest {
 		return Reservation{}, Response{}, false
 	}
-	// Verify reachability of the revised slot from the commanded state.
-	if prof, perr := kinematics.PlanArrival(te, remaining, speed, toa, r.Params); perr != nil ||
-		math.Abs(prof.TimeAtDistance(remaining)-toa) > 0.05 {
+	// Verify reachability of the revised slot from the commanded state,
+	// and that its approach keeps any dwell behind the lip.
+	prof, perr := kinematics.PlanArrival(te, remaining, speed, toa, r.Params)
+	if perr != nil || math.Abs(prof.TimeAtDistance(remaining)-toa) > 0.05 {
+		return Reservation{}, Response{}, false
+	}
+	if minV, rem := kinematics.SlowestPoint(prof, remaining); minV < 0.3 && rem < remaining-1e-6 && rem < lip {
 		return Reservation{}, Response{}, false
 	}
 	nr := r

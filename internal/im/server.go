@@ -1,6 +1,7 @@
 package im
 
 import (
+	"sort"
 	"strconv"
 	"time"
 
@@ -15,6 +16,17 @@ import (
 // reservation book). Server.SetTrace uses it.
 type TraceSetter interface {
 	SetTrace(rec *trace.Recorder)
+}
+
+// GhostPruner is an optional Scheduler extension used by lease expiry:
+// drop the per-vehicle bookkeeping (lane FIFO slot, seniority, stale
+// booking) of a vehicle that went silent mid-handshake, so followers are
+// never blocked behind a ghost. Implementations must refuse (return
+// false) while the vehicle still holds a live reservation — a granted
+// vehicle is silent by design until its exit report, and un-booking it
+// mid-crossing would let the IM double-book its slot.
+type GhostPruner interface {
+	PruneGhost(now float64, vehicleID int64) bool
 }
 
 // SyncPayload carries the NTP timestamps of a sync exchange: the client's
@@ -66,6 +78,17 @@ type Server struct {
 
 	queue      []Request
 	processing bool
+
+	// stalled freezes request service (fault injection): incoming
+	// requests still buffer into the queue, but nothing is answered
+	// until recovery.
+	stalled bool
+	// leaseTTL > 0 arms ghost pruning: lastSeen tracks each vehicle's
+	// most recent contact, and a periodic sweep drops the bookkeeping of
+	// vehicles silent for more than the TTL (never a live reservation;
+	// see GhostPruner).
+	leaseTTL float64
+	lastSeen map[int64]float64
 }
 
 // SetTrace attaches an event recorder to the server's decision stream
@@ -111,11 +134,90 @@ func (s *Server) QueueLen() int {
 	return n
 }
 
+// SetStalled freezes or resumes request service (IM stall/outage fault).
+// A stalled server still buffers incoming crossing requests — the radio
+// keeps receiving — but answers nothing: no sync replies, no exit acks, no
+// grants. On recovery the buffered queue drains in FIFO order.
+func (s *Server) SetStalled(stalled bool) {
+	if s.stalled == stalled {
+		return
+	}
+	s.stalled = stalled
+	if !stalled && !s.processing && len(s.queue) > 0 {
+		s.processNext()
+	}
+}
+
+// Stalled reports whether the server is currently stalled.
+func (s *Server) Stalled() bool { return s.stalled }
+
+// EnableLeaseExpiry arms ghost pruning with the given silence TTL: a
+// periodic sweep (every ttl/2) hands vehicles unheard-from for more than
+// ttl to the scheduler's GhostPruner. ttl <= 0 is a no-op. Fault-injected
+// runs enable this; clean runs never pay for it.
+func (s *Server) EnableLeaseExpiry(ttl float64) {
+	if ttl <= 0 || s.leaseTTL > 0 {
+		return
+	}
+	s.leaseTTL = ttl
+	s.lastSeen = make(map[int64]float64)
+	s.scheduleLeaseSweep()
+}
+
+func (s *Server) scheduleLeaseSweep() {
+	s.sim.After(s.leaseTTL/2, func() {
+		s.sweepLeases()
+		s.scheduleLeaseSweep()
+	})
+}
+
+// sweepLeases prunes vehicles silent for longer than the lease TTL. A
+// refused prune (live reservation) stays in lastSeen and is retried next
+// sweep; schedulers without a GhostPruner never prune — blocking behind a
+// ghost is recoverable, double-booking a live crossing is not.
+func (s *Server) sweepLeases() {
+	if s.stalled {
+		return
+	}
+	gp, ok := s.sched.(GhostPruner)
+	if !ok {
+		return
+	}
+	now := s.sim.Now()
+	var stale []int64
+	for id, t := range s.lastSeen {
+		if now-t > s.leaseTTL {
+			stale = append(stale, id)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, id := range stale {
+		if !gp.PruneGhost(now, id) {
+			continue
+		}
+		last := s.lastSeen[id]
+		delete(s.lastSeen, id)
+		if s.trace != nil {
+			s.trace.Emit(trace.Event{
+				Kind: trace.KindIMLease, T: now, Node: s.node,
+				Vehicle: id, Detail: "expired", Value: last,
+			})
+		}
+	}
+}
+
+// touch records contact with a vehicle for lease accounting.
+func (s *Server) touch(id int64) {
+	if s.lastSeen != nil {
+		s.lastSeen[id] = s.sim.Now()
+	}
+}
+
 func (s *Server) handle(now float64, msg network.Message) {
 	switch msg.Kind {
 	case network.KindSyncRequest:
 		p, ok := msg.Payload.(SyncPayload)
-		if !ok {
+		if !ok || s.stalled {
 			return
 		}
 		p.T2 = now
@@ -148,20 +250,22 @@ func (s *Server) handle(now float64, msg network.Message) {
 		if !replaced {
 			s.queue = append(s.queue, req)
 		}
+		s.touch(req.VehicleID)
 		if s.trace != nil {
 			s.trace.Emit(trace.Event{
 				Kind: trace.KindIMRequest, T: now, Node: s.node,
 				Vehicle: req.VehicleID, Seq: req.Seq, Queue: s.QueueLen(),
 			})
 		}
-		if !s.processing {
+		if !s.processing && !s.stalled {
 			s.processNext()
 		}
 	case network.KindExit:
 		p, ok := msg.Payload.(ExitPayload)
-		if !ok {
+		if !ok || s.stalled {
 			return
 		}
+		delete(s.lastSeen, p.VehicleID)
 		s.sched.HandleExit(now, p.VehicleID)
 		// Exits are retransmitted until acknowledged: losing one would
 		// wedge the lane FIFO behind a ghost.
@@ -181,7 +285,7 @@ func (s *Server) handle(now float64, msg network.Message) {
 // hold the server busy for the simulated computation delay, transmit, then
 // move on.
 func (s *Server) processNext() {
-	if len(s.queue) == 0 {
+	if len(s.queue) == 0 || s.stalled {
 		s.processing = false
 		return
 	}

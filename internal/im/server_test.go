@@ -29,7 +29,7 @@ func (s *stubSched) HandleExit(now float64, id int64) { s.exits = append(s.exits
 func newServerHarness(t *testing.T, cost float64) (*des.Simulator, *network.Network, *stubSched, *metrics.Collector) {
 	t.Helper()
 	sim := des.New()
-	net := network.New(sim, nil, network.ConstantDelay{D: 0.001}, 0)
+	net := network.New(sim, nil, nil, network.ConstantDelay{D: 0.001}, 0)
 	sched := &stubSched{cost: cost}
 	col := metrics.NewCollector()
 	NewServer(sim, net, sched, col)

@@ -1,0 +1,146 @@
+package im
+
+import (
+	"testing"
+
+	"crossroads/internal/des"
+	"crossroads/internal/metrics"
+	"crossroads/internal/network"
+)
+
+// TestServerStallBuffersAndRecovers pins the stall semantics: requests
+// received while stalled buffer into the queue and are answered in FIFO
+// order on recovery; nothing is answered during the outage.
+func TestServerStallBuffersAndRecovers(t *testing.T) {
+	sim := des.New()
+	net := network.New(sim, nil, nil, network.ConstantDelay{D: 0.001}, 0)
+	sched := &stubSched{cost: 0.01}
+	srv := NewServer(sim, net, sched, metrics.NewCollector())
+
+	var replies []float64
+	for id := int64(1); id <= 2; id++ {
+		id := id
+		net.Register(VehicleEndpoint(id), func(now float64, msg network.Message) {
+			if _, ok := msg.Payload.(Response); ok {
+				replies = append(replies, now)
+			}
+		})
+	}
+	sim.At(1, func() { srv.SetStalled(true) })
+	sim.At(1.1, func() {
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(1),
+			To: EndpointName, Payload: request(1, 1)})
+	})
+	sim.At(1.2, func() {
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(2),
+			To: EndpointName, Payload: request(2, 1)})
+	})
+	sim.At(2, func() {
+		if len(replies) != 0 {
+			t.Errorf("stalled server answered %d requests", len(replies))
+		}
+		if srv.QueueLen() != 2 {
+			t.Errorf("stalled queue length %d, want 2", srv.QueueLen())
+		}
+		srv.SetStalled(false)
+	})
+	sim.Run()
+	if len(replies) != 2 {
+		t.Fatalf("got %d replies after recovery, want 2", len(replies))
+	}
+	// Recovery at t=2: compute 10 ms + 1 ms radio for the first, then the
+	// second computes behind it.
+	if replies[0] < 2.0 || replies[1] < replies[0] {
+		t.Errorf("replies at %v: want both after recovery, in FIFO order", replies)
+	}
+	if len(sched.handled) != 2 || sched.handled[0].VehicleID != 1 || sched.handled[1].VehicleID != 2 {
+		t.Errorf("handled order %+v, want vehicle 1 then 2", sched.handled)
+	}
+}
+
+// TestServerStallDropsSyncAndExit checks that a stalled server answers no
+// sync exchanges and processes no exit reports — the vehicle-side
+// retransmission loops own recovery.
+func TestServerStallDropsSyncAndExit(t *testing.T) {
+	sim := des.New()
+	net := network.New(sim, nil, nil, network.ConstantDelay{D: 0.001}, 0)
+	sched := &stubSched{}
+	srv := NewServer(sim, net, sched, nil)
+	answered := 0
+	net.Register(VehicleEndpoint(1), func(now float64, msg network.Message) { answered++ })
+	srv.SetStalled(true)
+	sim.At(0, func() {
+		net.Send(network.Message{Kind: network.KindSyncRequest, From: VehicleEndpoint(1),
+			To: EndpointName, Payload: SyncPayload{T1: 0}})
+		net.Send(network.Message{Kind: network.KindExit, From: VehicleEndpoint(1),
+			To: EndpointName, Payload: ExitPayload{VehicleID: 1}})
+	})
+	sim.Run()
+	if answered != 0 {
+		t.Errorf("stalled server sent %d replies", answered)
+	}
+	if len(sched.exits) != 0 {
+		t.Errorf("stalled server processed exits %v", sched.exits)
+	}
+}
+
+// pruningSched wraps stubSched with a scripted GhostPruner.
+type pruningSched struct {
+	stubSched
+	refuse map[int64]bool
+	pruned []int64
+}
+
+func (p *pruningSched) PruneGhost(now float64, id int64) bool {
+	if p.refuse[id] {
+		return false
+	}
+	p.pruned = append(p.pruned, id)
+	return true
+}
+
+// TestLeaseExpiryPrunesSilentVehicles checks the lease sweep: a vehicle
+// silent past the TTL is pruned; one the pruner refuses (live reservation)
+// is retried instead of being dropped; contact resets the lease.
+func TestLeaseExpiryPrunesSilentVehicles(t *testing.T) {
+	sim := des.New()
+	net := network.New(sim, nil, nil, network.ConstantDelay{D: 0.001}, 0)
+	sched := &pruningSched{refuse: map[int64]bool{2: true}}
+	srv := NewServer(sim, net, sched, nil)
+	srv.EnableLeaseExpiry(1.0)
+
+	send := func(at float64, id int64) {
+		sim.At(at, func() {
+			net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(id),
+				To: EndpointName, Payload: request(id, 1)})
+		})
+	}
+	send(0.1, 1) // silent afterwards: pruned after ~1.1
+	send(0.1, 2) // refused by the pruner: retried, never in pruned list
+	// Vehicle 3 keeps talking at sub-TTL intervals: lease always refreshed.
+	for _, at := range []float64{0.1, 0.9, 1.7, 2.5, 3.3, 3.9} {
+		send(at, 3)
+	}
+
+	sim.RunUntil(2.5)
+	if len(sched.pruned) != 1 || sched.pruned[0] != 1 {
+		t.Errorf("pruned %v, want exactly [1]", sched.pruned)
+	}
+	// Vehicle 2's refusal lifts at t>2.5: the sweep must retry it.
+	sched.refuse[2] = false
+	sim.RunUntil(4.0)
+	found := false
+	for _, id := range sched.pruned {
+		if id == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("refused vehicle 2 never retried after refusal lifted: pruned %v", sched.pruned)
+	}
+	for _, id := range sched.pruned {
+		if id == 3 {
+			t.Errorf("vehicle 3 pruned despite fresh contact: pruned %v", sched.pruned)
+		}
+	}
+}

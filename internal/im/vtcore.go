@@ -284,3 +284,16 @@ func (c *VTCore) HandleExit(now float64, vehicleID int64) {
 	c.order.Remove(vehicleID)
 	delete(c.seniority, vehicleID)
 }
+
+// PruneGhost implements GhostPruner: drop a silent vehicle's lane-FIFO
+// slot, seniority, and stale booking — but refuse while it holds a
+// reservation whose crossing is not comfortably in the past (the 2 s grace
+// matches the book's own PruneBefore horizon): a granted vehicle is silent
+// by design until its exit report.
+func (c *VTCore) PruneGhost(now float64, vehicleID int64) bool {
+	if r, ok := c.book.Get(vehicleID); ok && r.ToA > now-2 {
+		return false
+	}
+	c.HandleExit(now, vehicleID)
+	return true
+}

@@ -57,6 +57,30 @@ func dipArrival(dist, vInit, vLow float64, p Params) (eta, vArr float64, ok bool
 	return tDown + etaUp, vArr, true
 }
 
+// LatestNoDwell returns the latest arrival delay reachable over dist meters
+// from vInit without ever slowing below vFloor: decelerate at max to the
+// deepest reachable dip speed (floored at vFloor), then accelerate out.
+// This bounds the latest *safe* arrival for a vehicle that can no longer
+// hold behind the conflict-zone lip — a stop-and-dwell plan would park its
+// nose inside crossing movements' conflict zones, so dwells don't count.
+// ok is false when even the dip does not fit in dist (vInit already above
+// what dist can absorb while respecting vFloor).
+func LatestNoDwell(dist, vInit, vFloor float64, p Params) (eta float64, ok bool) {
+	if err := p.Validate(); err != nil || dist < 0 {
+		return 0, false
+	}
+	vInit = math.Min(math.Max(vInit, 0), p.MaxSpeed)
+	vLow := math.Sqrt(math.Max(0, vInit*vInit-2*p.MaxDecel*dist))
+	if vFloor > vLow {
+		vLow = vFloor
+	}
+	if vLow > vInit {
+		vLow = vInit
+	}
+	eta, _, ok = dipArrival(dist, vInit, vLow, p)
+	return eta, ok
+}
+
 // PlanArrival builds the fastest-crossing profile that covers dist meters
 // starting at startTime with initial velocity vInit and arrives exactly
 // arriveAt - startTime seconds later. This is the vehicle-side trajectory

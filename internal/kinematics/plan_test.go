@@ -409,3 +409,76 @@ func TestSlowestPointDipWithoutDwell(t *testing.T) {
 		t.Errorf("dip bottom remaining = %v", remaining)
 	}
 }
+
+func TestLatestNoDwell(t *testing.T) {
+	// A vehicle 15 m out at 12 m/s (full scale) can no longer stop behind a
+	// 5.13 m lip: its latest *safe* arrival is the deepest no-dwell dip.
+	p := FullScaleParams()
+	dist, vInit, floor := 15.0, 12.0, 0.1
+
+	eta, ok := LatestNoDwell(dist, vInit, floor, p)
+	if !ok {
+		t.Fatal("no-dwell bound infeasible")
+	}
+	earliest, _, _ := EarliestArrival(0, dist, vInit, p)
+	if eta <= earliest {
+		t.Fatalf("latest %v not after earliest %v", eta, earliest)
+	}
+	// The bound is realizable without dwelling: a plan targeting it covers
+	// the distance on time and never slows below the floor.
+	prof, err := PlanArrival(0, dist, vInit, eta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.TimeAtDistance(dist); !almostEq(got, eta, 1e-2) {
+		t.Errorf("arrival = %v, want %v", got, eta)
+	}
+	if minV, _ := SlowestPoint(prof, dist); minV < floor-1e-6 {
+		t.Errorf("plan dips to %v, below floor %v", minV, floor)
+	}
+	// And it is tight: arriving appreciably later forces a stop-and-dwell
+	// profile, which is exactly what the bound exists to exclude.
+	late, err := PlanArrival(0, dist, vInit, eta+1.0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minV, _ := SlowestPoint(late, dist); minV >= floor {
+		t.Errorf("arrival %v past the bound still floats above the floor (minV %v)", eta+1.0, minV)
+	}
+}
+
+func TestLatestNoDwellHigherFloorIsEarlier(t *testing.T) {
+	p := FullScaleParams()
+	low, ok1 := LatestNoDwell(15, 12, 0.1, p)
+	high, ok2 := LatestNoDwell(15, 12, 2.0, p)
+	if !ok1 || !ok2 {
+		t.Fatal("bounds infeasible")
+	}
+	if high >= low {
+		t.Errorf("floor 2.0 bound %v not earlier than floor 0.1 bound %v", high, low)
+	}
+}
+
+func TestLatestNoDwellFloorAboveCurrentSpeed(t *testing.T) {
+	// When the floor exceeds the current speed the dip degenerates: the
+	// vehicle cannot slow at all, so the latest equals the earliest.
+	p := FullScaleParams()
+	eta, ok := LatestNoDwell(10, 1.0, 5.0, p)
+	if !ok {
+		t.Fatal("degenerate bound infeasible")
+	}
+	earliest, _, _ := EarliestArrival(0, 10, 1.0, p)
+	if !almostEq(eta, earliest, 1e-6) {
+		t.Errorf("degenerate latest %v != earliest %v", eta, earliest)
+	}
+}
+
+func TestLatestNoDwellInvalid(t *testing.T) {
+	p := FullScaleParams()
+	if _, ok := LatestNoDwell(-1, 3, 0.1, p); ok {
+		t.Error("negative distance accepted")
+	}
+	if _, ok := LatestNoDwell(5, 3, 0.1, Params{}); ok {
+		t.Error("invalid params accepted")
+	}
+}

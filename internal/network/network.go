@@ -155,22 +155,28 @@ func TestbedDelay() DelayModel {
 }
 
 // Stats aggregates traffic counters for an endpoint or a whole network.
-// For a finished run Sent == Delivered + Dropped + Undeliverable + the
-// messages still in flight when the simulation was cut off.
+// For a finished run Sent + Duplicated == Delivered + Dropped +
+// Undeliverable + the messages still in flight when the simulation was cut
+// off (Duplicated counts the extra fault-injected copies, each of which is
+// delivered, dropped, or undeliverable like an original).
 type Stats struct {
 	Sent int
 	// Delivered counts messages whose destination handler ran; it is
 	// decided at delivery time, not send time.
 	Delivered int
-	// Dropped counts radio losses (the loss-probability coin).
+	// Dropped counts radio losses (the loss-probability coin) and
+	// fault-injected drops (burst windows, partitions).
 	Dropped int
 	// Undeliverable counts messages whose destination had no registered
 	// handler at delivery time (e.g. a vehicle that despawned while the
 	// message was in flight). They carry no delay statistics.
 	Undeliverable int
-	Bytes         int
-	TotalDelay    float64
-	MaxDelay      float64
+	// Duplicated counts extra message copies injected by a duplication
+	// fault window.
+	Duplicated int
+	Bytes      int
+	TotalDelay float64
+	MaxDelay   float64
 }
 
 // send records a message handed to the radio.
@@ -199,13 +205,40 @@ func (s Stats) MeanDelay() float64 {
 // Handler consumes a delivered message at reference delivery time.
 type Handler func(now float64, msg Message)
 
+// Verdict is a fault injector's judgement on one message.
+type Verdict struct {
+	// Drop discards the message before the radio (partition or burst
+	// loss); Reason labels the resulting msg.loss trace event.
+	Drop   bool
+	Reason string
+	// ExtraDelay adds one-way latency on top of the sampled delay (s).
+	ExtraDelay float64
+	// Duplicate delivers a second copy DupDelay seconds after the
+	// original would have arrived.
+	Duplicate bool
+	DupDelay  float64
+}
+
+// Injector inspects every message handed to the radio and may drop, delay,
+// or duplicate it. Implementations own their RNG: injector draws must not
+// perturb the network's delay or loss streams, so a faulted run stays
+// sample-for-sample comparable to its clean twin. OnSend is called for
+// every send, including messages the radio-loss coin discards anyway, so
+// stateful fault models (burst chains) advance identically regardless of
+// the configured loss probability.
+type Injector interface {
+	OnSend(now float64, msg Message) Verdict
+}
+
 // Network is a star topology: every endpoint exchanges messages through the
 // shared medium with the given delay model and loss probability.
 type Network struct {
 	sim      *des.Simulator
-	rng      *rand.Rand
+	rng      *rand.Rand // delay samples
+	lossRNG  *rand.Rand // radio-loss coins (separate stream: see Send)
 	delay    DelayModel
 	lossProb float64
+	injector Injector
 
 	handlers map[string]Handler
 	total    Stats
@@ -218,17 +251,27 @@ type Network struct {
 // loss, deliver, undeliverable-drop). nil detaches it.
 func (n *Network) SetTrace(rec *trace.Recorder) { n.trace = rec }
 
+// SetInjector attaches a fault injector to the Send path. nil detaches it.
+func (n *Network) SetInjector(inj Injector) { n.injector = inj }
+
 // New creates a network on the given simulator. delay must not be nil.
-func New(sim *des.Simulator, rng *rand.Rand, delay DelayModel, lossProb float64) *Network {
+// lossRNG feeds the loss coins and must be a stream independent of rng so
+// that enabling loss never shifts the delay samples; it may be nil when
+// lossProb is 0.
+func New(sim *des.Simulator, rng, lossRNG *rand.Rand, delay DelayModel, lossProb float64) *Network {
 	if delay == nil {
 		panic("network: nil delay model")
 	}
 	if lossProb < 0 || lossProb >= 1 {
 		panic(fmt.Sprintf("network: loss probability %v out of [0,1)", lossProb))
 	}
+	if lossProb > 0 && lossRNG == nil {
+		panic("network: loss probability set without a loss RNG stream")
+	}
 	return &Network{
 		sim:      sim,
 		rng:      rng,
+		lossRNG:  lossRNG,
 		delay:    delay,
 		lossProb: lossProb,
 		handlers: make(map[string]Handler),
@@ -276,22 +319,54 @@ func (n *Network) Send(msg Message) float64 {
 			MsgKind: msg.Kind.String(), From: msg.From, To: msg.To, Bytes: size,
 		})
 	}
-	if n.lossProb > 0 && n.rng.Float64() < n.lossProb {
-		st.Dropped++
-		n.total.Dropped++
-		if n.trace != nil {
-			n.trace.Emit(trace.Event{
-				Kind: trace.KindMsgLoss, T: msg.SentAt,
-				MsgKind: msg.Kind.String(), From: msg.From, To: msg.To,
-			})
-		}
-		return -1
-	}
+	// The delay sample is drawn unconditionally and the loss coin comes
+	// from its own stream: enabling loss (or a fault schedule) must never
+	// shift the delay sequence, or lossy runs stop being comparable to
+	// their lossless twins. The injector is likewise consulted on every
+	// send so stateful fault models advance the same way in every variant.
 	d := n.delay.Sample(n.rng)
 	if d < 0 {
 		d = 0
 	}
-	n.sim.After(d, func() {
+	lost := n.lossProb > 0 && n.lossRNG.Float64() < n.lossProb
+	var v Verdict
+	if n.injector != nil {
+		v = n.injector.OnSend(msg.SentAt, msg)
+	}
+	if lost || v.Drop {
+		st.Dropped++
+		n.total.Dropped++
+		if n.trace != nil {
+			detail := ""
+			if !lost {
+				detail = v.Reason
+			}
+			n.trace.Emit(trace.Event{
+				Kind: trace.KindMsgLoss, T: msg.SentAt,
+				MsgKind: msg.Kind.String(), From: msg.From, To: msg.To,
+				Detail: detail,
+			})
+		}
+		return -1
+	}
+	if v.ExtraDelay > 0 {
+		d += v.ExtraDelay
+	}
+	n.deliverAfter(msg, st, d, "")
+	if v.Duplicate {
+		st.Duplicated++
+		n.total.Duplicated++
+		dup := d + math.Max(v.DupDelay, 0)
+		n.deliverAfter(msg, st, dup, "dup")
+	}
+	return d
+}
+
+// deliverAfter schedules one delivery attempt of msg after delay seconds,
+// charging the outcome to the sender's stats. detail labels fault-injected
+// duplicate copies in the trace.
+func (n *Network) deliverAfter(msg Message, st *Stats, delay float64, detail string) {
+	n.sim.After(delay, func() {
 		h, ok := n.handlers[msg.To]
 		if !ok {
 			st.Undeliverable++
@@ -300,21 +375,22 @@ func (n *Network) Send(msg Message) float64 {
 				n.trace.Emit(trace.Event{
 					Kind: trace.KindMsgDrop, T: n.sim.Now(),
 					MsgKind: msg.Kind.String(), From: msg.From, To: msg.To,
+					Detail: detail,
 				})
 			}
 			return
 		}
-		st.deliver(d)
-		n.total.deliver(d)
+		st.deliver(delay)
+		n.total.deliver(delay)
 		if n.trace != nil {
 			n.trace.Emit(trace.Event{
 				Kind: trace.KindMsgDeliver, T: n.sim.Now(),
-				MsgKind: msg.Kind.String(), From: msg.From, To: msg.To, Latency: d,
+				MsgKind: msg.Kind.String(), From: msg.From, To: msg.To, Latency: delay,
+				Detail: detail,
 			})
 		}
 		h(n.sim.Now(), msg)
 	})
-	return d
 }
 
 // WorstDelay returns the delay model's worst one-way latency.

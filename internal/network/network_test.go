@@ -13,7 +13,11 @@ import (
 func newTestNet(delay DelayModel, loss float64) (*des.Simulator, *Network) {
 	sim := des.New()
 	rng := rand.New(rand.NewSource(11))
-	return sim, New(sim, rng, delay, loss)
+	var lossRNG *rand.Rand
+	if loss > 0 {
+		lossRNG = rand.New(rand.NewSource(12))
+	}
+	return sim, New(sim, rng, lossRNG, delay, loss)
 }
 
 func TestDeliveryWithConstantDelay(t *testing.T) {
@@ -337,10 +341,11 @@ func TestConstructorValidation(t *testing.T) {
 		}()
 		fn()
 	}
-	mustPanic("nil delay", func() { New(sim, rng, nil, 0) })
-	mustPanic("bad loss", func() { New(sim, rng, ConstantDelay{}, 1.5) })
+	mustPanic("nil delay", func() { New(sim, rng, nil, nil, 0) })
+	mustPanic("bad loss", func() { New(sim, rng, rng, ConstantDelay{}, 1.5) })
+	mustPanic("lossy without loss RNG", func() { New(sim, rng, nil, ConstantDelay{}, 0.1) })
 	mustPanic("nil handler", func() {
-		n := New(sim, rng, ConstantDelay{}, 0)
+		n := New(sim, rng, nil, ConstantDelay{}, 0)
 		n.Register("x", nil)
 	})
 }
@@ -348,7 +353,7 @@ func TestConstructorValidation(t *testing.T) {
 func TestNegativeDelaySampleClamped(t *testing.T) {
 	sim := des.New()
 	rng := rand.New(rand.NewSource(1))
-	net := New(sim, rng, weirdDelay{}, 0)
+	net := New(sim, rng, nil, weirdDelay{}, 0)
 	net.Register("im", func(float64, Message) {})
 	var at float64 = -1
 	net.Register("im", func(now float64, _ Message) { at = now })
@@ -363,3 +368,103 @@ type weirdDelay struct{}
 
 func (weirdDelay) Sample(*rand.Rand) float64 { return -0.5 }
 func (weirdDelay) Worst() float64            { return 0 }
+
+// TestLossDoesNotShiftDelayStream pins the split-RNG contract: the loss
+// coins come from their own stream, so a lossy run samples the exact same
+// per-message delay sequence as its lossless twin — lost messages simply
+// return -1 in place of the sampled value.
+func TestLossDoesNotShiftDelayStream(t *testing.T) {
+	model := UniformDelay{Min: 0.001, Max: 0.015}
+	run := func(loss float64) []float64 {
+		sim := des.New()
+		rng := rand.New(rand.NewSource(77)) // same delay stream both runs
+		var lossRNG *rand.Rand
+		if loss > 0 {
+			lossRNG = rand.New(rand.NewSource(78))
+		}
+		net := New(sim, rng, lossRNG, model, loss)
+		net.Register("im", func(float64, Message) {})
+		var delays []float64
+		for i := 0; i < 200; i++ {
+			delays = append(delays, net.Send(Message{From: "veh", To: "im", Kind: KindRequest}))
+		}
+		return delays
+	}
+	clean, lossy := run(0), run(0.3)
+	dropped := 0
+	for i := range clean {
+		if lossy[i] < 0 {
+			dropped++
+			continue
+		}
+		if lossy[i] != clean[i] {
+			t.Fatalf("message %d: lossy delay %v != clean delay %v — loss coin perturbed the delay stream",
+				i, lossy[i], clean[i])
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("loss=0.3 dropped nothing in 200 sends; twin comparison is vacuous")
+	}
+}
+
+// dropEverySecond is a minimal injector: drops odd sends, no RNG of its own.
+type dropEverySecond struct{ n int }
+
+func (d *dropEverySecond) OnSend(float64, Message) Verdict {
+	d.n++
+	return Verdict{Drop: d.n%2 == 0, Reason: "test"}
+}
+
+// TestInjectorDoesNotShiftDelayStream extends the twin contract to fault
+// injection: an injector that drops messages must not shift the surviving
+// messages' delay samples.
+func TestInjectorDoesNotShiftDelayStream(t *testing.T) {
+	model := UniformDelay{Min: 0.001, Max: 0.015}
+	run := func(inject bool) []float64 {
+		sim := des.New()
+		net := New(sim, rand.New(rand.NewSource(77)), nil, model, 0)
+		if inject {
+			net.SetInjector(&dropEverySecond{})
+		}
+		net.Register("im", func(float64, Message) {})
+		var delays []float64
+		for i := 0; i < 100; i++ {
+			delays = append(delays, net.Send(Message{From: "veh", To: "im", Kind: KindRequest}))
+		}
+		return delays
+	}
+	clean, faulted := run(false), run(true)
+	for i := range clean {
+		if faulted[i] < 0 {
+			continue
+		}
+		if faulted[i] != clean[i] {
+			t.Fatalf("message %d: faulted delay %v != clean delay %v", i, faulted[i], clean[i])
+		}
+	}
+}
+
+// TestDuplicateDelivery checks a duplicating injector yields two deliveries
+// and the Duplicated counter tracks the extra copy.
+func TestDuplicateDelivery(t *testing.T) {
+	sim := des.New()
+	net := New(sim, rand.New(rand.NewSource(1)), nil, ConstantDelay{D: 0.01}, 0)
+	net.SetInjector(dupAll{})
+	got := 0
+	net.Register("im", func(float64, Message) { got++ })
+	net.Send(Message{From: "veh", To: "im", Kind: KindRequest})
+	sim.Run()
+	if got != 2 {
+		t.Fatalf("delivered %d copies, want 2", got)
+	}
+	st := net.TotalStats()
+	if st.Duplicated != 1 || st.Sent != 1 || st.Delivered != 2 {
+		t.Fatalf("stats %+v: want Sent=1 Duplicated=1 Delivered=2", st)
+	}
+}
+
+type dupAll struct{}
+
+func (dupAll) OnSend(float64, Message) Verdict {
+	return Verdict{Duplicate: true, DupDelay: 0.005}
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"crossroads/internal/fault"
 	"crossroads/internal/trace"
 	"crossroads/internal/vehicle"
 )
@@ -34,6 +35,23 @@ func TestConfigValidate(t *testing.T) {
 		{"aim tuning on aim", Config{Policy: vehicle.PolicyAIM, AIMGridN: 16, AIMTimeStep: 0.05}, ""},
 		{"des firehose without recorder", Config{TraceDES: true}, "TraceDES"},
 		{"des firehose with recorder", Config{TraceDES: true, Trace: trace.NewFull()}, ""},
+		{"backoff cap below first timeout",
+			Config{AgentOverrides: &vehicle.Config{ResponseTimeout: 0.5, MaxTimeout: 0.2}}, "MaxTimeout"},
+		{"backoff cap above first timeout",
+			Config{AgentOverrides: &vehicle.Config{ResponseTimeout: 0.5, MaxTimeout: 2.0}}, ""},
+		{"negative fault duration",
+			Config{Faults: &fault.Schedule{Windows: []fault.Window{{Kind: fault.Burst, Start: 1, Duration: -1}}}}, "duration"},
+		{"fault loss prob above one",
+			Config{Faults: &fault.Schedule{Windows: []fault.Window{{Kind: fault.Burst, Start: 1, Duration: 2, LossBad: 1.5}}}}, "lossbad"},
+		{"overlapping fault windows",
+			Config{Faults: &fault.Schedule{Windows: []fault.Window{
+				{Kind: fault.Partition, Start: 1, Duration: 3},
+				{Kind: fault.Partition, Start: 2, Duration: 3},
+			}}}, "overlap"},
+		{"stall node beyond topology",
+			Config{Faults: &fault.Schedule{Windows: []fault.Window{{Kind: fault.Stall, Start: 1, Duration: 2, Node: 3}}}}, "stalls node 3"},
+		{"lawful fault schedule",
+			Config{Faults: &fault.Schedule{Windows: []fault.Window{{Kind: fault.Stall, Start: 1, Duration: 2}}}}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

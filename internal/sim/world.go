@@ -16,6 +16,7 @@ import (
 
 	_ "crossroads/internal/core" // register the crossroads policy
 	"crossroads/internal/des"
+	"crossroads/internal/fault"
 	"crossroads/internal/geom"
 	"crossroads/internal/im"
 	_ "crossroads/internal/im/aim" // register the aim policy
@@ -53,6 +54,13 @@ type Config struct {
 	Delay network.DelayModel
 	// LossProb injects message loss.
 	LossProb float64
+	// Faults, if non-nil, scripts fault windows onto the run (burst loss,
+	// partitions, delay spikes, duplication, IM stalls) and arms both
+	// protocol sides' degradation paths: vehicle grant-expiry failsafe and
+	// IM lease expiry. The injector draws from its own Seed+6 stream, so a
+	// faulted run samples the same delays and loss coins as its clean twin;
+	// nil leaves the run byte-identical to a pre-fault build.
+	Faults *fault.Schedule
 	// Noise configures the plants; zero value is noiseless. Use
 	// plant.TestbedNoise() for the calibrated testbed disturbance.
 	Noise plant.NoiseConfig
@@ -132,6 +140,25 @@ func (cfg Config) Validate() error {
 	if cfg.TraceDES && cfg.Trace == nil {
 		return fmt.Errorf("sim: TraceDES requires a Trace recorder")
 	}
+	if o := cfg.AgentOverrides; o != nil && o.MaxTimeout > 0 && o.MaxTimeout < o.ResponseTimeout {
+		return fmt.Errorf("sim: AgentOverrides.MaxTimeout %v below ResponseTimeout %v would shrink, not grow, backoff",
+			o.MaxTimeout, o.ResponseTimeout)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return err
+	}
+	if cfg.Faults != nil {
+		numNodes := 1
+		if cfg.Topology != nil {
+			numNodes = cfg.Topology.NumNodes()
+		}
+		for i, fw := range cfg.Faults.Windows {
+			if fw.Kind == fault.Stall && fw.Node >= numNodes {
+				return fmt.Errorf("sim: fault window %d stalls node %d; topology has %d nodes",
+					i, fw.Node, numNodes)
+			}
+		}
+	}
 	return nil
 }
 
@@ -160,6 +187,13 @@ type Result struct {
 	PerNode []metrics.Summary
 	// Incomplete lists vehicles that never finished (0 for healthy runs).
 	Incomplete int
+	// FailsafeStopped counts the subset of Incomplete that ended the run
+	// standing still on the approach, short of the intersection box — the
+	// intended graceful-degradation outcome when a fault outlives the run.
+	FailsafeStopped int
+	// Stranded counts incomplete vehicles in any other state (moving, or
+	// worse, inside the box). A resilient policy keeps this at zero.
+	Stranded int
 }
 
 // vehState tracks one active vehicle along its route.
@@ -286,8 +320,12 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 		return nil, err
 	}
 	sim := des.New()
+	// The network draws delays from Seed+1 and loss coins from Seed+5:
+	// independent streams, so a lossy or faulted run samples the exact
+	// same per-message latencies as its clean twin.
 	rngNet := rand.New(rand.NewSource(cfg.Seed + 1))
-	net := network.New(sim, rngNet, cfg.Delay, cfg.LossProb)
+	rngLoss := rand.New(rand.NewSource(cfg.Seed + 5))
+	net := network.New(sim, rngNet, rngLoss, cfg.Delay, cfg.LossProb)
 	col := metrics.NewCollector()
 
 	// Reference footprint: the largest vehicle in the workload.
@@ -353,6 +391,13 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 	// Tracing is wired after overrides so a caller-supplied agent config
 	// cannot silently detach the run's recorder.
 	agentCfg.Trace = cfg.Trace
+	if cfg.Faults != nil {
+		// The grant-expiry failsafe is armed only under fault injection
+		// (also after overrides): a positive TTL changes vehicle control
+		// flow, and clean runs must stay byte-identical to a fault-free
+		// build.
+		agentCfg.GrantTTL = cfg.Faults.ResolvedGrantTTL()
+	}
 
 	// The safety contract checked at runtime is on sensing-buffered
 	// footprints for every policy: the RTD buffer is a *planning* margin
@@ -371,6 +416,43 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 		}
 		if cfg.TraceDES {
 			sim.SetTrace(cfg.Trace)
+		}
+	}
+
+	if cfg.Faults != nil {
+		// The injector owns the Seed+6 stream; every server arms lease
+		// expiry so a vehicle that vanishes mid-handshake is pruned instead
+		// of blocking its lane FIFO forever. Window open/close events are
+		// scheduled on the kernel: stalls toggle the target server, and
+		// every window's edges land in the trace.
+		net.SetInjector(fault.NewInjector(cfg.Faults, rand.New(rand.NewSource(cfg.Seed+6))))
+		for k := range nodes {
+			nodes[k].server.EnableLeaseExpiry(cfg.Faults.ResolvedLeaseTTL())
+		}
+		for _, fw := range cfg.Faults.Windows {
+			fw := fw
+			sim.At(fw.Start, func() {
+				if fw.Kind == fault.Stall {
+					nodes[fw.Node].server.SetStalled(true)
+				}
+				if cfg.Trace != nil {
+					cfg.Trace.Emit(trace.Event{
+						Kind: trace.KindFaultBegin, T: sim.Now(), Node: fw.Node,
+						Detail: fw.Kind.String(),
+					})
+				}
+			})
+			sim.At(fw.End(), func() {
+				if fw.Kind == fault.Stall {
+					nodes[fw.Node].server.SetStalled(false)
+				}
+				if cfg.Trace != nil {
+					cfg.Trace.Emit(trace.Event{
+						Kind: trace.KindFaultEnd, T: sim.Now(), Node: fw.Node,
+						Detail: fw.Kind.String(),
+					})
+				}
+			})
 		}
 	}
 
@@ -406,6 +488,11 @@ func (w *world) run() (Result, error) {
 		perLeg := 60 + 3*float64(len(w.arrivals))
 		maxTime = w.arrivals[len(w.arrivals)-1].Time + perLeg*float64(maxLegs) +
 			float64(maxLegs-1)*w.topo.SegmentLen()
+		if w.cfg.Faults != nil {
+			// Fault windows delay the fleet; give the derived horizon the
+			// whole scripted period back so recovery is observable.
+			maxTime += w.cfg.Faults.End()
+		}
 	}
 	dt := w.cfg.PhysicsDt
 	stop := w.sim.Ticker(w.arrivals[0].Time, dt, func() bool {
@@ -416,9 +503,20 @@ func (w *world) run() (Result, error) {
 	stop()
 
 	incomplete := 0
+	failsafe := 0
+	stranded := 0
 	for _, v := range w.active {
-		if !v.jrec.Done {
-			incomplete++
+		if v.jrec.Done {
+			continue
+		}
+		incomplete++
+		// A vehicle that ends the run standing still on the approach, short
+		// of the box, degraded gracefully; anything else — still moving, in
+		// transit between nodes, or caught inside the box — is stranded.
+		if !v.transit && !v.entered && v.plant.V() < 0.05 {
+			failsafe++
+		} else {
+			stranded++
 		}
 	}
 	st := w.net.TotalStats()
@@ -441,12 +539,14 @@ func (w *world) run() (Result, error) {
 		perNode[k] = w.nodes[k].col.Summarize()
 	}
 	return Result{
-		Policy:     w.nodes[0].server.Scheduler().Name(),
-		Summary:    w.col.Summarize(),
-		Network:    st,
-		Vehicles:   vehicles,
-		PerNode:    perNode,
-		Incomplete: incomplete,
+		Policy:          w.nodes[0].server.Scheduler().Name(),
+		Summary:         w.col.Summarize(),
+		Network:         st,
+		Vehicles:        vehicles,
+		PerNode:         perNode,
+		Incomplete:      incomplete,
+		FailsafeStopped: failsafe,
+		Stranded:        stranded,
 	}, nil
 }
 

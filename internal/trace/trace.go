@@ -78,6 +78,22 @@ const (
 	// intersection on its route (multi-node topologies only; detail is the
 	// movement, value the entry speed, node the downstream intersection).
 	KindSimHop = "sim.hop"
+
+	// Fault-injection lifecycle: a scripted fault window opening and
+	// closing (detail names the fault kind, value is the window end /
+	// start time respectively, node is set for IM stalls).
+	KindFaultBegin = "fault.begin"
+	KindFaultEnd   = "fault.end"
+
+	// KindVehFailsafe is a vehicle abandoning its plan and decelerating to
+	// a stop before the transmission line because its grant never arrived
+	// or expired (detail: "grant-expired" or "no-grant").
+	KindVehFailsafe = "veh.failsafe"
+
+	// KindIMLease is an IM pruning the per-vehicle bookkeeping (lane FIFO,
+	// seniority, stale booking) of a vehicle that went silent mid-handshake
+	// (detail "expired"; value is the last-contact time).
+	KindIMLease = "im.lease"
 )
 
 // KnownKinds is the closed set of event kinds in the JSONL schema.
@@ -103,6 +119,10 @@ var KnownKinds = map[string]bool{
 	KindSimCollision: true,
 	KindSimBufViol:   true,
 	KindSimHop:       true,
+	KindFaultBegin:   true,
+	KindFaultEnd:     true,
+	KindVehFailsafe:  true,
+	KindIMLease:      true,
 }
 
 // Event is one recorded occurrence. Only Kind and T are universal; the
@@ -564,6 +584,18 @@ func (ev Event) Validate() error {
 	case KindSimCollision, KindSimBufViol:
 		if ev.Vehicle == 0 || ev.Other == 0 {
 			return fmt.Errorf("%s: missing vehicle pair", ev.Kind)
+		}
+	case KindFaultBegin, KindFaultEnd:
+		if ev.Detail == "" {
+			return fmt.Errorf("%s: missing fault-kind detail", ev.Kind)
+		}
+	case KindVehFailsafe:
+		if ev.Vehicle == 0 || ev.Detail == "" {
+			return fmt.Errorf("%s: need veh and reason detail", ev.Kind)
+		}
+	case KindIMLease:
+		if ev.Vehicle == 0 {
+			return fmt.Errorf("%s: missing veh", ev.Kind)
 		}
 	}
 	return nil

@@ -11,6 +11,7 @@ import (
 	"crossroads/internal/geom"
 	"crossroads/internal/im"
 	"crossroads/internal/kinematics"
+	"crossroads/internal/trace"
 )
 
 // DistToEntry returns the measured distance from the vehicle center to the
@@ -47,6 +48,20 @@ func (a *Agent) dwellClearsLip(prof kinematics.Profile, dist float64) bool {
 	return remaining >= a.Plant.Params.Length/2+a.cfg.StopLineOffset-1e-6
 }
 
+// failsafe records a failsafe event (fault-injected runs only) and brings
+// the vehicle to a safe stop before the transmission line, from which it
+// re-requests a slot.
+func (a *Agent) failsafe(reason string) {
+	a.Failsafes++
+	if a.cfg.Trace != nil {
+		a.cfg.Trace.Emit(trace.Event{
+			Kind: trace.KindVehFailsafe, T: a.sim.Now(), Vehicle: a.ID, Node: a.node,
+			Detail: reason,
+		})
+	}
+	a.stopAndRetry()
+}
+
 // stopAndRetry brings the vehicle to a safe stop (the safe-stop guard
 // enforces the stop line) and schedules a fresh request.
 func (a *Agent) stopAndRetry() {
@@ -74,6 +89,15 @@ func (a *Agent) applyTimedCommand(now float64, resp im.Response) {
 		// violated); the position contract is broken. Ask again if a stop
 		// is still possible; a committed vehicle keeps its current plan.
 		if !a.canStillStop(a.Plant.MeasuredS()) {
+			if a.state == StateFollow && a.hasProfile {
+				return
+			}
+			// No plan to keep: a vehicle already standing at the stop line
+			// fails canStillStop on its boundary (it cannot stop *before* a
+			// line it is on), and our caller just canceled the retry timer —
+			// returning here would silence the agent forever. Re-enter the
+			// retry loop from the stop instead.
+			a.stopAndRetry()
 			return
 		}
 		a.setState(StateHold)
@@ -194,6 +218,18 @@ func (a *Agent) ControlStep(now, dt float64) float64 {
 		}
 	}
 
+	// Grant-expiry failsafe (armed only under fault injection): a vehicle
+	// still on the approach whose granted arrival time has passed by more
+	// than the TTL holds a grant the system could not honor — every
+	// renegotiation was lost to the fault. While a stop is still
+	// physically possible, abandon the expired plan and fail safe at the
+	// stop line; a committed vehicle keeps driving its reservation.
+	if a.cfg.GrantTTL > 0 && a.state == StateFollow && a.hasArrival &&
+		now > a.tArriveRef+a.cfg.GrantTTL &&
+		sMeas < a.Movement.EnterS-a.Plant.Params.Length/2 && a.canStillStop(sMeas) {
+		a.failsafe("grant-expired")
+	}
+
 	var vCmd float64
 	switch a.state {
 	case StateFollow:
@@ -297,6 +333,24 @@ func (a *Agent) ControlStep(now, dt float64) float64 {
 		remaining := stopAt - sMeas
 		vSafe := math.Sqrt(2 * a.Plant.Params.MaxDecel * math.Max(remaining, 0))
 		vCmd = math.Min(vCmd, vSafe)
+		// No-grant failsafe event (fault-injected runs only): latch the
+		// first tick the vehicle stands near the stop line without a
+		// grant — the observable outcome of a grant that never arrived.
+		if a.cfg.GrantTTL > 0 {
+			if !a.noGrantHalt && a.Plant.MeasuredV() < 0.02 &&
+				remaining < 2*a.Plant.Params.Length {
+				a.noGrantHalt = true
+				a.Failsafes++
+				if a.cfg.Trace != nil {
+					a.cfg.Trace.Emit(trace.Event{
+						Kind: trace.KindVehFailsafe, T: now, Vehicle: a.ID, Node: a.node,
+						Detail: "no-grant",
+					})
+				}
+			}
+		}
+	} else if a.cfg.GrantTTL > 0 {
+		a.noGrantHalt = false
 	}
 
 	vCmd = math.Min(vCmd, vFollow)

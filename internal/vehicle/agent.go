@@ -138,6 +138,15 @@ type Config struct {
 	HeadwayTau float64
 	// MaxTimeout caps the exponential retransmission backoff (s).
 	MaxTimeout float64
+	// GrantTTL, when positive, arms the grant-expiry failsafe: a vehicle
+	// still on the approach whose granted arrival time has passed by more
+	// than GrantTTL (the grant could not be honored — e.g. every
+	// renegotiation was lost to a partition) abandons the plan and
+	// decelerates to a failsafe stop before the transmission line,
+	// re-requesting from rest. 0 disables the check, so clean runs are
+	// bit-identical with the failsafe unarmed; fault-injected worlds arm
+	// it.
+	GrantTTL float64
 	// IMEndpoint is the network address of the IM serving the vehicle's
 	// first leg; empty means the classic single-intersection address
 	// (im.EndpointName). BeginLeg retargets it per node.
@@ -251,15 +260,22 @@ type Agent struct {
 	// Retries counts retransmissions and AIM re-proposals, accumulated
 	// over every leg of the route.
 	Retries int
+	// Failsafes counts failsafe events (grant expiry, standing at the
+	// line with no grant) over the vehicle's whole route.
+	Failsafes int
+	// noGrantHalt latches the no-grant failsafe event for the current
+	// halt episode (GrantTTL runs only).
+	noGrantHalt bool
 	// Exit bookkeeping for the current (or most recent) leg. exitAddr and
 	// exitStamp pin the pending exit notification to the IM that owns it,
 	// so retransmissions to a previous node survive a leg transition and a
 	// late acknowledgement cannot be confused with the next leg's exit.
-	exited    bool
-	exitAcked bool
-	exitAddr  string
-	exitStamp float64
-	exitRetry des.Handle
+	exited      bool
+	exitAcked   bool
+	exitAddr    string
+	exitStamp   float64
+	exitRetry   des.Handle
+	exitBackoff float64 // current exit-retransmission timeout
 }
 
 // New wires an agent to its plant, clock, and network. leader may be nil
@@ -277,6 +293,11 @@ func New(id int64, m *intersection.Movement, pl *plant.Plant, clk *timesync.Sync
 	}
 	if cfg.IMEndpoint == "" {
 		cfg.IMEndpoint = im.EndpointName
+	}
+	if cfg.MaxTimeout < cfg.ResponseTimeout {
+		// A cap below the base timeout would silently shrink, not grow,
+		// the retransmission backoff.
+		cfg.MaxTimeout = cfg.ResponseTimeout
 	}
 	if leader == nil {
 		leader = func() (LeaderInfo, bool) { return LeaderInfo{}, false }
@@ -353,6 +374,7 @@ func (a *Agent) BeginLeg(m *intersection.Movement, pl *plant.Plant, imEndpoint s
 	a.confirmed = false
 	a.exited = false
 	a.backoff = 0
+	a.noGrantHalt = false
 	a.net.Send(network.Message{
 		Kind: network.KindRegister,
 		From: a.Endpoint(),
@@ -376,6 +398,7 @@ func (a *Agent) NotifyExit() {
 	a.exitAcked = false
 	a.exitAddr = a.imAddr
 	a.exitStamp = a.Clock.Now(a.sim.Now())
+	a.exitBackoff = 0
 	a.sendExit()
 }
 

@@ -37,7 +37,7 @@ func newHarness(t *testing.T, policy Policy) *harness {
 	}
 	m := x.Movement(intersection.MovementID{Approach: intersection.East, Lane: 0, Turn: intersection.Straight})
 	sim := des.New()
-	net := network.New(sim, rand.New(rand.NewSource(1)), network.ConstantDelay{D: 0.002}, 0)
+	net := network.New(sim, rand.New(rand.NewSource(1)), nil, network.ConstantDelay{D: 0.002}, 0)
 	params := kinematics.ScaleModelParams()
 	pl, err := plant.New(m.Path, params, 0, params.MaxSpeed, plant.NoNoise(), nil)
 	if err != nil {

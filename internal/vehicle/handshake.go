@@ -16,6 +16,14 @@ import (
 )
 
 func (a *Agent) sendSync() {
+	// A scheduled inter-sample send can fire after a duplicated or
+	// retransmission-doubled response already completed the sync phase;
+	// transmitting then would overwrite a.timeout — by now the *request*
+	// retry timer — with a sync retry that can never fire, silencing the
+	// agent permanently.
+	if a.state != StateSync {
+		return
+	}
 	a.net.Send(network.Message{
 		Kind:    network.KindSyncRequest,
 		From:    a.Endpoint(),
@@ -50,6 +58,11 @@ func (a *Agent) handle(now float64, msg network.Message) {
 	}
 	switch msg.Kind {
 	case network.KindSyncResponse:
+		// Replayed or late sync responses outside the sync phase must not
+		// cancel the request retry timer or double-send requests.
+		if a.state != StateSync {
+			return
+		}
 		p, ok := msg.Payload.(im.SyncPayload)
 		if !ok {
 			return
@@ -291,7 +304,9 @@ func (a *Agent) handleResponse(now float64, resp im.Response) {
 // IM acknowledges — a lost exit would leave the lane FIFO waiting on a
 // ghost forever. The destination and timestamp were latched at NotifyExit,
 // so the loop keeps addressing the crossed node even after BeginLeg has
-// retargeted the agent at the next one.
+// retargeted the agent at the next one. Retransmissions back off
+// exponentially like sendRequest's (capped at MaxTimeout): a stalled IM
+// must not be flooded with exit reports it cannot acknowledge.
 func (a *Agent) sendExit() {
 	if a.exitAcked {
 		return
@@ -305,6 +320,11 @@ func (a *Agent) sendExit() {
 			ExitTimestamp: a.exitStamp,
 		},
 	})
+	if a.exitBackoff <= 0 {
+		a.exitBackoff = a.cfg.ResponseTimeout
+	} else {
+		a.exitBackoff = math.Min(a.exitBackoff*2, a.cfg.MaxTimeout)
+	}
 	a.exitRetry.Cancel()
-	a.exitRetry = a.sim.After(a.cfg.ResponseTimeout, a.sendExit)
+	a.exitRetry = a.sim.After(a.exitBackoff, a.sendExit)
 }
