@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-report race vet fmt check trace-demo corridor-demo chaos-demo
+.PHONY: build test bench bench-report race vet fmt check trace-demo corridor-demo chaos-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,25 @@ chaos-demo:
 	$(GO) run ./cmd/crossroads-sim -faults mix -seed 1 -workers 0 -trace chaos-demo.jsonl
 	$(GO) run ./cmd/tracecheck chaos-demo.jsonl
 	@rm -f chaos-demo.jsonl
+
+## serve-demo boots the IM service on a Unix socket, drives it with a
+## short closed-loop load burst, and drains it on SIGTERM. loadgen exits
+## non-zero on any decode error, protocol error, or dropped connection,
+## so the target doubles as the serve-mode acceptance gate.
+serve-demo:
+	$(GO) build -o serve-demo-bin ./cmd/crossroads-serve
+	$(GO) build -o loadgen-demo-bin ./cmd/loadgen
+	@rm -f serve-demo.sock
+	@set -e; \
+	./serve-demo-bin -uds ./serve-demo.sock & \
+	SERVE_PID=$$!; \
+	sleep 1; \
+	./loadgen-demo-bin -addr ./serve-demo.sock -mode closed -conns 4 -duration 5s; \
+	STATUS=$$?; \
+	kill -TERM $$SERVE_PID; \
+	wait $$SERVE_PID || true; \
+	rm -f serve-demo-bin loadgen-demo-bin serve-demo.sock; \
+	exit $$STATUS
 
 vet:
 	$(GO) vet ./...

@@ -169,12 +169,13 @@ func benchCorridor() testing.BenchmarkResult {
 		Mix: traffic.DefaultTurnMix(), Params: kinematics.ScaleModelParams(),
 	}, topo, 0, rand.New(rand.NewSource(42)))
 	fatal(err)
-	cfg := sim.Config{
-		Topology: topo,
-		Policy:   vehicle.PolicyCrossroads,
-		Seed:     42,
-		Spec:     safety.TestbedSpec(),
-	}
+	cfg, err := sim.NewConfig(
+		sim.WithTopology(topo),
+		sim.WithPolicy(vehicle.PolicyCrossroads),
+		sim.WithSeed(42),
+		sim.WithSpec(safety.TestbedSpec()),
+	)
+	fatal(err)
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

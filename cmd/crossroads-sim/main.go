@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"crossroads/internal/cliflags"
 	"crossroads/internal/sweep"
 	"crossroads/internal/topology"
 	"crossroads/internal/vehicle"
@@ -27,25 +28,20 @@ import (
 
 func main() {
 	n := flag.Int("n", 160, "vehicles routed per run (paper: 160)")
-	seed := flag.Int64("seed", 42, "random seed")
-	workers := flag.Int("workers", 1, "concurrent sweep cells (1 = serial, 0 = all CPU cores); results are identical either way")
+	common := cliflags.AddCommon(flag.CommandLine, 42)
 	scaleModel := flag.Bool("scale", false, "use the 1/10-scale geometry instead of full-scale")
 	noisy := flag.Bool("noise", false, "enable plant actuation/sensing noise")
 	withBatch := flag.Bool("batch", false, "include the Tachet-style batching extension")
 	overhead := flag.Bool("overhead", false, "also print the computation/network overhead table")
 	summary := flag.Bool("summary", false, "also print the headline throughput ratios")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	tracePath := flag.String("trace", "", "write the structured event trace (JSONL) to this file and print its summary")
-	traceDES := flag.Bool("trace-des", false, "include the kernel event firehose in the trace (large)")
-	corridor := flag.Int("corridor", 0, "run an N-intersection east-west corridor instead of the single-intersection sweep")
-	grid := flag.String("grid", "", "run an RxC Manhattan grid (e.g. 2x2) instead of the single-intersection sweep")
-	rate := flag.Float64("rate", 0.3, "input flow per boundary entry lane for -corridor/-grid runs (car/lane/s)")
-	segLen := flag.Float64("seglen", 0, "extra road between adjacent intersections for -corridor/-grid runs (m); 0 abuts them")
-	faults := flag.String("faults", "", `run the fault-injection robustness matrix instead of the sweep: "matrix" for every named scenario, or one scenario name / window DSL (see internal/fault)`)
+	topoFlags := cliflags.AddTopology(flag.CommandLine)
+	faults := cliflags.AddFaults(flag.CommandLine)
 	flag.Parse()
+	seed, workers := common.Seed, common.Workers
+	csv, tracePath, traceDES := common.CSV, common.TracePath, common.TraceDES
 
 	if *faults != "" {
-		if *corridor != 0 || *grid != "" {
+		if topoFlags.Corridor != 0 || topoFlags.Grid != "" {
 			fmt.Fprintln(os.Stderr, "crossroads-sim: -faults is mutually exclusive with -corridor/-grid")
 			os.Exit(1)
 		}
@@ -53,31 +49,31 @@ func main() {
 		// scenario window catches vehicles mid-handshake; -n and -rate
 		// override them only when given explicitly.
 		nOverride, rateOverride := 0, 0.0
-		if flagWasSet("n") {
+		if cliflags.WasSet(flag.CommandLine, "n") {
 			nOverride = *n
 		}
-		if flagWasSet("rate") {
-			rateOverride = *rate
+		if cliflags.WasSet(flag.CommandLine, "rate") {
+			rateOverride = topoFlags.Rate
 		}
-		runFaultMatrix(*faults, *seed, *workers, *csv, *tracePath, nOverride, rateOverride)
+		runFaultMatrix(*faults, seed, workers, csv, tracePath, nOverride, rateOverride)
 		return
 	}
 
-	topo, err := parseTopology(*corridor, *grid)
+	topo, err := topoFlags.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
 		os.Exit(1)
 	}
 	if topo != nil {
-		runTopology(topo.WithSegmentLen(*segLen), *rate, *n, *seed, *workers,
-			*scaleModel, *noisy, *withBatch, *csv, *tracePath, *traceDES)
+		runTopology(topo, topoFlags.Rate, *n, seed, workers,
+			*scaleModel, *noisy, *withBatch, csv, tracePath, traceDES)
 		return
 	}
 
 	cfg := sweep.DefaultConfig()
 	cfg.NumVehicles = *n
-	cfg.Seed = *seed
-	cfg.Workers = *workers
+	cfg.Seed = seed
+	cfg.Workers = workers
 	cfg.ScaleModel = *scaleModel
 	cfg.Noisy = *noisy
 	if *withBatch {
@@ -85,9 +81,9 @@ func main() {
 			vehicle.PolicyVTIM, vehicle.PolicyAIM, vehicle.PolicyBatch, vehicle.PolicyCrossroads,
 		}
 	}
-	if *tracePath != "" {
+	if tracePath != "" {
 		cfg.TraceFull = true
-		cfg.TraceDES = *traceDES
+		cfg.TraceDES = traceDES
 	}
 
 	res, err := sweep.Run(cfg)
@@ -97,8 +93,8 @@ func main() {
 	}
 
 	fmt.Println("Fig. 7.2 — throughput (vehicles / total wait) vs input flow rate")
-	fmt.Printf("fleet=%d seed=%d geometry=%s noise=%v\n\n", *n, *seed, geometry(*scaleModel), *noisy)
-	emit := emitter(*csv)
+	fmt.Printf("fleet=%d seed=%d geometry=%s noise=%v\n\n", *n, seed, geometry(*scaleModel), *noisy)
+	emit := emitter(csv)
 	emit(res.ThroughputTable())
 
 	if *overhead {
@@ -114,24 +110,13 @@ func main() {
 			fmt.Printf("  vs AIM:   worst %.2fx, average %.2fx (paper: 1.28x / 1.15x)\n", w, a)
 		}
 	}
-	if *tracePath != "" {
-		if err := res.WriteTrace(*tracePath); err != nil {
+	if tracePath != "" {
+		if err := res.WriteTrace(tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, "crossroads-sim: trace:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nTrace written to %s\n%s", *tracePath, res.TraceSummary())
+		fmt.Printf("\nTrace written to %s\n%s", tracePath, res.TraceSummary())
 	}
-}
-
-// flagWasSet reports whether the named flag appeared on the command line.
-func flagWasSet(name string) bool {
-	set := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == name {
-			set = true
-		}
-	})
-	return set
 }
 
 // runFaultMatrix executes the robustness matrix: fault scenarios crossed
@@ -174,25 +159,6 @@ func runFaultMatrix(spec string, seed int64, workers int, csv bool, tracePath st
 		os.Exit(1)
 	}
 	fmt.Println("\nPASS: zero collisions, buffer violations, and stranded vehicles for crossroads/batch")
-}
-
-// parseTopology resolves the -corridor/-grid flags; nil means the classic
-// single-intersection sweep.
-func parseTopology(corridor int, grid string) (*topology.Topology, error) {
-	if corridor != 0 && grid != "" {
-		return nil, fmt.Errorf("-corridor and -grid are mutually exclusive")
-	}
-	if corridor != 0 {
-		return topology.Line(corridor)
-	}
-	if grid != "" {
-		var r, c int
-		if _, err := fmt.Sscanf(grid, "%dx%d", &r, &c); err != nil {
-			return nil, fmt.Errorf("-grid wants RxC (e.g. 2x2), got %q", grid)
-		}
-		return topology.Grid(r, c)
-	}
-	return nil, nil
 }
 
 func runTopology(topo *topology.Topology, rate float64, n int, seed int64, workers int,

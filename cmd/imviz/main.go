@@ -75,11 +75,10 @@ func main() {
 	if every < 1 {
 		every = 1
 	}
-	cfg := sim.Config{
-		Policy:        policy,
-		Seed:          *seed,
-		Intersection:  interCfg,
-		ObserverEvery: every,
+	opts := []sim.Option{
+		sim.WithPolicy(policy),
+		sim.WithSeed(*seed),
+		sim.WithIntersection(interCfg),
 	}
 	var traceFile *os.File
 	if *trace != "" {
@@ -94,7 +93,7 @@ func main() {
 	}
 	render := !*quiet
 	if render || traceFile != nil {
-		cfg.Observer = func(now float64, vs []sim.VehicleView) {
+		observer := func(now float64, vs []sim.VehicleView) {
 			if traceFile != nil {
 				for _, v := range vs {
 					fmt.Fprintf(traceFile, "%.3f,%d,%s,%.4f,%.4f,%.4f,%.3f,%s\n",
@@ -108,6 +107,12 @@ func main() {
 				time.Sleep(30 * time.Millisecond)
 			}
 		}
+		opts = append(opts, sim.WithObserver(observer, every))
+	}
+	cfg, err := sim.NewConfig(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imviz:", err)
+		os.Exit(1)
 	}
 	res, err := sim.Run(cfg, arrivals)
 	if err != nil {

@@ -12,33 +12,30 @@ import (
 	"fmt"
 	"os"
 
+	"crossroads/internal/cliflags"
 	"crossroads/internal/scale"
 	"crossroads/internal/vehicle"
 )
 
 func main() {
 	reps := flag.Int("reps", 10, "repetitions per scenario")
-	seed := flag.Int64("seed", 1, "base random seed")
-	workers := flag.Int("workers", 1, "concurrent scenario/policy cells (1 = serial, 0 = all CPU cores); results are identical either way")
+	common := cliflags.AddCommon(flag.CommandLine, 1)
 	noiseless := flag.Bool("noiseless", false, "disable plant actuation/sensing noise")
 	withAIM := flag.Bool("aim", false, "also run the AIM baseline")
-	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	tracePath := flag.String("trace", "", "write the structured event trace (JSONL) to this file and print its summary")
-	traceDES := flag.Bool("trace-des", false, "include the kernel event firehose in the trace (large)")
 	flag.Parse()
 
 	cfg := scale.Config{
 		Repetitions: *reps,
-		Seed:        *seed,
+		Seed:        common.Seed,
 		Noisy:       !*noiseless,
-		Workers:     *workers,
+		Workers:     common.Workers,
 	}
 	if *withAIM {
 		cfg.Policies = []vehicle.Policy{vehicle.PolicyVTIM, vehicle.PolicyCrossroads, vehicle.PolicyAIM}
 	}
-	if *tracePath != "" {
+	if common.TracePath != "" {
 		cfg.TraceFull = true
-		cfg.TraceDES = *traceDES
+		cfg.TraceDES = common.TraceDES
 	}
 	res, err := scale.Run(cfg)
 	if err != nil {
@@ -47,7 +44,7 @@ func main() {
 	}
 	fmt.Println("Fig. 7.1 — average wait time per scenario (1/10-scale model)")
 	fmt.Printf("repetitions=%d seed=%d noise=%v\n\n", cfg.Repetitions, cfg.Seed, cfg.Noisy)
-	if *csv {
+	if common.CSV {
 		fmt.Print(res.Table().CSV())
 	} else {
 		fmt.Print(res.Table().String())
@@ -57,11 +54,11 @@ func main() {
 		fmt.Printf("\nCrossroads reduces average wait by %.0f%% vs VT-IM (paper: ~24%%)\n",
 			(1-cr/vt)*100)
 	}
-	if *tracePath != "" {
-		if err := res.WriteTrace(*tracePath); err != nil {
+	if common.TracePath != "" {
+		if err := res.WriteTrace(common.TracePath); err != nil {
 			fmt.Fprintln(os.Stderr, "scale-model: trace:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nTrace written to %s\n%s", *tracePath, res.TraceSummary())
+		fmt.Printf("\nTrace written to %s\n%s", common.TracePath, res.TraceSummary())
 	}
 }

@@ -54,12 +54,16 @@ func main() {
 		}
 	}
 
-	res, err := sim.Run(sim.Config{
-		Policy:       vehicle.PolicyCrossroads,
-		Seed:         5,
-		Intersection: intersection.FullScaleConfig(),
-		Spec:         safety.FullScaleSpec(),
-	}, arrivals)
+	cfg, err := sim.NewConfig(
+		sim.WithPolicy(vehicle.PolicyCrossroads),
+		sim.WithSeed(5),
+		sim.WithIntersection(intersection.FullScaleConfig()),
+		sim.WithSpec(safety.FullScaleSpec()),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(cfg, arrivals)
 	if err != nil {
 		log.Fatal(err)
 	}

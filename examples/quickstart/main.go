@@ -26,10 +26,14 @@ func main() {
 	// Run it under Crossroads. The zero-valued fields default to the
 	// paper's testbed: 1.2 m box, 3 m from the transmission line, 150 ms
 	// worst-case RTD, 78 mm sensing buffer.
-	res, err := sim.Run(sim.Config{
-		Policy: vehicle.PolicyCrossroads,
-		Seed:   7,
-	}, arrivals)
+	cfg, err := sim.NewConfig(
+		sim.WithPolicy(vehicle.PolicyCrossroads),
+		sim.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(cfg, arrivals)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,12 +39,16 @@ func main() {
 	fmt.Printf("rush hour: %d cars at %.2f car/s/lane through a full-scale four-way\n\n", cars, rate)
 	t := metrics.NewTable("policy", "mean wait (s)", "p95 wait (s)", "throughput", "messages", "IM busy (s)", "collisions")
 	for _, pol := range []vehicle.Policy{vehicle.PolicyVTIM, vehicle.PolicyAIM, vehicle.PolicyCrossroads} {
-		res, err := sim.Run(sim.Config{
-			Policy:       pol,
-			Seed:         seed,
-			Intersection: intersection.FullScaleConfig(),
-			Spec:         safety.FullScaleSpec(),
-		}, arrivals)
+		cfg, err := sim.NewConfig(
+			sim.WithPolicy(pol),
+			sim.WithSeed(seed),
+			sim.WithIntersection(intersection.FullScaleConfig()),
+			sim.WithSpec(safety.FullScaleSpec()),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(cfg, arrivals)
 		if err != nil {
 			log.Fatal(err)
 		}

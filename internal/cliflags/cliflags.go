@@ -1,0 +1,95 @@
+// Package cliflags collects the flag groups shared by the experiment
+// commands. crossroads-sim and scale-model (and any future tool) register
+// these groups instead of redeclaring the flags, so names, defaults, and
+// help text cannot drift apart between binaries.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+
+	"crossroads/internal/topology"
+)
+
+// Common are the flags every experiment command shares: determinism,
+// parallelism, and output/trace plumbing.
+type Common struct {
+	Seed      int64
+	Workers   int
+	CSV       bool
+	TracePath string
+	TraceDES  bool
+}
+
+// AddCommon registers the shared experiment flags on fs. defaultSeed keeps
+// each command's historical default (crossroads-sim: 42, scale-model: 1).
+func AddCommon(fs *flag.FlagSet, defaultSeed int64) *Common {
+	c := &Common{}
+	fs.Int64Var(&c.Seed, "seed", defaultSeed, "random seed")
+	fs.IntVar(&c.Workers, "workers", 1, "concurrent experiment cells (1 = serial, 0 = all CPU cores); results are identical either way")
+	fs.BoolVar(&c.CSV, "csv", false, "emit CSV instead of aligned tables")
+	fs.StringVar(&c.TracePath, "trace", "", "write the structured event trace (JSONL) to this file and print its summary")
+	fs.BoolVar(&c.TraceDES, "trace-des", false, "include the kernel event firehose in the trace (large)")
+	return c
+}
+
+// Topology are the road-network selection flags.
+type Topology struct {
+	Corridor int
+	Grid     string
+	Rate     float64
+	SegLen   float64
+}
+
+// AddTopology registers the -corridor/-grid/-rate/-seglen group on fs.
+func AddTopology(fs *flag.FlagSet) *Topology {
+	t := &Topology{}
+	fs.IntVar(&t.Corridor, "corridor", 0, "run an N-intersection east-west corridor instead of the single-intersection sweep")
+	fs.StringVar(&t.Grid, "grid", "", "run an RxC Manhattan grid (e.g. 2x2) instead of the single-intersection sweep")
+	fs.Float64Var(&t.Rate, "rate", 0.3, "input flow per boundary entry lane for -corridor/-grid runs (car/lane/s)")
+	fs.Float64Var(&t.SegLen, "seglen", 0, "extra road between adjacent intersections for -corridor/-grid runs (m); 0 abuts them")
+	return t
+}
+
+// Build resolves the group into a road network with the segment length
+// applied; nil means the classic single-intersection run.
+func (t *Topology) Build() (*topology.Topology, error) {
+	if t.Corridor != 0 && t.Grid != "" {
+		return nil, fmt.Errorf("-corridor and -grid are mutually exclusive")
+	}
+	var topo *topology.Topology
+	var err error
+	switch {
+	case t.Corridor != 0:
+		topo, err = topology.Line(t.Corridor)
+	case t.Grid != "":
+		var r, c int
+		if _, serr := fmt.Sscanf(t.Grid, "%dx%d", &r, &c); serr != nil {
+			return nil, fmt.Errorf("-grid wants RxC (e.g. 2x2), got %q", t.Grid)
+		}
+		topo, err = topology.Grid(r, c)
+	default:
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return topo.WithSegmentLen(t.SegLen), nil
+}
+
+// AddFaults registers the -faults robustness-matrix selector on fs.
+func AddFaults(fs *flag.FlagSet) *string {
+	return fs.String("faults", "", `run the fault-injection robustness matrix instead of the sweep: "matrix" for every named scenario, or one scenario name / window DSL (see internal/fault)`)
+}
+
+// WasSet reports whether the named flag appeared on the command line.
+// Call it only after fs.Parse.
+func WasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

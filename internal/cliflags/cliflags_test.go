@@ -1,0 +1,61 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestCommonDefaultsAndParse(t *testing.T) {
+	fs := newFS()
+	c := AddCommon(fs, 42)
+	if err := fs.Parse([]string{"-workers", "3", "-csv", "-trace", "out.jsonl"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 || c.Workers != 3 || !c.CSV || c.TracePath != "out.jsonl" || c.TraceDES {
+		t.Fatalf("parsed %+v", c)
+	}
+	if !WasSet(fs, "workers") || WasSet(fs, "seed") {
+		t.Fatal("WasSet misreports explicit vs defaulted flags")
+	}
+}
+
+func TestTopologyBuild(t *testing.T) {
+	fs := newFS()
+	tp := AddTopology(fs)
+	if err := fs.Parse([]string{"-grid", "2x3", "-seglen", "0.8"}); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := tp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 6 {
+		t.Fatalf("2x3 grid has %d nodes", topo.NumNodes())
+	}
+	if topo.SegmentLen() != 0.8 {
+		t.Fatalf("segment len %v", topo.SegmentLen())
+	}
+
+	// No topology flags means the classic single-intersection run.
+	tp2 := AddTopology(newFS())
+	if topo, err := tp2.Build(); err != nil || topo != nil {
+		t.Fatalf("empty build: topo=%v err=%v", topo, err)
+	}
+
+	// Contradictions and malformed grids are rejected.
+	tp3 := &Topology{Corridor: 2, Grid: "2x2"}
+	if _, err := tp3.Build(); err == nil {
+		t.Fatal("corridor+grid accepted")
+	}
+	tp4 := &Topology{Grid: "bogus"}
+	if _, err := tp4.Build(); err == nil {
+		t.Fatal("malformed grid accepted")
+	}
+}

@@ -192,6 +192,21 @@ func (s *Simulator) RunUntil(tEnd float64) uint64 {
 // RunFor runs events for d simulated seconds from the current time.
 func (s *Simulator) RunFor(d float64) uint64 { return s.RunUntil(s.now + d) }
 
+// NextTime returns the absolute time of the earliest pending live event.
+// Real-time executives (the wire server's core loop) use it to sleep until
+// the next deferred reply is due instead of polling the kernel. Cancelled
+// events at the head of the queue are discarded on the way.
+func (s *Simulator) NextTime() (float64, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].time, true
+	}
+	return 0, false
+}
+
 // Ticker schedules fn every period seconds starting at start (absolute),
 // until fn returns false or the returned Handle chain is cancelled via the
 // stop function.

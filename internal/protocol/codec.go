@@ -1,0 +1,586 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Codec limits. A frame that claims to be larger than MaxFrameSize is a
+// protocol violation, not a big message — the decoder refuses it before
+// allocating, so a hostile length prefix cannot balloon memory.
+const (
+	// MaxFrameSize bounds the kind+body byte count of one frame.
+	MaxFrameSize = 1 << 16
+	// MaxStringLen bounds every string field.
+	MaxStringLen = 1024
+	// headerSize is the length-prefix size.
+	headerSize = 4
+)
+
+// Decode errors. ErrFrameTooLarge and ErrUnknownFrame are sentinel values
+// so transports can distinguish "hostile peer" from "newer peer".
+var (
+	ErrFrameTooLarge = errors.New("protocol: frame exceeds MaxFrameSize")
+	ErrUnknownFrame  = errors.New("protocol: unknown frame kind")
+)
+
+// Append encodes f as one length-framed frame onto dst and returns the
+// extended slice. Encoding is total for well-formed frames; it fails only
+// on out-of-range fields (non-finite floats, oversized strings, enum
+// values outside the closed set) so a conforming sender never sees an
+// error.
+func Append(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length backpatched below
+	dst = append(dst, byte(f.Kind()))
+	var err error
+	switch v := f.(type) {
+	case Hello:
+		dst, err = appendHello(dst, v)
+	case Welcome:
+		dst, err = appendWelcome(dst, v)
+	case Request:
+		dst, err = appendRequest(dst, v)
+	case Grant:
+		dst, err = appendGrant(dst, v)
+	case Exit:
+		dst, err = appendExitBody(dst, v.T, v.VehicleID, v.ExitTimestamp)
+	case Ack:
+		dst, err = appendExitBody(dst, v.T, v.VehicleID, v.ExitTimestamp)
+	case Sync:
+		dst, err = appendSyncBody(dst, v.T, v.VehicleID, v.T1, v.T2, v.T3)
+	case SyncReply:
+		dst, err = appendSyncBody(dst, v.T, v.VehicleID, v.T1, v.T2, v.T3)
+	case Error:
+		dst = be16(dst, v.Code)
+		dst, err = appendString(dst, v.Msg)
+	case Bye:
+		dst, err = appendString(dst, v.Reason)
+	default:
+		return nil, fmt.Errorf("protocol: cannot encode %T", f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n := len(dst) - start - headerSize
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// Encode is Append into a fresh slice.
+func Encode(f Frame) ([]byte, error) { return Append(nil, f) }
+
+// Decode decodes one length-framed frame from the front of buf, returning
+// the frame and the total bytes consumed (header + body). It never panics:
+// every read is bounds-checked and every enum is validated, so arbitrary
+// bytes produce an error, not a crash. io.ErrUnexpectedEOF signals a
+// truncated buffer — callers streaming from a socket should read more.
+func Decode(buf []byte) (Frame, int, error) {
+	if len(buf) < headerSize {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	if n > MaxFrameSize {
+		return nil, 0, ErrFrameTooLarge
+	}
+	if n < 1 {
+		return nil, 0, fmt.Errorf("protocol: empty frame")
+	}
+	if len(buf) < headerSize+n {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	f, err := DecodeBody(buf[headerSize : headerSize+n])
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, headerSize + n, nil
+}
+
+// DecodeBody decodes the kind+body of one frame (the bytes the length
+// prefix covers). Trailing bytes after the body are an error: there is
+// exactly one encoding per frame.
+func DecodeBody(b []byte) (Frame, error) {
+	d := decoder{buf: b}
+	kind, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	var f Frame
+	switch FrameKind(kind) {
+	case FrameHello:
+		f, err = d.hello()
+	case FrameWelcome:
+		f, err = d.welcome()
+	case FrameRequest:
+		f, err = d.request()
+	case FrameGrant:
+		f, err = d.grant()
+	case FrameExit:
+		var t, ts float64
+		var id int64
+		t, id, ts, err = d.exitBody()
+		f = Exit{T: t, VehicleID: id, ExitTimestamp: ts}
+	case FrameAck:
+		var t, ts float64
+		var id int64
+		t, id, ts, err = d.exitBody()
+		f = Ack{T: t, VehicleID: id, ExitTimestamp: ts}
+	case FrameSync:
+		var s SyncReply
+		s, err = d.syncBody()
+		f = Sync(s)
+	case FrameSyncReply:
+		f, err = d.syncBody()
+	case FrameError:
+		var e Error
+		e.Code, err = d.u16()
+		if err == nil {
+			e.Msg, err = d.str()
+		}
+		f = e
+	case FrameBye:
+		var y Bye
+		y.Reason, err = d.str()
+		f = y
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownFrame, kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after %s frame",
+			len(d.buf)-d.off, FrameKind(kind))
+	}
+	return f, nil
+}
+
+// Writer frames and writes encoded frames to an io.Writer, reusing one
+// scratch buffer. It is not safe for concurrent use.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteFrame encodes and writes one frame.
+func (w *Writer) WriteFrame(f Frame) error {
+	b, err := Append(w.buf[:0], f)
+	if err != nil {
+		return err
+	}
+	w.buf = b
+	_, err = w.w.Write(b)
+	return err
+}
+
+// Reader reads length-framed frames from an io.Reader. It is not safe for
+// concurrent use.
+type Reader struct {
+	r   io.Reader
+	hdr [headerSize]byte
+	buf []byte
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadFrame reads exactly one frame. io.EOF is returned untouched when the
+// stream ends cleanly on a frame boundary; a stream cut mid-frame returns
+// io.ErrUnexpectedEOF.
+func (r *Reader) ReadFrame() (Frame, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(r.hdr[:]))
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("protocol: empty frame")
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return DecodeBody(r.buf)
+}
+
+// --- encoding helpers ---
+
+func be16(dst []byte, v uint16) []byte { return append(dst, byte(v>>8), byte(v)) }
+
+func be32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func be64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendF64(dst []byte, v float64) ([]byte, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil, fmt.Errorf("protocol: non-finite float %v", v)
+	}
+	return be64(dst, math.Float64bits(v)), nil
+}
+
+func appendString(dst []byte, s string) ([]byte, error) {
+	if len(s) > MaxStringLen {
+		return nil, fmt.Errorf("protocol: string of %d bytes exceeds %d", len(s), MaxStringLen)
+	}
+	dst = be16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendHello(dst []byte, v Hello) ([]byte, error) {
+	if v.Clock > ClockReplay {
+		return nil, fmt.Errorf("protocol: bad clock mode %d", v.Clock)
+	}
+	dst = be16(dst, v.MinVersion)
+	dst = be16(dst, v.MaxVersion)
+	dst = append(dst, byte(v.Clock))
+	return appendString(dst, v.Client)
+}
+
+func appendWelcome(dst []byte, v Welcome) ([]byte, error) {
+	if v.Geometry > GeometryFullScale {
+		return nil, fmt.Errorf("protocol: bad geometry %d", v.Geometry)
+	}
+	dst = be16(dst, v.Version)
+	var err error
+	dst, err = appendString(dst, v.Policy)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, byte(v.Geometry))
+	return be32(dst, v.Node), nil
+}
+
+func appendRequest(dst []byte, v Request) ([]byte, error) {
+	if v.Approach > 3 {
+		return nil, fmt.Errorf("protocol: approach %d outside [0,3]", v.Approach)
+	}
+	if v.Turn > 2 {
+		return nil, fmt.Errorf("protocol: turn %d outside [0,2]", v.Turn)
+	}
+	var err error
+	floats := []float64{v.T, v.CurrentSpeed, v.DistToEntry, v.TransmitTime,
+		v.ProposedToA, v.CrossSpeed, v.MaxSpeed, v.MaxAccel, v.MaxDecel,
+		v.Length, v.Width, v.Wheelbase}
+	if dst, err = appendF64(dst, floats[0]); err != nil {
+		return nil, err
+	}
+	dst = be64(dst, uint64(v.VehicleID))
+	dst = be32(dst, v.Seq)
+	dst = append(dst, v.Approach, v.Lane, v.Turn)
+	for _, f := range floats[1:4] {
+		if dst, err = appendF64(dst, f); err != nil {
+			return nil, err
+		}
+	}
+	dst = appendBool(dst, v.Committed)
+	for _, f := range floats[4:] {
+		if dst, err = appendF64(dst, f); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func appendGrant(dst []byte, v Grant) ([]byte, error) {
+	if v.RespKind > 3 {
+		return nil, fmt.Errorf("protocol: response kind %d outside [0,3]", v.RespKind)
+	}
+	var err error
+	if dst, err = appendF64(dst, v.T); err != nil {
+		return nil, err
+	}
+	dst = be64(dst, uint64(v.VehicleID))
+	dst = append(dst, v.RespKind)
+	dst = be32(dst, v.Seq)
+	for _, f := range []float64{v.TargetSpeed, v.ExecuteAt, v.ArriveAt} {
+		if dst, err = appendF64(dst, f); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func appendExitBody(dst []byte, t float64, id int64, ts float64) ([]byte, error) {
+	var err error
+	if dst, err = appendF64(dst, t); err != nil {
+		return nil, err
+	}
+	dst = be64(dst, uint64(id))
+	return appendF64(dst, ts)
+}
+
+func appendSyncBody(dst []byte, t float64, id int64, t1, t2, t3 float64) ([]byte, error) {
+	var err error
+	if dst, err = appendF64(dst, t); err != nil {
+		return nil, err
+	}
+	dst = be64(dst, uint64(id))
+	for _, f := range []float64{t1, t2, t3} {
+		if dst, err = appendF64(dst, f); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// --- decoding helpers ---
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if len(d.buf)-d.off < n {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) i64() (int64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := int64(binary.BigEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("protocol: non-finite float on wire")
+	}
+	return v, nil
+}
+
+func (d *decoder) boolean() (bool, error) {
+	v, err := d.u8()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("protocol: bool byte %d", v)
+	}
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	if n > MaxStringLen {
+		return "", fmt.Errorf("protocol: string of %d bytes exceeds %d", n, MaxStringLen)
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) hello() (Hello, error) {
+	var v Hello
+	var err error
+	if v.MinVersion, err = d.u16(); err != nil {
+		return v, err
+	}
+	if v.MaxVersion, err = d.u16(); err != nil {
+		return v, err
+	}
+	var c uint8
+	if c, err = d.u8(); err != nil {
+		return v, err
+	}
+	if c > uint8(ClockReplay) {
+		return v, fmt.Errorf("protocol: bad clock mode %d", c)
+	}
+	v.Clock = ClockMode(c)
+	v.Client, err = d.str()
+	return v, err
+}
+
+func (d *decoder) welcome() (Welcome, error) {
+	var v Welcome
+	var err error
+	if v.Version, err = d.u16(); err != nil {
+		return v, err
+	}
+	if v.Policy, err = d.str(); err != nil {
+		return v, err
+	}
+	var g uint8
+	if g, err = d.u8(); err != nil {
+		return v, err
+	}
+	if g > uint8(GeometryFullScale) {
+		return v, fmt.Errorf("protocol: bad geometry %d", g)
+	}
+	v.Geometry = Geometry(g)
+	v.Node, err = d.u32()
+	return v, err
+}
+
+func (d *decoder) request() (Request, error) {
+	var v Request
+	var err error
+	if v.T, err = d.f64(); err != nil {
+		return v, err
+	}
+	if v.VehicleID, err = d.i64(); err != nil {
+		return v, err
+	}
+	if v.Seq, err = d.u32(); err != nil {
+		return v, err
+	}
+	if v.Approach, err = d.u8(); err != nil {
+		return v, err
+	}
+	if v.Approach > 3 {
+		return v, fmt.Errorf("protocol: approach %d outside [0,3]", v.Approach)
+	}
+	if v.Lane, err = d.u8(); err != nil {
+		return v, err
+	}
+	if v.Turn, err = d.u8(); err != nil {
+		return v, err
+	}
+	if v.Turn > 2 {
+		return v, fmt.Errorf("protocol: turn %d outside [0,2]", v.Turn)
+	}
+	for _, p := range []*float64{&v.CurrentSpeed, &v.DistToEntry, &v.TransmitTime} {
+		if *p, err = d.f64(); err != nil {
+			return v, err
+		}
+	}
+	if v.Committed, err = d.boolean(); err != nil {
+		return v, err
+	}
+	for _, p := range []*float64{&v.ProposedToA, &v.CrossSpeed, &v.MaxSpeed,
+		&v.MaxAccel, &v.MaxDecel, &v.Length, &v.Width, &v.Wheelbase} {
+		if *p, err = d.f64(); err != nil {
+			return v, err
+		}
+	}
+	return v, nil
+}
+
+func (d *decoder) grant() (Grant, error) {
+	var v Grant
+	var err error
+	if v.T, err = d.f64(); err != nil {
+		return v, err
+	}
+	if v.VehicleID, err = d.i64(); err != nil {
+		return v, err
+	}
+	if v.RespKind, err = d.u8(); err != nil {
+		return v, err
+	}
+	if v.RespKind > 3 {
+		return v, fmt.Errorf("protocol: response kind %d outside [0,3]", v.RespKind)
+	}
+	if v.Seq, err = d.u32(); err != nil {
+		return v, err
+	}
+	for _, p := range []*float64{&v.TargetSpeed, &v.ExecuteAt, &v.ArriveAt} {
+		if *p, err = d.f64(); err != nil {
+			return v, err
+		}
+	}
+	return v, nil
+}
+
+func (d *decoder) exitBody() (t float64, id int64, ts float64, err error) {
+	if t, err = d.f64(); err != nil {
+		return
+	}
+	if id, err = d.i64(); err != nil {
+		return
+	}
+	ts, err = d.f64()
+	return
+}
+
+func (d *decoder) syncBody() (SyncReply, error) {
+	var v SyncReply
+	var err error
+	if v.T, err = d.f64(); err != nil {
+		return v, err
+	}
+	if v.VehicleID, err = d.i64(); err != nil {
+		return v, err
+	}
+	for _, p := range []*float64{&v.T1, &v.T2, &v.T3} {
+		if *p, err = d.f64(); err != nil {
+			return v, err
+		}
+	}
+	return v, nil
+}

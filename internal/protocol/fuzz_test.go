@@ -1,0 +1,91 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the frame decoder. Two properties:
+// the decoder never panics, and any successfully decoded frame re-encodes
+// to the exact bytes that were consumed (canonical encoding).
+func FuzzDecode(f *testing.F) {
+	// Seed with one well-formed frame of every kind plus a few hostile
+	// shapes (oversized length, unknown kind, truncated header).
+	seeds := []Frame{
+		Hello{MinVersion: 1, MaxVersion: 1, Clock: ClockReplay, Client: "fuzz"},
+		Welcome{Version: 1, Policy: "crossroads", Geometry: GeometryScaleModel, Node: 0},
+		Request{T: 1.5, VehicleID: 7, Seq: 2, Approach: 3, Lane: 0, Turn: 1,
+			CurrentSpeed: 0.35, DistToEntry: 1.2, TransmitTime: 1.49,
+			Committed: true, ProposedToA: 3.5, CrossSpeed: 0.3,
+			MaxSpeed: 0.5, MaxAccel: 0.8, MaxDecel: 1.2,
+			Length: 0.425, Width: 0.19, Wheelbase: 0.26},
+		Grant{T: 1.6, VehicleID: 7, RespKind: 1, Seq: 2,
+			TargetSpeed: 0.35, ExecuteAt: 2.0, ArriveAt: 3.4},
+		Exit{T: 4.0, VehicleID: 7, ExitTimestamp: 3.99},
+		Ack{T: 4.1, VehicleID: 7, ExitTimestamp: 3.99},
+		Sync{T: 0.1, VehicleID: 7, T1: 0.1},
+		SyncReply{T: 0.2, VehicleID: 7, T1: 0.1, T2: 0.15, T3: 0.16},
+		Error{Code: CodeVersion, Msg: "no common version"},
+		Bye{Reason: "drain"},
+	}
+	for _, s := range seeds {
+		b, err := Encode(s)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{0, 0, 0, 1, 200})
+	f.Add([]byte{0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n < headerSize+1 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		re, err := Encode(frame)
+		if err != nil {
+			t.Fatalf("decoded frame %+v failed to re-encode: %v", frame, err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("non-canonical decode:\n in %x\nout %x", data[:n], re)
+		}
+	})
+}
+
+// FuzzRoundTripRequest mutates every Request field through the fuzzer and
+// checks encode→decode identity for values the encoder accepts.
+func FuzzRoundTripRequest(f *testing.F) {
+	f.Add(1.5, int64(7), uint32(2), byte(3), byte(0), byte(1),
+		0.35, 1.2, 1.49, true, 3.5, 0.3, 0.5, 0.8, 1.2, 0.425, 0.19, 0.26)
+	f.Add(0.0, int64(-1), uint32(0), byte(0), byte(255), byte(0),
+		0.0, 0.0, 0.0, false, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, tm float64, id int64, seq uint32,
+		approach, lane, turn byte, vc, dt, tt float64, committed bool,
+		toa, cs, ms, ma, md, ln, wd, wb float64) {
+		in := Request{T: tm, VehicleID: id, Seq: seq,
+			Approach: approach, Lane: lane, Turn: turn,
+			CurrentSpeed: vc, DistToEntry: dt, TransmitTime: tt,
+			Committed: committed, ProposedToA: toa, CrossSpeed: cs,
+			MaxSpeed: ms, MaxAccel: ma, MaxDecel: md,
+			Length: ln, Width: wd, Wheelbase: wb}
+		b, err := Encode(in)
+		if err != nil {
+			return // out-of-range input; the encoder refusing is the contract
+		}
+		out, n, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		if out != in {
+			t.Fatalf("round trip:\n in %+v\nout %+v", in, out)
+		}
+	})
+}

@@ -1,0 +1,297 @@
+// Package protocol defines the versioned wire protocol that carves the
+// intersection manager out from behind the discrete-event simulator. The
+// paper's message set — crossing Request, timed Grant, Exit report, Ack —
+// plus the NTP sync exchange travel as length-framed binary frames over any
+// byte stream (TCP, Unix sockets, pipes), preceded by a Hello/Welcome
+// handshake that negotiates the protocol version and the server's clock
+// mode.
+//
+// The codec is deliberately strict: fixed-width big-endian fields, no
+// trailing bytes, finite floats only, closed enums. Strictness is what
+// makes the conformance bridge possible — a served scheduler must produce
+// byte-identical grants to the in-DES scheduler, so there must be exactly
+// one encoding of every message.
+//
+// Wire format (version 1):
+//
+//	frame  := u32(length) u8(kind) body      // length covers kind+body
+//	string := u16(len) bytes                 // len <= MaxStringLen
+//	f64    := IEEE-754 bits, big-endian, finite
+//	i64    := two's complement, big-endian
+//
+// Version negotiation: the client's Hello carries [MinVersion, MaxVersion];
+// the server answers with the highest version both sides support in its
+// Welcome, or an Error frame with CodeVersion and closes.
+package protocol
+
+import "fmt"
+
+// Protocol versions. Version 1 is the only one defined so far; Negotiate
+// keeps the handshake honest about ranges so adding version 2 is a codec
+// change, not a protocol redesign.
+const (
+	Version1 = 1
+	// MinVersion..MaxVersion is the span this build speaks.
+	MinVersion = Version1
+	MaxVersion = Version1
+)
+
+// Negotiate returns the highest protocol version shared by this build and a
+// peer advertising [min, max], or an error when the ranges are disjoint.
+func Negotiate(min, max uint16) (uint16, error) {
+	if min > max {
+		return 0, fmt.Errorf("protocol: inverted version range [%d, %d]", min, max)
+	}
+	if max < MinVersion || min > MaxVersion {
+		return 0, fmt.Errorf("protocol: no common version: peer [%d, %d], this build [%d, %d]",
+			min, max, MinVersion, MaxVersion)
+	}
+	v := uint16(MaxVersion)
+	if max < v {
+		v = max
+	}
+	return v, nil
+}
+
+// FrameKind discriminates the frame union.
+type FrameKind uint8
+
+// The version-1 frame set.
+const (
+	// FrameHello opens a connection (client -> server).
+	FrameHello FrameKind = 1
+	// FrameWelcome accepts the handshake (server -> client).
+	FrameWelcome FrameKind = 2
+	// FrameRequest is a crossing request (client -> server).
+	FrameRequest FrameKind = 3
+	// FrameGrant carries the IM's reply to a request (server -> client):
+	// a velocity or timed command, or an AIM accept/reject.
+	FrameGrant FrameKind = 4
+	// FrameExit reports a vehicle clearing the box (client -> server).
+	FrameExit FrameKind = 5
+	// FrameAck acknowledges an exit report (server -> client).
+	FrameAck FrameKind = 6
+	// FrameSync is one NTP exchange request (client -> server).
+	FrameSync FrameKind = 7
+	// FrameSyncReply answers a sync exchange (server -> client).
+	FrameSyncReply FrameKind = 8
+	// FrameError reports a protocol violation; the sender closes after.
+	FrameError FrameKind = 9
+	// FrameBye announces an orderly close. In replay mode the client's
+	// Bye also flushes the buffered stream through the scheduler.
+	FrameBye FrameKind = 10
+)
+
+var frameKindNames = map[FrameKind]string{
+	FrameHello:     "hello",
+	FrameWelcome:   "welcome",
+	FrameRequest:   "request",
+	FrameGrant:     "grant",
+	FrameExit:      "exit",
+	FrameAck:       "ack",
+	FrameSync:      "sync",
+	FrameSyncReply: "sync-reply",
+	FrameError:     "error",
+	FrameBye:       "bye",
+}
+
+func (k FrameKind) String() string {
+	if s, ok := frameKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("frame(%d)", uint8(k))
+}
+
+// ClockMode selects how the server derives the scheduler's notion of time.
+type ClockMode uint8
+
+const (
+	// ClockWall stamps every injected message with wall seconds since the
+	// server's epoch — live serving.
+	ClockWall ClockMode = 0
+	// ClockReplay buffers the client's timestamped stream and replays it
+	// through the scheduler at the frame timestamps on Bye — deterministic
+	// replay, used by the conformance bridge against the in-DES oracle.
+	ClockReplay ClockMode = 1
+)
+
+func (m ClockMode) String() string {
+	switch m {
+	case ClockWall:
+		return "wall"
+	case ClockReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("clock(%d)", uint8(m))
+	}
+}
+
+// Geometry identifies the intersection configuration the server schedules
+// for, so clients generate kinematically compatible requests.
+type Geometry uint8
+
+const (
+	// GeometryScaleModel is the paper's 1/10-scale testbed intersection.
+	GeometryScaleModel Geometry = 0
+	// GeometryFullScale is the representative full-size intersection.
+	GeometryFullScale Geometry = 1
+)
+
+func (g Geometry) String() string {
+	switch g {
+	case GeometryScaleModel:
+		return "scale-model"
+	case GeometryFullScale:
+		return "full-scale"
+	default:
+		return fmt.Sprintf("geometry(%d)", uint8(g))
+	}
+}
+
+// Error codes carried by FrameError.
+const (
+	// CodeVersion: no common protocol version.
+	CodeVersion uint16 = 1
+	// CodeClockMode: the client asked for a clock mode the server does
+	// not run in.
+	CodeClockMode uint16 = 2
+	// CodeBadFrame: a frame violated the protocol state machine (e.g. a
+	// second Hello, or a Request before the handshake).
+	CodeBadFrame uint16 = 3
+	// CodeBadRequest: a request was well-formed on the wire but invalid
+	// for the served intersection (unknown movement, bad params).
+	CodeBadRequest uint16 = 4
+	// CodeBusy: the server is at its connection limit or draining.
+	CodeBusy uint16 = 5
+	// CodeNonMonotonic: a replay-mode frame's timestamp went backwards.
+	CodeNonMonotonic uint16 = 6
+	// CodeOverflow: a replay-mode stream exceeded the buffer limit.
+	CodeOverflow uint16 = 7
+)
+
+// Frame is one decoded protocol frame.
+type Frame interface {
+	// Kind returns the frame discriminator.
+	Kind() FrameKind
+}
+
+// Hello opens a connection: the client's supported version range, the
+// clock mode it wants, and a free-form client label for logs and traces.
+type Hello struct {
+	MinVersion uint16
+	MaxVersion uint16
+	Clock      ClockMode
+	Client     string
+}
+
+// Welcome accepts a Hello: the negotiated version, the policy the server
+// schedules with, the geometry it expects requests for, and the topology
+// node this endpoint shards.
+type Welcome struct {
+	Version  uint16
+	Policy   string
+	Geometry Geometry
+	Node     uint32
+}
+
+// Request is a timestamped crossing request. T is the injection timestamp:
+// replay servers deliver the request to the scheduler at exactly T; wall
+// servers ignore it and stamp arrival themselves. The remaining fields
+// mirror im.Request (the paper's VehicleInfo packet plus per-policy
+// extras).
+type Request struct {
+	T         float64
+	VehicleID int64
+	Seq       uint32
+	// Approach/Lane/Turn encode the movement through the box.
+	Approach uint8
+	Lane     uint8
+	Turn     uint8
+	// CurrentSpeed is VC, DistToEntry is DT, TransmitTime is TT.
+	CurrentSpeed float64
+	DistToEntry  float64
+	TransmitTime float64
+	Committed    bool
+	// ProposedToA / CrossSpeed carry an AIM constant-speed proposal.
+	ProposedToA float64
+	CrossSpeed  float64
+	// Vehicle capability packet (kinematics.Params).
+	MaxSpeed  float64
+	MaxAccel  float64
+	MaxDecel  float64
+	Length    float64
+	Width     float64
+	Wheelbase float64
+}
+
+// Grant carries the IM's reply. T is the scheduler-clock time the reply
+// left the IM. RespKind discriminates exactly like im.ResponseKind:
+// 0 velocity, 1 timed, 2 accept, 3 reject.
+type Grant struct {
+	T         float64
+	VehicleID int64
+	RespKind  uint8
+	Seq       uint32
+	// TargetSpeed is VT; ExecuteAt is TE; ArriveAt is ToA.
+	TargetSpeed float64
+	ExecuteAt   float64
+	ArriveAt    float64
+}
+
+// Exit reports a vehicle clearing the box, with the vehicle's synchronized
+// clock reading at exit (the paper's wait-time accounting input).
+type Exit struct {
+	T             float64
+	VehicleID     int64
+	ExitTimestamp float64
+}
+
+// Ack acknowledges an Exit; it echoes the exit timestamp so the client can
+// match retransmissions.
+type Ack struct {
+	T             float64
+	VehicleID     int64
+	ExitTimestamp float64
+}
+
+// Sync is one NTP exchange: the client stamps T1 at transmission; the
+// server fills T2/T3 in the reply; the client stamps T4 on receipt.
+type Sync struct {
+	T         float64
+	VehicleID int64
+	T1        float64
+	T2        float64
+	T3        float64
+}
+
+// SyncReply answers a Sync.
+type SyncReply struct {
+	T         float64
+	VehicleID int64
+	T1        float64
+	T2        float64
+	T3        float64
+}
+
+// Error reports a protocol violation.
+type Error struct {
+	Code uint16
+	Msg  string
+}
+
+// Bye announces an orderly close.
+type Bye struct {
+	Reason string
+}
+
+// Kind implementations.
+func (Hello) Kind() FrameKind     { return FrameHello }
+func (Welcome) Kind() FrameKind   { return FrameWelcome }
+func (Request) Kind() FrameKind   { return FrameRequest }
+func (Grant) Kind() FrameKind     { return FrameGrant }
+func (Exit) Kind() FrameKind      { return FrameExit }
+func (Ack) Kind() FrameKind       { return FrameAck }
+func (Sync) Kind() FrameKind      { return FrameSync }
+func (SyncReply) Kind() FrameKind { return FrameSyncReply }
+func (Error) Kind() FrameKind     { return FrameError }
+func (Bye) Kind() FrameKind       { return FrameBye }

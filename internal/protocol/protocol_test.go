@@ -1,0 +1,314 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// randFrame generates a random well-formed frame of each kind in turn.
+func randFrame(rng *rand.Rand, kind FrameKind) Frame {
+	f := func() float64 {
+		// Mix magnitudes, signs, and exact zeros; always finite.
+		switch rng.Intn(4) {
+		case 0:
+			return 0
+		case 1:
+			return rng.Float64() * 1e-9
+		case 2:
+			return (rng.Float64() - 0.5) * 1e6
+		default:
+			return rng.NormFloat64()
+		}
+	}
+	str := func(max int) string {
+		n := rng.Intn(max + 1)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(byte(rng.Intn(256)))
+		}
+		return b.String()
+	}
+	switch kind {
+	case FrameHello:
+		return Hello{
+			MinVersion: uint16(rng.Intn(4)),
+			MaxVersion: uint16(rng.Intn(65536)),
+			Clock:      ClockMode(rng.Intn(2)),
+			Client:     str(64),
+		}
+	case FrameWelcome:
+		return Welcome{
+			Version:  uint16(rng.Intn(65536)),
+			Policy:   str(32),
+			Geometry: Geometry(rng.Intn(2)),
+			Node:     rng.Uint32(),
+		}
+	case FrameRequest:
+		return Request{
+			T:            f(),
+			VehicleID:    rng.Int63() - rng.Int63(),
+			Seq:          rng.Uint32(),
+			Approach:     uint8(rng.Intn(4)),
+			Lane:         uint8(rng.Intn(256)),
+			Turn:         uint8(rng.Intn(3)),
+			CurrentSpeed: f(),
+			DistToEntry:  f(),
+			TransmitTime: f(),
+			Committed:    rng.Intn(2) == 1,
+			ProposedToA:  f(),
+			CrossSpeed:   f(),
+			MaxSpeed:     f(),
+			MaxAccel:     f(),
+			MaxDecel:     f(),
+			Length:       f(),
+			Width:        f(),
+			Wheelbase:    f(),
+		}
+	case FrameGrant:
+		return Grant{
+			T:           f(),
+			VehicleID:   rng.Int63() - rng.Int63(),
+			RespKind:    uint8(rng.Intn(4)),
+			Seq:         rng.Uint32(),
+			TargetSpeed: f(),
+			ExecuteAt:   f(),
+			ArriveAt:    f(),
+		}
+	case FrameExit:
+		return Exit{T: f(), VehicleID: rng.Int63(), ExitTimestamp: f()}
+	case FrameAck:
+		return Ack{T: f(), VehicleID: rng.Int63(), ExitTimestamp: f()}
+	case FrameSync:
+		return Sync{T: f(), VehicleID: rng.Int63(), T1: f(), T2: f(), T3: f()}
+	case FrameSyncReply:
+		return SyncReply{T: f(), VehicleID: rng.Int63(), T1: f(), T2: f(), T3: f()}
+	case FrameError:
+		return Error{Code: uint16(rng.Intn(65536)), Msg: str(128)}
+	case FrameBye:
+		return Bye{Reason: str(64)}
+	}
+	panic("unreachable")
+}
+
+var allKinds = []FrameKind{
+	FrameHello, FrameWelcome, FrameRequest, FrameGrant, FrameExit,
+	FrameAck, FrameSync, FrameSyncReply, FrameError, FrameBye,
+}
+
+// TestRoundTripProperty encodes and decodes thousands of randomized frames
+// of every kind and demands exact equality.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 2000; iter++ {
+		for _, kind := range allKinds {
+			in := randFrame(rng, kind)
+			b, err := Encode(in)
+			if err != nil {
+				t.Fatalf("encode %s: %v (frame %+v)", kind, err, in)
+			}
+			out, n, err := Decode(b)
+			if err != nil {
+				t.Fatalf("decode %s: %v", kind, err)
+			}
+			if n != len(b) {
+				t.Fatalf("decode %s consumed %d of %d bytes", kind, n, len(b))
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("%s round trip:\n in: %+v\nout: %+v", kind, in, out)
+			}
+		}
+	}
+}
+
+// TestCanonicalEncoding demands that re-encoding a decoded frame reproduces
+// the original bytes — the property the conformance bridge relies on.
+func TestCanonicalEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		for _, kind := range allKinds {
+			in := randFrame(rng, kind)
+			b1, err := Encode(in)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			out, _, err := Decode(b1)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			b2, err := Encode(out)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("%s not canonical:\n b1 %x\n b2 %x", kind, b1, b2)
+			}
+		}
+	}
+}
+
+func TestDecodeTruncations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, kind := range allKinds {
+		in := randFrame(rng, kind)
+		b, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		// Every strict prefix must fail with ErrUnexpectedEOF (header/body
+		// short) and never panic.
+		for n := 0; n < len(b); n++ {
+			if _, _, err := Decode(b[:n]); err == nil {
+				t.Fatalf("%s: decode of %d/%d-byte prefix succeeded", kind, n, len(b))
+			}
+		}
+		// A trailing byte inside the frame body must be rejected too.
+		grown := append([]byte(nil), b...)
+		grown = append(grown, 0)
+		// Fix up the length prefix to cover the extra byte.
+		grown[3]++
+		if _, _, err := Decode(grown); err == nil {
+			t.Fatalf("%s: decode accepted trailing byte", kind)
+		}
+	}
+}
+
+func TestDecodeRejectsNonFinite(t *testing.T) {
+	g := Grant{T: 1, VehicleID: 2, RespKind: 1, TargetSpeed: 3}
+	b, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T is the first body field after the kind byte: header(4)+kind(1).
+	nan := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		b[5+i] = byte(nan >> (56 - 8*i))
+	}
+	if _, _, err := Decode(b); err == nil {
+		t.Fatal("decoder accepted NaN float")
+	}
+}
+
+func TestEncodeRejectsNonFinite(t *testing.T) {
+	if _, err := Encode(Grant{T: math.Inf(1)}); err == nil {
+		t.Fatal("encoder accepted +Inf")
+	}
+	if _, err := Encode(Request{DistToEntry: math.NaN()}); err == nil {
+		t.Fatal("encoder accepted NaN")
+	}
+}
+
+func TestEncodeRejectsBadEnums(t *testing.T) {
+	cases := []Frame{
+		Request{Approach: 4},
+		Request{Turn: 3},
+		Grant{RespKind: 4},
+		Hello{Clock: 2},
+		Welcome{Geometry: 2},
+	}
+	for _, f := range cases {
+		if _, err := Encode(f); err == nil {
+			t.Fatalf("encoder accepted out-of-range enum in %+v", f)
+		}
+	}
+}
+
+func TestEncodeRejectsLongString(t *testing.T) {
+	if _, err := Encode(Bye{Reason: strings.Repeat("x", MaxStringLen+1)}); err == nil {
+		t.Fatal("encoder accepted oversized string")
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	b := []byte{0, 0, 0, 1, 200}
+	if _, _, err := Decode(b); err == nil {
+		t.Fatal("decoder accepted unknown frame kind")
+	}
+}
+
+func TestDecodeRejectsOversizedLength(t *testing.T) {
+	b := []byte{0xff, 0xff, 0xff, 0xff, 1}
+	if _, _, err := Decode(b); err != ErrFrameTooLarge {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		min, max uint16
+		want     uint16
+		ok       bool
+	}{
+		{1, 1, 1, true},
+		{1, 9, 1, true},
+		{0, 1, 1, true},
+		{2, 9, 0, false},
+		{0, 0, 0, false},
+		{5, 2, 0, false}, // inverted
+	}
+	for _, c := range cases {
+		got, err := Negotiate(c.min, c.max)
+		if c.ok != (err == nil) || got != c.want {
+			t.Fatalf("Negotiate(%d,%d) = %d, %v; want %d, ok=%v",
+				c.min, c.max, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// TestReaderWriterStream pushes a mixed frame stream through the
+// io-based framing layer and checks order and content survive.
+func TestReaderWriterStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var frames []Frame
+	for i := 0; i < 200; i++ {
+		frames = append(frames, randFrame(rng, allKinds[rng.Intn(len(allKinds))]))
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("frame %d:\nwant %+v\n got %+v", i, want, got)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+// TestReaderMidFrameEOF cuts a stream inside a frame and expects
+// ErrUnexpectedEOF, not a clean EOF.
+func TestReaderMidFrameEOF(t *testing.T) {
+	b, err := Encode(Bye{Reason: "done"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(b[:len(b)-2]))
+	if _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want io.ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestFrameKindStrings(t *testing.T) {
+	for _, k := range allKinds {
+		if s := k.String(); strings.HasPrefix(s, "frame(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if FrameKind(250).String() != "frame(250)" {
+		t.Fatal("unknown kind should fall back to numeric form")
+	}
+}

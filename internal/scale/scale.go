@@ -157,16 +157,22 @@ func Run(cfg Config) (Result, error) {
 			if err != nil {
 				return err
 			}
-			simCfg := sim.Config{Policy: pol, Seed: seed}
+			opts := []sim.Option{sim.WithPolicy(pol), sim.WithSeed(seed)}
 			if cfg.Noisy {
-				simCfg.Noise = plant.TestbedNoise()
+				opts = append(opts, sim.WithNoise(plant.TestbedNoise()))
 			}
 			if cfg.TraceFull {
 				if res.Traces[scen-1][pi] == nil {
 					res.Traces[scen-1][pi] = trace.NewFull()
 				}
-				simCfg.Trace = res.Traces[scen-1][pi]
-				simCfg.TraceDES = cfg.TraceDES
+				opts = append(opts, sim.WithTrace(res.Traces[scen-1][pi]))
+				if cfg.TraceDES {
+					opts = append(opts, sim.WithDESTrace())
+				}
+			}
+			simCfg, err := sim.NewConfig(opts...)
+			if err != nil {
+				return err
 			}
 			out, err := sim.Run(simCfg, arrivals)
 			if err != nil {

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"crossroads/internal/des"
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/network"
+	"crossroads/internal/protocol"
+	"crossroads/internal/safety"
+)
+
+// The conformance bridge: for the same golden request stream, the served
+// scheduler must produce byte-identical grant/ack/sync-reply frames to an
+// in-DES scheduler built directly from des + network + im — the oracle.
+// The oracle here deliberately re-implements injection and capture rather
+// than calling the server's world helper, so a regression in either layer
+// breaks the comparison.
+
+// goldenStream builds a deterministic multi-vehicle request stream: sync,
+// request, and exit frames for n vehicles round-robining the four
+// approaches, time-sorted as one global monotonic stream.
+func goldenStream(n int) []protocol.Frame {
+	x, err := intersection.New(intersection.ScaleModelConfig())
+	if err != nil {
+		panic(err)
+	}
+	p := kinematics.ScaleModelParams()
+	rng := rand.New(rand.NewSource(99))
+	var frames []protocol.Frame
+	for i := 0; i < n; i++ {
+		id := int64(i + 1)
+		approach := uint8(i % 4)
+		turn := intersection.Turn(i % 3)
+		t0 := 0.25*float64(i) + 0.05*rng.Float64()
+		mid := intersection.MovementID{Approach: intersection.Approach(approach), Lane: 0, Turn: turn}
+		frames = append(frames,
+			protocol.Sync{T: t0, VehicleID: id, T1: t0 - 0.001},
+			protocol.Request{
+				T:            t0 + 0.010,
+				VehicleID:    id,
+				Seq:          1,
+				Approach:     approach,
+				Turn:         uint8(turn),
+				CurrentSpeed: 0.30 + 0.05*rng.Float64(),
+				DistToEntry:  x.Movement(mid).EnterS,
+				TransmitTime: t0 + 0.010,
+				MaxSpeed:     p.MaxSpeed,
+				MaxAccel:     p.MaxAccel,
+				MaxDecel:     p.MaxDecel,
+				Length:       p.Length,
+				Width:        p.Width,
+				Wheelbase:    p.Wheelbase,
+			},
+			protocol.Exit{T: t0 + 6.0, VehicleID: id, ExitTimestamp: t0 + 5.9},
+		)
+	}
+	sort.SliceStable(frames, func(i, j int) bool { return frameTime(frames[i]) < frameTime(frames[j]) })
+	return frames
+}
+
+// runOracle replays the stream through a hand-built DES world and returns
+// the concatenated encoding of everything the IM sent back, in event order.
+func runOracle(t *testing.T, policy string, seed int64, modelCost bool, frames []protocol.Frame) []byte {
+	t.Helper()
+	x, err := intersection.New(intersection.ScaleModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := kinematics.ScaleModelParams()
+	cost := im.CostModel{}
+	if modelCost {
+		cost = im.TestbedCostModel()
+	}
+	opts := im.PolicyOptions{
+		Spec:      safety.TestbedSpec(),
+		Cost:      cost,
+		RefLength: ref.Length,
+		RefWidth:  ref.Width,
+	}
+	sched, err := im.NewScheduler(policy, x, opts, rand.New(rand.NewSource(seed+2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	nw := network.New(sim, rand.New(rand.NewSource(seed+1)), nil, network.ConstantDelay{D: 0}, 0)
+	im.NewServerAt(sim, nw, sched, nil, im.NodeEndpoint(0), 0)
+
+	var out []byte
+	seen := map[int64]bool{}
+	for _, f := range frames {
+		id := frameVehicle(f)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		nw.Register(im.VehicleEndpoint(id), func(now float64, msg network.Message) {
+			wire, ok := frameFromMessage(now, id, msg)
+			if !ok {
+				t.Fatalf("oracle: unconvertible message kind %s", msg.Kind)
+			}
+			b, err := protocol.Append(out, wire)
+			if err != nil {
+				t.Fatalf("oracle: encode: %v", err)
+			}
+			out = b
+		})
+	}
+	for _, f := range frames {
+		f := f
+		sim.At(frameTime(f), func() {
+			var msg network.Message
+			switch v := f.(type) {
+			case protocol.Request:
+				msg = network.Message{Kind: network.KindRequest,
+					From: im.VehicleEndpoint(v.VehicleID), To: im.NodeEndpoint(0),
+					Payload: v.ToIM()}
+			case protocol.Exit:
+				msg = network.Message{Kind: network.KindExit,
+					From: im.VehicleEndpoint(v.VehicleID), To: im.NodeEndpoint(0),
+					Payload: im.ExitPayload{VehicleID: v.VehicleID, ExitTimestamp: v.ExitTimestamp}}
+			case protocol.Sync:
+				msg = network.Message{Kind: network.KindSyncRequest,
+					From: im.VehicleEndpoint(v.VehicleID), To: im.NodeEndpoint(0),
+					Payload: im.SyncPayload{T1: v.T1}}
+			default:
+				t.Fatalf("oracle: uninjectable frame %s", f.Kind())
+			}
+			nw.Send(msg)
+		})
+	}
+	sim.Run()
+	return out
+}
+
+// runServed replays the stream through a real crossroads-serve instance
+// over a Unix socket in replay mode and returns the concatenated encoding
+// of every frame the server streamed back.
+func runServed(t *testing.T, policy string, seed int64, modelCost bool, frames []protocol.Frame) []byte {
+	t.Helper()
+	_, path := startServer(t, Config{
+		Policy: policy, Clock: protocol.ClockReplay, Seed: seed, ModelCost: modelCost,
+	})
+	nc, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(60 * time.Second))
+	r := protocol.NewReader(nc)
+	w := protocol.NewWriter(nc)
+	if err := w.WriteFrame(protocol.Hello{
+		MinVersion: protocol.MinVersion, MaxVersion: protocol.MaxVersion,
+		Clock: protocol.ClockReplay, Client: "conformance",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(protocol.Welcome); !ok {
+		t.Fatalf("expected welcome, got %#v", f)
+	}
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteFrame(protocol.Bye{Reason: "replay"}); err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("read replay output: %v", err)
+		}
+		if _, done := f.(protocol.Bye); done {
+			return out
+		}
+		if e, isErr := f.(protocol.Error); isErr {
+			t.Fatalf("server refused replay: %+v", e)
+		}
+		out, err = protocol.Append(out, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConformanceBridge(t *testing.T) {
+	cases := []struct {
+		policy    string
+		modelCost bool
+	}{
+		// Crossroads with the calibrated cost model on: proves the jittered
+		// computation-delay draws stay aligned with the oracle's RNG stream.
+		{"crossroads", true},
+		// Batch exercises the Deferred (batch-window) reply path.
+		{"batch", false},
+		{"batch", true},
+		{"crossroads", false},
+		{"vt-im", false},
+	}
+	stream := goldenStream(28)
+	for _, c := range cases {
+		c := c
+		name := c.policy
+		if c.modelCost {
+			name += "+cost"
+		}
+		t.Run(name, func(t *testing.T) {
+			want := runOracle(t, c.policy, 1234, c.modelCost, stream)
+			got := runServed(t, c.policy, 1234, c.modelCost, stream)
+			if len(want) == 0 {
+				t.Fatal("oracle produced no output; golden stream is broken")
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("served output diverges from DES oracle: oracle %d bytes, served %d bytes",
+					len(want), len(got))
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+
+	"crossroads/internal/protocol"
+)
+
+const (
+	// handshakeTimeout bounds how long a fresh connection may sit silent
+	// before its Hello.
+	handshakeTimeout = 30 * time.Second
+	// writeTimeout bounds one frame write; a peer stuck longer than this
+	// is dead, not slow.
+	writeTimeout = 10 * time.Second
+)
+
+// conn is one client connection. After the handshake the wall-mode core
+// goroutine is the only writer of the mutable fields (dead, vehicles) and
+// the only producer into sendq — the channel discipline, not a mutex, is
+// the synchronization.
+type conn struct {
+	s  *Server
+	nc net.Conn
+
+	// sendq is the bounded per-connection send queue. The writer goroutine
+	// drains it; enqueue never blocks — a full queue means the client
+	// cannot keep up and the connection is shed.
+	sendq      chan []byte
+	writerDone chan struct{}
+
+	name string // client label from Hello, for traces
+
+	// Core-owned state (wall mode only).
+	dead     bool
+	vehicles map[int64]bool // vehicle ids routed to this conn
+
+	framesIn  atomic.Int64
+	framesOut atomic.Int64
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	qlen := s.cfg.SendQueue
+	if qlen <= 0 {
+		qlen = defaultSendQueue
+	}
+	return &conn{
+		s:          s,
+		nc:         nc,
+		sendq:      make(chan []byte, qlen),
+		writerDone: make(chan struct{}),
+		vehicles:   make(map[int64]bool),
+	}
+}
+
+// enqueue encodes f onto the send queue. It reports false when the queue
+// is full (the slow-client signal) or the frame will not encode; it never
+// blocks the caller.
+func (c *conn) enqueue(f protocol.Frame) bool {
+	b, err := protocol.Encode(f)
+	if err != nil {
+		return false
+	}
+	select {
+	case c.sendq <- b:
+		c.framesOut.Add(1)
+		c.s.stats.FramesOut.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// writeLoop drains sendq onto the socket. It exits when sendq is closed
+// (orderly teardown) or a write fails (peer gone); either way it keeps
+// draining the channel so producers are never stuck.
+func (c *conn) writeLoop() {
+	defer close(c.writerDone)
+	broken := false
+	for b := range c.sendq {
+		if broken {
+			continue
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if _, err := c.nc.Write(b); err != nil {
+			broken = true
+		}
+	}
+}
+
+// handshake performs the Hello/Welcome exchange. It writes Welcome (or the
+// refusal Error) into sendq — at this point the reader goroutine is the
+// sole producer, so this does not race the core. It returns the negotiated
+// Hello, or false after refusing and tearing the socket down.
+func (c *conn) handshake(r *protocol.Reader) (protocol.Hello, bool) {
+	c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	f, err := r.ReadFrame()
+	if err != nil {
+		c.refuse(protocol.Error{Code: protocol.CodeBadFrame, Msg: "unreadable hello: " + err.Error()})
+		return protocol.Hello{}, false
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	hello, ok := f.(protocol.Hello)
+	if !ok {
+		c.refuse(protocol.Error{Code: protocol.CodeBadFrame,
+			Msg: "expected hello, got " + f.Kind().String()})
+		return protocol.Hello{}, false
+	}
+	ver, err := protocol.Negotiate(hello.MinVersion, hello.MaxVersion)
+	if err != nil {
+		c.refuse(protocol.Error{Code: protocol.CodeVersion, Msg: err.Error()})
+		return protocol.Hello{}, false
+	}
+	if hello.Clock != c.s.cfg.Clock {
+		c.refuse(protocol.Error{Code: protocol.CodeClockMode,
+			Msg: "server clock mode is " + c.s.cfg.Clock.String() + ", not " + hello.Clock.String()})
+		return protocol.Hello{}, false
+	}
+	c.name = hello.Client
+	c.enqueue(protocol.Welcome{
+		Version:  ver,
+		Policy:   c.s.cfg.Policy,
+		Geometry: c.s.cfg.Geometry,
+		Node:     0,
+	})
+	return hello, true
+}
+
+// refuse sends one Error frame and tears the connection down. Only valid
+// while the reader goroutine is the sole sendq producer (pre-handshake).
+func (c *conn) refuse(e protocol.Error) {
+	c.s.stats.ProtocolErrors.Add(1)
+	c.enqueue(e)
+	c.closeFromReader("refused: " + e.Msg)
+}
+
+// closeFromReader finishes a connection whose lifecycle never reached the
+// core: flush the queue, close the socket, deregister.
+func (c *conn) closeFromReader(reason string) {
+	close(c.sendq)
+	<-c.writerDone
+	c.nc.Close()
+	c.s.dropConn(c, reason)
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"math"
+	"net"
+	"time"
+
+	"crossroads/internal/protocol"
+	"crossroads/internal/trace"
+)
+
+// runReplayConn serves one deterministic-replay connection: buffer the
+// client's timestamped stream, and on Bye replay it through a fresh world
+// at exactly the frame timestamps, streaming back every IM emission in
+// event order. Each connection gets its own world, so a replayed stream
+// always starts from the same state the DES oracle starts from — this is
+// the serving half of the conformance bridge.
+func (s *Server) runReplayConn(c *conn) {
+	defer s.wg.Done()
+	go c.writeLoop()
+	r := protocol.NewReader(c.nc)
+	if _, ok := c.handshake(r); !ok {
+		return
+	}
+	s.markRegistered(c)
+	maxFrames := s.cfg.ReplayMaxFrames
+	if maxFrames <= 0 {
+		maxFrames = defaultReplayMaxFrames
+	}
+	var buffered []protocol.Frame
+	lastT := math.Inf(-1)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			// Cut off before Bye: nothing to replay. An unreadable frame is
+			// a protocol error; a clean EOF is just an abandoned stream.
+			reason := "client closed before bye"
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.stats.ProtocolErrors.Add(1)
+				reason = "unreadable frame: " + err.Error()
+			}
+			c.closeFromReader(reason)
+			return
+		}
+		c.framesIn.Add(1)
+		s.stats.FramesIn.Add(1)
+		switch f.(type) {
+		case protocol.Request, protocol.Exit, protocol.Sync:
+			t := frameTime(f)
+			if t < 0 {
+				c.refuse(protocol.Error{Code: protocol.CodeBadRequest,
+					Msg: "negative replay timestamp"})
+				return
+			}
+			if t < lastT {
+				c.refuse(protocol.Error{Code: protocol.CodeNonMonotonic,
+					Msg: "replay timestamp went backwards"})
+				return
+			}
+			if len(buffered) >= maxFrames {
+				c.refuse(protocol.Error{Code: protocol.CodeOverflow,
+					Msg: "replay stream exceeds frame limit"})
+				return
+			}
+			lastT = t
+			buffered = append(buffered, f)
+		case protocol.Bye:
+			s.replay(c, buffered)
+			return
+		default:
+			c.refuse(protocol.Error{Code: protocol.CodeBadFrame,
+				Msg: "unexpected " + f.Kind().String() + " frame"})
+			return
+		}
+	}
+}
+
+// replay runs the buffered stream through a fresh world and streams the
+// output back, ending with a Bye.
+func (s *Server) replay(c *conn, frames []protocol.Frame) {
+	w, err := newWorld(s.cfg)
+	if err != nil {
+		c.refuse(protocol.Error{Code: protocol.CodeBadRequest, Msg: err.Error()})
+		return
+	}
+	// Pre-validate every request against the world before running: a bad
+	// frame mid-replay must refuse the whole stream, not half-run it.
+	for _, f := range frames {
+		if req, ok := f.(protocol.Request); ok {
+			if err := w.validateRequest(req.ToIM()); err != nil {
+				c.refuse(protocol.Error{Code: protocol.CodeBadRequest, Msg: err.Error()})
+				return
+			}
+		}
+	}
+	// Output frames accumulate in event-execution order during the run and
+	// stream out afterwards: the client is typically not reading until its
+	// Bye is answered, so writing mid-run could deadlock both sides.
+	var out []protocol.Frame
+	w.deliver = func(now float64, id int64, f protocol.Frame) {
+		out = append(out, f)
+	}
+	for _, f := range frames {
+		f := f
+		w.sim.At(frameTime(f), func() { w.injectNow(f) })
+	}
+	w.sim.Run()
+	for _, f := range out {
+		if !c.enqueueBlocking(f) {
+			s.stats.Shed.Add(1)
+			s.emit(trace.Event{Kind: trace.KindConnShed, T: s.wallNow(), Detail: c.name})
+			c.nc.Close()
+			c.closeFromReader("slow client: replay output stalled")
+			return
+		}
+	}
+	c.enqueueBlocking(protocol.Bye{Reason: "replay complete"})
+	c.closeFromReader("replay complete")
+}
+
+// enqueueBlocking queues a frame, waiting up to the write timeout for
+// space — replay output is bursty by design, and the client is entitled to
+// drain it at link speed. False means the client stopped draining.
+func (c *conn) enqueueBlocking(f protocol.Frame) bool {
+	b, err := protocol.Encode(f)
+	if err != nil {
+		return false
+	}
+	select {
+	case c.sendq <- b:
+		c.framesOut.Add(1)
+		c.s.stats.FramesOut.Add(1)
+		return true
+	case <-time.After(writeTimeout):
+		return false
+	}
+}
+
+// frameTime extracts an injectable frame's timestamp.
+func frameTime(f protocol.Frame) float64 {
+	switch v := f.(type) {
+	case protocol.Request:
+		return v.T
+	case protocol.Exit:
+		return v.T
+	case protocol.Sync:
+		return v.T
+	}
+	return 0
+}

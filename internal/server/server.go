@@ -1,0 +1,551 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossroads/internal/protocol"
+	"crossroads/internal/trace"
+)
+
+// Defaults for the tunable limits.
+const (
+	defaultSendQueue       = 256
+	defaultMaxConns        = 256
+	defaultReplayMaxFrames = 1 << 20
+)
+
+// Config configures a Server. The zero value is not usable: Policy is
+// required, and the remaining fields default as documented.
+type Config struct {
+	// Policy is the registered scheduler policy to serve ("crossroads",
+	// "vt-im", "aim", "batch", ...).
+	Policy string
+	// Geometry selects the intersection the scheduler manages.
+	Geometry protocol.Geometry
+	// Clock selects wall-clock serving or deterministic replay. A server
+	// runs in exactly one mode; clients asking for the other are refused
+	// with CodeClockMode.
+	Clock protocol.ClockMode
+	// Seed feeds the scheduler and network RNG streams, mirroring the DES
+	// harness layout (Seed+1 network, Seed+2 scheduler).
+	Seed int64
+	// ModelCost charges the calibrated testbed computation-cost model in
+	// scheduler time. Off by default when serving: real wall time is the
+	// real cost. The conformance bridge turns it on to prove jitter draws
+	// stay aligned with the DES oracle.
+	ModelCost bool
+	// SendQueue bounds the per-connection send queue (frames); a client
+	// that falls this far behind is shed. Default 256.
+	SendQueue int
+	// MaxConns bounds concurrent connections; excess connections are
+	// refused with CodeBusy. Default 256.
+	MaxConns int
+	// ReplayMaxFrames bounds one replay stream; longer streams are refused
+	// with CodeOverflow. Default 1<<20.
+	ReplayMaxFrames int
+	// Trace receives connection-lifecycle events (conn.open, conn.close,
+	// conn.shed, serve.drain). May be nil.
+	Trace *trace.Recorder
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	Accepted       int64
+	Active         int64
+	Shed           int64
+	ProtocolErrors int64
+	FramesIn       int64
+	FramesOut      int64
+}
+
+type counters struct {
+	Accepted       atomic.Int64
+	Shed           atomic.Int64
+	ProtocolErrors atomic.Int64
+	FramesIn       atomic.Int64
+	FramesOut      atomic.Int64
+}
+
+// coreMsg is one unit of work for the wall-mode core goroutine.
+type coreMsg struct {
+	c *conn
+	// f is the frame to inject; nil means the reader finished. register
+	// marks the first message after a successful handshake.
+	f        protocol.Frame
+	err      error
+	register bool
+}
+
+// Server hosts the IM behind the wire protocol. Construct with New, attach
+// listeners with ListenTCP/ListenUnix, call Start, and stop with Shutdown.
+type Server struct {
+	cfg   Config
+	epoch time.Time
+
+	// Wall mode: one shared world, owned by the core goroutine.
+	world   *world
+	inbox   chan coreMsg
+	vehConn map[int64]*conn // vehicle id -> owning conn; core-owned
+	live    map[*conn]bool  // handshaken conns; core-owned
+	readers int             // registered reader goroutines; core-owned
+
+	quit chan struct{} // closed by Shutdown; core drains and exits
+	done chan struct{} // closed when the core exits
+
+	mu        sync.Mutex
+	conns     map[*conn]bool // all accepted conns (true once registered)
+	listeners []net.Listener
+
+	traceMu  sync.Mutex
+	stats    counters
+	wg       sync.WaitGroup
+	started  bool
+	downOnce sync.Once
+}
+
+// New builds a server for cfg. In wall mode the embedded world is built
+// here so configuration errors (unknown policy, bad geometry) surface
+// before any socket is opened; replay mode builds a fresh world per
+// connection but probes one up front for the same early failure.
+func New(cfg Config) (*Server, error) {
+	if cfg.Policy == "" {
+		return nil, fmt.Errorf("server: Policy is required")
+	}
+	s := &Server{
+		cfg:     cfg,
+		epoch:   time.Now(),
+		inbox:   make(chan coreMsg, 1024),
+		vehConn: make(map[int64]*conn),
+		live:    make(map[*conn]bool),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		conns:   make(map[*conn]bool),
+	}
+	w, err := newWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clock == protocol.ClockWall {
+		s.world = w
+		w.deliver = s.deliverWall
+	}
+	return s, nil
+}
+
+// ListenTCP adds a TCP listener. Call before Start.
+func (s *Server) ListenTCP(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.listeners = append(s.listeners, l)
+	return l.Addr(), nil
+}
+
+// ListenUnix adds a Unix-socket listener, replacing a stale socket file
+// left by a previous process. Call before Start.
+func (s *Server) ListenUnix(path string) (net.Addr, error) {
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	l, err := net.Listen("unix", path)
+	if err != nil {
+		return nil, err
+	}
+	s.listeners = append(s.listeners, l)
+	return l.Addr(), nil
+}
+
+// Start launches the accept loops and, in wall mode, the core goroutine.
+func (s *Server) Start() error {
+	if len(s.listeners) == 0 {
+		return fmt.Errorf("server: no listeners; call ListenTCP or ListenUnix first")
+	}
+	if s.started {
+		return fmt.Errorf("server: already started")
+	}
+	s.started = true
+	if s.cfg.Clock == protocol.ClockWall {
+		s.wg.Add(1)
+		go s.runCore()
+	} else {
+		close(s.done) // no core in replay mode
+	}
+	for _, l := range s.listeners {
+		l := l
+		s.wg.Add(1)
+		go s.acceptLoop(l)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := int64(len(s.conns))
+	s.mu.Unlock()
+	return Stats{
+		Accepted:       s.stats.Accepted.Load(),
+		Active:         active,
+		Shed:           s.stats.Shed.Load(),
+		ProtocolErrors: s.stats.ProtocolErrors.Load(),
+		FramesIn:       s.stats.FramesIn.Load(),
+		FramesOut:      s.stats.FramesOut.Load(),
+	}
+}
+
+// Shutdown drains the server: listeners close, live connections get a Bye
+// and their queues flushed, and the core exits. If ctx expires first the
+// remaining sockets are forced closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.downOnce.Do(func() {
+		for _, l := range s.listeners {
+			l.Close()
+		}
+		s.emit(trace.Event{Kind: trace.KindServeDrain, T: s.wallNow()})
+		if s.cfg.Clock == protocol.ClockWall && s.started {
+			close(s.quit)
+		}
+		// Pre-handshake and replay connections are not core-managed: force
+		// their sockets closed so their goroutines unwind. Registered wall
+		// conns are drained by the core.
+		s.mu.Lock()
+		for c, registered := range s.conns {
+			if !registered || s.cfg.Clock == protocol.ClockReplay {
+				c.nc.Close()
+			}
+		}
+		s.mu.Unlock()
+	})
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+func (s *Server) wallNow() float64 { return time.Since(s.epoch).Seconds() }
+
+// emit serializes trace emission: conn goroutines (replay mode) and the
+// core both emit, and trace.Recorder is not concurrency-safe.
+func (s *Server) emit(ev trace.Event) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.traceMu.Lock()
+	s.cfg.Trace.Emit(ev)
+	s.traceMu.Unlock()
+}
+
+func (s *Server) addConn(c *conn) {
+	s.mu.Lock()
+	s.conns[c] = false
+	s.mu.Unlock()
+}
+
+func (s *Server) markRegistered(c *conn) {
+	s.mu.Lock()
+	s.conns[c] = true
+	s.mu.Unlock()
+}
+
+// dropConn deregisters a finished connection and emits conn.close.
+func (s *Server) dropConn(c *conn, reason string) {
+	s.mu.Lock()
+	_, present := s.conns[c]
+	delete(s.conns, c)
+	s.mu.Unlock()
+	if present {
+		s.emit(trace.Event{Kind: trace.KindConnClose, T: s.wallNow(), Detail: reason})
+	}
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	maxConns := s.cfg.MaxConns
+	if maxConns <= 0 {
+		maxConns = defaultMaxConns
+	}
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.stats.Accepted.Add(1)
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n >= maxConns {
+			s.refuseBusy(nc)
+			continue
+		}
+		c := newConn(s, nc)
+		s.addConn(c)
+		s.emit(trace.Event{Kind: trace.KindConnOpen, T: s.wallNow(), Detail: remoteDesc(nc)})
+		s.wg.Add(1)
+		if s.cfg.Clock == protocol.ClockWall {
+			go s.readLoopWall(c)
+		} else {
+			go s.runReplayConn(c)
+		}
+	}
+}
+
+// refuseBusy writes one CodeBusy error straight to an over-limit socket.
+func (s *Server) refuseBusy(nc net.Conn) {
+	s.stats.ProtocolErrors.Add(1)
+	b, err := protocol.Encode(protocol.Error{Code: protocol.CodeBusy, Msg: "connection limit reached"})
+	if err == nil {
+		nc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		nc.Write(b)
+	}
+	nc.Close()
+}
+
+// remoteDesc labels a connection for traces; Unix-socket peers often have
+// an empty remote address.
+func remoteDesc(nc net.Conn) string {
+	if a := nc.RemoteAddr(); a != nil && a.String() != "" && a.String() != "@" {
+		return a.Network() + ":" + a.String()
+	}
+	return "unix-peer"
+}
+
+// --- wall mode ---
+
+// readLoopWall reads frames off one wall-mode connection and forwards them
+// to the core. After registering it always sends a final reader-done
+// message, which is what lets the core count down to a clean exit.
+func (s *Server) readLoopWall(c *conn) {
+	defer s.wg.Done()
+	go c.writeLoop()
+	r := protocol.NewReader(c.nc)
+	if _, ok := c.handshake(r); !ok {
+		return
+	}
+	select {
+	case s.inbox <- coreMsg{c: c, register: true}:
+	case <-s.done:
+		c.closeFromReader("server stopped")
+		return
+	}
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			if err == io.EOF || errors.Is(err, net.ErrClosed) {
+				err = nil // orderly close, not a protocol error
+			}
+			s.inbox <- coreMsg{c: c, err: err}
+			return
+		}
+		c.framesIn.Add(1)
+		s.stats.FramesIn.Add(1)
+		s.inbox <- coreMsg{c: c, f: f}
+	}
+}
+
+// deliverWall routes an IM reply to the connection owning the vehicle.
+// It runs inside the DES (core goroutine).
+func (s *Server) deliverWall(now float64, id int64, f protocol.Frame) {
+	c := s.vehConn[id]
+	if c == nil || c.dead {
+		return
+	}
+	if !c.enqueue(f) {
+		s.shed(c)
+	}
+}
+
+// shed drops a slow client: its send queue is full, so it is cut off
+// immediately (no flush — the queue backlog is the problem).
+func (s *Server) shed(c *conn) {
+	s.stats.Shed.Add(1)
+	s.emit(trace.Event{Kind: trace.KindConnShed, T: s.wallNow(), Detail: c.name})
+	s.tearDown(c, "slow client: send queue full", false, true)
+}
+
+// tearDown finishes a core-managed connection. sendBye flushes a farewell
+// frame; abrupt closes the socket before the queue drains (shedding).
+// Only the core goroutine calls it.
+func (s *Server) tearDown(c *conn, reason string, sendBye, abrupt bool) {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	if sendBye {
+		c.enqueue(protocol.Bye{Reason: reason})
+	}
+	if abrupt {
+		c.nc.Close()
+	}
+	close(c.sendq)
+	go func() {
+		<-c.writerDone
+		c.nc.Close()
+	}()
+	for id := range c.vehicles {
+		if s.vehConn[id] == c {
+			delete(s.vehConn, id)
+		}
+	}
+	delete(s.live, c)
+	s.dropConn(c, reason)
+}
+
+// runCore is the wall-mode executive: a single goroutine that owns the
+// world and advances simulated time to track the wall clock. Client frames
+// inject at the current time; deferred IM replies (batch windows, modeled
+// cost) schedule future events, and the timer sleeps until the earliest one
+// is due — des.NextTime replaces polling.
+func (s *Server) runCore() {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		select {
+		case m := <-s.inbox:
+			s.advance()
+			s.handleCoreMsg(m)
+			s.advance()
+		case <-timer.C:
+			s.advance()
+		case <-s.quit:
+			s.drainCore()
+			close(s.done)
+			return
+		}
+		s.rearm(timer)
+	}
+}
+
+// advance runs the world up to the wall clock, pumping any events due now
+// (zero-delay deliveries land at the current instant).
+func (s *Server) advance() {
+	tEnd := s.wallNow()
+	if now := s.world.sim.Now(); now > tEnd {
+		tEnd = now
+	}
+	s.world.sim.RunUntil(tEnd)
+}
+
+// rearm points the timer at the earliest pending world event.
+func (s *Server) rearm(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	next, ok := s.world.sim.NextTime()
+	if !ok {
+		t.Reset(time.Hour)
+		return
+	}
+	d := time.Duration((next - s.wallNow()) * float64(time.Second))
+	if d < 0 {
+		d = 0
+	}
+	t.Reset(d)
+}
+
+func (s *Server) handleCoreMsg(m coreMsg) {
+	c := m.c
+	if m.register {
+		s.readers++
+		s.live[c] = true
+		s.markRegistered(c)
+		return
+	}
+	if m.f == nil {
+		// Reader finished: decode error or orderly EOF.
+		s.readers--
+		if m.err != nil {
+			s.stats.ProtocolErrors.Add(1)
+			if !c.dead {
+				c.enqueue(protocol.Error{Code: protocol.CodeBadFrame, Msg: m.err.Error()})
+			}
+			s.tearDown(c, "protocol error: "+m.err.Error(), false, false)
+		} else {
+			s.tearDown(c, "client closed", false, false)
+		}
+		return
+	}
+	if c.dead {
+		return
+	}
+	switch f := m.f.(type) {
+	case protocol.Request, protocol.Exit, protocol.Sync:
+		id := frameVehicle(m.f)
+		if err := s.world.injectNow(m.f); err != nil {
+			s.stats.ProtocolErrors.Add(1)
+			c.enqueue(protocol.Error{Code: protocol.CodeBadRequest, Msg: err.Error()})
+			s.tearDown(c, "bad request: "+err.Error(), false, false)
+			return
+		}
+		c.vehicles[id] = true
+		s.vehConn[id] = c
+	case protocol.Bye:
+		s.tearDown(c, "client bye", true, false)
+	default:
+		s.stats.ProtocolErrors.Add(1)
+		c.enqueue(protocol.Error{Code: protocol.CodeBadFrame,
+			Msg: "unexpected " + f.Kind().String() + " frame"})
+		s.tearDown(c, "unexpected "+f.Kind().String()+" frame", false, false)
+	}
+}
+
+// drainCore sends every live connection a Bye and waits for all registered
+// readers to unwind, consuming the inbox so none of them block.
+func (s *Server) drainCore() {
+	for c := range s.live {
+		s.tearDown(c, "server drain", true, false)
+	}
+	for s.readers > 0 {
+		m := <-s.inbox
+		switch {
+		case m.register:
+			s.readers++
+			s.live[m.c] = true
+			s.markRegistered(m.c)
+			s.tearDown(m.c, "server drain", true, false)
+		case m.f == nil:
+			s.readers--
+			s.tearDown(m.c, "client closed", false, false)
+		default:
+			// Frames arriving mid-drain are dropped; the Bye is en route.
+		}
+	}
+}
+
+// frameVehicle extracts the vehicle id of an injectable frame.
+func frameVehicle(f protocol.Frame) int64 {
+	switch v := f.(type) {
+	case protocol.Request:
+		return v.VehicleID
+	case protocol.Exit:
+		return v.VehicleID
+	case protocol.Sync:
+		return v.VehicleID
+	}
+	return 0
+}

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/protocol"
+
+	_ "crossroads/internal/core"     // register crossroads
+	_ "crossroads/internal/im/aim"   // register aim
+	_ "crossroads/internal/im/batch" // register batch
+	_ "crossroads/internal/im/vtim"  // register vt-im
+)
+
+// startServer boots a server on a temp Unix socket and tears it down with
+// the test.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Unix socket paths are length-limited (~104 bytes); t.TempDir can
+	// exceed that under deep test binaries, so keep the name short.
+	path := filepath.Join(t.TempDir(), "im.sock")
+	if _, err := s.ListenUnix(path); err != nil {
+		t.Fatalf("ListenUnix: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, path
+}
+
+// client is a minimal test-side protocol client.
+type client struct {
+	t  *testing.T
+	nc net.Conn
+	r  *protocol.Reader
+	w  *protocol.Writer
+}
+
+func dialClient(t *testing.T, path string) *client {
+	t.Helper()
+	nc, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	nc.SetDeadline(time.Now().Add(15 * time.Second))
+	return &client{t: t, nc: nc, r: protocol.NewReader(nc), w: protocol.NewWriter(nc)}
+}
+
+func (c *client) send(f protocol.Frame) {
+	c.t.Helper()
+	if err := c.w.WriteFrame(f); err != nil {
+		c.t.Fatalf("write %s: %v", f.Kind(), err)
+	}
+}
+
+func (c *client) recv() protocol.Frame {
+	c.t.Helper()
+	f, err := c.r.ReadFrame()
+	if err != nil {
+		c.t.Fatalf("read: %v", err)
+	}
+	return f
+}
+
+// handshake sends Hello and demands a Welcome.
+func (c *client) handshake(clock protocol.ClockMode) protocol.Welcome {
+	c.t.Helper()
+	c.send(protocol.Hello{MinVersion: protocol.MinVersion, MaxVersion: protocol.MaxVersion,
+		Clock: clock, Client: c.t.Name()})
+	f := c.recv()
+	w, ok := f.(protocol.Welcome)
+	if !ok {
+		c.t.Fatalf("expected welcome, got %#v", f)
+	}
+	return w
+}
+
+// testRequest builds a plausible scale-model crossing request.
+func testRequest(id int64, seq uint32, approach uint8, tt float64) protocol.Request {
+	x, err := intersection.New(intersection.ScaleModelConfig())
+	if err != nil {
+		panic(err)
+	}
+	mid := intersection.MovementID{Approach: intersection.Approach(approach), Lane: 0, Turn: intersection.Straight}
+	p := kinematics.ScaleModelParams()
+	return protocol.Request{
+		VehicleID:    id,
+		Seq:          seq,
+		Approach:     approach,
+		Lane:         0,
+		Turn:         uint8(intersection.Straight),
+		CurrentSpeed: 0.35,
+		DistToEntry:  x.Movement(mid).EnterS,
+		TransmitTime: tt,
+		MaxSpeed:     p.MaxSpeed,
+		MaxAccel:     p.MaxAccel,
+		MaxDecel:     p.MaxDecel,
+		Length:       p.Length,
+		Width:        p.Width,
+		Wheelbase:    p.Wheelbase,
+	}
+}
+
+func TestWallServeGrantExitAck(t *testing.T) {
+	s, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockWall, Seed: 1})
+	c := dialClient(t, path)
+	w := c.handshake(protocol.ClockWall)
+	if w.Policy != "crossroads" || w.Version != protocol.Version1 {
+		t.Fatalf("welcome: %+v", w)
+	}
+
+	// Sync exchange: T2/T3 carry the server's scheduler clock.
+	c.send(protocol.Sync{VehicleID: 7, T1: 0.001})
+	sr, ok := c.recv().(protocol.SyncReply)
+	if !ok || sr.T1 != 0.001 || sr.T2 < 0 {
+		t.Fatalf("sync reply: %#v", sr)
+	}
+
+	c.send(testRequest(7, 1, 0, sr.T2))
+	g, ok := c.recv().(protocol.Grant)
+	if !ok {
+		t.Fatalf("expected grant, got %#v", g)
+	}
+	if g.VehicleID != 7 || g.Seq != 1 {
+		t.Fatalf("grant routing: %+v", g)
+	}
+	if im.ResponseKind(g.RespKind) != im.RespTimed {
+		t.Fatalf("crossroads should issue timed commands, got %s", im.ResponseKind(g.RespKind))
+	}
+	if g.ArriveAt <= g.T {
+		t.Fatalf("granted arrival %v not after grant time %v", g.ArriveAt, g.T)
+	}
+
+	c.send(protocol.Exit{VehicleID: 7, ExitTimestamp: g.ArriveAt})
+	a, ok := c.recv().(protocol.Ack)
+	if !ok || a.VehicleID != 7 || a.ExitTimestamp != g.ArriveAt {
+		t.Fatalf("ack: %#v", a)
+	}
+
+	c.send(protocol.Bye{Reason: "done"})
+	if _, ok := c.recv().(protocol.Bye); !ok {
+		t.Fatal("expected bye back")
+	}
+
+	st := s.Stats()
+	if st.ProtocolErrors != 0 || st.Shed != 0 {
+		t.Fatalf("unexpected errors in stats: %+v", st)
+	}
+	if st.FramesIn < 4 || st.FramesOut < 4 {
+		t.Fatalf("frame accounting: %+v", st)
+	}
+}
+
+func TestWallServeTCP(t *testing.T) {
+	s, err := New(Config{Policy: "vt-im", Clock: protocol.ClockWall, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenTCP: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	nc, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("dial tcp: %v", err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(15 * time.Second))
+	c := &client{t: t, nc: nc, r: protocol.NewReader(nc), w: protocol.NewWriter(nc)}
+	c.handshake(protocol.ClockWall)
+	c.send(testRequest(1, 1, 2, 0))
+	g, ok := c.recv().(protocol.Grant)
+	if !ok || im.ResponseKind(g.RespKind) != im.RespVelocity {
+		t.Fatalf("vt-im should issue velocity commands, got %#v", g)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	_, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockWall, Seed: 1})
+	c := dialClient(t, path)
+	c.send(protocol.Hello{MinVersion: 5, MaxVersion: 9, Clock: protocol.ClockWall})
+	e, ok := c.recv().(protocol.Error)
+	if !ok || e.Code != protocol.CodeVersion {
+		t.Fatalf("expected CodeVersion error, got %#v", e)
+	}
+}
+
+func TestHandshakeClockMismatch(t *testing.T) {
+	_, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockWall, Seed: 1})
+	c := dialClient(t, path)
+	c.send(protocol.Hello{MinVersion: 1, MaxVersion: 1, Clock: protocol.ClockReplay})
+	e, ok := c.recv().(protocol.Error)
+	if !ok || e.Code != protocol.CodeClockMode {
+		t.Fatalf("expected CodeClockMode error, got %#v", e)
+	}
+}
+
+func TestFrameBeforeHello(t *testing.T) {
+	_, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockWall, Seed: 1})
+	c := dialClient(t, path)
+	c.send(testRequest(1, 1, 0, 0))
+	e, ok := c.recv().(protocol.Error)
+	if !ok || e.Code != protocol.CodeBadFrame {
+		t.Fatalf("expected CodeBadFrame error, got %#v", e)
+	}
+}
+
+func TestBadRequestUnknownMovement(t *testing.T) {
+	s, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockWall, Seed: 1})
+	c := dialClient(t, path)
+	c.handshake(protocol.ClockWall)
+	req := testRequest(1, 1, 0, 0)
+	req.Lane = 3 // scale model has one lane per road
+	c.send(req)
+	e, ok := c.recv().(protocol.Error)
+	if !ok || e.Code != protocol.CodeBadRequest {
+		t.Fatalf("expected CodeBadRequest error, got %#v", e)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().ProtocolErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("protocol error never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBusyRefusal(t *testing.T) {
+	_, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockWall, Seed: 1, MaxConns: 1})
+	c1 := dialClient(t, path)
+	c1.handshake(protocol.ClockWall)
+	c2 := dialClient(t, path)
+	e, ok := c2.recv().(protocol.Error)
+	if !ok || e.Code != protocol.CodeBusy {
+		t.Fatalf("expected CodeBusy error, got %#v", e)
+	}
+}
+
+func TestDrainSendsBye(t *testing.T) {
+	s, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockWall, Seed: 1})
+	c := dialClient(t, path)
+	c.handshake(protocol.ClockWall)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	bye, ok := c.recv().(protocol.Bye)
+	if !ok {
+		t.Fatalf("expected drain bye, got %#v", bye)
+	}
+}
+
+// TestSlowClientShed exercises the shed path directly: a connection whose
+// send queue is full is cut off when the next delivery arrives.
+func TestSlowClientShed(t *testing.T) {
+	s, err := New(Config{Policy: "crossroads", Clock: protocol.ClockWall, Seed: 1, SendQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	defer b.Close()
+	c := newConn(s, a)
+	s.live[c] = true
+	s.conns[c] = true
+	s.vehConn[9] = c
+	c.vehicles[9] = true
+
+	g := protocol.Grant{VehicleID: 9, RespKind: uint8(im.RespTimed)}
+	// No writer goroutine is draining, so the first delivery fills the
+	// queue and the second must shed the connection.
+	s.deliverWall(0, 9, g)
+	if c.dead {
+		t.Fatal("first delivery should fit in the queue")
+	}
+	s.deliverWall(0, 9, g)
+	if !c.dead {
+		t.Fatal("second delivery should have shed the connection")
+	}
+	if got := s.Stats().Shed; got != 1 {
+		t.Fatalf("shed count = %d, want 1", got)
+	}
+	if s.vehConn[9] != nil {
+		t.Fatal("shed connection still routed")
+	}
+	// Release the teardown goroutine waiting on the (never-started) writer.
+	close(c.writerDone)
+}
+
+func TestReplayRejectsNonMonotonic(t *testing.T) {
+	_, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockReplay, Seed: 1})
+	c := dialClient(t, path)
+	c.handshake(protocol.ClockReplay)
+	r1 := testRequest(1, 1, 0, 1.0)
+	r1.T = 1.0
+	c.send(r1)
+	r2 := testRequest(2, 1, 1, 0.5)
+	r2.T = 0.5
+	c.send(r2)
+	e, ok := c.recv().(protocol.Error)
+	if !ok || e.Code != protocol.CodeNonMonotonic {
+		t.Fatalf("expected CodeNonMonotonic error, got %#v", e)
+	}
+}
+
+func TestReplayOverflow(t *testing.T) {
+	_, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockReplay, Seed: 1, ReplayMaxFrames: 2})
+	c := dialClient(t, path)
+	c.handshake(protocol.ClockReplay)
+	for i := 0; i < 3; i++ {
+		r := testRequest(int64(i+1), 1, 0, float64(i))
+		r.T = float64(i)
+		c.send(r)
+	}
+	e, ok := c.recv().(protocol.Error)
+	if !ok || e.Code != protocol.CodeOverflow {
+		t.Fatalf("expected CodeOverflow error, got %#v", e)
+	}
+}
+
+func TestUnknownPolicyFailsFast(t *testing.T) {
+	if _, err := New(Config{Policy: "no-such-policy", Clock: protocol.ClockWall}); err == nil {
+		t.Fatal("expected constructor error for unknown policy")
+	}
+}

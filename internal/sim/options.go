@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"crossroads/internal/fault"
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/network"
+	"crossroads/internal/plant"
+	"crossroads/internal/safety"
+	"crossroads/internal/topology"
+	"crossroads/internal/trace"
+	"crossroads/internal/vehicle"
+)
+
+// Option mutates a Config under construction. Options compose left to
+// right; later options win on conflicting fields.
+type Option func(*Config)
+
+// NewConfig builds a validated Config from options. This is the preferred
+// construction path: it runs Validate exactly once, here, and Run will not
+// re-validate a Config built this way. The zero value of every unset knob
+// keeps its documented default (scale-model geometry, testbed spec, cost
+// and delay models, and so on).
+//
+// Constructing Config as a struct literal still works — Run validates such
+// configs itself — but new code should use NewConfig so contradictions
+// surface at construction time rather than inside the run.
+func NewConfig(opts ...Option) (Config, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	cfg.validated = true
+	return cfg, nil
+}
+
+// WithPolicy selects the IM policy under test.
+func WithPolicy(p vehicle.Policy) Option { return func(c *Config) { c.Policy = p } }
+
+// WithSeed sets the seed driving every stochastic component.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithIntersection sets the intersection geometry used by every node.
+func WithIntersection(ic intersection.Config) Option {
+	return func(c *Config) { c.Intersection = ic }
+}
+
+// WithTopology sets the road network; nil means a single intersection.
+func WithTopology(t *topology.Topology) Option { return func(c *Config) { c.Topology = t } }
+
+// WithSpec sets the uncertainty bounds (buffers, WC-RTD).
+func WithSpec(s safety.Spec) Option { return func(c *Config) { c.Spec = s } }
+
+// WithCost sets the IM computation-cost model.
+func WithCost(cm im.CostModel) Option { return func(c *Config) { c.Cost = cm } }
+
+// WithDelay sets the network latency model.
+func WithDelay(d network.DelayModel) Option { return func(c *Config) { c.Delay = d } }
+
+// WithLossProb sets the i.i.d. message-loss probability.
+func WithLossProb(p float64) Option { return func(c *Config) { c.LossProb = p } }
+
+// WithFaults scripts fault windows onto the run.
+func WithFaults(f *fault.Schedule) Option { return func(c *Config) { c.Faults = f } }
+
+// WithNoise configures the plant disturbance model.
+func WithNoise(n plant.NoiseConfig) Option { return func(c *Config) { c.Noise = n } }
+
+// WithPhysicsDt sets the plant integration step in seconds.
+func WithPhysicsDt(dt float64) Option { return func(c *Config) { c.PhysicsDt = dt } }
+
+// WithMaxSimTime caps the run's simulated duration.
+func WithMaxSimTime(t float64) Option { return func(c *Config) { c.MaxSimTime = t } }
+
+// WithClockError bounds the vehicles' raw clock offset (s) and drift (ppm)
+// before NTP sync.
+func WithClockError(maxOffset, maxDriftPPM float64) Option {
+	return func(c *Config) {
+		c.ClockMaxOffset = maxOffset
+		c.ClockMaxDriftPPM = maxDriftPPM
+	}
+}
+
+// WithOmitRTDBuffer runs VT-IM without its RTD buffer — the UNSAFE
+// ablation.
+func WithOmitRTDBuffer() Option { return func(c *Config) { c.OmitRTDBuffer = true } }
+
+// WithAIMTuning tunes the AIM baseline's grid resolution and time step.
+func WithAIMTuning(gridN int, timeStep float64) Option {
+	return func(c *Config) {
+		c.AIMGridN = gridN
+		c.AIMTimeStep = timeStep
+	}
+}
+
+// WithAgentOverrides replaces the per-policy vehicle-agent defaults.
+func WithAgentOverrides(vc *vehicle.Config) Option {
+	return func(c *Config) { c.AgentOverrides = vc }
+}
+
+// WithCollisionEvery checks footprint overlaps every n physics ticks.
+func WithCollisionEvery(n int) Option { return func(c *Config) { c.CollisionEvery = n } }
+
+// WithObserver attaches a per-tick vehicle snapshot callback, invoked
+// every `every` physics ticks (0 means the default cadence).
+func WithObserver(fn func(now float64, vehicles []VehicleView), every int) Option {
+	return func(c *Config) {
+		c.Observer = fn
+		c.ObserverEvery = every
+	}
+}
+
+// WithTrace attaches a structured-event recorder to the run.
+func WithTrace(rec *trace.Recorder) Option { return func(c *Config) { c.Trace = rec } }
+
+// WithDESTrace additionally traces every executed kernel event. Requires
+// WithTrace.
+func WithDESTrace() Option { return func(c *Config) { c.TraceDES = true } }

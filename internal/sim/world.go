@@ -36,6 +36,11 @@ import (
 )
 
 // Config describes one simulation run.
+//
+// Prefer building it with NewConfig and Options; struct-literal
+// construction is deprecated (it still works — Run validates such configs
+// on entry — but it postpones error reporting to run time and will not be
+// extended with new invariants).
 type Config struct {
 	// Intersection geometry; zero value uses the scale model. Every
 	// topology node reuses this geometry.
@@ -101,6 +106,11 @@ type Config struct {
 	// TraceDES additionally traces every executed kernel event (the
 	// physics-tick firehose); pair it with a ring-mode recorder.
 	TraceDES bool
+
+	// validated is set by NewConfig so Run skips re-validation. Configs
+	// built as struct literals leave it false and are validated by Run.
+	// Mutating a Config after NewConfig forfeits the guarantee.
+	validated bool
 }
 
 // Validate rejects configurations that would silently run a different
@@ -282,8 +292,10 @@ type world struct {
 }
 
 func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+	if !cfg.validated {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if len(arrivals) == 0 {
 		return nil, fmt.Errorf("sim: empty workload")

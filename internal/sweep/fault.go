@@ -258,15 +258,19 @@ func RunFaultMatrix(cfg FaultMatrixConfig) (FaultMatrixResult, error) {
 		if err != nil {
 			return err
 		}
-		simCfg := sim.Config{
-			Policy: pol,
-			Seed:   seed,
-			Faults: schedules[si],
+		opts := []sim.Option{
+			sim.WithPolicy(pol),
+			sim.WithSeed(seed),
+			sim.WithFaults(schedules[si]),
 		}
 		if cfg.TraceFull {
 			rec := trace.NewFull()
 			res.Traces[si][pi][wi] = rec
-			simCfg.Trace = rec
+			opts = append(opts, sim.WithTrace(rec))
+		}
+		simCfg, err := sim.NewConfig(opts...)
+		if err != nil {
+			return err
 		}
 		out, err := sim.Run(simCfg, arrivals)
 		if err != nil {

@@ -110,21 +110,27 @@ func RunTopology(cfg TopoConfig) (TopoResult, error) {
 		if err != nil {
 			return err
 		}
-		simCfg := sim.Config{
-			Topology:     cfg.Topology,
-			Policy:       pol,
-			Seed:         cfg.Seed,
-			Intersection: interCfg,
-			Spec:         spec,
+		opts := []sim.Option{
+			sim.WithTopology(cfg.Topology),
+			sim.WithPolicy(pol),
+			sim.WithSeed(cfg.Seed),
+			sim.WithIntersection(interCfg),
+			sim.WithSpec(spec),
 		}
 		if cfg.Noisy {
-			simCfg.Noise = plant.TestbedNoise()
+			opts = append(opts, sim.WithNoise(plant.TestbedNoise()))
 		}
 		if cfg.TraceFull {
 			rec := trace.NewFull()
 			res.Traces[pi] = rec
-			simCfg.Trace = rec
-			simCfg.TraceDES = cfg.TraceDES
+			opts = append(opts, sim.WithTrace(rec))
+			if cfg.TraceDES {
+				opts = append(opts, sim.WithDESTrace())
+			}
+		}
+		simCfg, err := sim.NewConfig(opts...)
+		if err != nil {
+			return err
 		}
 		out, err := sim.Run(simCfg, arrivals)
 		if err != nil {

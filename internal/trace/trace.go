@@ -94,6 +94,20 @@ const (
 	// seniority, stale booking) of a vehicle that went silent mid-handshake
 	// (detail "expired"; value is the last-contact time).
 	KindIMLease = "im.lease"
+
+	// Wire-server connection lifecycle (serve mode): a client completing
+	// the protocol handshake (detail is the remote address), a connection
+	// closing (detail is the close reason), and a slow client being shed
+	// because its bounded send queue overflowed (value is the queue
+	// capacity). T is wall seconds since the server's epoch.
+	KindConnOpen  = "conn.open"
+	KindConnClose = "conn.close"
+	KindConnShed  = "conn.shed"
+
+	// KindServeDrain is the wire server starting its graceful drain:
+	// listeners are closed, in-flight work is flushed, and every live
+	// connection receives a Bye (value is the number of live connections).
+	KindServeDrain = "serve.drain"
 )
 
 // KnownKinds is the closed set of event kinds in the JSONL schema.
@@ -123,6 +137,10 @@ var KnownKinds = map[string]bool{
 	KindFaultEnd:     true,
 	KindVehFailsafe:  true,
 	KindIMLease:      true,
+	KindConnOpen:     true,
+	KindConnClose:    true,
+	KindConnShed:     true,
+	KindServeDrain:   true,
 }
 
 // Event is one recorded occurrence. Only Kind and T are universal; the
@@ -596,6 +614,10 @@ func (ev Event) Validate() error {
 	case KindIMLease:
 		if ev.Vehicle == 0 {
 			return fmt.Errorf("%s: missing veh", ev.Kind)
+		}
+	case KindConnOpen, KindConnClose:
+		if ev.Detail == "" {
+			return fmt.Errorf("%s: missing detail", ev.Kind)
 		}
 	}
 	return nil

@@ -1,0 +1,166 @@
+// Package crossroads is the stable public facade over the repo's internal
+// packages. External tooling should import this package (and only this
+// package) rather than reaching into internal/...; the aliases here are the
+// supported surface and will hold steady across internal refactors.
+//
+// The facade covers three things:
+//
+//   - the IM policy registry, so out-of-tree schedulers can register
+//     themselves and be served, swept, and load-tested like the built-ins;
+//   - the experiment entry points (single-intersection sweeps, topology
+//     sweeps, fault matrices, scale-scenario replication);
+//   - the serve-mode wire protocol types, so clients can speak to
+//     crossroads-serve without depending on internal/protocol directly.
+//
+// Importing this package registers all four built-in policies
+// ("crossroads", "vt-im", "aim", "batch").
+package crossroads
+
+import (
+	"crossroads/internal/im"
+	"crossroads/internal/protocol"
+	"crossroads/internal/scale"
+	"crossroads/internal/sim"
+	"crossroads/internal/sweep"
+
+	_ "crossroads/internal/core"     // register crossroads
+	_ "crossroads/internal/im/aim"   // register aim
+	_ "crossroads/internal/im/batch" // register batch
+	_ "crossroads/internal/im/vtim"  // register vt-im
+)
+
+// Policy registry: implement im.Scheduler, register a factory under a
+// name, and every harness in the repo (sim, sweeps, serve mode) can run it.
+type (
+	// Scheduler is the IM policy interface.
+	Scheduler = im.Scheduler
+	// PolicyOptions parameterizes scheduler construction.
+	PolicyOptions = im.PolicyOptions
+	// PolicyFactory builds a scheduler for one intersection.
+	PolicyFactory = im.PolicyFactory
+)
+
+var (
+	// RegisterPolicy adds a scheduler factory under a unique name.
+	RegisterPolicy = im.RegisterPolicy
+	// NewScheduler instantiates a registered policy by name.
+	NewScheduler = im.NewScheduler
+	// RegisteredPolicies lists registered policy names, sorted.
+	RegisteredPolicies = im.RegisteredPolicies
+)
+
+// Simulation construction and execution.
+type (
+	// SimConfig describes one simulation run; build it with NewSimConfig.
+	SimConfig = sim.Config
+	// SimOption mutates a SimConfig under construction.
+	SimOption = sim.Option
+	// SimResult is the outcome of one run.
+	SimResult = sim.Result
+)
+
+var (
+	// NewSimConfig builds a validated simulation config from options.
+	NewSimConfig = sim.NewConfig
+	// RunSim executes one simulation of a workload.
+	RunSim = sim.Run
+
+	// Simulation options, mirrored from internal/sim.
+	WithPolicy         = sim.WithPolicy
+	WithSeed           = sim.WithSeed
+	WithIntersection   = sim.WithIntersection
+	WithTopology       = sim.WithTopology
+	WithSpec           = sim.WithSpec
+	WithCost           = sim.WithCost
+	WithDelay          = sim.WithDelay
+	WithLossProb       = sim.WithLossProb
+	WithFaults         = sim.WithFaults
+	WithNoise          = sim.WithNoise
+	WithPhysicsDt      = sim.WithPhysicsDt
+	WithMaxSimTime     = sim.WithMaxSimTime
+	WithClockError     = sim.WithClockError
+	WithOmitRTDBuffer  = sim.WithOmitRTDBuffer
+	WithAIMTuning      = sim.WithAIMTuning
+	WithAgentOverrides = sim.WithAgentOverrides
+	WithCollisionEvery = sim.WithCollisionEvery
+	WithObserver       = sim.WithObserver
+	WithTrace          = sim.WithTrace
+	WithDESTrace       = sim.WithDESTrace
+)
+
+// Experiment entry points: the rate sweeps, topology sweeps, fault
+// matrices, and scale-scenario replication behind the cmd/ tools.
+type (
+	// SweepConfig parameterizes a single-intersection rate sweep.
+	SweepConfig = sweep.Config
+	// SweepResult holds one rate sweep's cells.
+	SweepResult = sweep.Result
+	// TopoConfig parameterizes a multi-intersection topology sweep.
+	TopoConfig = sweep.TopoConfig
+	// TopoResult holds one topology sweep's cells.
+	TopoResult = sweep.TopoResult
+	// FaultMatrixConfig parameterizes a fault-scenario × policy matrix.
+	FaultMatrixConfig = sweep.FaultMatrixConfig
+	// FaultMatrixResult holds one fault matrix's cells.
+	FaultMatrixResult = sweep.FaultMatrixResult
+	// ScaleConfig parameterizes the paper's scale-model scenario table.
+	ScaleConfig = scale.Config
+	// ScaleResult holds the replicated scenario table.
+	ScaleResult = scale.Result
+)
+
+var (
+	// RunSweep runs a single-intersection rate sweep.
+	RunSweep = sweep.Run
+	// RunTopologySweep runs a policy sweep over a road network.
+	RunTopologySweep = sweep.RunTopology
+	// RunFaultMatrix runs a fault-scenario × policy resilience matrix.
+	RunFaultMatrix = sweep.RunFaultMatrix
+	// RunScaleScenarios replicates the paper's scale-model scenarios.
+	RunScaleScenarios = scale.Run
+)
+
+// Wire protocol: the serve-mode frame types and codec, enough to write a
+// client for crossroads-serve.
+type (
+	// Frame is any protocol frame.
+	Frame = protocol.Frame
+	// Hello opens a connection (client → server).
+	Hello = protocol.Hello
+	// Welcome accepts a connection (server → client).
+	Welcome = protocol.Welcome
+	// Request asks for a crossing reservation.
+	Request = protocol.Request
+	// Grant answers a Request (accept, reject, or revision).
+	Grant = protocol.Grant
+	// Exit reports that a vehicle cleared the intersection.
+	Exit = protocol.Exit
+	// Ack confirms an Exit.
+	Ack = protocol.Ack
+	// Sync requests a clock-sync exchange.
+	Sync = protocol.Sync
+	// SyncReply answers a Sync.
+	SyncReply = protocol.SyncReply
+	// ProtocolError reports a fatal protocol violation.
+	ProtocolError = protocol.Error
+	// Bye closes a connection cleanly.
+	Bye = protocol.Bye
+	// FrameReader decodes frames from a stream.
+	FrameReader = protocol.Reader
+	// FrameWriter encodes frames onto a stream.
+	FrameWriter = protocol.Writer
+)
+
+var (
+	// NewFrameReader wraps a stream for frame decoding.
+	NewFrameReader = protocol.NewReader
+	// NewFrameWriter wraps a stream for frame encoding.
+	NewFrameWriter = protocol.NewWriter
+	// EncodeFrame encodes one frame to bytes.
+	EncodeFrame = protocol.Encode
+	// DecodeFrame decodes one frame from a buffer.
+	DecodeFrame = protocol.Decode
+)
+
+// ProtocolVersion is the newest wire-protocol version this build speaks.
+const ProtocolVersion = protocol.MaxVersion
