@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-report race vet fmt check trace-demo corridor-demo chaos-demo serve-demo
+.PHONY: build test bench bench-grid bench-report race vet fmt check trace-demo corridor-demo grid-demo chaos-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,16 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'
 
+## bench-grid times the Manhattan-grid workloads (5x5 and 10x10) under both
+## event kernels, reporting ns normalized per vehicle-crossing.
+bench-grid:
+	$(GO) test -bench 'BenchmarkGrid' -benchmem -run '^$$'
+
 ## bench-report regenerates the committed machine-readable benchmark
 ## artifact. Re-run on a multi-core host to refresh the speedup evidence
-## (on a single-core host the parallel variant is skipped and noted).
+## (on a single-core host the parallel variants are skipped or noted).
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_4.json
+	$(GO) run ./cmd/benchreport -out BENCH_5.json
 
 ## trace-demo runs a tiny traced sweep and validates the JSONL output
 ## against the schema — the end-to-end check for the observability layer.
@@ -37,6 +42,13 @@ corridor-demo:
 	$(GO) run ./cmd/tracecheck corridor-demo.jsonl
 	@rm -f corridor-demo.jsonl
 	$(GO) run ./cmd/crossroads-sim -grid 2x2 -n 12 -seed 7 -scale -noise
+
+## grid-demo runs the parallel DES kernel end to end on a 3x3 grid with
+## real inter-node segments; crossroads-sim exits non-zero if any
+## coordinated policy records a collision or an incomplete journey, so the
+## target doubles as the parallel-kernel acceptance gate.
+grid-demo:
+	$(GO) run ./cmd/crossroads-sim -grid 3x3 -seglen 80 -kernel parallel -n 60 -seed 42 -workers 0
 
 ## chaos-demo runs the fault-injection robustness matrix (every named
 ## scenario x every policy x seeds 1-3) and fails on any collision,

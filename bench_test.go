@@ -424,6 +424,75 @@ func BenchmarkCorridor(b *testing.B) {
 	b.ReportMetric(float64(crossings), "crossings")
 }
 
+// BenchmarkGrid runs Manhattan grids under Crossroads with both event
+// kernels: the serial single-heap engine and the node-sharded conservative
+// parallel engine. The reported ns/vehicle-crossing normalizes runtime by
+// the total work done (journeys × nodes traversed), so grid sizes and
+// kernels are directly comparable; every iteration asserts the full fleet
+// completes with zero collisions.
+func BenchmarkGrid(b *testing.B) {
+	grids := []struct {
+		name     string
+		rows     int
+		vehicles int
+	}{
+		{"5x5", 5, 80},
+		{"10x10", 10, 160},
+	}
+	for _, g := range grids {
+		g := g
+		topo, err := topology.Grid(g.rows, g.rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		topo = topo.WithSegmentLen(0.8)
+		arr, err := traffic.PoissonRoutes(traffic.PoissonConfig{
+			Rate: 0.3, NumVehicles: g.vehicles, LanesPerRoad: 1,
+			Mix: traffic.DefaultTurnMix(), Params: kinematics.ScaleModelParams(),
+		}, topo, 0, rand.New(rand.NewSource(42)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kernel := range []sim.Kernel{sim.KernelSerial, sim.KernelParallel} {
+			kernel := kernel
+			b.Run(g.name+"/"+kernel.String(), func(b *testing.B) {
+				cfg, err := sim.NewConfig(
+					sim.WithTopology(topo),
+					sim.WithPolicy(vehicle.PolicyCrossroads),
+					sim.WithSeed(42),
+					sim.WithSpec(safety.TestbedSpec()),
+					sim.WithKernel(kernel),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				crossings := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(cfg, arr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Summary.Completed != g.vehicles || res.Summary.Collisions != 0 {
+						b.Fatalf("grid run unhealthy: completed=%d collisions=%d",
+							res.Summary.Completed, res.Summary.Collisions)
+					}
+					crossings = 0
+					for _, s := range res.PerNode {
+						crossings += s.Completed
+					}
+				}
+				b.StopTimer()
+				if crossings > 0 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(crossings),
+						"ns/vehicle-crossing")
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkFullSimulation160Vehicles(b *testing.B) {
 	arr, err := traffic.Poisson(traffic.PoissonConfig{
 		Rate: 0.4, NumVehicles: 160, LanesPerRoad: 1,

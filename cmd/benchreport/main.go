@@ -30,8 +30,8 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output path")
-	label := flag.String("label", "fault-resilience-layer", "report label")
+	out := flag.String("out", "BENCH_5.json", "output path")
+	label := flag.String("label", "parallel-des-kernel", "report label")
 	flag.Parse()
 
 	rep := metrics.BenchReport{
@@ -69,6 +69,29 @@ func main() {
 
 	fmt.Println("benchreport: measuring 3-intersection corridor...")
 	rep.Metrics = append(rep.Metrics, record("Corridor3/crossroads", benchCorridor()))
+
+	// Grid scaling: the same 5x5 Manhattan-grid workload under both event
+	// kernels. The Extra carries ns normalized per vehicle-crossing so grid
+	// sizes and kernels compare directly; on a single-core machine the
+	// parallel kernel cannot beat serial (its windows serialize), which the
+	// note records rather than hiding.
+	for _, kernel := range []sim.Kernel{sim.KernelSerial, sim.KernelParallel} {
+		fmt.Printf("benchreport: measuring 5x5 grid, kernel=%s...\n", kernel)
+		r, crossings := benchGrid(kernel)
+		m := record("Grid5x5/crossroads/"+kernel.String(), r)
+		if crossings > 0 {
+			m.Extra = map[string]float64{
+				"ns_per_vehicle_crossing": float64(r.NsPerOp()) / float64(crossings),
+				"crossings":               float64(crossings),
+			}
+		}
+		rep.Metrics = append(rep.Metrics, m)
+	}
+	if workers <= 1 {
+		note := "grid parallel-kernel timing on a single-core machine: shard windows serialize, so no speedup over serial is expected"
+		rep.Notes = append(rep.Notes, note)
+		fmt.Println("benchreport:", note)
+	}
 
 	fmt.Println("benchreport: measuring fault-injection overhead (mix scenario)...")
 	fm, matrix := benchFaultMatrix()
@@ -188,6 +211,49 @@ func benchCorridor() testing.BenchmarkResult {
 			}
 		}
 	})
+}
+
+// benchGrid measures one full 5x5 Manhattan-grid run per iteration under
+// the Crossroads policy on the given kernel — the same workload as
+// BenchmarkGrid/5x5 in the repo's bench suite — returning the timing and
+// the total vehicle-crossings per run (journeys × nodes traversed) for the
+// normalized ns/crossing metric.
+func benchGrid(kernel sim.Kernel) (testing.BenchmarkResult, int) {
+	topo, err := topology.Grid(5, 5)
+	fatal(err)
+	topo = topo.WithSegmentLen(0.8)
+	arr, err := traffic.PoissonRoutes(traffic.PoissonConfig{
+		Rate: 0.3, NumVehicles: 80, LanesPerRoad: 1,
+		Mix: traffic.DefaultTurnMix(), Params: kinematics.ScaleModelParams(),
+	}, topo, 0, rand.New(rand.NewSource(42)))
+	fatal(err)
+	cfg, err := sim.NewConfig(
+		sim.WithTopology(topo),
+		sim.WithPolicy(vehicle.PolicyCrossroads),
+		sim.WithSeed(42),
+		sim.WithSpec(safety.TestbedSpec()),
+		sim.WithKernel(kernel),
+	)
+	fatal(err)
+	crossings := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(cfg, arr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Summary.Completed != 80 || res.Summary.Collisions != 0 {
+				b.Fatalf("grid run unhealthy: completed=%d collisions=%d",
+					res.Summary.Completed, res.Summary.Collisions)
+			}
+			crossings = 0
+			for _, s := range res.PerNode {
+				crossings += s.Completed
+			}
+		}
+	})
+	return r, crossings
 }
 
 // benchFaultMatrix measures one clean-vs-mix fault-matrix column per

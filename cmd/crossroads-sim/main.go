@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"crossroads/internal/cliflags"
+	"crossroads/internal/sim"
 	"crossroads/internal/sweep"
 	"crossroads/internal/topology"
 	"crossroads/internal/vehicle"
@@ -39,6 +40,11 @@ func main() {
 	flag.Parse()
 	seed, workers := common.Seed, common.Workers
 	csv, tracePath, traceDES := common.CSV, common.TracePath, common.TraceDES
+	kernel, err := common.ParseKernel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
+		os.Exit(1)
+	}
 
 	if *faults != "" {
 		if topoFlags.Corridor != 0 || topoFlags.Grid != "" {
@@ -65,9 +71,12 @@ func main() {
 		os.Exit(1)
 	}
 	if topo != nil {
-		runTopology(topo, topoFlags.Rate, *n, seed, workers,
+		runTopology(topo, topoFlags.Rate, *n, seed, workers, kernel,
 			*scaleModel, *noisy, *withBatch, csv, tracePath, traceDES)
 		return
+	}
+	if kernel == sim.KernelParallel {
+		fmt.Fprintln(os.Stderr, "crossroads-sim: note: -kernel parallel needs a -corridor/-grid topology; the single-intersection sweep runs serial")
 	}
 
 	cfg := sweep.DefaultConfig()
@@ -162,7 +171,7 @@ func runFaultMatrix(spec string, seed int64, workers int, csv bool, tracePath st
 }
 
 func runTopology(topo *topology.Topology, rate float64, n int, seed int64, workers int,
-	scaleModel, noisy, withBatch, csv bool, tracePath string, traceDES bool) {
+	kernel sim.Kernel, scaleModel, noisy, withBatch, csv bool, tracePath string, traceDES bool) {
 	cfg := sweep.TopoConfig{
 		Topology:    topo,
 		Rate:        rate,
@@ -171,6 +180,7 @@ func runTopology(topo *topology.Topology, rate float64, n int, seed int64, worke
 		Workers:     workers,
 		ScaleModel:  scaleModel,
 		Noisy:       noisy,
+		Kernel:      kernel,
 	}
 	if withBatch {
 		cfg.Policies = []vehicle.Policy{
@@ -187,8 +197,12 @@ func runTopology(topo *topology.Topology, rate float64, n int, seed int64, worke
 		os.Exit(1)
 	}
 	fmt.Printf("Multi-IM topology %s — end-to-end journeys\n", topo)
-	fmt.Printf("fleet=%d rate=%g seed=%d geometry=%s noise=%v seglen=%gm\n\n",
-		n, rate, seed, geometry(scaleModel), noisy, topo.SegmentLen())
+	ranKernel := kernel.String()
+	if len(res.Cells) > 0 && res.Cells[0].Kernel != "" {
+		ranKernel = res.Cells[0].Kernel
+	}
+	fmt.Printf("fleet=%d rate=%g seed=%d geometry=%s noise=%v seglen=%gm kernel=%s\n\n",
+		n, rate, seed, geometry(scaleModel), noisy, topo.SegmentLen(), ranKernel)
 	emit := emitter(csv)
 	emit(res.JourneyTable())
 	fmt.Println("\nPer-intersection breakdown (wait vs unimpeded arrival at each node)")
@@ -200,6 +214,21 @@ func runTopology(topo *topology.Topology, rate float64, n int, seed int64, worke
 		}
 		fmt.Printf("\nTrace written to %s\n", tracePath)
 	}
+	// Coordinated policies (crossroads, batch) guarantee collision-free
+	// crossings; a collision or stranded vehicle under either is a bug, so
+	// topology runs double as a safety gate (mirrors the fault matrix).
+	violations := 0
+	for _, c := range res.Cells {
+		if c.Policy != vehicle.PolicyCrossroads.String() && c.Policy != vehicle.PolicyBatch.String() {
+			continue
+		}
+		violations += c.Journey.Collisions + c.Incomplete
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "crossroads-sim: FAIL: %d collision(s)/incomplete journey(s) in coordinated policies\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("\nPASS: zero collisions and zero incomplete journeys for coordinated policies")
 }
 
 func emitter(csv bool) func(t interface {

@@ -14,6 +14,7 @@ import (
 
 	"crossroads/internal/cliflags"
 	"crossroads/internal/scale"
+	"crossroads/internal/sim"
 	"crossroads/internal/vehicle"
 )
 
@@ -23,6 +24,14 @@ func main() {
 	noiseless := flag.Bool("noiseless", false, "disable plant actuation/sensing noise")
 	withAIM := flag.Bool("aim", false, "also run the AIM baseline")
 	flag.Parse()
+	kernel, err := common.ParseKernel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scale-model:", err)
+		os.Exit(1)
+	}
+	if kernel == sim.KernelParallel {
+		fmt.Fprintln(os.Stderr, "scale-model: note: scenarios are single-intersection; -kernel parallel falls back to serial")
+	}
 
 	cfg := scale.Config{
 		Repetitions: *reps,

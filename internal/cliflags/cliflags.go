@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 
+	"crossroads/internal/sim"
 	"crossroads/internal/topology"
 )
 
@@ -19,6 +20,8 @@ type Common struct {
 	CSV       bool
 	TracePath string
 	TraceDES  bool
+	// Kernel is the raw -kernel flag value; resolve it with ParseKernel.
+	Kernel string
 }
 
 // AddCommon registers the shared experiment flags on fs. defaultSeed keeps
@@ -30,7 +33,18 @@ func AddCommon(fs *flag.FlagSet, defaultSeed int64) *Common {
 	fs.BoolVar(&c.CSV, "csv", false, "emit CSV instead of aligned tables")
 	fs.StringVar(&c.TracePath, "trace", "", "write the structured event trace (JSONL) to this file and print its summary")
 	fs.BoolVar(&c.TraceDES, "trace-des", false, "include the kernel event firehose in the trace (large)")
+	fs.StringVar(&c.Kernel, "kernel", "serial", "event-execution engine: serial (the default, bit-identical to earlier builds) or parallel (node-sharded conservative DES; engages on -corridor/-grid runs with -seglen > 0, falls back to serial otherwise)")
 	return c
+}
+
+// ParseKernel resolves the -kernel flag into a sim.Kernel, wrapping the
+// flag name into the error for usage messages.
+func (c *Common) ParseKernel() (sim.Kernel, error) {
+	k, err := sim.ParseKernel(c.Kernel)
+	if err != nil {
+		return 0, fmt.Errorf("-kernel: %w", err)
+	}
+	return k, nil
 }
 
 // Topology are the road-network selection flags.

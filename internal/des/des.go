@@ -5,10 +5,16 @@
 // reproducible. The kernel also accounts wall-clock time spent inside event
 // handlers, which the experiment harnesses use to report real scheduler
 // overhead alongside simulated delays.
+//
+// The serial hot path is allocation-free in steady state: executed and
+// cancelled events return to a per-simulator free list, and the pending
+// queue is a 4-ary implicit heap (shallower than a binary heap, so a push
+// or pop touches fewer cache lines per level). For multi-intersection
+// topologies, parallel.go builds a conservative node-sharded parallel
+// kernel out of several Simulators.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -16,65 +22,51 @@ import (
 	"crossroads/internal/trace"
 )
 
-// Event is a scheduled callback. Cancel it via its handle; a cancelled event
-// stays in the queue but is skipped when popped.
+// event is a scheduled callback. Events are pooled: after execution (or
+// after a cancelled event is discarded from the queue) the event object
+// returns to its simulator's free list and its gen counter is bumped, which
+// inertly expires every outstanding Handle to it.
 type event struct {
 	time      float64
 	seq       uint64
+	gen       uint64
 	fn        func()
 	cancelled bool
-	index     int // heap index
+	sim       *Simulator
 }
 
-// Handle identifies a scheduled event and allows cancelling it.
+// Handle identifies a scheduled event and allows cancelling it. Handles are
+// generation-stamped: once the event has executed (or its cancellation has
+// been collected), the handle expires and every further operation on it is
+// a no-op, even after the pooled event object is reused.
 type Handle struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
+
+// live reports whether the handle still refers to the event it was issued
+// for (not yet executed, discarded, or reused).
+func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
 
 // Cancel prevents the event from running. Cancelling an already-executed or
 // already-cancelled event is a no-op. A zero Handle is safely ignorable.
 func (h Handle) Cancel() {
-	if h.ev != nil {
+	if h.live() && !h.ev.cancelled {
 		h.ev.cancelled = true
+		h.ev.sim.live--
 	}
 }
 
 // Cancelled reports whether the handle's event has been cancelled.
-func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
+func (h Handle) Cancelled() bool { return h.live() && h.ev.cancelled }
 
 // Simulator owns the simulated clock and the pending event queue.
 type Simulator struct {
 	now      float64
 	seq      uint64
-	queue    eventQueue
+	queue    []*event // 4-ary implicit min-heap on (time, seq)
+	live     int      // queued events not yet cancelled
+	free     []*event // pooled event objects
 	executed uint64
 	wall     time.Duration
 	running  bool
@@ -86,6 +78,10 @@ type Simulator struct {
 // time. This is the kernel firehose — physics ticks dominate it — so it is
 // wired separately from the protocol-level tracing (sim.Config.TraceDES)
 // and best paired with a ring-mode recorder. nil detaches it.
+//
+// Attaching a recorder switches wall-time accounting to per-event
+// measurement; without one, HandlerWallTime is accumulated per RunUntil
+// loop (two clock reads per call instead of two per event).
 func (s *Simulator) SetTrace(rec *trace.Recorder) { s.trace = rec }
 
 // New returns a simulator with the clock at 0.
@@ -97,13 +93,96 @@ func (s *Simulator) Now() float64 { return s.now }
 // Executed returns the number of events executed so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
 
-// Pending returns the number of events in the queue (including cancelled
-// ones not yet popped).
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of live (not-yet-cancelled) events in the
+// queue. Cancelled events awaiting lazy removal are not counted, so code
+// gating on Pending (e.g. executive diagnostics) no longer sees phantoms.
+func (s *Simulator) Pending() int { return s.live }
 
 // HandlerWallTime returns the accumulated wall-clock time spent inside event
 // handlers. Experiment harnesses use this to report real scheduler cost.
 func (s *Simulator) HandlerWallTime() time.Duration { return s.wall }
+
+// less orders the heap by (time, seq): earliest first, FIFO on ties.
+func less(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+// heapPush inserts ev into the 4-ary heap.
+func (s *Simulator) heapPush(ev *event) {
+	q := append(s.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+	s.queue = q
+}
+
+// heapPop removes and returns the earliest event.
+func (s *Simulator) heapPop() *event {
+	q := s.queue
+	top := q[0]
+	last := len(q) - 1
+	ev := q[last]
+	q[last] = nil
+	q = q[:last]
+	s.queue = q
+	if last == 0 {
+		return top
+	}
+	// Sift the former tail down from the root.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if less(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !less(q[min], ev) {
+			break
+		}
+		q[i] = q[min]
+		i = min
+	}
+	q[i] = ev
+	return top
+}
+
+// acquire takes an event object from the pool (or allocates one).
+func (s *Simulator) acquire() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{sim: s}
+}
+
+// release returns a popped event to the pool, expiring its handles.
+func (s *Simulator) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cancelled = false
+	s.free = append(s.free, ev)
+}
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past (before Now) panics: that is always a logic error in a protocol
@@ -115,10 +194,14 @@ func (s *Simulator) At(t float64, fn func()) Handle {
 	if fn == nil {
 		panic("des: nil event function")
 	}
-	ev := &event{time: t, seq: s.seq, fn: fn}
+	ev := s.acquire()
+	ev.time = t
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return Handle{ev: ev}
+	s.heapPush(ev)
+	s.live++
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run delay seconds from now. Negative delays are
@@ -131,28 +214,45 @@ func (s *Simulator) After(delay float64, fn func()) Handle {
 	return s.At(s.now+delay, fn)
 }
 
+// popLive discards cancelled heads and pops the earliest live event, or
+// returns nil when the queue holds none. The popped event is NOT released:
+// the caller reads its fields, releases it, then runs the handler (release
+// first, so a handler rescheduling into the pool cannot alias a live
+// handle).
+func (s *Simulator) popLive() *event {
+	for len(s.queue) > 0 {
+		ev := s.heapPop()
+		if ev.cancelled {
+			s.release(ev) // live was decremented at Cancel time
+			continue
+		}
+		s.live--
+		return ev
+	}
+	return nil
+}
+
 // Step executes the next pending event, advancing the clock to its time.
 // It returns false when the queue is empty.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		s.now = ev.time
-		start := time.Now()
-		ev.fn()
-		elapsed := time.Since(start)
-		s.wall += elapsed
-		s.executed++
-		if s.trace != nil {
-			s.trace.Emit(trace.Event{
-				Kind: trace.KindDESEvent, T: ev.time, WallNs: elapsed.Nanoseconds(),
-			})
-		}
-		return true
+	ev := s.popLive()
+	if ev == nil {
+		return false
 	}
-	return false
+	s.now = ev.time
+	fn := ev.fn
+	s.release(ev)
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	s.wall += elapsed
+	s.executed++
+	if s.trace != nil {
+		s.trace.Emit(trace.Event{
+			Kind: trace.KindDESEvent, T: s.now, WallNs: elapsed.Nanoseconds(),
+		})
+	}
+	return true
 }
 
 // Run executes events until the queue empties. It returns the number of
@@ -165,27 +265,61 @@ func (s *Simulator) Run() uint64 {
 // tEnd (if the queue emptied earlier, the clock still ends at tEnd). It
 // returns the number of events executed during this call.
 func (s *Simulator) RunUntil(tEnd float64) uint64 {
+	n := s.runBounded(tEnd, false)
+	if !math.IsInf(tEnd, 1) && tEnd > s.now {
+		s.now = tEnd
+	}
+	return n
+}
+
+// runBounded executes events with time <= tEnd (time < tEnd when strict),
+// without touching the clock afterwards. It is the shared core of RunUntil
+// and the parallel kernel's window execution.
+func (s *Simulator) runBounded(tEnd float64, strict bool) uint64 {
 	if s.running {
 		panic("des: reentrant Run")
 	}
 	s.running = true
 	defer func() { s.running = false }()
 	var n uint64
+	if s.trace != nil {
+		// Traced path: per-event timing, one des.event record each.
+		for len(s.queue) > 0 {
+			next := s.queue[0]
+			if next.cancelled {
+				s.release(s.heapPop())
+				continue
+			}
+			if next.time > tEnd || (strict && next.time >= tEnd) {
+				break
+			}
+			s.Step()
+			n++
+		}
+		return n
+	}
+	// Untraced hot path: batch the wall-time measurement around the whole
+	// dispatch loop — two clock reads per call instead of two per event.
+	start := time.Now()
 	for len(s.queue) > 0 {
 		next := s.queue[0]
 		if next.cancelled {
-			heap.Pop(&s.queue)
+			s.release(s.heapPop())
 			continue
 		}
-		if next.time > tEnd {
+		if next.time > tEnd || (strict && next.time >= tEnd) {
 			break
 		}
-		s.Step()
+		ev := s.heapPop()
+		s.live--
+		s.now = ev.time
+		fn := ev.fn
+		s.release(ev)
+		fn()
+		s.executed++
 		n++
 	}
-	if !math.IsInf(tEnd, 1) && tEnd > s.now {
-		s.now = tEnd
-	}
+	s.wall += time.Since(start)
 	return n
 }
 
@@ -199,7 +333,7 @@ func (s *Simulator) RunFor(d float64) uint64 { return s.RunUntil(s.now + d) }
 func (s *Simulator) NextTime() (float64, bool) {
 	for len(s.queue) > 0 {
 		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
+			s.release(s.heapPop())
 			continue
 		}
 		return s.queue[0].time, true

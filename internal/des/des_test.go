@@ -320,3 +320,72 @@ func TestTraceRecordsExecutedEvents(t *testing.T) {
 		t.Errorf("Executed %d != traced %d", s.Executed(), rec.Total())
 	}
 }
+
+func TestPendingCountsOnlyLiveEvents(t *testing.T) {
+	s := New()
+	h1 := s.At(1, func() {})
+	s.At(2, func() {})
+	h3 := s.At(3, func() {})
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", s.Pending())
+	}
+	h1.Cancel()
+	h3.Cancel()
+	// Cancelled events still sit in the queue (lazy removal) but must not
+	// be reported as pending.
+	if s.Pending() != 1 {
+		t.Errorf("Pending after two cancels = %d, want 1", s.Pending())
+	}
+	h1.Cancel() // double-cancel must not double-decrement
+	if s.Pending() != 1 {
+		t.Errorf("Pending after re-cancel = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Errorf("Pending after Run = %d, want 0", s.Pending())
+	}
+	if s.Executed() != 1 {
+		t.Errorf("Executed = %d, want 1", s.Executed())
+	}
+}
+
+func TestStaleHandleIsInertAfterReuse(t *testing.T) {
+	// Once an event has executed, its pooled object may be reused by a new
+	// schedule; the old handle must have expired and must not affect the new
+	// event.
+	s := New()
+	h1 := s.At(1, func() {})
+	s.RunUntil(1)
+	ran := false
+	h2 := s.At(2, func() { ran = true }) // reuses the pooled object
+	h1.Cancel()                          // stale: must be a no-op
+	if h1.Cancelled() {
+		t.Error("stale handle reports cancelled")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1 (stale Cancel must not decrement)", s.Pending())
+	}
+	s.Run()
+	if !ran {
+		t.Error("stale Cancel killed the reused event")
+	}
+	_ = h2
+}
+
+func TestEventPoolReusesObjects(t *testing.T) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.At(float64(i), func() {})
+	}
+	s.Run()
+	if len(s.free) == 0 {
+		t.Fatal("free list empty after run")
+	}
+	// Steady state: scheduling again must draw from the pool, not allocate.
+	before := len(s.free)
+	s.At(2000, func() {})
+	if len(s.free) != before-1 {
+		t.Errorf("free list %d -> %d, want pooled reuse", before, len(s.free))
+	}
+	s.Run()
+}

@@ -1,0 +1,264 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Parallel is a conservative parallel DES built from per-shard Simulators.
+//
+// The event population is partitioned by shard (the sim layer maps one
+// topology node to one shard); each shard owns a serial Simulator and is
+// only ever executed by one goroutine at a time. Shards advance
+// independently inside lookahead windows [W, W+L) aligned to the lookahead
+// grid, where L is the minimum latency of any cross-shard interaction
+// (the sim layer derives it from the inter-node segment transit time).
+// Cross-shard messages produced inside a window are exchanged at the
+// barrier that closes it: merged in the deterministic order
+// (time, source shard, source sequence) and scheduled onto their
+// destination shards, with delivery times clamped to the window end.
+// Because every cross-shard cause is at least L ahead of its effect, a
+// shard executing window [W, W+L) can never receive a message destined for
+// a time it has already passed — messages with time >= W+L are by
+// construction safe, and the rare sub-lookahead message (only fault
+// injection produces these) is clamped to the barrier.
+//
+// Determinism is unconditional: per-shard execution is serial, window
+// boundaries depend only on event timestamps, and the barrier merge order
+// is a pure function of message content — so the result is bit-identical
+// at any worker count, including workers=1.
+type Parallel struct {
+	shards    []*Simulator
+	lookahead float64
+	workers   int
+
+	// outbox[src] collects cross-shard messages produced by shard src
+	// during the current window. Each slice is appended to only by its own
+	// shard's goroutine, so the window phase needs no locking.
+	outbox [][]crossMsg
+	// seq[src] numbers shard src's cross-shard messages for the merge
+	// tie-break.
+	seq []uint64
+
+	panicked []any
+	wg       sync.WaitGroup
+	sem      chan struct{}
+
+	// barrierHook, when set, runs single-threaded after every barrier
+	// exchange. Callers use it to observe cross-shard aggregate state (e.g.
+	// fleet completion) at a point in the window sequence that is a pure
+	// function of event timestamps, keeping such observations deterministic
+	// at any worker count.
+	barrierHook func()
+}
+
+// crossMsg is one cross-shard event in flight between windows.
+type crossMsg struct {
+	t        float64
+	src, dst int
+	seq      uint64
+	fn       func()
+}
+
+// NewParallel builds a parallel kernel with one Simulator per shard.
+// lookahead must be positive: it is the guaranteed minimum latency of any
+// cross-shard interaction. workers bounds the goroutines executing shards
+// concurrently; <= 0 means one goroutine per shard.
+func NewParallel(numShards int, lookahead float64, workers int) *Parallel {
+	if numShards < 1 {
+		panic(fmt.Sprintf("des: parallel kernel needs at least 1 shard, got %d", numShards))
+	}
+	if !(lookahead > 0) {
+		panic(fmt.Sprintf("des: parallel kernel needs a positive lookahead, got %v", lookahead))
+	}
+	if workers <= 0 || workers > numShards {
+		workers = numShards
+	}
+	p := &Parallel{
+		shards:    make([]*Simulator, numShards),
+		lookahead: lookahead,
+		workers:   workers,
+		outbox:    make([][]crossMsg, numShards),
+		seq:       make([]uint64, numShards),
+		panicked:  make([]any, numShards),
+		sem:       make(chan struct{}, workers),
+	}
+	for i := range p.shards {
+		p.shards[i] = New()
+	}
+	return p
+}
+
+// SetBarrierHook registers fn to run after every barrier exchange, on the
+// coordinating goroutine while no shard is executing. Pass nil to clear.
+func (p *Parallel) SetBarrierHook(fn func()) { p.barrierHook = fn }
+
+// Shard returns shard k's Simulator. Callers may schedule on it freely
+// before RunUntil and from within that shard's own event handlers during
+// the run; scheduling on another shard mid-run must go through ScheduleAt.
+func (p *Parallel) Shard(k int) *Simulator { return p.shards[k] }
+
+// NumShards returns the shard count.
+func (p *Parallel) NumShards() int { return len(p.shards) }
+
+// Lookahead returns the conservative synchronization horizon (s).
+func (p *Parallel) Lookahead() float64 { return p.lookahead }
+
+// ScheduleAt hands a cross-shard event from shard src (the shard whose
+// handler is currently executing) to shard dst at absolute time t. The
+// event is held in src's outbox until the barrier closing the current
+// window, then scheduled on dst at max(t, barrier time). Must only be
+// called from shard src's executing goroutine (or between runs).
+func (p *Parallel) ScheduleAt(src, dst int, t float64, fn func()) {
+	if fn == nil {
+		panic("des: nil cross-shard event function")
+	}
+	p.outbox[src] = append(p.outbox[src], crossMsg{
+		t: t, src: src, dst: dst, seq: p.seq[src], fn: fn,
+	})
+	p.seq[src]++
+}
+
+// Executed returns the total number of events executed across all shards.
+func (p *Parallel) Executed() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.executed
+	}
+	return n
+}
+
+// Pending returns the total number of live queued events across shards
+// plus cross-shard messages awaiting a barrier.
+func (p *Parallel) Pending() int {
+	n := 0
+	for _, s := range p.shards {
+		n += s.live
+	}
+	for _, box := range p.outbox {
+		n += len(box)
+	}
+	return n
+}
+
+// RunUntil advances every shard to time until, executing all events with
+// time <= until (matching the serial Simulator's inclusive RunUntil), and
+// returns the number of events executed. All shard clocks end at until.
+func (p *Parallel) RunUntil(until float64) uint64 {
+	var n uint64
+	for {
+		m := math.Inf(1)
+		for _, s := range p.shards {
+			if t, ok := s.NextTime(); ok && t < m {
+				m = t
+			}
+		}
+		if m > until {
+			break
+		}
+		// Window [W, W+L) on the lookahead grid containing the earliest
+		// event. W is a pure function of m, so the window sequence is
+		// deterministic and independent of prior window contents.
+		end := p.lookahead*math.Floor(m/p.lookahead) + p.lookahead
+		strict := true
+		if end >= until {
+			// Final window: run inclusively at the horizon, like the
+			// serial kernel. Barrier-clamped stragglers at exactly until
+			// re-enter the loop on the next iteration.
+			end = until
+			strict = false
+		}
+		n += p.runWindow(end, strict)
+		p.flush(end)
+		if p.barrierHook != nil {
+			p.barrierHook()
+		}
+	}
+	for _, s := range p.shards {
+		if until > s.now {
+			s.now = until
+		}
+	}
+	return n
+}
+
+// runWindow executes every shard up to end (exclusive when strict) and
+// advances each shard's clock to end. Shards run concurrently on up to
+// p.workers goroutines; a panic on any shard is re-raised here after all
+// shards have stopped.
+func (p *Parallel) runWindow(end float64, strict bool) uint64 {
+	counts := make([]uint64, len(p.shards))
+	if p.workers <= 1 {
+		for i, s := range p.shards {
+			counts[i] = s.runBounded(end, strict)
+			if end > s.now {
+				s.now = end
+			}
+		}
+	} else {
+		for i := range p.shards {
+			i, s := i, p.shards[i]
+			p.wg.Add(1)
+			p.sem <- struct{}{}
+			go func() {
+				defer p.wg.Done()
+				defer func() { <-p.sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						p.panicked[i] = r
+					}
+				}()
+				counts[i] = s.runBounded(end, strict)
+				if end > s.now {
+					s.now = end
+				}
+			}()
+		}
+		p.wg.Wait()
+		for _, r := range p.panicked {
+			if r != nil {
+				panic(r)
+			}
+		}
+	}
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// flush is the barrier: merge every shard's outbox in deterministic
+// (time, src, seq) order and schedule the messages on their destination
+// shards, clamping delivery to the barrier time. With a correct lookahead
+// only fault-injected sub-lookahead traffic is ever clamped; vehicle hops
+// and the like arrive with t >= barrier and keep their exact times.
+func (p *Parallel) flush(barrier float64) {
+	var msgs []crossMsg
+	for src := range p.outbox {
+		msgs = append(msgs, p.outbox[src]...)
+		p.outbox[src] = p.outbox[src][:0]
+	}
+	if len(msgs) == 0 {
+		return
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		a, b := msgs[i], msgs[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, m := range msgs {
+		t := m.t
+		if t < barrier {
+			t = barrier
+		}
+		p.shards[m.dst].At(t, m.fn)
+	}
+}

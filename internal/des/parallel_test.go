@@ -1,0 +1,173 @@
+package des
+
+import (
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelRunsShardEventsInTimeOrder(t *testing.T) {
+	p := NewParallel(3, 1.0, 0)
+	type rec struct {
+		shard int
+		t     float64
+	}
+	var got [3][]rec
+	for k := 0; k < 3; k++ {
+		k := k
+		for i := 0; i < 10; i++ {
+			tt := float64(i)*0.7 + float64(k)*0.1
+			p.Shard(k).At(tt, func() { got[k] = append(got[k], rec{k, tt}) })
+		}
+	}
+	n := p.RunUntil(100)
+	if n != 30 {
+		t.Fatalf("executed %d, want 30", n)
+	}
+	for k := 0; k < 3; k++ {
+		for i := 1; i < len(got[k]); i++ {
+			if got[k][i].t < got[k][i-1].t {
+				t.Fatalf("shard %d out of order: %v", k, got[k])
+			}
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if now := p.Shard(k).Now(); now != 100 {
+			t.Errorf("shard %d Now = %v, want 100", k, now)
+		}
+	}
+}
+
+func TestParallelCrossShardMessageKeepsItsTime(t *testing.T) {
+	// A hop scheduled a full lookahead ahead must arrive at its exact
+	// time, not the barrier.
+	p := NewParallel(2, 0.5, 0)
+	var arrived float64
+	p.Shard(0).At(0.1, func() {
+		p.ScheduleAt(0, 1, 0.1+0.73, func() { arrived = p.Shard(1).Now() })
+	})
+	p.RunUntil(10)
+	if arrived != 0.83 {
+		t.Errorf("cross-shard event ran at %v, want 0.83", arrived)
+	}
+}
+
+func TestParallelSubLookaheadMessageClampedToBarrier(t *testing.T) {
+	// A message violating the lookahead contract (possible only under
+	// fault injection) is clamped to the barrier closing its window, never
+	// delivered into a shard's past.
+	p := NewParallel(2, 1.0, 0)
+	var arrived float64
+	p.Shard(0).At(0.25, func() {
+		p.ScheduleAt(0, 1, 0.26, func() { arrived = p.Shard(1).Now() })
+	})
+	// Keep shard 1 busy so its clock is inside the same window.
+	p.Shard(1).At(0.9, func() {})
+	p.RunUntil(10)
+	if arrived != 1.0 {
+		t.Errorf("sub-lookahead event ran at %v, want the 1.0 barrier", arrived)
+	}
+}
+
+func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	// A randomized shard ping-pong workload must produce identical
+	// per-shard execution histories at any worker count.
+	run := func(workers int) [][]float64 {
+		p := NewParallel(4, 0.25, workers)
+		hist := make([][]float64, 4)
+		rng := rand.New(rand.NewSource(7))
+		var spawn func(shard int, t float64, hops int)
+		spawn = func(shard int, t float64, hops int) {
+			p.Shard(shard).At(t, func() {
+				hist[shard] = append(hist[shard], t)
+				if hops <= 0 {
+					return
+				}
+				dst := (shard + 1) % 4
+				p.ScheduleAt(shard, dst, t+0.25+0.001*float64(hops), func() {
+					hist[dst] = append(hist[dst], -t)
+					spawn(dst, p.Shard(dst).Now()+0.3, hops-1)
+				})
+			})
+		}
+		for k := 0; k < 4; k++ {
+			spawn(k, rng.Float64(), 6)
+		}
+		p.RunUntil(50)
+		return hist
+	}
+	want := run(1)
+	for _, w := range []int{2, 4} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d history differs from workers=1:\n got %v\nwant %v", w, got, want)
+		}
+	}
+}
+
+func TestParallelExecutedAndPending(t *testing.T) {
+	p := NewParallel(2, 1.0, 0)
+	p.Shard(0).At(1, func() {})
+	p.Shard(1).At(2, func() {})
+	p.Shard(1).At(20, func() {})
+	if p.Pending() != 3 {
+		t.Errorf("Pending = %d, want 3", p.Pending())
+	}
+	if n := p.RunUntil(10); n != 2 {
+		t.Errorf("executed %d, want 2", n)
+	}
+	if p.Executed() != 2 {
+		t.Errorf("Executed = %d, want 2", p.Executed())
+	}
+	if p.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", p.Pending())
+	}
+}
+
+func TestParallelInclusiveHorizon(t *testing.T) {
+	// Events at exactly the horizon run, matching serial RunUntil.
+	p := NewParallel(2, 1.0, 0)
+	var ran [2]bool
+	p.Shard(0).At(5, func() { ran[0] = true })
+	p.Shard(1).At(5, func() { ran[1] = true })
+	p.RunUntil(5)
+	if !ran[0] || !ran[1] {
+		t.Errorf("horizon events ran = %v, want both", ran)
+	}
+}
+
+func TestParallelPanicPropagates(t *testing.T) {
+	p := NewParallel(4, 1.0, 4)
+	for k := 0; k < 4; k++ {
+		p.Shard(k).At(0.5, func() {})
+	}
+	p.Shard(2).At(1.5, func() { panic("boom") })
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	p.RunUntil(10)
+}
+
+func TestParallelConcurrentShardsActuallyRun(t *testing.T) {
+	// Smoke-test the worker pool under -race: many shards hammering
+	// their own queues concurrently inside each window.
+	p := NewParallel(8, 1.0, 8)
+	var total atomic.Int64
+	for k := 0; k < 8; k++ {
+		k := k
+		var tick func()
+		tick = func() {
+			total.Add(1)
+			if p.Shard(k).Now() < 19 {
+				p.Shard(k).After(0.1, tick)
+			}
+		}
+		p.Shard(k).At(0.05*float64(k), tick)
+	}
+	p.RunUntil(20)
+	if total.Load() < 8*150 {
+		t.Errorf("only %d ticks ran", total.Load())
+	}
+}

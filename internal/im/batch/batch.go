@@ -120,7 +120,7 @@ func New(x *intersection.Intersection, cfg Config, rng *rand.Rand) (*Scheduler, 
 	}
 	buffers := cfg.Spec.ForCrossroads()
 	planLen, planWid := buffers.InflatedDims(cfg.RefLength, cfg.RefWidth)
-	table, err := intersection.BuildConflictTable(x, planLen, planWid, cfg.TableStep)
+	table, err := intersection.CachedConflictTable(x, planLen, planWid, cfg.TableStep)
 	if err != nil {
 		return nil, err
 	}

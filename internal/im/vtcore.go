@@ -118,7 +118,7 @@ func NewVTCore(name string, x *intersection.Intersection, planner VTPlanner, cfg
 		return nil, fmt.Errorf("im: reference footprint %vx%v must be positive", cfg.RefLength, cfg.RefWidth)
 	}
 	planLen, planWid := cfg.Buffers.InflatedDims(cfg.RefLength, cfg.RefWidth)
-	table, err := intersection.BuildConflictTable(x, planLen, planWid, cfg.TableStep)
+	table, err := intersection.CachedConflictTable(x, planLen, planWid, cfg.TableStep)
 	if err != nil {
 		return nil, err
 	}

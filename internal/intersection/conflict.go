@@ -3,6 +3,7 @@ package intersection
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"crossroads/internal/geom"
 )
@@ -64,6 +65,41 @@ func BuildConflictTable(x *Intersection, vehLen, vehWid, ds float64) (*ConflictT
 		}
 	}
 	return t, nil
+}
+
+// tableCache memoizes conflict tables by their full build input. The
+// geometry is a pure function of the intersection Config, and a built table
+// is immutable, so one instance can be shared across schedulers, runs, and
+// goroutines. Experiment sweeps construct the same few (config, footprint)
+// combinations hundreds of times; without the cache the SAT sweep dominates
+// whole-run cost. The cache is unbounded, but distinct keys are as rare as
+// distinct experiment geometries.
+var tableCache sync.Map // tableCacheKey -> *ConflictTable
+
+type tableCacheKey struct {
+	cfg            Config
+	vehLen, vehWid float64
+	ds             float64
+}
+
+// CachedConflictTable returns BuildConflictTable's result for x's geometry
+// and the given footprint, memoized process-wide. Schedulers use this
+// instead of rebuilding: two intersections with equal Configs have
+// identical geometry, and the returned table must not be mutated.
+func CachedConflictTable(x *Intersection, vehLen, vehWid, ds float64) (*ConflictTable, error) {
+	if ds <= 0 {
+		ds = 0.05 // normalize before keying, mirroring BuildConflictTable
+	}
+	key := tableCacheKey{cfg: x.Config(), vehLen: vehLen, vehWid: vehWid, ds: ds}
+	if v, ok := tableCache.Load(key); ok {
+		return v.(*ConflictTable), nil
+	}
+	t, err := BuildConflictTable(x, vehLen, vehWid, ds)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := tableCache.LoadOrStore(key, t)
+	return v.(*ConflictTable), nil
 }
 
 // sweepConflict samples both movements over a slightly-expanded box region

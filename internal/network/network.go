@@ -194,6 +194,22 @@ func (s *Stats) deliver(delay float64) {
 	}
 }
 
+// Add accumulates another Stats into s. The parallel kernel runs one
+// Network per shard and folds their totals into a single run-level view;
+// MaxDelay takes the maximum, everything else sums.
+func (s *Stats) Add(o Stats) {
+	s.Sent += o.Sent
+	s.Delivered += o.Delivered
+	s.Dropped += o.Dropped
+	s.Undeliverable += o.Undeliverable
+	s.Duplicated += o.Duplicated
+	s.Bytes += o.Bytes
+	s.TotalDelay += o.TotalDelay
+	if o.MaxDelay > s.MaxDelay {
+		s.MaxDelay = o.MaxDelay
+	}
+}
+
 // MeanDelay returns the average delivery latency, or 0 with no deliveries.
 func (s Stats) MeanDelay() float64 {
 	if s.Delivered == 0 {
@@ -230,6 +246,17 @@ type Injector interface {
 	OnSend(now float64, msg Message) Verdict
 }
 
+// Router forwards messages whose destination endpoint is not registered on
+// this network. The parallel kernel runs one Network per shard and installs a
+// router that chases endpoints across shards (a vehicle mid-hop has already
+// unregistered here and will re-register on its destination shard). Route
+// returns true when it accepted the message — this network then charges
+// nothing further for it; the routed copy is delivered (and counted) by the
+// destination network via DeliverRouted.
+type Router interface {
+	Route(msg Message, detail string) bool
+}
+
 // Network is a star topology: every endpoint exchanges messages through the
 // shared medium with the given delay model and loss probability.
 type Network struct {
@@ -239,6 +266,7 @@ type Network struct {
 	delay    DelayModel
 	lossProb float64
 	injector Injector
+	router   Router
 
 	handlers map[string]Handler
 	total    Stats
@@ -253,6 +281,10 @@ func (n *Network) SetTrace(rec *trace.Recorder) { n.trace = rec }
 
 // SetInjector attaches a fault injector to the Send path. nil detaches it.
 func (n *Network) SetInjector(inj Injector) { n.injector = inj }
+
+// SetRouter attaches a cross-network router consulted when a message's
+// destination has no handler here. nil detaches it.
+func (n *Network) SetRouter(r Router) { n.router = r }
 
 // New creates a network on the given simulator. delay must not be nil.
 // lossRNG feeds the loss coins and must be a stream independent of rng so
@@ -366,31 +398,59 @@ func (n *Network) Send(msg Message) float64 {
 // charging the outcome to the sender's stats. detail labels fault-injected
 // duplicate copies in the trace.
 func (n *Network) deliverAfter(msg Message, st *Stats, delay float64, detail string) {
-	n.sim.After(delay, func() {
-		h, ok := n.handlers[msg.To]
-		if !ok {
-			st.Undeliverable++
-			n.total.Undeliverable++
-			if n.trace != nil {
-				n.trace.Emit(trace.Event{
-					Kind: trace.KindMsgDrop, T: n.sim.Now(),
-					MsgKind: msg.Kind.String(), From: msg.From, To: msg.To,
-					Detail: detail,
-				})
-			}
+	n.sim.After(delay, func() { n.deliverNow(msg, st, delay, detail) })
+}
+
+// deliverNow resolves one delivery attempt at the current simulation time:
+// handler present → deliver; absent → hand to the router (if any accepts);
+// otherwise the message is undeliverable. delay is the latency charged to
+// the delivery statistics.
+func (n *Network) deliverNow(msg Message, st *Stats, delay float64, detail string) {
+	h, ok := n.handlers[msg.To]
+	if !ok {
+		if n.router != nil && n.router.Route(msg, detail) {
 			return
 		}
-		st.deliver(delay)
-		n.total.deliver(delay)
+		st.Undeliverable++
+		n.total.Undeliverable++
 		if n.trace != nil {
 			n.trace.Emit(trace.Event{
-				Kind: trace.KindMsgDeliver, T: n.sim.Now(),
-				MsgKind: msg.Kind.String(), From: msg.From, To: msg.To, Latency: delay,
+				Kind: trace.KindMsgDrop, T: n.sim.Now(),
+				MsgKind: msg.Kind.String(), From: msg.From, To: msg.To,
 				Detail: detail,
 			})
 		}
-		h(n.sim.Now(), msg)
-	})
+		return
+	}
+	st.deliver(delay)
+	n.total.deliver(delay)
+	if n.trace != nil {
+		n.trace.Emit(trace.Event{
+			Kind: trace.KindMsgDeliver, T: n.sim.Now(),
+			MsgKind: msg.Kind.String(), From: msg.From, To: msg.To, Latency: delay,
+			Detail: detail,
+		})
+	}
+	h(n.sim.Now(), msg)
+}
+
+// DeliverRouted delivers a message routed in from another network at the
+// current simulation time, charging this network's statistics with the
+// end-to-end latency now - SentAt (which includes any barrier clamping the
+// parallel kernel applied in transit). A destination missing here falls
+// through to this network's own router — the endpoint may have hopped again
+// while the message chased it — or counts as undeliverable here.
+func (n *Network) DeliverRouted(msg Message, detail string) {
+	st := n.perEP[msg.From]
+	if st == nil {
+		st = &Stats{}
+		n.perEP[msg.From] = st
+	}
+	delay := n.sim.Now() - msg.SentAt
+	if delay < 0 {
+		delay = 0
+	}
+	n.deliverNow(msg, st, delay, detail)
 }
 
 // WorstDelay returns the delay model's worst one-way latency.

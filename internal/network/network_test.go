@@ -468,3 +468,71 @@ type dupAll struct{}
 func (dupAll) OnSend(float64, Message) Verdict {
 	return Verdict{Duplicate: true, DupDelay: 0.005}
 }
+
+type chaseRouter struct {
+	dstSim *des.Simulator
+	dstNet *Network
+	routed int
+}
+
+func (r *chaseRouter) Route(msg Message, detail string) bool {
+	r.routed++
+	// Mimic the parallel kernel: hand the message to the other network and
+	// deliver it there at that network's current time.
+	msgCopy := msg
+	r.dstNet.DeliverRouted(msgCopy, detail)
+	return true
+}
+
+func TestRouterChasesUnregisteredEndpoint(t *testing.T) {
+	simA, netA := newTestNet(ConstantDelay{0.004}, 0)
+	simB, netB := newTestNet(ConstantDelay{0.004}, 0)
+	r := &chaseRouter{dstSim: simB, dstNet: netB}
+	netA.SetRouter(r)
+
+	var got []Message
+	netB.Register("veh1", func(now float64, msg Message) { got = append(got, msg) })
+	// veh1 lives on network B; a message sent on network A must be routed.
+	simB.RunUntil(0.05) // B's clock is ahead, like a shard past a barrier
+	netA.Send(Message{Kind: KindResponse, From: "im", To: "veh1"})
+	simA.Run()
+
+	if r.routed != 1 {
+		t.Fatalf("routed %d messages, want 1", r.routed)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages on B, want 1", len(got))
+	}
+	if netA.TotalStats().Undeliverable != 0 {
+		t.Errorf("routed message counted undeliverable on A: %+v", netA.TotalStats())
+	}
+	if netA.TotalStats().Sent != 1 || netA.TotalStats().Delivered != 0 {
+		t.Errorf("A stats: %+v, want Sent=1 Delivered=0", netA.TotalStats())
+	}
+	bs := netB.TotalStats()
+	if bs.Delivered != 1 {
+		t.Errorf("B stats: %+v, want Delivered=1", bs)
+	}
+	// End-to-end latency charged on B: SentAt=0 on A, delivered at B's now.
+	if bs.TotalDelay != 0.05 {
+		t.Errorf("B charged delay %v, want 0.05", bs.TotalDelay)
+	}
+}
+
+func TestRouterDecliningFallsBackToUndeliverable(t *testing.T) {
+	sim, net := newTestNet(ConstantDelay{0.001}, 0)
+	declined := 0
+	net.SetRouter(routerFunc(func(Message, string) bool { declined++; return false }))
+	net.Send(Message{Kind: KindExit, From: "veh9", To: "nobody"})
+	sim.Run()
+	if declined != 1 {
+		t.Fatalf("router consulted %d times, want 1", declined)
+	}
+	if net.TotalStats().Undeliverable != 1 {
+		t.Errorf("stats: %+v, want Undeliverable=1", net.TotalStats())
+	}
+}
+
+type routerFunc func(Message, string) bool
+
+func (f routerFunc) Route(m Message, d string) bool { return f(m, d) }

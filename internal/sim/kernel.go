@@ -1,0 +1,42 @@
+package sim
+
+import "fmt"
+
+// Kernel selects the discrete-event execution engine for a run.
+type Kernel int
+
+const (
+	// KernelSerial is the classic single event loop — the default, and the
+	// reference semantics every other kernel is validated against.
+	KernelSerial Kernel = iota
+	// KernelParallel shards the event population by topology node and runs
+	// the shards concurrently under conservative synchronization (see
+	// internal/des/parallel.go and DESIGN.md §13). It requires a multi-node
+	// topology with a positive segment length; runs that cannot provide the
+	// lookahead (single intersection, zero-length segments) fall back to the
+	// serial kernel.
+	KernelParallel
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelSerial:
+		return "serial"
+	case KernelParallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel parses a -kernel flag value.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "serial", "":
+		return KernelSerial, nil
+	case "parallel":
+		return KernelParallel, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown kernel %q (want serial or parallel)", s)
+	}
+}

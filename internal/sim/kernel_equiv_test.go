@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"crossroads/internal/fault"
+	"crossroads/internal/metrics"
+	"crossroads/internal/network"
+	"crossroads/internal/plant"
+	"crossroads/internal/topology"
+	"crossroads/internal/trace"
+	"crossroads/internal/vehicle"
+)
+
+// equivTopo builds the two reference topologies of the cross-kernel
+// equivalence suite.
+func equivTopos(t *testing.T) map[string]*topology.Topology {
+	t.Helper()
+	line3, err := topology.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid22, err := topology.Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*topology.Topology{
+		"line-3":   line3.WithSegmentLen(0.8),
+		"grid-2x2": grid22.WithSegmentLen(0.8),
+	}
+}
+
+// canonTrace returns a kernel-order-independent view of a trace: wall
+// times zeroed and events sorted by a total content key, so the serial
+// stream (global execution order) and the merged parallel stream compare
+// equal when they carry the same events.
+func canonTrace(evs []trace.Event) []trace.Event {
+	out := append([]trace.Event(nil), evs...)
+	trace.CanonicalizeWall(out)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Vehicle != b.Vehicle {
+			return a.Vehicle < b.Vehicle
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Detail != b.Detail {
+			return a.Detail < b.Detail
+		}
+		return a.Value < b.Value
+	})
+	return out
+}
+
+func recordsByID(rs []metrics.VehicleRecord) map[int64]metrics.VehicleRecord {
+	m := make(map[int64]metrics.VehicleRecord, len(rs))
+	for _, r := range rs {
+		m[r.ID] = r
+	}
+	return m
+}
+
+func closeEnough(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestParallelKernelMatchesSerial pins the cross-kernel equivalence
+// contract: in the deterministic-comparison regime (perfect clocks,
+// constant delay, no loss, no plant noise — so no result depends on which
+// RNG stream layout is in use) the parallel kernel reproduces the serial
+// kernel's per-vehicle journeys, per-node summaries, and canonicalized
+// trace on Line(3) and Grid(2,2) across multiple seeds.
+func TestParallelKernelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed equivalence sweep")
+	}
+	for name, topo := range equivTopos(t) {
+		for _, seed := range []int64{3, 5, 9} {
+			seed := seed
+			topo := topo
+			t.Run(name+"/seed-"+string(rune('0'+seed)), func(t *testing.T) {
+				t.Parallel()
+				arr := topoWorkload(t, topo, 16, seed)
+				base := []Option{
+					WithTopology(topo),
+					WithPolicy(vehicle.PolicyCrossroads),
+					WithSeed(seed),
+					WithPerfectClocks(),
+					WithDelay(network.ConstantDelay{D: 0.004}),
+				}
+				serTrace := trace.NewFull()
+				serCfg, err := NewConfig(append(base, WithTrace(serTrace))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ser, err := Run(serCfg, arr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parTrace := trace.NewFull()
+				parCfg, err := NewConfig(append(base,
+					WithTrace(parTrace), WithKernel(KernelParallel))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := Run(parCfg, arr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ser.Kernel != "serial" || par.Kernel != "parallel" {
+					t.Fatalf("kernels ran as %q/%q, want serial/parallel", ser.Kernel, par.Kernel)
+				}
+				if ser.Incomplete != 0 || par.Incomplete != 0 {
+					t.Fatalf("incomplete: serial %d, parallel %d", ser.Incomplete, par.Incomplete)
+				}
+
+				// Per-vehicle journeys must match exactly (modulo float
+				// identity; timestamps come out of identical event orders).
+				sm, pm := recordsByID(ser.Vehicles), recordsByID(par.Vehicles)
+				for id, sr := range sm {
+					pr, ok := pm[id]
+					if !ok {
+						t.Fatalf("vehicle %d missing from parallel run", id)
+					}
+					if sr.Done != pr.Done || sr.Retries != pr.Retries || sr.Movement != pr.Movement {
+						t.Errorf("vehicle %d: serial %+v != parallel %+v", id, sr, pr)
+					}
+					if !closeEnough(sr.SpawnTime, pr.SpawnTime) ||
+						!closeEnough(sr.ExitTime, pr.ExitTime) ||
+						!closeEnough(sr.FreeFlowTime, pr.FreeFlowTime) {
+						t.Errorf("vehicle %d times: serial %+v != parallel %+v", id, sr, pr)
+					}
+				}
+
+				// Aggregate summaries: integers exact, floats to summation-
+				// order tolerance.
+				if ser.Summary.Completed != par.Summary.Completed ||
+					ser.Summary.Collisions != par.Summary.Collisions ||
+					ser.Summary.BufferViolations != par.Summary.BufferViolations ||
+					ser.Summary.Messages != par.Summary.Messages ||
+					ser.Summary.SchedulerInvocations != par.Summary.SchedulerInvocations {
+					t.Errorf("summary counters differ:\nserial   %+v\nparallel %+v", ser.Summary, par.Summary)
+				}
+				if !closeEnough(ser.Summary.TotalWait, par.Summary.TotalWait) ||
+					!closeEnough(ser.Summary.MeanWait, par.Summary.MeanWait) ||
+					!closeEnough(ser.Summary.MakeSpan, par.Summary.MakeSpan) {
+					t.Errorf("summary floats differ:\nserial   %+v\nparallel %+v", ser.Summary, par.Summary)
+				}
+				if len(ser.PerNode) != len(par.PerNode) {
+					t.Fatalf("PerNode length %d != %d", len(ser.PerNode), len(par.PerNode))
+				}
+				for k := range ser.PerNode {
+					s, p := ser.PerNode[k], par.PerNode[k]
+					if s.Completed != p.Completed || s.Collisions != p.Collisions ||
+						s.BufferViolations != p.BufferViolations {
+						t.Errorf("node %d counters: serial %+v != parallel %+v", k, s, p)
+					}
+					if !closeEnough(s.TotalWait, p.TotalWait) {
+						t.Errorf("node %d wait: serial %v != parallel %v", k, s.TotalWait, p.TotalWait)
+					}
+				}
+				if ser.Network.Sent != par.Network.Sent ||
+					ser.Network.Delivered != par.Network.Delivered ||
+					ser.Network.Undeliverable != par.Network.Undeliverable {
+					t.Errorf("network stats differ:\nserial   %+v\nparallel %+v", ser.Network, par.Network)
+				}
+
+				// Canonicalized traces must be event-for-event identical.
+				se := canonTrace(serTrace.Events())
+				pe := canonTrace(parTrace.Events())
+				if len(se) != len(pe) {
+					t.Fatalf("trace lengths differ: serial %d, parallel %d", len(se), len(pe))
+				}
+				for i := range se {
+					if se[i] != pe[i] {
+						t.Fatalf("trace diverges at event %d:\nserial   %+v\nparallel %+v", i, se[i], pe[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelKernelDeterministicAcrossWorkers pins the determinism
+// contract on a fully stochastic configuration (testbed noise, drifting
+// clocks, sampled delays): the parallel kernel must produce bit-identical
+// results at any worker count.
+func TestParallelKernelDeterministicAcrossWorkers(t *testing.T) {
+	grid22, err := topology.Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := grid22.WithSegmentLen(0.8)
+	arr := topoWorkload(t, topo, 14, 11)
+	run := func(workers int) (Result, []trace.Event) {
+		rec := trace.NewFull()
+		cfg, err := NewConfig(
+			WithTopology(topo),
+			WithPolicy(vehicle.PolicyCrossroads),
+			WithSeed(11),
+			WithNoise(plant.TestbedNoise()),
+			WithKernel(KernelParallel),
+			WithKernelWorkers(workers),
+			WithTrace(rec),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kernel != "parallel" {
+			t.Fatalf("ran on %q kernel", res.Kernel)
+		}
+		evs := append([]trace.Event(nil), rec.Events()...)
+		trace.CanonicalizeWall(evs)
+		// Zero the one wall-clock (nondeterministic) summary field.
+		res.Summary.SchedulerWall = 0
+		for k := range res.PerNode {
+			res.PerNode[k].SchedulerWall = 0
+		}
+		return res, evs
+	}
+	want, wantEvs := run(1)
+	for _, workers := range []int{2, 4} {
+		got, gotEvs := run(workers)
+		if len(got.Vehicles) != len(want.Vehicles) {
+			t.Fatalf("workers=%d: %d vehicles, want %d", workers, len(got.Vehicles), len(want.Vehicles))
+		}
+		for i := range want.Vehicles {
+			if got.Vehicles[i] != want.Vehicles[i] {
+				t.Fatalf("workers=%d: vehicle record %d differs:\n got %+v\nwant %+v",
+					workers, i, got.Vehicles[i], want.Vehicles[i])
+			}
+		}
+		if got.Summary != want.Summary {
+			t.Errorf("workers=%d: summary differs:\n got %+v\nwant %+v", workers, got.Summary, want.Summary)
+		}
+		if got.Network != want.Network {
+			t.Errorf("workers=%d: network stats differ:\n got %+v\nwant %+v", workers, got.Network, want.Network)
+		}
+		if len(gotEvs) != len(wantEvs) {
+			t.Fatalf("workers=%d: trace length %d, want %d", workers, len(gotEvs), len(wantEvs))
+		}
+		for i := range wantEvs {
+			if gotEvs[i] != wantEvs[i] {
+				t.Fatalf("workers=%d: trace event %d differs:\n got %+v\nwant %+v",
+					workers, i, gotEvs[i], wantEvs[i])
+			}
+		}
+	}
+}
+
+// TestParallelBarrierStressUnderDelaySpike drives the barrier
+// synchronization through the fault layer's delay-spike scenario — the one
+// that manufactures sub-lookahead cross-shard traffic (late grants push
+// exit retransmissions across shard lines) — and checks the run stays
+// safe and deterministic. CI runs this under -race to shake out any
+// cross-shard sharing in the barrier protocol.
+func TestParallelBarrierStressUnderDelaySpike(t *testing.T) {
+	spike, ok := fault.Scenario("spike")
+	if !ok {
+		t.Fatal("spike scenario missing")
+	}
+	grid22, err := topology.Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := grid22.WithSegmentLen(0.8)
+	arr := topoWorkload(t, topo, 16, 13)
+	run := func(workers int) Result {
+		cfg, err := NewConfig(
+			WithTopology(topo),
+			WithPolicy(vehicle.PolicyCrossroads),
+			WithSeed(13),
+			WithNoise(plant.TestbedNoise()),
+			WithFaults(spike),
+			WithKernel(KernelParallel),
+			WithKernelWorkers(workers),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Summary.SchedulerWall = 0
+		for k := range res.PerNode {
+			res.PerNode[k].SchedulerWall = 0
+		}
+		return res
+	}
+	want := run(4)
+	if want.Summary.Collisions != 0 {
+		t.Errorf("collisions under spike: %d", want.Summary.Collisions)
+	}
+	if want.Stranded != 0 {
+		t.Errorf("%d vehicles stranded under spike", want.Stranded)
+	}
+	got := run(1)
+	if got.Summary != want.Summary {
+		t.Errorf("spike run not deterministic across workers:\n got %+v\nwant %+v",
+			got.Summary, want.Summary)
+	}
+}

@@ -113,6 +113,20 @@ func WithObserver(fn func(now float64, vehicles []VehicleView), every int) Optio
 	}
 }
 
+// WithKernel selects the event-execution engine. KernelParallel requires a
+// multi-node topology with positive segment length to engage; otherwise the
+// run falls back to the serial kernel.
+func WithKernel(k Kernel) Option { return func(c *Config) { c.Kernel = k } }
+
+// WithKernelWorkers bounds the parallel kernel's concurrent shard
+// executors (0 = one goroutine per shard). Results are identical at any
+// worker count.
+func WithKernelWorkers(n int) Option { return func(c *Config) { c.KernelWorkers = n } }
+
+// WithPerfectClocks zeroes every vehicle clock's offset and drift, the
+// deterministic-comparison mode used by the cross-kernel equivalence tests.
+func WithPerfectClocks() Option { return func(c *Config) { c.PerfectClocks = true } }
+
 // WithTrace attaches a structured-event recorder to the run.
 func WithTrace(rec *trace.Recorder) Option { return func(c *Config) { c.Trace = rec } }
 

@@ -106,6 +106,22 @@ type Config struct {
 	// TraceDES additionally traces every executed kernel event (the
 	// physics-tick firehose); pair it with a ring-mode recorder.
 	TraceDES bool
+	// Kernel selects the event-execution engine. The zero value is the
+	// serial kernel, bit-identical to every earlier build. KernelParallel
+	// shards by topology node; single-node or zero-segment-length runs fall
+	// back to serial (there is no lookahead to exploit).
+	Kernel Kernel
+	// KernelWorkers bounds the parallel kernel's concurrent shard
+	// executors; 0 means one goroutine per shard. The result is identical
+	// at any worker count. Setting it with the serial kernel is rejected.
+	KernelWorkers int
+	// PerfectClocks forces every vehicle clock to zero offset and drift
+	// (overriding the defaulted error bounds) without perturbing RNG stream
+	// consumption. The cross-kernel equivalence tests use it: with clock
+	// error, plant noise, loss, and randomized delay all disabled, the
+	// parallel kernel's per-vehicle results match the serial kernel's
+	// exactly. Contradicts explicit nonzero WithClockError bounds.
+	PerfectClocks bool
 
 	// validated is set by NewConfig so Run skips re-validation. Configs
 	// built as struct literals leave it false and are validated by Run.
@@ -150,6 +166,22 @@ func (cfg Config) Validate() error {
 	if cfg.TraceDES && cfg.Trace == nil {
 		return fmt.Errorf("sim: TraceDES requires a Trace recorder")
 	}
+	if cfg.Kernel != KernelSerial && cfg.Kernel != KernelParallel {
+		return fmt.Errorf("sim: unknown kernel %v", cfg.Kernel)
+	}
+	if cfg.KernelWorkers < 0 {
+		return fmt.Errorf("sim: negative KernelWorkers %d", cfg.KernelWorkers)
+	}
+	if cfg.KernelWorkers != 0 && cfg.Kernel != KernelParallel {
+		return fmt.Errorf("sim: KernelWorkers=%d set for the %v kernel", cfg.KernelWorkers, cfg.Kernel)
+	}
+	if cfg.Kernel == KernelParallel && cfg.Observer != nil {
+		return fmt.Errorf("sim: Observer callbacks are serial-kernel only (no global tick exists under the parallel kernel)")
+	}
+	if cfg.PerfectClocks && (cfg.ClockMaxOffset > 0 || cfg.ClockMaxDriftPPM > 0) {
+		return fmt.Errorf("sim: PerfectClocks contradicts explicit clock error bounds (offset=%v, drift=%v ppm)",
+			cfg.ClockMaxOffset, cfg.ClockMaxDriftPPM)
+	}
 	if o := cfg.AgentOverrides; o != nil && o.MaxTimeout > 0 && o.MaxTimeout < o.ResponseTimeout {
 		return fmt.Errorf("sim: AgentOverrides.MaxTimeout %v below ResponseTimeout %v would shrink, not grow, backoff",
 			o.MaxTimeout, o.ResponseTimeout)
@@ -185,7 +217,10 @@ type VehicleView struct {
 
 // Result is the outcome of one run.
 type Result struct {
-	Policy  string
+	Policy string
+	// Kernel names the engine that actually executed the run ("serial" or
+	// "parallel") — a parallel request that fell back reports "serial".
+	Kernel  string
 	Summary metrics.Summary
 	Network network.Stats
 	// Vehicles holds the end-to-end journey records in arrival order.
@@ -246,6 +281,18 @@ func (v *vehState) lastLeg() bool { return v.leg == len(v.legs)-1 }
 // Run executes one full simulation of the workload under the configured
 // policy and returns the aggregated result.
 func Run(cfg Config, arrivals []traffic.Arrival) (Result, error) {
+	if cfg.Kernel == KernelParallel {
+		// The parallel kernel needs a lookahead: a multi-node topology with
+		// a positive inter-node segment length. Anything else falls back to
+		// the serial kernel (Result.Kernel reports what actually ran).
+		if cfg.Topology != nil && cfg.Topology.NumNodes() > 1 && cfg.Topology.SegmentLen() > 0 {
+			w, err := newPWorld(cfg, arrivals)
+			if err != nil {
+				return Result{}, err
+			}
+			return w.run()
+		}
+	}
 	w, err := newWorld(cfg, arrivals)
 	if err != nil {
 		return Result{}, err
@@ -289,6 +336,19 @@ type world struct {
 	debug bool
 	// views is the reusable observer snapshot buffer.
 	views []VehicleView
+
+	// Parallel-kernel fields; nil/zero on serial runs. Each shard of a
+	// parallel run is one world scoped to a single topology node: pw links
+	// back to the orchestrator, shardIdx is this shard's node, born keeps
+	// every vehicle that spawned here (active drops vehicles mid-hop, so
+	// end-of-run classification needs its own list), and departed records
+	// where each hopped-away vehicle endpoint went so the network router
+	// can chase V2I traffic across shards. departed is written and read
+	// only by this shard's goroutine.
+	pw       *pworld
+	shardIdx int
+	born     []*vehState
+	departed map[string]int
 }
 
 func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
@@ -323,6 +383,13 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 	}
 	if cfg.ClockMaxDriftPPM <= 0 {
 		cfg.ClockMaxDriftPPM = 20
+	}
+	if cfg.PerfectClocks {
+		// Zero bounds, applied after defaulting: NewRandomClock still draws
+		// its two uniforms per vehicle (stream consumption is unchanged) but
+		// every clock comes out with zero offset and drift.
+		cfg.ClockMaxOffset = 0
+		cfg.ClockMaxDriftPPM = 0
 	}
 	if cfg.CollisionEvery <= 0 {
 		cfg.CollisionEvery = 2
@@ -552,6 +619,7 @@ func (w *world) run() (Result, error) {
 	}
 	return Result{
 		Policy:          w.nodes[0].server.Scheduler().Name(),
+		Kernel:          KernelSerial.String(),
 		Summary:         w.col.Summarize(),
 		Network:         st,
 		Vehicles:        vehicles,
@@ -650,6 +718,9 @@ func (w *world) spawn(a traffic.Arrival) {
 	vs.nrec = nrec
 
 	w.active = append(w.active, vs)
+	if w.pw != nil {
+		w.born = append(w.born, vs)
+	}
 	agent.Start()
 }
 
@@ -661,6 +732,13 @@ func (w *world) beginTransit(v *vehState) {
 	eta, vArr, _ := kinematics.EarliestArrival(0, w.topo.SegmentLen(), v.plant.V(), v.plant.Params)
 	v.legArrive = w.sim.Now() + eta
 	v.legSpeed = vArr
+	if w.pw != nil {
+		// Cross-shard hop: the transit time is at least the kernel lookahead
+		// (eta >= SegmentLen/maxSpeed), so the arrival event clears the
+		// conservative synchronization contract and lands at its exact time.
+		w.pw.hop(w, v)
+		return
+	}
 	w.sim.After(eta, func() { w.enterLeg(v) })
 }
 
@@ -709,6 +787,13 @@ func (w *world) enterLeg(v *vehState) {
 			Detail: m.ID.String(), Value: speed,
 		})
 	}
+	if w.pw != nil {
+		// The vehicle arrives from another shard: adopt it into this shard's
+		// active population and rebind its agent to this shard's kernel,
+		// network, and recorder before the protocol restarts.
+		w.active = append(w.active, v)
+		v.agent.Rebind(w.sim, w.net, w.cfg.Trace)
+	}
 	v.agent.BeginLeg(m, pl, im.NodeEndpoint(node), node)
 }
 
@@ -736,10 +821,17 @@ func (w *world) queueTail(node int, mv intersection.MovementID) *vehState {
 // same topology node.
 func (w *world) leaderFor(self *vehState) vehicle.LeaderFunc {
 	return func() (vehicle.LeaderInfo, bool) {
+		// Under the parallel kernel the vehicle migrates between shard
+		// worlds; resolve the active list through its *current* node (the
+		// closure only ever runs on the owning shard's goroutine).
+		aw := w
+		if w.pw != nil {
+			aw = w.pw.shards[self.node]
+		}
 		sSelf := self.plant.S()
 		best := vehicle.LeaderInfo{Gap: math.Inf(1)}
 		found := false
-		for _, o := range w.active {
+		for _, o := range aw.active {
 			if o == self || o.gone || o.transit || o.node != self.node {
 				continue
 			}
@@ -850,9 +942,17 @@ func (w *world) step(dt float64) {
 				v.gone = true
 				v.jrec.Retries = v.agent.Retries
 				v.agent.Stop()
+				if w.pw != nil {
+					w.pw.remaining.Add(-1)
+				}
 				continue
 			}
 			w.beginTransit(v)
+			if w.pw != nil {
+				// The vehicle now belongs to its destination shard; its
+				// arrival there re-adds it to that shard's active list.
+				continue
+			}
 		}
 		kept = append(kept, v)
 	}

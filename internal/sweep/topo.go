@@ -41,11 +41,19 @@ type TopoConfig struct {
 	TraceFull bool
 	// TraceDES additionally records the kernel event firehose per cell.
 	TraceDES bool
+	// Kernel selects the event-execution engine for every cell (serial by
+	// default; parallel shards by topology node and falls back to serial on
+	// single-node or zero-segment-length topologies).
+	Kernel sim.Kernel
 }
 
 // TopoCell is one policy's outcome over the topology.
 type TopoCell struct {
 	Policy string
+	// Kernel names the engine that actually executed the cell ("serial" or
+	// "parallel" — a parallel request can fall back on degenerate
+	// topologies).
+	Kernel string
 	// Journey aggregates end-to-end (route-level) records.
 	Journey metrics.Summary
 	// PerNode holds each intersection's own crossing summary.
@@ -116,6 +124,7 @@ func RunTopology(cfg TopoConfig) (TopoResult, error) {
 			sim.WithSeed(cfg.Seed),
 			sim.WithIntersection(interCfg),
 			sim.WithSpec(spec),
+			sim.WithKernel(cfg.Kernel),
 		}
 		if cfg.Noisy {
 			opts = append(opts, sim.WithNoise(plant.TestbedNoise()))
@@ -138,6 +147,7 @@ func RunTopology(cfg TopoConfig) (TopoResult, error) {
 		}
 		res.Cells[pi] = TopoCell{
 			Policy:     out.Policy,
+			Kernel:     out.Kernel,
 			Journey:    out.Summary,
 			PerNode:    out.PerNode,
 			Incomplete: out.Incomplete,
