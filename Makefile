@@ -60,14 +60,15 @@ chaos-demo:
 	$(GO) run ./cmd/tracecheck chaos-demo.jsonl
 	@rm -f chaos-demo.jsonl
 
-## serve-demo boots the IM service on a Unix socket, drives it with a
-## short closed-loop load burst, and drains it on SIGTERM. loadgen exits
-## non-zero on any decode error, protocol error, or dropped connection,
-## so the target doubles as the serve-mode acceptance gate.
+## serve-demo is the serve-mode acceptance gate, in two acts. First a
+## single-intersection server takes a closed-loop v1 burst; then a 2x2
+## sharded server takes a v2 grid run of routed multi-leg journeys. In
+## both, loadgen exits non-zero on any decode error, protocol error, or
+## dropped connection.
 serve-demo:
 	$(GO) build -o serve-demo-bin ./cmd/crossroads-serve
 	$(GO) build -o loadgen-demo-bin ./cmd/loadgen
-	@rm -f serve-demo.sock
+	@rm -f serve-demo.sock serve-grid.sock
 	@set -e; \
 	./serve-demo-bin -uds ./serve-demo.sock & \
 	SERVE_PID=$$!; \
@@ -76,7 +77,16 @@ serve-demo:
 	STATUS=$$?; \
 	kill -TERM $$SERVE_PID; \
 	wait $$SERVE_PID || true; \
-	rm -f serve-demo-bin loadgen-demo-bin serve-demo.sock; \
+	if [ $$STATUS -eq 0 ]; then \
+		./serve-demo-bin -uds ./serve-grid.sock -grid 2x2 -seglen 3 & \
+		SERVE_PID=$$!; \
+		sleep 1; \
+		./loadgen-demo-bin -addr ./serve-grid.sock -grid 2x2 -conns 4 -rate 1 -duration 5s; \
+		STATUS=$$?; \
+		kill -TERM $$SERVE_PID; \
+		wait $$SERVE_PID || true; \
+	fi; \
+	rm -f serve-demo-bin loadgen-demo-bin serve-demo.sock serve-grid.sock; \
 	exit $$STATUS
 
 vet:

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"crossroads/internal/cliflags"
 	"crossroads/internal/im"
 	"crossroads/internal/protocol"
 	"crossroads/internal/server"
@@ -41,8 +42,17 @@ func main() {
 		maxConns  = flag.Int("max-conns", 0, "concurrent connection limit (0 = default)")
 		traceOut  = flag.String("trace", "", "write connection-lifecycle trace JSONL to this file on exit")
 		drainWait = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for connections to drain")
+		corridor  = flag.Int("corridor", 0, "serve an N-intersection east-west corridor: one IM shard per node, routed by v2 batch frames")
+		gridArg   = flag.String("grid", "", "serve an RxC Manhattan grid (e.g. 2x2): one IM shard per node, routed by v2 batch frames")
+		segLen    = flag.Float64("seglen", 0, "road between adjacent intersections (m), advertised to v2 clients in the topology frame")
 	)
 	flag.Parse()
+
+	topoFlags := cliflags.Topology{Corridor: *corridor, Grid: *gridArg, SegLen: *segLen}
+	topo, err := topoFlags.Build()
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	var clockMode protocol.ClockMode
 	switch *clock {
@@ -76,6 +86,7 @@ func main() {
 		SendQueue: *sendQueue,
 		MaxConns:  *maxConns,
 		Trace:     rec,
+		Topology:  topo,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -100,8 +111,8 @@ func main() {
 	if err := s.Start(); err != nil {
 		fatalf("start: %v", err)
 	}
-	fmt.Printf("crossroads-serve: policy=%s geometry=%s clock=%s seed=%d protocol=v%d\n",
-		*policy, geo, clockMode, *seed, protocol.MaxVersion)
+	fmt.Printf("crossroads-serve: policy=%s geometry=%s clock=%s seed=%d protocol=v%d shards=%d\n",
+		*policy, geo, clockMode, *seed, protocol.MaxVersion, s.NumShards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

@@ -45,6 +45,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
 		os.Exit(1)
 	}
+	if common.KernelStrict && kernel != sim.KernelParallel {
+		fmt.Fprintln(os.Stderr, "crossroads-sim: -kernel-strict requires -kernel parallel")
+		os.Exit(1)
+	}
 
 	if *faults != "" {
 		if topoFlags.Corridor != 0 || topoFlags.Grid != "" {
@@ -71,11 +75,15 @@ func main() {
 		os.Exit(1)
 	}
 	if topo != nil {
-		runTopology(topo, topoFlags.Rate, *n, seed, workers, kernel,
+		runTopology(topo, topoFlags.Rate, *n, seed, workers, kernel, common.KernelStrict,
 			*scaleModel, *noisy, *withBatch, csv, tracePath, traceDES)
 		return
 	}
 	if kernel == sim.KernelParallel {
+		if common.KernelStrict {
+			fmt.Fprintln(os.Stderr, "crossroads-sim: -kernel parallel cannot engage: the single-intersection sweep has no topology shards (-kernel-strict)")
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "crossroads-sim: note: -kernel parallel needs a -corridor/-grid topology; the single-intersection sweep runs serial")
 	}
 
@@ -171,16 +179,17 @@ func runFaultMatrix(spec string, seed int64, workers int, csv bool, tracePath st
 }
 
 func runTopology(topo *topology.Topology, rate float64, n int, seed int64, workers int,
-	kernel sim.Kernel, scaleModel, noisy, withBatch, csv bool, tracePath string, traceDES bool) {
+	kernel sim.Kernel, kernelStrict bool, scaleModel, noisy, withBatch, csv bool, tracePath string, traceDES bool) {
 	cfg := sweep.TopoConfig{
-		Topology:    topo,
-		Rate:        rate,
-		NumVehicles: n,
-		Seed:        seed,
-		Workers:     workers,
-		ScaleModel:  scaleModel,
-		Noisy:       noisy,
-		Kernel:      kernel,
+		Topology:     topo,
+		Rate:         rate,
+		NumVehicles:  n,
+		Seed:         seed,
+		Workers:      workers,
+		ScaleModel:   scaleModel,
+		Noisy:        noisy,
+		Kernel:       kernel,
+		KernelStrict: kernelStrict,
 	}
 	if withBatch {
 		cfg.Policies = []vehicle.Policy{

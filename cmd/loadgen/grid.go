@@ -1,0 +1,322 @@
+// Grid mode: drive routed multi-leg journeys across a sharded
+// crossroads-serve over protocol v2. One multiplexed connection carries
+// traffic for every intersection — requests ride in Batch frames tagged
+// with the target node, replies come back coalesced in BatchReply frames.
+// Arrivals are open loop (Poisson per boundary entry lane, injected on the
+// wall clock); each journey then walks its route leg by leg as grants and
+// acks come back: request → grant → exit → ack per node.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"crossroads/internal/intersection"
+	"crossroads/internal/protocol"
+	"crossroads/internal/topology"
+	"crossroads/internal/traffic"
+)
+
+// sendBatch writes one injectable frame as a single-item v2 Batch frame
+// addressed to a topology node.
+func (s *session) sendBatch(node uint32, f protocol.Frame) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.batchSeq++
+	return s.w.WriteFrame(protocol.Batch{
+		Seq:   s.batchSeq,
+		Items: []protocol.BatchItem{{Node: node, F: f}},
+	})
+}
+
+// connectGrid dials and negotiates protocol v2: full-window Hello, Welcome,
+// the Topo advertisement, then one NTP exchange (whose SyncReply arrives
+// wrapped in a BatchReply — v2 servers coalesce every reply).
+func connectGrid(addr, label string) (*session, protocol.Topo, error) {
+	nc, err := dial(addr)
+	if err != nil {
+		return nil, protocol.Topo{}, err
+	}
+	fail := func(err error) (*session, protocol.Topo, error) {
+		nc.Close()
+		return nil, protocol.Topo{}, err
+	}
+	s := &session{nc: nc, r: protocol.NewReader(nc), w: protocol.NewWriter(nc), epoch: time.Now()}
+	if err := s.send(protocol.Hello{
+		MinVersion: protocol.MinVersion, MaxVersion: protocol.MaxVersion,
+		Clock: protocol.ClockWall, Client: label,
+	}); err != nil {
+		return fail(err)
+	}
+	f, err := s.r.ReadFrame()
+	if err != nil {
+		return fail(err)
+	}
+	welcome, ok := f.(protocol.Welcome)
+	if !ok {
+		return fail(fmt.Errorf("handshake refused: %#v", f))
+	}
+	if welcome.Version < protocol.Version2 {
+		return fail(fmt.Errorf("grid mode needs protocol v2, server negotiated v%d", welcome.Version))
+	}
+	tf, err := s.r.ReadFrame()
+	if err != nil {
+		return fail(err)
+	}
+	topo, ok := tf.(protocol.Topo)
+	if !ok {
+		return fail(fmt.Errorf("expected topology advertisement after v2 welcome, got %#v", tf))
+	}
+	geo, err := newGeometryWorld(welcome.Geometry)
+	if err != nil {
+		return fail(err)
+	}
+	s.geo = geo
+	// One NTP exchange: offset = ((T2-T1)+(T3-T4))/2.
+	t1 := s.localNow()
+	if err := s.send(protocol.Sync{VehicleID: 0, T1: t1}); err != nil {
+		return fail(err)
+	}
+	sr, err := s.readSyncReply()
+	if err != nil {
+		return fail(err)
+	}
+	t4 := s.localNow()
+	s.offset = ((sr.T2 - t1) + (sr.T3 - t4)) / 2
+	return s, topo, nil
+}
+
+// readSyncReply reads frames until a SyncReply appears, unwrapping
+// BatchReply coalescing.
+func (s *session) readSyncReply() (protocol.SyncReply, error) {
+	for {
+		f, err := s.r.ReadFrame()
+		if err != nil {
+			return protocol.SyncReply{}, err
+		}
+		switch v := f.(type) {
+		case protocol.SyncReply:
+			return v, nil
+		case protocol.BatchReply:
+			for _, it := range v.Items {
+				if sr, ok := it.F.(protocol.SyncReply); ok {
+					return sr, nil
+				}
+			}
+		case protocol.Error:
+			return protocol.SyncReply{}, fmt.Errorf("server error %d: %s", v.Code, v.Msg)
+		}
+	}
+}
+
+// journey is one vehicle's multi-leg route, advanced by the reply handler
+// as grants and acks come back. Guarded by its connection's gridConn.mu.
+type journey struct {
+	id    int64
+	legs  []topology.Leg
+	turns []intersection.Turn // turns[k] crosses legs[k]
+	lane  int
+	speed float64
+	leg   int // index of the leg currently being requested/crossed
+	tries int // reject-retry count on the current leg
+	req   protocol.Request
+	t0    time.Time // when the current leg's request went out
+}
+
+// gridConn is one v2 connection plus the journeys currently in flight on
+// it.
+type gridConn struct {
+	s        *session
+	mu       sync.Mutex
+	inflight map[int64]*journey
+}
+
+// runGrid drives routed journeys across a sharded server. gridArg is the
+// RxC the user asked for; the server's Topo advertisement must match.
+func runGrid(addr string, n int, gridArg string, rate float64, d time.Duration, seed int64, res *results) error {
+	var wantR, wantC int
+	if _, err := fmt.Sscanf(gridArg, "%dx%d", &wantR, &wantC); err != nil {
+		return fmt.Errorf("-grid wants RxC (e.g. 2x2), got %q", gridArg)
+	}
+
+	conns := make([]*gridConn, n)
+	var adv protocol.Topo
+	for i := range conns {
+		s, t, err := connectGrid(addr, fmt.Sprintf("loadgen-grid-%d", i))
+		if err != nil {
+			return err
+		}
+		defer s.nc.Close()
+		s.nc.SetDeadline(time.Now().Add(d + 30*time.Second))
+		conns[i] = &gridConn{s: s, inflight: make(map[int64]*journey)}
+		adv = t
+	}
+	if int(adv.Rows) != wantR || int(adv.Cols) != wantC {
+		return fmt.Errorf("server serves a %dx%d grid, -grid asked for %dx%d",
+			adv.Rows, adv.Cols, wantR, wantC)
+	}
+	topo, err := topology.Grid(wantR, wantC)
+	if err != nil {
+		return err
+	}
+	topo = topo.WithSegmentLen(adv.SegmentLen)
+
+	// Workload: the same routed-Poisson generator the DES harness uses,
+	// fleet sized to the expected arrivals over the run.
+	geo := conns[0].s.geo
+	lanes := geo.x.Config().LanesPerRoad
+	entryLanes := len(topo.EntryPoints()) * lanes
+	fleet := int(rate*float64(entryLanes)*d.Seconds() + 0.5)
+	if fleet < 1 {
+		fleet = 1
+	}
+	arrivals, err := traffic.PoissonRoutes(traffic.PoissonConfig{
+		Rate:         rate,
+		NumVehicles:  fleet,
+		LanesPerRoad: lanes,
+		Mix:          traffic.DefaultTurnMix(),
+		Params:       geo.params,
+	}, topo, 0, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	for _, gc := range conns {
+		gc := gc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gc.readLoop(res)
+		}()
+	}
+
+	start := time.Now()
+	res.setDeadline(start.Add(d))
+	for k, a := range arrivals {
+		at := start.Add(time.Duration(a.Time * float64(time.Second)))
+		if at.After(start.Add(d)) {
+			break
+		}
+		time.Sleep(time.Until(at))
+		gc := conns[k%n]
+		turns := append([]intersection.Turn{a.Movement.Turn}, a.OnwardTurns...)
+		legs := topo.Route(topology.NodeID(a.Node), a.Movement.Approach, turns)
+		if len(legs) == 0 {
+			continue
+		}
+		j := &journey{
+			id:    a.ID,
+			legs:  legs,
+			turns: turns,
+			lane:  a.Movement.Lane,
+			speed: a.Speed,
+		}
+		mid := intersection.MovementID{Approach: legs[0].Approach, Lane: j.lane, Turn: turns[0]}
+		j.req = gc.s.buildRequest(j.id, 1, mid, j.speed)
+		j.t0 = time.Now()
+		gc.mu.Lock()
+		gc.inflight[j.id] = j
+		gc.mu.Unlock()
+		if err := gc.s.sendBatch(uint32(legs[0].Node), j.req); err != nil {
+			res.count(&res.dropped)
+			break
+		}
+	}
+	// Grace period for journeys still walking their routes; grants landing
+	// past the deadline count as late, not as samples, so this cannot skew
+	// the tail.
+	time.Sleep(2 * time.Second)
+	for _, gc := range conns {
+		gc.s.send(protocol.Bye{Reason: "loadgen done"})
+		gc.s.nc.Close()
+	}
+	wg.Wait()
+	return nil
+}
+
+// readLoop dispatches one connection's reply stream until it closes.
+func (gc *gridConn) readLoop(res *results) {
+	for {
+		f, err := gc.s.r.ReadFrame()
+		if err != nil {
+			return // deadline or close ends the reader
+		}
+		switch v := f.(type) {
+		case protocol.BatchReply:
+			for _, it := range v.Items {
+				gc.handleReply(it.Node, it.F, res)
+			}
+		case protocol.Error:
+			res.count(&res.protoErrs)
+			return
+		}
+	}
+}
+
+// handleReply advances the journey a reply belongs to: a grant releases the
+// exit report, an ack moves the journey to its next leg (or completes it).
+func (gc *gridConn) handleReply(node uint32, f protocol.Frame, res *results) {
+	switch v := f.(type) {
+	case protocol.Grant:
+		gc.mu.Lock()
+		j := gc.inflight[v.VehicleID]
+		if j == nil || uint32(j.legs[j.leg].Node) != node {
+			gc.mu.Unlock()
+			return
+		}
+		if v.RespKind == uint8(3) { // reject (AIM): propose a later slot
+			j.tries++
+			if j.tries > 8 {
+				delete(gc.inflight, v.VehicleID)
+				gc.mu.Unlock()
+				res.count(&res.rejects)
+				return
+			}
+			j.req.Seq++
+			j.req.ProposedToA += 0.25
+			j.req.TransmitTime = gc.s.serverNow()
+			req := j.req
+			gc.mu.Unlock()
+			res.count(&res.rejects)
+			gc.s.sendBatch(node, req)
+			return
+		}
+		t0 := j.t0
+		gc.mu.Unlock()
+		res.observeAt(time.Since(t0).Seconds(), time.Now())
+		exitAt := v.ArriveAt
+		if exitAt <= 0 {
+			exitAt = gc.s.serverNow()
+		}
+		gc.s.sendBatch(node, protocol.Exit{VehicleID: v.VehicleID, ExitTimestamp: exitAt})
+	case protocol.Ack:
+		gc.mu.Lock()
+		j := gc.inflight[v.VehicleID]
+		if j == nil || uint32(j.legs[j.leg].Node) != node {
+			gc.mu.Unlock()
+			return
+		}
+		j.leg++
+		j.tries = 0
+		if j.leg >= len(j.legs) {
+			delete(gc.inflight, v.VehicleID)
+			gc.mu.Unlock()
+			res.mu.Lock()
+			res.exits++
+			res.journeys++
+			res.mu.Unlock()
+			return
+		}
+		leg := j.legs[j.leg]
+		mid := intersection.MovementID{Approach: leg.Approach, Lane: j.lane, Turn: j.turns[j.leg]}
+		j.req = gc.s.buildRequest(j.id, 1, mid, j.speed)
+		j.t0 = time.Now()
+		req := j.req
+		gc.mu.Unlock()
+		res.count(&res.exits)
+		gc.s.sendBatch(uint32(leg.Node), req)
+	}
+}

@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -21,6 +23,7 @@ import (
 
 	"crossroads/internal/intersection"
 	"crossroads/internal/kinematics"
+	"crossroads/internal/metrics"
 	"crossroads/internal/protocol"
 	"crossroads/internal/trace"
 	"crossroads/internal/traffic"
@@ -30,10 +33,12 @@ func main() {
 	var (
 		addr     = flag.String("addr", "", "server address: host:port, or a Unix socket path (contains '/')")
 		mode     = flag.String("mode", "closed", "closed (fixed concurrency) or open (Poisson arrivals)")
+		grid     = flag.String("grid", "", "drive routed multi-leg journeys across an RxC sharded server (e.g. 2x2) over protocol v2, open loop; overrides -mode")
 		conns    = flag.Int("conns", 4, "number of connections")
 		rate     = flag.Float64("rate", 0.5, "open loop: arrivals per second per entry lane")
 		duration = flag.Duration("duration", 30*time.Second, "how long to generate load")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		benchOut = flag.String("bench-out", "", "write the run's aggregate stats as a BENCH_*.json benchmark report")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -41,10 +46,14 @@ func main() {
 	}
 	var res results
 	var err error
-	switch *mode {
-	case "closed":
+	label := *mode
+	switch {
+	case *grid != "":
+		label = "grid-" + *grid
+		err = runGrid(*addr, *conns, *grid, *rate, *duration, *seed, &res)
+	case *mode == "closed":
 		err = runClosed(*addr, *conns, *duration, *seed, &res)
-	case "open":
+	case *mode == "open":
 		err = runOpen(*addr, *conns, *rate, *duration, *seed, &res)
 	default:
 		fatalf("unknown mode %q", *mode)
@@ -53,6 +62,12 @@ func main() {
 		fatalf("%v", err)
 	}
 	res.report(os.Stdout, *duration)
+	if *benchOut != "" {
+		if err := res.writeBench(*benchOut, "loadgen-"+label, *duration); err != nil {
+			fatalf("bench report: %v", err)
+		}
+		fmt.Printf("loadgen: benchmark report written to %s\n", *benchOut)
+	}
 	if res.decodeErrs > 0 || res.protoErrs > 0 || res.dropped > 0 {
 		os.Exit(1)
 	}
@@ -77,28 +92,48 @@ type results struct {
 	grants     int
 	rejects    int
 	exits      int
+	journeys   int // completed multi-leg routes (grid mode)
 	decodeErrs int
 	protoErrs  int
 	dropped    int // connections that died mid-run
+	late       int // grants past the run deadline: counted, never sampled
 	samples    []float64
+	// deadline cuts the latency histogram: a grant observed after it is
+	// still a grant, but its latency would measure the drain grace period
+	// rather than steady-state service, so it lands in late instead of
+	// samples. Zero means no cutoff.
+	deadline time.Time
 }
 
-func (r *results) observe(lat float64) {
+func (r *results) setDeadline(t time.Time) {
 	r.mu.Lock()
-	r.grants++
-	r.samples = append(r.samples, lat)
+	r.deadline = t
 	r.mu.Unlock()
 }
 
-func (r *results) report(w *os.File, d time.Duration) {
+// observeAt records a grant whose reply arrived at the given wall time.
+func (r *results) observeAt(lat float64, at time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	fmt.Fprintf(w, "loadgen: grants=%d rejects=%d exits=%d decode_errors=%d protocol_errors=%d dropped_conns=%d\n",
-		r.grants, r.rejects, r.exits, r.decodeErrs, r.protoErrs, r.dropped)
-	fmt.Fprintf(w, "loadgen: sustained %.1f req/s over %s\n",
-		float64(r.grants)/d.Seconds(), d)
-	if len(r.samples) == 0 {
+	r.grants++
+	if !r.deadline.IsZero() && at.After(r.deadline) {
+		r.late++
 		return
+	}
+	r.samples = append(r.samples, lat)
+}
+
+func (r *results) count(field *int) {
+	r.mu.Lock()
+	*field++
+	r.mu.Unlock()
+}
+
+// percentiles returns (p50, p90, p99, max) over the recorded samples.
+// Callers must hold mu. ok is false when nothing was sampled.
+func (r *results) percentiles() (p50, p90, p99, max float64, ok bool) {
+	if len(r.samples) == 0 {
+		return 0, 0, 0, 0, false
 	}
 	sorted := append([]float64(nil), r.samples...)
 	sort.Float64s(sorted)
@@ -106,8 +141,25 @@ func (r *results) report(w *os.File, d time.Duration) {
 		i := int(p * float64(len(sorted)-1))
 		return sorted[i]
 	}
+	return pct(0.50), pct(0.90), pct(0.99), sorted[len(sorted)-1], true
+}
+
+func (r *results) report(w io.Writer, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(w, "loadgen: grants=%d rejects=%d exits=%d decode_errors=%d protocol_errors=%d dropped_conns=%d late_replies=%d\n",
+		r.grants, r.rejects, r.exits, r.decodeErrs, r.protoErrs, r.dropped, r.late)
+	if r.journeys > 0 {
+		fmt.Fprintf(w, "loadgen: journeys completed=%d\n", r.journeys)
+	}
+	fmt.Fprintf(w, "loadgen: sustained %.1f req/s over %s\n",
+		float64(r.grants)/d.Seconds(), d)
+	p50, p90, p99, max, ok := r.percentiles()
+	if !ok {
+		return
+	}
 	fmt.Fprintf(w, "loadgen: grant latency p50=%.3fms p90=%.3fms p99=%.3fms max=%.3fms\n",
-		pct(0.50)*1000, pct(0.90)*1000, pct(0.99)*1000, sorted[len(sorted)-1]*1000)
+		p50*1000, p90*1000, p99*1000, max*1000)
 	h := trace.Histogram{
 		Bounds: []float64{0.0001, 0.0002, 0.0005, 0.001, 0.002, 0.005, 0.010, 0.020, 0.050, 0.100},
 	}
@@ -116,6 +168,47 @@ func (r *results) report(w *os.File, d time.Duration) {
 		h.Observe(s)
 	}
 	fmt.Fprintf(w, "loadgen: grant latency histogram:\n%s", h.Render("  "))
+}
+
+// writeBench serializes the run's aggregate stats as a committed benchmark
+// artifact: grant throughput plus the deadline-cut latency tail.
+func (r *results) writeBench(path, label string, d time.Duration) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var meanNs float64
+	for _, s := range r.samples {
+		meanNs += s * 1e9
+	}
+	if len(r.samples) > 0 {
+		meanNs /= float64(len(r.samples))
+	}
+	p50, p90, p99, max, _ := r.percentiles()
+	rep := metrics.BenchReport{
+		Label:  label,
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Metrics: []metrics.BenchMetric{{
+			Name:    "GrantLatency",
+			NsPerOp: meanNs,
+			N:       len(r.samples),
+			Extra: map[string]float64{
+				"grants_per_s": float64(r.grants) / d.Seconds(),
+				"p50_ms":       p50 * 1000,
+				"p90_ms":       p90 * 1000,
+				"p99_ms":       p99 * 1000,
+				"max_ms":       max * 1000,
+				"grants":       float64(r.grants),
+				"exits":        float64(r.exits),
+				"journeys":     float64(r.journeys),
+				"late_replies": float64(r.late),
+			},
+		}},
+		Notes: []string{
+			"loadgen aggregate: latency percentiles cover only replies received before the run deadline (late_replies arrived after it)",
+		},
+	}
+	return rep.WriteFile(path)
 }
 
 // geometryWorld resolves the served geometry into the client-side facts a
@@ -142,13 +235,14 @@ func newGeometryWorld(g protocol.Geometry) (*geometryWorld, error) {
 
 // session is one protocol connection with a synchronized clock estimate.
 type session struct {
-	nc     net.Conn
-	r      *protocol.Reader
-	w      *protocol.Writer
-	wmu    sync.Mutex // open-loop mode writes from two goroutines
-	geo    *geometryWorld
-	offset float64   // serverClock - localClock
-	epoch  time.Time // local clock zero
+	nc       net.Conn
+	r        *protocol.Reader
+	w        *protocol.Writer
+	wmu      sync.Mutex // open-loop and grid modes write from two goroutines
+	batchSeq uint32     // guarded by wmu: v2 Batch frame sequence (grid mode)
+	geo      *geometryWorld
+	offset   float64   // serverClock - localClock
+	epoch    time.Time // local clock zero
 }
 
 func (s *session) localNow() float64  { return time.Since(s.epoch).Seconds() }
@@ -160,7 +254,9 @@ func (s *session) send(f protocol.Frame) error {
 }
 
 // connect dials, handshakes, and runs one NTP exchange to estimate the
-// server-clock offset.
+// server-clock offset. The Hello pins protocol v1: closed and open mode
+// speak the bare-frame protocol (and double as a live v1-compat check
+// against sharded servers); grid mode negotiates v2 via connectGrid.
 func connect(addr string, clock protocol.ClockMode, label string) (*session, protocol.Welcome, error) {
 	nc, err := dial(addr)
 	if err != nil {
@@ -168,7 +264,7 @@ func connect(addr string, clock protocol.ClockMode, label string) (*session, pro
 	}
 	s := &session{nc: nc, r: protocol.NewReader(nc), w: protocol.NewWriter(nc), epoch: time.Now()}
 	if err := s.send(protocol.Hello{
-		MinVersion: protocol.MinVersion, MaxVersion: protocol.MaxVersion,
+		MinVersion: protocol.Version1, MaxVersion: protocol.Version1,
 		Clock: clock, Client: label,
 	}); err != nil {
 		nc.Close()
@@ -240,6 +336,7 @@ func (s *session) buildRequest(id int64, seq uint32, mid intersection.MovementID
 // the server grants.
 func runClosed(addr string, n int, d time.Duration, seed int64, res *results) error {
 	deadline := time.Now().Add(d)
+	res.setDeadline(deadline)
 	var wg sync.WaitGroup
 	errs := make(chan error, n)
 	for i := 0; i < n; i++ {
@@ -315,7 +412,7 @@ func closedWorker(addr string, worker int, deadline time.Time, seed int64, res *
 				req.TransmitTime = s.serverNow()
 				continue
 			}
-			res.observe(time.Since(t0).Seconds())
+			res.observeAt(time.Since(t0).Seconds(), time.Now())
 			grant, granted = g, true
 			break
 		}
@@ -406,7 +503,7 @@ func runOpen(addr string, n int, rate float64, d time.Duration, seed int64, res 
 					delete(inflight[i], v.VehicleID)
 					inflightMu.Unlock()
 					if ok {
-						res.observe(time.Since(t0).Seconds())
+						res.observeAt(time.Since(t0).Seconds(), time.Now())
 						exitAt := v.ArriveAt
 						if exitAt <= 0 {
 							exitAt = s.serverNow()
@@ -428,6 +525,7 @@ func runOpen(addr string, n int, rate float64, d time.Duration, seed int64, res 
 	}
 
 	start := time.Now()
+	res.setDeadline(start.Add(d))
 	for k, a := range arrivals {
 		at := start.Add(time.Duration(a.Time * float64(time.Second)))
 		if at.After(start.Add(d)) {

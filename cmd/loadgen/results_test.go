@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"crossroads/internal/metrics"
+)
+
+// TestResultsDeadlineCut pins the open-loop accounting fix: a grant whose
+// reply lands after the run deadline is still counted as a grant, but its
+// latency — which would measure the drain grace period, not steady-state
+// service — must not enter the histogram. It is reported as late instead.
+func TestResultsDeadlineCut(t *testing.T) {
+	var r results
+	dl := time.Now()
+	r.setDeadline(dl)
+
+	r.observeAt(0.010, dl.Add(-time.Second))
+	r.observeAt(0.020, dl.Add(-time.Millisecond))
+	r.observeAt(5.0, dl.Add(time.Millisecond)) // arrived late: huge latency
+	r.observeAt(7.0, dl.Add(2*time.Second))
+
+	if r.grants != 4 {
+		t.Fatalf("grants = %d, want 4 (late replies are still grants)", r.grants)
+	}
+	if r.late != 2 {
+		t.Fatalf("late = %d, want 2", r.late)
+	}
+	if len(r.samples) != 2 {
+		t.Fatalf("samples = %d, want 2 (late replies must not be sampled)", len(r.samples))
+	}
+	_, _, p99, max, ok := r.percentiles()
+	if !ok {
+		t.Fatal("percentiles() not ok with 2 samples")
+	}
+	if p99 >= 1 || max >= 1 {
+		t.Fatalf("p99=%v max=%v skewed by a late reply's latency", p99, max)
+	}
+}
+
+// TestResultsNoDeadline keeps the zero-value behavior: without a deadline
+// every grant is sampled.
+func TestResultsNoDeadline(t *testing.T) {
+	var r results
+	r.observeAt(0.010, time.Now().Add(time.Hour))
+	if r.grants != 1 || r.late != 0 || len(r.samples) != 1 {
+		t.Fatalf("grants=%d late=%d samples=%d, want 1/0/1", r.grants, r.late, len(r.samples))
+	}
+}
+
+// TestResultsReportShowsLate checks the report surfaces the late counter
+// separately from the sampled percentiles.
+func TestResultsReportShowsLate(t *testing.T) {
+	var r results
+	dl := time.Now()
+	r.setDeadline(dl)
+	r.observeAt(0.010, dl.Add(-time.Second))
+	r.observeAt(9.0, dl.Add(time.Second))
+
+	var sb strings.Builder
+	r.report(&sb, 10*time.Second)
+	out := sb.String()
+	if !strings.Contains(out, "late_replies=1") {
+		t.Fatalf("report does not name the late reply:\n%s", out)
+	}
+	if strings.Contains(out, "9000.000ms") {
+		t.Fatalf("report's percentiles include the late reply:\n%s", out)
+	}
+}
+
+// TestResultsWriteBench round-trips the benchmark artifact and checks the
+// late cut carries through to the committed numbers.
+func TestResultsWriteBench(t *testing.T) {
+	var r results
+	dl := time.Now()
+	r.setDeadline(dl)
+	for i := 0; i < 10; i++ {
+		r.observeAt(0.002, dl.Add(-time.Second))
+	}
+	r.observeAt(4.0, dl.Add(time.Second))
+	r.mu.Lock()
+	r.exits = 10
+	r.journeys = 5
+	r.mu.Unlock()
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.writeBench(path, "loadgen-test", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := metrics.ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "loadgen-test" || len(rep.Metrics) != 1 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	m := rep.Metrics[0]
+	if m.N != 10 {
+		t.Fatalf("N = %d, want 10 on-time samples", m.N)
+	}
+	if m.Extra["late_replies"] != 1 || m.Extra["grants"] != 11 {
+		t.Fatalf("extra = %v, want late_replies=1 grants=11", m.Extra)
+	}
+	if m.Extra["p99_ms"] >= 1000 {
+		t.Fatalf("p99_ms = %v skewed by the late reply", m.Extra["p99_ms"])
+	}
+	if m.NsPerOp <= 0 || m.NsPerOp >= 1e8 {
+		t.Fatalf("mean ns/op = %v outside the on-time sample range", m.NsPerOp)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,6 +30,10 @@ func main() {
 		os.Exit(1)
 	}
 	if kernel == sim.KernelParallel {
+		if common.KernelStrict {
+			fmt.Fprintln(os.Stderr, "scale-model: -kernel parallel cannot engage: scenarios are single-intersection (-kernel-strict)")
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "scale-model: note: scenarios are single-intersection; -kernel parallel falls back to serial")
 	}
 

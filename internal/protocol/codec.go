@@ -16,6 +16,9 @@ const (
 	MaxFrameSize = 1 << 16
 	// MaxStringLen bounds every string field.
 	MaxStringLen = 1024
+	// MaxBatchItems bounds the sub-frames of one Batch/BatchReply frame.
+	// 512 Requests (the largest item) stay comfortably inside MaxFrameSize.
+	MaxBatchItems = 512
 	// headerSize is the length-prefix size.
 	headerSize = 4
 )
@@ -36,6 +39,22 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length backpatched below
 	dst = append(dst, byte(f.Kind()))
+	dst, err := appendFrameBody(dst, f)
+	if err != nil {
+		return nil, err
+	}
+	n := len(dst) - start - headerSize
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// appendFrameBody encodes a frame's body (everything the kind byte
+// discriminates). Batch items reuse it, which is why it exists apart from
+// Append.
+func appendFrameBody(dst []byte, f Frame) ([]byte, error) {
 	var err error
 	switch v := f.(type) {
 	case Hello:
@@ -59,18 +78,16 @@ func Append(dst []byte, f Frame) ([]byte, error) {
 		dst, err = appendString(dst, v.Msg)
 	case Bye:
 		dst, err = appendString(dst, v.Reason)
+	case Batch:
+		dst, err = appendBatchBody(dst, v.Seq, v.Items, injectableBatchKind)
+	case BatchReply:
+		dst, err = appendBatchBody(dst, v.Seq, v.Items, replyBatchKind)
+	case Topo:
+		dst, err = appendTopo(dst, v)
 	default:
 		return nil, fmt.Errorf("protocol: cannot encode %T", f)
 	}
-	if err != nil {
-		return nil, err
-	}
-	n := len(dst) - start - headerSize
-	if n > MaxFrameSize {
-		return nil, ErrFrameTooLarge
-	}
-	binary.BigEndian.PutUint32(dst[start:], uint32(n))
-	return dst, nil
+	return dst, err
 }
 
 // Encode is Append into a fresh slice.
@@ -111,8 +128,24 @@ func DecodeBody(b []byte) (Frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	f, err := d.frameBody(FrameKind(kind))
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after %s frame",
+			len(d.buf)-d.off, FrameKind(kind))
+	}
+	return f, nil
+}
+
+// frameBody decodes the body of one frame of the given kind, advancing the
+// decoder past it. Batch items reuse it, which is why it exists apart from
+// DecodeBody (which additionally demands the buffer is exhausted).
+func (d *decoder) frameBody(kind FrameKind) (Frame, error) {
 	var f Frame
-	switch FrameKind(kind) {
+	var err error
+	switch kind {
 	case FrameHello:
 		f, err = d.hello()
 	case FrameWelcome:
@@ -148,17 +181,33 @@ func DecodeBody(b []byte) (Frame, error) {
 		var y Bye
 		y.Reason, err = d.str()
 		f = y
+	case FrameBatch:
+		var b Batch
+		b.Seq, b.Items, err = d.batchBody(injectableBatchKind)
+		f = b
+	case FrameBatchReply:
+		var b BatchReply
+		b.Seq, b.Items, err = d.batchBody(replyBatchKind)
+		f = b
+	case FrameTopo:
+		f, err = d.topo()
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownFrame, kind)
 	}
 	if err != nil {
 		return nil, err
 	}
-	if d.off != len(d.buf) {
-		return nil, fmt.Errorf("protocol: %d trailing bytes after %s frame",
-			len(d.buf)-d.off, FrameKind(kind))
-	}
 	return f, nil
+}
+
+// injectableBatchKind is the closed set of client->server batch items.
+func injectableBatchKind(k FrameKind) bool {
+	return k == FrameRequest || k == FrameExit || k == FrameSync
+}
+
+// replyBatchKind is the closed set of server->client batch items.
+func replyBatchKind(k FrameKind) bool {
+	return k == FrameGrant || k == FrameAck || k == FrameSyncReply
 }
 
 // Writer frames and writes encoded frames to an io.Writer, reusing one
@@ -259,6 +308,9 @@ func appendHello(dst []byte, v Hello) ([]byte, error) {
 	if v.Clock > ClockReplay {
 		return nil, fmt.Errorf("protocol: bad clock mode %d", v.Clock)
 	}
+	if v.MinVersion > v.MaxVersion {
+		return nil, fmt.Errorf("protocol: inverted hello version window [%d, %d]", v.MinVersion, v.MaxVersion)
+	}
 	dst = be16(dst, v.MinVersion)
 	dst = be16(dst, v.MaxVersion)
 	dst = append(dst, byte(v.Clock))
@@ -336,6 +388,41 @@ func appendExitBody(dst []byte, t float64, id int64, ts float64) ([]byte, error)
 	}
 	dst = be64(dst, uint64(id))
 	return appendF64(dst, ts)
+}
+
+func appendBatchBody(dst []byte, seq uint32, items []BatchItem, allowed func(FrameKind) bool) ([]byte, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("protocol: empty batch")
+	}
+	if len(items) > MaxBatchItems {
+		return nil, fmt.Errorf("protocol: batch of %d items exceeds %d", len(items), MaxBatchItems)
+	}
+	dst = be32(dst, seq)
+	dst = be16(dst, uint16(len(items)))
+	for _, it := range items {
+		if it.F == nil {
+			return nil, fmt.Errorf("protocol: nil batch item")
+		}
+		if k := it.F.Kind(); !allowed(k) {
+			return nil, fmt.Errorf("protocol: %s frame not allowed in this batch direction", k)
+		}
+		dst = be32(dst, it.Node)
+		dst = append(dst, byte(it.F.Kind()))
+		var err error
+		if dst, err = appendFrameBody(dst, it.F); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func appendTopo(dst []byte, v Topo) ([]byte, error) {
+	if v.Rows < 1 || v.Cols < 1 {
+		return nil, fmt.Errorf("protocol: topo %dx%d must be at least 1x1", v.Rows, v.Cols)
+	}
+	dst = be16(dst, v.Rows)
+	dst = be16(dst, v.Cols)
+	return appendF64(dst, v.SegmentLen)
 }
 
 func appendSyncBody(dst []byte, t float64, id int64, t1, t2, t3 float64) ([]byte, error) {
@@ -454,6 +541,13 @@ func (d *decoder) hello() (Hello, error) {
 	if v.MaxVersion, err = d.u16(); err != nil {
 		return v, err
 	}
+	if v.MinVersion > v.MaxVersion {
+		// A malformed window is a wire error even when the inverted range
+		// happens to bracket this build's span — Negotiate double-checks,
+		// but the decoder must never hand the state machine a Hello that
+		// cannot have been emitted by a conforming encoder.
+		return v, fmt.Errorf("protocol: inverted hello version window [%d, %d]", v.MinVersion, v.MaxVersion)
+	}
 	var c uint8
 	if c, err = d.u8(); err != nil {
 		return v, err
@@ -566,6 +660,59 @@ func (d *decoder) exitBody() (t float64, id int64, ts float64, err error) {
 	}
 	ts, err = d.f64()
 	return
+}
+
+func (d *decoder) batchBody(allowed func(FrameKind) bool) (uint32, []BatchItem, error) {
+	seq, err := d.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	count, err := d.u16()
+	if err != nil {
+		return 0, nil, err
+	}
+	if count < 1 {
+		return 0, nil, fmt.Errorf("protocol: empty batch")
+	}
+	if count > MaxBatchItems {
+		return 0, nil, fmt.Errorf("protocol: batch of %d items exceeds %d", count, MaxBatchItems)
+	}
+	items := make([]BatchItem, 0, count)
+	for i := 0; i < int(count); i++ {
+		node, err := d.u32()
+		if err != nil {
+			return 0, nil, err
+		}
+		k, err := d.u8()
+		if err != nil {
+			return 0, nil, err
+		}
+		if !allowed(FrameKind(k)) {
+			return 0, nil, fmt.Errorf("protocol: %s frame not allowed in this batch direction", FrameKind(k))
+		}
+		f, err := d.frameBody(FrameKind(k))
+		if err != nil {
+			return 0, nil, err
+		}
+		items = append(items, BatchItem{Node: node, F: f})
+	}
+	return seq, items, nil
+}
+
+func (d *decoder) topo() (Topo, error) {
+	var v Topo
+	var err error
+	if v.Rows, err = d.u16(); err != nil {
+		return v, err
+	}
+	if v.Cols, err = d.u16(); err != nil {
+		return v, err
+	}
+	if v.Rows < 1 || v.Cols < 1 {
+		return v, fmt.Errorf("protocol: topo %dx%d must be at least 1x1", v.Rows, v.Cols)
+	}
+	v.SegmentLen, err = d.f64()
+	return v, err
 }
 
 func (d *decoder) syncBody() (SyncReply, error) {

@@ -27,6 +27,20 @@ func FuzzDecode(f *testing.F) {
 		SyncReply{T: 0.2, VehicleID: 7, T1: 0.1, T2: 0.15, T3: 0.16},
 		Error{Code: CodeVersion, Msg: "no common version"},
 		Bye{Reason: "drain"},
+		Batch{Seq: 9, Items: []BatchItem{
+			{Node: 0, F: Request{T: 1.5, VehicleID: 7, Seq: 2, Approach: 3,
+				CurrentSpeed: 0.35, DistToEntry: 1.2, TransmitTime: 1.49,
+				MaxSpeed: 0.5, MaxAccel: 0.8, MaxDecel: 1.2,
+				Length: 0.425, Width: 0.19, Wheelbase: 0.26}},
+			{Node: 3, F: Exit{T: 4.0, VehicleID: 7, ExitTimestamp: 3.99}},
+			{Node: 1, F: Sync{T: 0.1, VehicleID: 7, T1: 0.1}},
+		}},
+		BatchReply{Seq: 9, Items: []BatchItem{
+			{Node: 2, F: Grant{T: 1.6, VehicleID: 7, RespKind: 1, Seq: 2,
+				TargetSpeed: 0.35, ExecuteAt: 2.0, ArriveAt: 3.4}},
+			{Node: 0, F: Ack{T: 4.1, VehicleID: 7, ExitTimestamp: 3.99}},
+		}},
+		Topo{Rows: 2, Cols: 2, SegmentLen: 3},
 	}
 	for _, s := range seeds {
 		b, err := Encode(s)

@@ -19,21 +19,36 @@
 //	f64    := IEEE-754 bits, big-endian, finite
 //	i64    := two's complement, big-endian
 //
+// Version 2 keeps every v1 frame byte-identical and adds the sharded-
+// serving extensions: Batch/BatchReply frames that carry many routed
+// sub-frames at once, and the Topo advertisement:
+//
+//	batch  := u32(seq) u16(count) count*item   // item kinds: request|exit|sync
+//	reply  := u32(seq) u16(count) count*item   // item kinds: grant|ack|sync-reply
+//	item   := u32(node) u8(kind) body          // body as in v1, no length prefix
+//	topo   := u16(rows) u16(cols) f64(seglen)
+//
 // Version negotiation: the client's Hello carries [MinVersion, MaxVersion];
 // the server answers with the highest version both sides support in its
-// Welcome, or an Error frame with CodeVersion and closes.
+// Welcome, or an Error frame with CodeVersion and closes. An inverted
+// window (MinVersion > MaxVersion) is malformed on the wire and rejected
+// at decode time.
 package protocol
 
 import "fmt"
 
-// Protocol versions. Version 1 is the only one defined so far; Negotiate
-// keeps the handshake honest about ranges so adding version 2 is a codec
-// change, not a protocol redesign.
+// Protocol versions. Version 1 is the original single-intersection frame
+// set; version 2 adds length-framed batches (many Request/Exit/Sync per
+// frame), per-item topology-node routing, and the Topo advertisement —
+// the sharded-serving extensions. The negotiation window shipped in v1
+// precisely so v2 could arrive without a flag day: a v1-only peer keeps
+// speaking v1, byte-identically.
 const (
 	Version1 = 1
+	Version2 = 2
 	// MinVersion..MaxVersion is the span this build speaks.
 	MinVersion = Version1
-	MaxVersion = Version1
+	MaxVersion = Version2
 )
 
 // Negotiate returns the highest protocol version shared by this build and a
@@ -80,19 +95,37 @@ const (
 	// FrameBye announces an orderly close. In replay mode the client's
 	// Bye also flushes the buffered stream through the scheduler.
 	FrameBye FrameKind = 10
+
+	// The version-2 frame set: batching, multiplexing, and topology
+	// advertisement for sharded serving. A server never emits these on a
+	// connection negotiated down to v1.
+
+	// FrameBatch carries many injectable frames (Request/Exit/Sync), each
+	// routed to a topology node, in one wire frame (client -> server).
+	FrameBatch FrameKind = 11
+	// FrameBatchReply carries many reply frames (Grant/Ack/SyncReply),
+	// each tagged with its origin node (server -> client).
+	FrameBatchReply FrameKind = 12
+	// FrameTopo advertises the served topology right after a v2 Welcome
+	// (server -> client), so one multiplexed connection can route
+	// vehicles across every shard.
+	FrameTopo FrameKind = 13
 )
 
 var frameKindNames = map[FrameKind]string{
-	FrameHello:     "hello",
-	FrameWelcome:   "welcome",
-	FrameRequest:   "request",
-	FrameGrant:     "grant",
-	FrameExit:      "exit",
-	FrameAck:       "ack",
-	FrameSync:      "sync",
-	FrameSyncReply: "sync-reply",
-	FrameError:     "error",
-	FrameBye:       "bye",
+	FrameHello:      "hello",
+	FrameWelcome:    "welcome",
+	FrameRequest:    "request",
+	FrameGrant:      "grant",
+	FrameExit:       "exit",
+	FrameAck:        "ack",
+	FrameSync:       "sync",
+	FrameSyncReply:  "sync-reply",
+	FrameError:      "error",
+	FrameBye:        "bye",
+	FrameBatch:      "batch",
+	FrameBatchReply: "batch-reply",
+	FrameTopo:       "topo",
 }
 
 func (k FrameKind) String() string {
@@ -167,6 +200,9 @@ const (
 	CodeNonMonotonic uint16 = 6
 	// CodeOverflow: a replay-mode stream exceeded the buffer limit.
 	CodeOverflow uint16 = 7
+	// CodeBadNode: a batch item addressed a topology node the server does
+	// not shard (v2).
+	CodeBadNode uint16 = 8
 )
 
 // Frame is one decoded protocol frame.
@@ -284,14 +320,56 @@ type Bye struct {
 	Reason string
 }
 
+// BatchItem is one routed sub-frame of a Batch or BatchReply: the topology
+// node it addresses (or originated from) and the frame itself. Client->
+// server items must be Request, Exit, or Sync; server->client items must
+// be Grant, Ack, or SyncReply — the codec enforces both closed sets.
+type BatchItem struct {
+	Node uint32
+	F    Frame
+}
+
+// Batch carries many injectable frames in one wire frame (v2). Seq is the
+// client's per-connection frame sequence; it exists so pipelined clients
+// can correlate Error frames ("batch 17 refused") and account for loss.
+// Individual replies are matched the same way v1 matches them: by the
+// (Node, VehicleID, Seq) the granted Request carried.
+type Batch struct {
+	Seq   uint32
+	Items []BatchItem
+}
+
+// BatchReply carries many IM replies in one wire frame (v2). Seq is the
+// server's per-connection reply-frame sequence, monotonically increasing
+// from 1, so a client can detect shed-induced gaps. Items appear in IM
+// emission order.
+type BatchReply struct {
+	Seq   uint32
+	Items []BatchItem
+}
+
+// Topo advertises the served road network right after a v2 Welcome: a
+// Rows x Cols Manhattan grid (corridors have Rows==1, the classic single
+// intersection 1x1) with SegmentLen meters of road between adjacent
+// nodes. Node IDs are dense row-major: id = row*Cols + col, matching
+// internal/topology.
+type Topo struct {
+	Rows       uint16
+	Cols       uint16
+	SegmentLen float64
+}
+
 // Kind implementations.
-func (Hello) Kind() FrameKind     { return FrameHello }
-func (Welcome) Kind() FrameKind   { return FrameWelcome }
-func (Request) Kind() FrameKind   { return FrameRequest }
-func (Grant) Kind() FrameKind     { return FrameGrant }
-func (Exit) Kind() FrameKind      { return FrameExit }
-func (Ack) Kind() FrameKind       { return FrameAck }
-func (Sync) Kind() FrameKind      { return FrameSync }
-func (SyncReply) Kind() FrameKind { return FrameSyncReply }
-func (Error) Kind() FrameKind     { return FrameError }
-func (Bye) Kind() FrameKind       { return FrameBye }
+func (Hello) Kind() FrameKind      { return FrameHello }
+func (Welcome) Kind() FrameKind    { return FrameWelcome }
+func (Request) Kind() FrameKind    { return FrameRequest }
+func (Grant) Kind() FrameKind      { return FrameGrant }
+func (Exit) Kind() FrameKind       { return FrameExit }
+func (Ack) Kind() FrameKind        { return FrameAck }
+func (Sync) Kind() FrameKind       { return FrameSync }
+func (SyncReply) Kind() FrameKind  { return FrameSyncReply }
+func (Error) Kind() FrameKind      { return FrameError }
+func (Bye) Kind() FrameKind        { return FrameBye }
+func (Batch) Kind() FrameKind      { return FrameBatch }
+func (BatchReply) Kind() FrameKind { return FrameBatchReply }
+func (Topo) Kind() FrameKind       { return FrameTopo }

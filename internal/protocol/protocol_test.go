@@ -35,9 +35,10 @@ func randFrame(rng *rand.Rand, kind FrameKind) Frame {
 	}
 	switch kind {
 	case FrameHello:
+		min := uint16(rng.Intn(4))
 		return Hello{
-			MinVersion: uint16(rng.Intn(4)),
-			MaxVersion: uint16(rng.Intn(65536)),
+			MinVersion: min,
+			MaxVersion: min + uint16(rng.Intn(65536-int(min))),
 			Clock:      ClockMode(rng.Intn(2)),
 			Client:     str(64),
 		}
@@ -91,6 +92,34 @@ func randFrame(rng *rand.Rand, kind FrameKind) Frame {
 		return Error{Code: uint16(rng.Intn(65536)), Msg: str(128)}
 	case FrameBye:
 		return Bye{Reason: str(64)}
+	case FrameBatch:
+		injectable := []FrameKind{FrameRequest, FrameExit, FrameSync}
+		n := 1 + rng.Intn(5)
+		items := make([]BatchItem, n)
+		for i := range items {
+			items[i] = BatchItem{
+				Node: rng.Uint32(),
+				F:    randFrame(rng, injectable[rng.Intn(len(injectable))]),
+			}
+		}
+		return Batch{Seq: rng.Uint32(), Items: items}
+	case FrameBatchReply:
+		replies := []FrameKind{FrameGrant, FrameAck, FrameSyncReply}
+		n := 1 + rng.Intn(5)
+		items := make([]BatchItem, n)
+		for i := range items {
+			items[i] = BatchItem{
+				Node: rng.Uint32(),
+				F:    randFrame(rng, replies[rng.Intn(len(replies))]),
+			}
+		}
+		return BatchReply{Seq: rng.Uint32(), Items: items}
+	case FrameTopo:
+		return Topo{
+			Rows:       1 + uint16(rng.Intn(64)),
+			Cols:       1 + uint16(rng.Intn(64)),
+			SegmentLen: float64(rng.Intn(200)),
+		}
 	}
 	panic("unreachable")
 }
@@ -98,6 +127,7 @@ func randFrame(rng *rand.Rand, kind FrameKind) Frame {
 var allKinds = []FrameKind{
 	FrameHello, FrameWelcome, FrameRequest, FrameGrant, FrameExit,
 	FrameAck, FrameSync, FrameSyncReply, FrameError, FrameBye,
+	FrameBatch, FrameBatchReply, FrameTopo,
 }
 
 // TestRoundTripProperty encodes and decodes thousands of randomized frames
@@ -244,11 +274,16 @@ func TestNegotiate(t *testing.T) {
 		ok       bool
 	}{
 		{1, 1, 1, true},
-		{1, 9, 1, true},
+		{1, 2, 2, true},
+		{1, 9, 2, true},
+		{2, 2, 2, true},
+		{2, 9, 2, true},
 		{0, 1, 1, true},
-		{2, 9, 0, false},
+		{3, 9, 0, false},
 		{0, 0, 0, false},
-		{5, 2, 0, false}, // inverted
+		{5, 2, 0, false}, // inverted, disjoint
+		{2, 1, 0, false}, // inverted, yet brackets the build span
+		{9, 0, 0, false}, // inverted, brackets the whole span
 	}
 	for _, c := range cases {
 		got, err := Negotiate(c.min, c.max)
@@ -256,6 +291,90 @@ func TestNegotiate(t *testing.T) {
 			t.Fatalf("Negotiate(%d,%d) = %d, %v; want %d, ok=%v",
 				c.min, c.max, got, err, c.want, c.ok)
 		}
+	}
+}
+
+// TestHelloInvertedWindow pins the malformed-handshake fix: a Hello whose
+// MinVersion exceeds its MaxVersion must be refused by the encoder and —
+// the part that used to be missing — by the decoder, even when the
+// inverted range still brackets the build's version span.
+func TestHelloInvertedWindow(t *testing.T) {
+	if _, err := Encode(Hello{MinVersion: 2, MaxVersion: 1}); err == nil {
+		t.Fatal("encoder accepted inverted hello window")
+	}
+	// Hand-assemble the wire bytes the encoder refuses to produce:
+	// min=2, max=1 brackets [1,2], min=9, max=0 brackets everything.
+	for _, w := range [][2]uint16{{2, 1}, {9, 0}, {MaxVersion + 1, MinVersion}} {
+		body := []byte{byte(FrameHello),
+			byte(w[0] >> 8), byte(w[0]), byte(w[1] >> 8), byte(w[1]),
+			0,    // clock: wall
+			0, 0} // empty client string
+		b := append([]byte{0, 0, 0, byte(len(body))}, body...)
+		if _, _, err := Decode(b); err == nil {
+			t.Fatalf("decoder accepted inverted hello window [%d, %d]", w[0], w[1])
+		}
+	}
+}
+
+func TestBatchDirectionClosedSets(t *testing.T) {
+	// A Grant cannot ride client->server; a Request cannot ride back.
+	if _, err := Encode(Batch{Seq: 1, Items: []BatchItem{{Node: 0, F: Grant{}}}}); err == nil {
+		t.Fatal("encoder accepted reply frame inside Batch")
+	}
+	if _, err := Encode(BatchReply{Seq: 1, Items: []BatchItem{{Node: 0, F: Request{}}}}); err == nil {
+		t.Fatal("encoder accepted injectable frame inside BatchReply")
+	}
+	// Nested batches are not a thing.
+	if _, err := Encode(Batch{Seq: 1, Items: []BatchItem{{F: Batch{}}}}); err == nil {
+		t.Fatal("encoder accepted nested batch")
+	}
+	// Flip the item kind byte on the wire and demand a decode error: the
+	// item sits at body offset seq(4)+count(2)+node(4) past the kind byte.
+	b, err := Encode(Batch{Seq: 1, Items: []BatchItem{{Node: 0, F: Exit{}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+1+4+2+4] = byte(FrameGrant)
+	if _, _, err := Decode(b); err == nil {
+		t.Fatal("decoder accepted reply frame inside Batch")
+	}
+}
+
+func TestBatchRejectsEmptyAndOversized(t *testing.T) {
+	if _, err := Encode(Batch{Seq: 1}); err == nil {
+		t.Fatal("encoder accepted empty batch")
+	}
+	items := make([]BatchItem, MaxBatchItems+1)
+	for i := range items {
+		items[i] = BatchItem{F: Exit{}}
+	}
+	if _, err := Encode(Batch{Seq: 1, Items: items}); err == nil {
+		t.Fatal("encoder accepted oversized batch")
+	}
+	// Wire-side: a count of zero must be rejected too.
+	b, err := Encode(Batch{Seq: 7, Items: []BatchItem{{F: Exit{}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+1+4] = 0
+	b[headerSize+1+5] = 0
+	if _, _, err := Decode(b); err == nil {
+		t.Fatal("decoder accepted zero-count batch")
+	}
+}
+
+func TestTopoRejectsDegenerateGrid(t *testing.T) {
+	if _, err := Encode(Topo{Rows: 0, Cols: 3}); err == nil {
+		t.Fatal("encoder accepted 0-row topo")
+	}
+	b, err := Encode(Topo{Rows: 1, Cols: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+1+2] = 0 // cols -> 0
+	b[headerSize+1+3] = 0
+	if _, _, err := Decode(b); err == nil {
+		t.Fatal("decoder accepted 0-col topo")
 	}
 }
 

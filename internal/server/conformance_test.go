@@ -15,6 +15,7 @@ import (
 	"crossroads/internal/network"
 	"crossroads/internal/protocol"
 	"crossroads/internal/safety"
+	"crossroads/internal/topology"
 )
 
 // The conformance bridge: for the same golden request stream, the served
@@ -66,9 +67,12 @@ func goldenStream(n int) []protocol.Frame {
 	return frames
 }
 
-// runOracle replays the stream through a hand-built DES world and returns
-// the concatenated encoding of everything the IM sent back, in event order.
-func runOracle(t *testing.T, policy string, seed int64, modelCost bool, frames []protocol.Frame) []byte {
+// runOracleAt replays the stream through a hand-built DES world for one
+// topology node and returns the concatenated encoding of everything the
+// IM sent back, in event order. The seeds follow the per-node stream
+// layout (network seed+1+1000k, scheduler seed+2+1000k); node 0 is the
+// legacy single-intersection layout.
+func runOracleAt(t *testing.T, policy string, seed int64, node int, modelCost bool, frames []protocol.Frame) []byte {
 	t.Helper()
 	x, err := intersection.New(intersection.ScaleModelConfig())
 	if err != nil {
@@ -85,13 +89,13 @@ func runOracle(t *testing.T, policy string, seed int64, modelCost bool, frames [
 		RefLength: ref.Length,
 		RefWidth:  ref.Width,
 	}
-	sched, err := im.NewScheduler(policy, x, opts, rand.New(rand.NewSource(seed+2)))
+	sched, err := im.NewScheduler(policy, x, opts, rand.New(rand.NewSource(seed+2+1000*int64(node))))
 	if err != nil {
 		t.Fatal(err)
 	}
 	sim := des.New()
-	nw := network.New(sim, rand.New(rand.NewSource(seed+1)), nil, network.ConstantDelay{D: 0}, 0)
-	im.NewServerAt(sim, nw, sched, nil, im.NodeEndpoint(0), 0)
+	nw := network.New(sim, rand.New(rand.NewSource(seed+1+1000*int64(node))), nil, network.ConstantDelay{D: 0}, 0)
+	im.NewServerAt(sim, nw, sched, nil, im.NodeEndpoint(node), node)
 
 	var out []byte
 	seen := map[int64]bool{}
@@ -120,15 +124,15 @@ func runOracle(t *testing.T, policy string, seed int64, modelCost bool, frames [
 			switch v := f.(type) {
 			case protocol.Request:
 				msg = network.Message{Kind: network.KindRequest,
-					From: im.VehicleEndpoint(v.VehicleID), To: im.NodeEndpoint(0),
+					From: im.VehicleEndpoint(v.VehicleID), To: im.NodeEndpoint(node),
 					Payload: v.ToIM()}
 			case protocol.Exit:
 				msg = network.Message{Kind: network.KindExit,
-					From: im.VehicleEndpoint(v.VehicleID), To: im.NodeEndpoint(0),
+					From: im.VehicleEndpoint(v.VehicleID), To: im.NodeEndpoint(node),
 					Payload: im.ExitPayload{VehicleID: v.VehicleID, ExitTimestamp: v.ExitTimestamp}}
 			case protocol.Sync:
 				msg = network.Message{Kind: network.KindSyncRequest,
-					From: im.VehicleEndpoint(v.VehicleID), To: im.NodeEndpoint(0),
+					From: im.VehicleEndpoint(v.VehicleID), To: im.NodeEndpoint(node),
 					Payload: im.SyncPayload{T1: v.T1}}
 			default:
 				t.Fatalf("oracle: uninjectable frame %s", f.Kind())
@@ -157,7 +161,7 @@ func runServed(t *testing.T, policy string, seed int64, modelCost bool, frames [
 	r := protocol.NewReader(nc)
 	w := protocol.NewWriter(nc)
 	if err := w.WriteFrame(protocol.Hello{
-		MinVersion: protocol.MinVersion, MaxVersion: protocol.MaxVersion,
+		MinVersion: protocol.Version1, MaxVersion: protocol.Version1,
 		Clock: protocol.ClockReplay, Client: "conformance",
 	}); err != nil {
 		t.Fatal(err)
@@ -196,6 +200,127 @@ func runServed(t *testing.T, policy string, seed int64, modelCost bool, frames [
 	}
 }
 
+// runServedSharded replays the stream to every node of a sharded replay
+// server over one multiplexed v2 connection — each source frame rides in
+// a Batch carrying one item per node — and returns the concatenated
+// per-node encodings of everything the server streamed back.
+func runServedSharded(t *testing.T, policy string, seed int64, modelCost bool,
+	topo *topology.Topology, frames []protocol.Frame) [][]byte {
+	t.Helper()
+	_, path := startServer(t, Config{
+		Policy: policy, Clock: protocol.ClockReplay, Seed: seed, ModelCost: modelCost,
+		Topology: topo,
+	})
+	nc, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(60 * time.Second))
+	r := protocol.NewReader(nc)
+	w := protocol.NewWriter(nc)
+	if err := w.WriteFrame(protocol.Hello{
+		MinVersion: protocol.MinVersion, MaxVersion: protocol.MaxVersion,
+		Clock: protocol.ClockReplay, Client: "conformance-sharded",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	welcome, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf, ok := welcome.(protocol.Welcome); !ok || wf.Version != protocol.Version2 {
+		t.Fatalf("expected v2 welcome, got %#v", welcome)
+	}
+	tf, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoFrame, ok := tf.(protocol.Topo)
+	if !ok || int(topoFrame.Rows) != topo.Rows() || int(topoFrame.Cols) != topo.Cols() {
+		t.Fatalf("expected %dx%d topo frame, got %#v", topo.Rows(), topo.Cols(), tf)
+	}
+	n := topo.NumNodes()
+	var seq uint32
+	for _, f := range frames {
+		items := make([]protocol.BatchItem, n)
+		for k := 0; k < n; k++ {
+			items[k] = protocol.BatchItem{Node: uint32(k), F: f}
+		}
+		seq++
+		if err := w.WriteFrame(protocol.Batch{Seq: seq, Items: items}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteFrame(protocol.Bye{Reason: "replay"}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, n)
+	lastSeq := uint32(0)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("read replay output: %v", err)
+		}
+		switch v := f.(type) {
+		case protocol.Bye:
+			return out
+		case protocol.Error:
+			t.Fatalf("server refused replay: %+v", v)
+		case protocol.BatchReply:
+			if v.Seq <= lastSeq {
+				t.Fatalf("batch reply seq went backwards: %d after %d", v.Seq, lastSeq)
+			}
+			lastSeq = v.Seq
+			for _, it := range v.Items {
+				if int(it.Node) >= n {
+					t.Fatalf("reply for unknown node %d", it.Node)
+				}
+				out[it.Node], err = protocol.Append(out[it.Node], it.F)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		default:
+			t.Fatalf("unexpected replay output frame %#v", f)
+		}
+	}
+}
+
+// TestConformanceBridgeSharded proves every served shard of a 2x2 grid is
+// byte-identical to its in-DES twin: one multiplexed v2 connection drives
+// all four shards with the same golden stream, and each shard's output
+// must match an oracle built with that node's RNG stream layout.
+func TestConformanceBridgeSharded(t *testing.T) {
+	topo, err := topology.Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := goldenStream(16)
+	for _, policy := range []string{"crossroads", "batch"} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			got := runServedSharded(t, policy, 1234, true, topo, stream)
+			for k := 0; k < topo.NumNodes(); k++ {
+				want := runOracleAt(t, policy, 1234, k, true, stream)
+				if len(want) == 0 {
+					t.Fatalf("node %d oracle produced no output", k)
+				}
+				if !bytes.Equal(want, got[k]) {
+					t.Fatalf("shard %d diverges from its DES twin: oracle %d bytes, served %d bytes",
+						k, len(want), len(got[k]))
+				}
+			}
+			// The shards draw distinct RNG streams, so with the cost model
+			// on, distinct nodes must not emit identical bytes — catching a
+			// sharded server that silently routes everything to node 0.
+			if bytes.Equal(got[0], got[1]) {
+				t.Fatal("nodes 0 and 1 produced identical streams; per-node RNG layout is broken")
+			}
+		})
+	}
+}
+
 func TestConformanceBridge(t *testing.T) {
 	cases := []struct {
 		policy    string
@@ -218,7 +343,7 @@ func TestConformanceBridge(t *testing.T) {
 			name += "+cost"
 		}
 		t.Run(name, func(t *testing.T) {
-			want := runOracle(t, c.policy, 1234, c.modelCost, stream)
+			want := runOracleAt(t, c.policy, 1234, 0, c.modelCost, stream)
 			got := runServed(t, c.policy, 1234, c.modelCost, stream)
 			if len(want) == 0 {
 				t.Fatal("oracle produced no output; golden stream is broken")

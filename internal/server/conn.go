@@ -17,10 +17,18 @@ const (
 	writeTimeout = 10 * time.Second
 )
 
-// conn is one client connection. After the handshake the wall-mode core
-// goroutine is the only writer of the mutable fields (dead, vehicles) and
-// the only producer into sendq — the channel discipline, not a mutex, is
-// the synchronization.
+// conn is one client connection. A v2 connection multiplexes vehicles
+// across every shard, so — unlike the single-core design this grew out
+// of — several shard executives may deliver to one conn concurrently.
+// The rules that make that safe:
+//
+//   - dead is an atomic flag; exactly one caller wins the
+//     CompareAndSwap in the Server teardown helpers and owns the
+//     accounting (shed vs protocol error vs orderly close).
+//   - sendq is never closed. The teardown winner closes stop instead;
+//     the writer drains what is queued and closes the socket.
+//   - enqueue never blocks, so shard executives cannot stall on a slow
+//     client; a full queue is the shed signal.
 type conn struct {
 	s  *Server
 	nc net.Conn
@@ -30,12 +38,20 @@ type conn struct {
 	// cannot keep up and the connection is shed.
 	sendq      chan []byte
 	writerDone chan struct{}
+	// stop is closed exactly once by the teardown winner; the writer
+	// flushes the queue and closes the socket when it sees it.
+	stop chan struct{}
 
 	name string // client label from Hello, for traces
+	ver  uint16 // negotiated protocol version, set by handshake
 
-	// Core-owned state (wall mode only).
-	dead     bool
-	vehicles map[int64]bool // vehicle ids routed to this conn
+	dead atomic.Bool
+
+	// replySeq numbers outgoing BatchReply frames per connection. Several
+	// shards increment it concurrently, so order across shards is not
+	// globally sequential — but every v2 client sees a strictly fresh
+	// sequence per frame, which is what reply matching needs.
+	replySeq atomic.Uint32
 
 	framesIn  atomic.Int64
 	framesOut atomic.Int64
@@ -51,13 +67,17 @@ func newConn(s *Server, nc net.Conn) *conn {
 		nc:         nc,
 		sendq:      make(chan []byte, qlen),
 		writerDone: make(chan struct{}),
-		vehicles:   make(map[int64]bool),
+		stop:       make(chan struct{}),
 	}
 }
 
+// nextReplySeq returns a fresh BatchReply sequence number (first frame
+// gets 1).
+func (c *conn) nextReplySeq() uint32 { return c.replySeq.Add(1) }
+
 // enqueue encodes f onto the send queue. It reports false when the queue
 // is full (the slow-client signal) or the frame will not encode; it never
-// blocks the caller.
+// blocks the caller. Safe from any goroutine.
 func (c *conn) enqueue(f protocol.Frame) bool {
 	b, err := protocol.Encode(f)
 	if err != nil {
@@ -73,27 +93,64 @@ func (c *conn) enqueue(f protocol.Frame) bool {
 	}
 }
 
-// writeLoop drains sendq onto the socket. It exits when sendq is closed
-// (orderly teardown) or a write fails (peer gone); either way it keeps
-// draining the channel so producers are never stuck.
+// enqueueBlocking queues a frame, waiting up to the write timeout for
+// space — replay output is bursty by design, and the client is entitled
+// to drain it at link speed. False means the client stopped draining.
+func (c *conn) enqueueBlocking(f protocol.Frame) bool {
+	b, err := protocol.Encode(f)
+	if err != nil {
+		return false
+	}
+	select {
+	case c.sendq <- b:
+		c.framesOut.Add(1)
+		c.s.stats.FramesOut.Add(1)
+		return true
+	case <-time.After(writeTimeout):
+		return false
+	}
+}
+
+// writeLoop drains sendq onto the socket. When stop closes it flushes
+// whatever is already queued, closes the socket, and exits. Closing the
+// socket here — after the flush — is what unblocks the reader goroutine,
+// so "reader finished" implies "farewell frames flushed".
 func (c *conn) writeLoop() {
 	defer close(c.writerDone)
 	broken := false
-	for b := range c.sendq {
+	write := func(b []byte) {
 		if broken {
-			continue
+			return
 		}
 		c.nc.SetWriteDeadline(time.Now().Add(writeTimeout))
 		if _, err := c.nc.Write(b); err != nil {
 			broken = true
 		}
 	}
+	for {
+		select {
+		case b := <-c.sendq:
+			write(b)
+		case <-c.stop:
+			for {
+				select {
+				case b := <-c.sendq:
+					write(b)
+				default:
+					c.nc.Close()
+					return
+				}
+			}
+		}
+	}
 }
 
 // handshake performs the Hello/Welcome exchange. It writes Welcome (or the
 // refusal Error) into sendq — at this point the reader goroutine is the
-// sole producer, so this does not race the core. It returns the negotiated
-// Hello, or false after refusing and tearing the socket down.
+// sole producer, so this does not race the shards. It returns the client
+// Hello, or false after refusing and tearing the socket down. On success
+// c.ver holds the negotiated version; v2 clients additionally receive a
+// Topo frame describing the served grid.
 func (c *conn) handshake(r *protocol.Reader) (protocol.Hello, bool) {
 	c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
 	f, err := r.ReadFrame()
@@ -119,28 +176,25 @@ func (c *conn) handshake(r *protocol.Reader) (protocol.Hello, bool) {
 		return protocol.Hello{}, false
 	}
 	c.name = hello.Client
+	c.ver = ver
 	c.enqueue(protocol.Welcome{
 		Version:  ver,
 		Policy:   c.s.cfg.Policy,
 		Geometry: c.s.cfg.Geometry,
 		Node:     0,
 	})
+	if ver >= protocol.Version2 {
+		c.enqueue(protocol.Topo{
+			Rows:       uint16(c.s.topo.Rows()),
+			Cols:       uint16(c.s.topo.Cols()),
+			SegmentLen: c.s.topo.SegmentLen(),
+		})
+	}
 	return hello, true
 }
 
 // refuse sends one Error frame and tears the connection down. Only valid
 // while the reader goroutine is the sole sendq producer (pre-handshake).
 func (c *conn) refuse(e protocol.Error) {
-	c.s.stats.ProtocolErrors.Add(1)
-	c.enqueue(e)
-	c.closeFromReader("refused: " + e.Msg)
-}
-
-// closeFromReader finishes a connection whose lifecycle never reached the
-// core: flush the queue, close the socket, deregister.
-func (c *conn) closeFromReader(reason string) {
-	close(c.sendq)
-	<-c.writerDone
-	c.nc.Close()
-	c.s.dropConn(c, reason)
+	c.s.failConn(c, e)
 }

@@ -2,24 +2,31 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net"
-	"time"
 
 	"crossroads/internal/protocol"
-	"crossroads/internal/trace"
 )
 
+// replayItem is one buffered injectable, tagged with the shard it routes
+// to. v1 frames always carry node 0.
+type replayItem struct {
+	node uint32
+	f    protocol.Frame
+}
+
 // runReplayConn serves one deterministic-replay connection: buffer the
-// client's timestamped stream, and on Bye replay it through a fresh world
+// client's timestamped stream, and on Bye replay it through fresh worlds
 // at exactly the frame timestamps, streaming back every IM emission in
-// event order. Each connection gets its own world, so a replayed stream
-// always starts from the same state the DES oracle starts from — this is
-// the serving half of the conformance bridge.
+// event order. Each connection gets its own worlds — one per topology
+// node — so a replayed stream always starts from the same state the DES
+// oracle starts from; this is the serving half of the conformance bridge.
 func (s *Server) runReplayConn(c *conn) {
 	defer s.wg.Done()
 	go c.writeLoop()
+	defer func() { <-c.writerDone }()
 	r := protocol.NewReader(c.nc)
 	if _, ok := c.handshake(r); !ok {
 		return
@@ -29,43 +36,72 @@ func (s *Server) runReplayConn(c *conn) {
 	if maxFrames <= 0 {
 		maxFrames = defaultReplayMaxFrames
 	}
-	var buffered []protocol.Frame
+	var buffered []replayItem
 	lastT := math.Inf(-1)
+	// buffer validates and appends one timestamped injectable; a false
+	// return means the stream was refused.
+	buffer := func(node uint32, f protocol.Frame) bool {
+		t := frameTime(f)
+		if t < 0 {
+			c.refuse(protocol.Error{Code: protocol.CodeBadRequest,
+				Msg: "negative replay timestamp"})
+			return false
+		}
+		if t < lastT {
+			c.refuse(protocol.Error{Code: protocol.CodeNonMonotonic,
+				Msg: "replay timestamp went backwards"})
+			return false
+		}
+		if len(buffered) >= maxFrames {
+			c.refuse(protocol.Error{Code: protocol.CodeOverflow,
+				Msg: "replay stream exceeds frame limit"})
+			return false
+		}
+		lastT = t
+		buffered = append(buffered, replayItem{node: node, f: f})
+		return true
+	}
 	for {
 		f, err := r.ReadFrame()
 		if err != nil {
 			// Cut off before Bye: nothing to replay. An unreadable frame is
 			// a protocol error; a clean EOF is just an abandoned stream.
-			reason := "client closed before bye"
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
-				s.stats.ProtocolErrors.Add(1)
-				reason = "unreadable frame: " + err.Error()
+				c.refuse(protocol.Error{Code: protocol.CodeBadFrame,
+					Msg: "unreadable frame: " + err.Error()})
+				return
 			}
-			c.closeFromReader(reason)
+			s.tearDown(c, "client closed before bye", false, false)
 			return
 		}
 		c.framesIn.Add(1)
 		s.stats.FramesIn.Add(1)
-		switch f.(type) {
+		switch v := f.(type) {
 		case protocol.Request, protocol.Exit, protocol.Sync:
-			t := frameTime(f)
-			if t < 0 {
-				c.refuse(protocol.Error{Code: protocol.CodeBadRequest,
-					Msg: "negative replay timestamp"})
+			if !buffer(0, f) {
 				return
 			}
-			if t < lastT {
-				c.refuse(protocol.Error{Code: protocol.CodeNonMonotonic,
-					Msg: "replay timestamp went backwards"})
+		case protocol.Batch:
+			if c.ver < protocol.Version2 {
+				c.refuse(protocol.Error{Code: protocol.CodeBadFrame,
+					Msg: "batch frame on a v1 connection"})
 				return
 			}
-			if len(buffered) >= maxFrames {
-				c.refuse(protocol.Error{Code: protocol.CodeOverflow,
-					Msg: "replay stream exceeds frame limit"})
+			ok := true
+			for _, it := range v.Items {
+				if int(it.Node) >= s.topo.NumNodes() {
+					c.refuse(protocol.Error{Code: protocol.CodeBadNode,
+						Msg: fmt.Sprintf("node %d out of range (%d shards)", it.Node, s.topo.NumNodes())})
+					return
+				}
+				if !buffer(it.Node, it.F) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
 				return
 			}
-			lastT = t
-			buffered = append(buffered, f)
 		case protocol.Bye:
 			s.replay(c, buffered)
 			return
@@ -77,65 +113,87 @@ func (s *Server) runReplayConn(c *conn) {
 	}
 }
 
-// replay runs the buffered stream through a fresh world and streams the
-// output back, ending with a Bye.
-func (s *Server) replay(c *conn, frames []protocol.Frame) {
-	w, err := newWorld(s.cfg)
-	if err != nil {
-		c.refuse(protocol.Error{Code: protocol.CodeBadRequest, Msg: err.Error()})
-		return
+// replay runs the buffered stream through fresh per-node worlds and
+// streams the output back, ending with a Bye. Shard worlds are fully
+// independent (the serve-side IMs never talk to each other), so each one
+// runs to completion in node order; a v1 client gets its bare frames back
+// exactly as the unsharded server sent them, a v2 client gets per-node
+// BatchReply frames in node order.
+func (s *Server) replay(c *conn, items []replayItem) {
+	worlds := make([]*world, s.topo.NumNodes())
+	for k := range worlds {
+		w, err := newWorldAt(s.cfg, k)
+		if err != nil {
+			c.refuse(protocol.Error{Code: protocol.CodeBadRequest, Msg: err.Error()})
+			return
+		}
+		worlds[k] = w
 	}
-	// Pre-validate every request against the world before running: a bad
+	// Pre-validate every request against its world before running: a bad
 	// frame mid-replay must refuse the whole stream, not half-run it.
-	for _, f := range frames {
-		if req, ok := f.(protocol.Request); ok {
-			if err := w.validateRequest(req.ToIM()); err != nil {
+	for _, it := range items {
+		if req, ok := it.f.(protocol.Request); ok {
+			if err := worlds[it.node].validateRequest(req.ToIM()); err != nil {
 				c.refuse(protocol.Error{Code: protocol.CodeBadRequest, Msg: err.Error()})
 				return
 			}
 		}
 	}
-	// Output frames accumulate in event-execution order during the run and
-	// stream out afterwards: the client is typically not reading until its
-	// Bye is answered, so writing mid-run could deadlock both sides.
-	var out []protocol.Frame
-	w.deliver = func(now float64, id int64, f protocol.Frame) {
-		out = append(out, f)
+	// Output frames accumulate per node in event-execution order during
+	// the runs and stream out afterwards: the client is typically not
+	// reading until its Bye is answered, so writing mid-run could deadlock
+	// both sides.
+	out := make([][]protocol.Frame, len(worlds))
+	for k, w := range worlds {
+		k := k
+		w.deliver = func(now float64, id int64, f protocol.Frame) {
+			out[k] = append(out[k], f)
+		}
 	}
-	for _, f := range frames {
-		f := f
-		w.sim.At(frameTime(f), func() { w.injectNow(f) })
+	for _, it := range items {
+		it := it
+		w := worlds[it.node]
+		w.sim.At(frameTime(it.f), func() { w.injectNow(it.f) })
 	}
-	w.sim.Run()
-	for _, f := range out {
+	for _, w := range worlds {
+		w.sim.Run()
+	}
+	if c.ver >= protocol.Version2 {
+		s.replayOutV2(c, out)
+		return
+	}
+	for _, f := range out[0] {
 		if !c.enqueueBlocking(f) {
-			s.stats.Shed.Add(1)
-			s.emit(trace.Event{Kind: trace.KindConnShed, T: s.wallNow(), Detail: c.name})
-			c.nc.Close()
-			c.closeFromReader("slow client: replay output stalled")
+			s.shed(c, "replay output stalled")
 			return
 		}
 	}
 	c.enqueueBlocking(protocol.Bye{Reason: "replay complete"})
-	c.closeFromReader("replay complete")
+	s.tearDown(c, "replay complete", false, false)
 }
 
-// enqueueBlocking queues a frame, waiting up to the write timeout for
-// space — replay output is bursty by design, and the client is entitled to
-// drain it at link speed. False means the client stopped draining.
-func (c *conn) enqueueBlocking(f protocol.Frame) bool {
-	b, err := protocol.Encode(f)
-	if err != nil {
-		return false
+// replayOutV2 ships per-node replay output as BatchReply frames in node
+// order, chunked at the protocol's batch ceiling, then the final Bye.
+func (s *Server) replayOutV2(c *conn, out [][]protocol.Frame) {
+	for node, frames := range out {
+		for len(frames) > 0 {
+			n := len(frames)
+			if n > protocol.MaxBatchItems {
+				n = protocol.MaxBatchItems
+			}
+			items := make([]protocol.BatchItem, n)
+			for i, f := range frames[:n] {
+				items[i] = protocol.BatchItem{Node: uint32(node), F: f}
+			}
+			if !c.enqueueBlocking(protocol.BatchReply{Seq: c.nextReplySeq(), Items: items}) {
+				s.shed(c, "replay output stalled")
+				return
+			}
+			frames = frames[n:]
+		}
 	}
-	select {
-	case c.sendq <- b:
-		c.framesOut.Add(1)
-		c.s.stats.FramesOut.Add(1)
-		return true
-	case <-time.After(writeTimeout):
-		return false
-	}
+	c.enqueueBlocking(protocol.Bye{Reason: "replay complete"})
+	s.tearDown(c, "replay complete", false, false)
 }
 
 // frameTime extracts an injectable frame's timestamp.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"crossroads/internal/protocol"
+	"crossroads/internal/topology"
 	"crossroads/internal/trace"
 )
 
@@ -28,14 +29,22 @@ type Config struct {
 	// Policy is the registered scheduler policy to serve ("crossroads",
 	// "vt-im", "aim", "batch", ...).
 	Policy string
-	// Geometry selects the intersection the scheduler manages.
+	// Geometry selects the intersection each shard manages.
 	Geometry protocol.Geometry
+	// Topology selects the served road network: one IM shard per node,
+	// all behind the same listener, routed by node ID. Nil serves the
+	// classic single intersection (node 0), wire-compatible with the
+	// pre-sharding server.
+	Topology *topology.Topology
 	// Clock selects wall-clock serving or deterministic replay. A server
 	// runs in exactly one mode; clients asking for the other are refused
 	// with CodeClockMode.
 	Clock protocol.ClockMode
-	// Seed feeds the scheduler and network RNG streams, mirroring the DES
-	// harness layout (Seed+1 network, Seed+2 scheduler).
+	// Seed feeds the scheduler and network RNG streams. Shard k draws
+	// from Seed+1+1000k (network) and Seed+2+1000k (scheduler), mirroring
+	// the parallel DES kernel's per-node layout, so node 0 is stream-
+	// compatible with the unsharded server and every shard matches its
+	// in-DES twin.
 	Seed int64
 	// ModelCost charges the calibrated testbed computation-cost model in
 	// scheduler time. Off by default when serving: real wall time is the
@@ -56,7 +65,10 @@ type Config struct {
 	Trace *trace.Recorder
 }
 
-// Stats is a snapshot of the server's counters.
+// Stats is a snapshot of the server's counters. A connection contributes
+// to exactly one of Shed or ProtocolErrors (or neither, for an orderly
+// close): teardown ownership is decided by a single compare-and-swap, so
+// a conn shed mid-drain can never also count as errored.
 type Stats struct {
 	Accepted       int64
 	Active         int64
@@ -74,31 +86,44 @@ type counters struct {
 	FramesOut      atomic.Int64
 }
 
-// coreMsg is one unit of work for the wall-mode core goroutine.
+// coreMsg is one unit of work for a shard executive: injectable frames
+// from one connection, in arrival order.
 type coreMsg struct {
-	c *conn
-	// f is the frame to inject; nil means the reader finished. register
-	// marks the first message after a successful handshake.
-	f        protocol.Frame
-	err      error
-	register bool
+	c      *conn
+	frames []protocol.Frame
 }
 
-// Server hosts the IM behind the wire protocol. Construct with New, attach
-// listeners with ListenTCP/ListenUnix, call Start, and stop with Shutdown.
+// shard is one intersection manager: an embedded world advanced by its
+// own executive goroutine. All shard fields after construction are owned
+// by that goroutine.
+type shard struct {
+	s     *Server
+	node  int
+	world *world
+	inbox chan coreMsg
+
+	vehConn map[int64]*conn // vehicle id -> owning conn
+	// pending holds v2 deliveries coalesced during one advance, flushed
+	// as BatchReply frames afterwards.
+	pending map[*conn][]protocol.BatchItem
+	order   []*conn // flush order for pending (deterministic-ish, FIFO)
+}
+
+// Server hosts the sharded IM behind the wire protocol. Construct with
+// New, attach listeners with ListenTCP/ListenUnix, call Start, and stop
+// with Shutdown.
 type Server struct {
 	cfg   Config
+	topo  *topology.Topology
 	epoch time.Time
 
-	// Wall mode: one shared world, owned by the core goroutine.
-	world   *world
-	inbox   chan coreMsg
-	vehConn map[int64]*conn // vehicle id -> owning conn; core-owned
-	live    map[*conn]bool  // handshaken conns; core-owned
-	readers int             // registered reader goroutines; core-owned
+	// Wall mode: one executive goroutine per topology node.
+	shards []*shard
 
-	quit chan struct{} // closed by Shutdown; core drains and exits
-	done chan struct{} // closed when the core exits
+	quit        chan struct{} // closed by Shutdown
+	readersGone chan struct{} // closed when every wall reader has exited
+	done        chan struct{} // closed when all shard executives exit
+	readerWG    sync.WaitGroup
 
 	mu        sync.Mutex
 	conns     map[*conn]bool // all accepted conns (true once registered)
@@ -111,34 +136,55 @@ type Server struct {
 	downOnce sync.Once
 }
 
-// New builds a server for cfg. In wall mode the embedded world is built
+// New builds a server for cfg. In wall mode every shard world is built
 // here so configuration errors (unknown policy, bad geometry) surface
-// before any socket is opened; replay mode builds a fresh world per
+// before any socket is opened; replay mode builds fresh worlds per
 // connection but probes one up front for the same early failure.
 func New(cfg Config) (*Server, error) {
 	if cfg.Policy == "" {
 		return nil, fmt.Errorf("server: Policy is required")
 	}
-	s := &Server{
-		cfg:     cfg,
-		epoch:   time.Now(),
-		inbox:   make(chan coreMsg, 1024),
-		vehConn: make(map[int64]*conn),
-		live:    make(map[*conn]bool),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
-		conns:   make(map[*conn]bool),
+	topo := cfg.Topology
+	if topo == nil {
+		topo = topology.Single()
 	}
-	w, err := newWorld(cfg)
-	if err != nil {
-		return nil, err
+	s := &Server{
+		cfg:         cfg,
+		topo:        topo,
+		epoch:       time.Now(),
+		quit:        make(chan struct{}),
+		readersGone: make(chan struct{}),
+		done:        make(chan struct{}),
+		conns:       make(map[*conn]bool),
 	}
 	if cfg.Clock == protocol.ClockWall {
-		s.world = w
-		w.deliver = s.deliverWall
+		for k := 0; k < topo.NumNodes(); k++ {
+			w, err := newWorldAt(cfg, k)
+			if err != nil {
+				return nil, err
+			}
+			sh := &shard{
+				s:       s,
+				node:    k,
+				world:   w,
+				inbox:   make(chan coreMsg, 1024),
+				vehConn: make(map[int64]*conn),
+				pending: make(map[*conn][]protocol.BatchItem),
+			}
+			w.deliver = sh.deliver
+			s.shards = append(s.shards, sh)
+		}
+	} else {
+		if _, err := newWorldAt(cfg, 0); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
+
+// NumShards returns how many IM shards the server hosts (one per
+// topology node).
+func (s *Server) NumShards() int { return s.topo.NumNodes() }
 
 // ListenTCP adds a TCP listener. Call before Start.
 func (s *Server) ListenTCP(addr string) (net.Addr, error) {
@@ -164,7 +210,8 @@ func (s *Server) ListenUnix(path string) (net.Addr, error) {
 	return l.Addr(), nil
 }
 
-// Start launches the accept loops and, in wall mode, the core goroutine.
+// Start launches the accept loops and, in wall mode, one executive
+// goroutine per shard plus the drain janitor.
 func (s *Server) Start() error {
 	if len(s.listeners) == 0 {
 		return fmt.Errorf("server: no listeners; call ListenTCP or ListenUnix first")
@@ -174,10 +221,32 @@ func (s *Server) Start() error {
 	}
 	s.started = true
 	if s.cfg.Clock == protocol.ClockWall {
-		s.wg.Add(1)
-		go s.runCore()
+		var cores sync.WaitGroup
+		for _, sh := range s.shards {
+			sh := sh
+			s.wg.Add(1)
+			cores.Add(1)
+			go func() {
+				defer cores.Done()
+				sh.run()
+			}()
+		}
+		go func() {
+			cores.Wait()
+			close(s.done)
+		}()
+		// Drain janitor: on quit, say goodbye to every registered conn,
+		// then wait for the readers to unwind before releasing the shard
+		// executives (which must keep consuming their inboxes until no
+		// reader can be blocked sending into them).
+		go func() {
+			<-s.quit
+			s.drainConns()
+			s.readerWG.Wait()
+			close(s.readersGone)
+		}()
 	} else {
-		close(s.done) // no core in replay mode
+		close(s.done) // no executives in replay mode
 	}
 	for _, l := range s.listeners {
 		l := l
@@ -203,8 +272,8 @@ func (s *Server) Stats() Stats {
 }
 
 // Shutdown drains the server: listeners close, live connections get a Bye
-// and their queues flushed, and the core exits. If ctx expires first the
-// remaining sockets are forced closed.
+// and their queues flushed, and the shard executives exit. If ctx expires
+// first the remaining sockets are forced closed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.downOnce.Do(func() {
 		for _, l := range s.listeners {
@@ -213,17 +282,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.emit(trace.Event{Kind: trace.KindServeDrain, T: s.wallNow()})
 		if s.cfg.Clock == protocol.ClockWall && s.started {
 			close(s.quit)
-		}
-		// Pre-handshake and replay connections are not core-managed: force
-		// their sockets closed so their goroutines unwind. Registered wall
-		// conns are drained by the core.
-		s.mu.Lock()
-		for c, registered := range s.conns {
-			if !registered || s.cfg.Clock == protocol.ClockReplay {
+		} else {
+			// Replay and never-started servers have no janitor: force
+			// every socket closed so conn goroutines unwind.
+			s.mu.Lock()
+			for c := range s.conns {
 				c.nc.Close()
 			}
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
 	})
 	finished := make(chan struct{})
 	go func() {
@@ -246,8 +313,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 func (s *Server) wallNow() float64 { return time.Since(s.epoch).Seconds() }
 
-// emit serializes trace emission: conn goroutines (replay mode) and the
-// core both emit, and trace.Recorder is not concurrency-safe.
+// emit serializes trace emission: conn goroutines and every shard
+// executive emit, and trace.Recorder is not concurrency-safe.
 func (s *Server) emit(ev trace.Event) {
 	if s.cfg.Trace == nil {
 		return
@@ -280,6 +347,82 @@ func (s *Server) dropConn(c *conn, reason string) {
 	}
 }
 
+// --- teardown ownership ---
+//
+// Every way a connection can die funnels through one of the three helpers
+// below, and each starts with the same CompareAndSwap on c.dead. The
+// winner — and only the winner — does the accounting, which is the fix
+// for the old shed-then-errored double count: a conn shed for a full
+// queue whose reader subsequently returns an error is already dead, so
+// the reader's teardown attempt loses the CAS and counts nothing.
+
+// tearDown finishes a connection without special accounting (orderly
+// close, drain, bad request already accounted elsewhere). sendBye queues
+// a farewell frame; if the queue is too full to even take the Bye during
+// a drain, the conn is shed instead — counted once, with its conn.shed
+// event, never as a protocol error.
+func (s *Server) tearDown(c *conn, reason string, sendBye, abrupt bool) bool {
+	if !c.dead.CompareAndSwap(false, true) {
+		return false
+	}
+	if sendBye && !c.enqueue(protocol.Bye{Reason: reason}) {
+		s.stats.Shed.Add(1)
+		s.emit(trace.Event{Kind: trace.KindConnShed, T: s.wallNow(), Detail: c.name})
+		reason = "slow client: send queue full at " + reason
+		abrupt = true
+	}
+	if abrupt {
+		c.nc.Close()
+	}
+	close(c.stop)
+	s.dropConn(c, reason)
+	return true
+}
+
+// shed drops a slow client: its send queue is full, so it is cut off
+// immediately (no flush — the queue backlog is the problem).
+func (s *Server) shed(c *conn, detail string) {
+	if !c.dead.CompareAndSwap(false, true) {
+		return
+	}
+	s.stats.Shed.Add(1)
+	s.emit(trace.Event{Kind: trace.KindConnShed, T: s.wallNow(), Detail: c.name})
+	c.nc.Close()
+	close(c.stop)
+	s.dropConn(c, "slow client: "+detail)
+}
+
+// failConn drops a connection for a protocol violation: one Error frame,
+// one ProtocolErrors count, flushed close.
+func (s *Server) failConn(c *conn, e protocol.Error) {
+	if !c.dead.CompareAndSwap(false, true) {
+		return
+	}
+	s.stats.ProtocolErrors.Add(1)
+	c.enqueue(e)
+	close(c.stop)
+	s.dropConn(c, "protocol error: "+e.Msg)
+}
+
+// drainConns tears down every accepted connection for shutdown:
+// registered wall conns get a Bye and a flush, the rest just lose their
+// socket.
+func (s *Server) drainConns() {
+	s.mu.Lock()
+	snapshot := make(map[*conn]bool, len(s.conns))
+	for c, reg := range s.conns {
+		snapshot[c] = reg
+	}
+	s.mu.Unlock()
+	for c, registered := range snapshot {
+		if registered {
+			s.tearDown(c, "server drain", true, false)
+		} else {
+			c.nc.Close()
+		}
+	}
+}
+
 func (s *Server) acceptLoop(l net.Listener) {
 	defer s.wg.Done()
 	maxConns := s.cfg.MaxConns
@@ -304,6 +447,7 @@ func (s *Server) acceptLoop(l net.Listener) {
 		s.emit(trace.Event{Kind: trace.KindConnOpen, T: s.wallNow(), Detail: remoteDesc(nc)})
 		s.wg.Add(1)
 		if s.cfg.Clock == protocol.ClockWall {
+			s.readerWG.Add(1)
 			go s.readLoopWall(c)
 		} else {
 			go s.runReplayConn(c)
@@ -333,206 +477,222 @@ func remoteDesc(nc net.Conn) string {
 
 // --- wall mode ---
 
-// readLoopWall reads frames off one wall-mode connection and forwards them
-// to the core. After registering it always sends a final reader-done
-// message, which is what lets the core count down to a clean exit.
+// readLoopWall reads frames off one wall-mode connection and routes them
+// to the owning shard executives. Bare v1 frames go to shard 0; v2 Batch
+// frames are split by node ID. The deferred writerDone wait means the
+// s.wg accounting covers the farewell flush too.
 func (s *Server) readLoopWall(c *conn) {
 	defer s.wg.Done()
+	defer s.readerWG.Done()
 	go c.writeLoop()
 	r := protocol.NewReader(c.nc)
 	if _, ok := c.handshake(r); !ok {
+		<-c.writerDone
 		return
 	}
-	select {
-	case s.inbox <- coreMsg{c: c, register: true}:
-	case <-s.done:
-		c.closeFromReader("server stopped")
-		return
-	}
+	defer func() { <-c.writerDone }()
+	s.markRegistered(c)
 	for {
 		f, err := r.ReadFrame()
 		if err != nil {
 			if err == io.EOF || errors.Is(err, net.ErrClosed) {
-				err = nil // orderly close, not a protocol error
+				s.tearDown(c, "client closed", false, false)
+			} else {
+				s.failConn(c, protocol.Error{Code: protocol.CodeBadFrame, Msg: err.Error()})
 			}
-			s.inbox <- coreMsg{c: c, err: err}
 			return
 		}
 		c.framesIn.Add(1)
 		s.stats.FramesIn.Add(1)
-		s.inbox <- coreMsg{c: c, f: f}
-	}
-}
-
-// deliverWall routes an IM reply to the connection owning the vehicle.
-// It runs inside the DES (core goroutine).
-func (s *Server) deliverWall(now float64, id int64, f protocol.Frame) {
-	c := s.vehConn[id]
-	if c == nil || c.dead {
-		return
-	}
-	if !c.enqueue(f) {
-		s.shed(c)
-	}
-}
-
-// shed drops a slow client: its send queue is full, so it is cut off
-// immediately (no flush — the queue backlog is the problem).
-func (s *Server) shed(c *conn) {
-	s.stats.Shed.Add(1)
-	s.emit(trace.Event{Kind: trace.KindConnShed, T: s.wallNow(), Detail: c.name})
-	s.tearDown(c, "slow client: send queue full", false, true)
-}
-
-// tearDown finishes a core-managed connection. sendBye flushes a farewell
-// frame; abrupt closes the socket before the queue drains (shedding).
-// Only the core goroutine calls it.
-func (s *Server) tearDown(c *conn, reason string, sendBye, abrupt bool) {
-	if c.dead {
-		return
-	}
-	c.dead = true
-	if sendBye {
-		c.enqueue(protocol.Bye{Reason: reason})
-	}
-	if abrupt {
-		c.nc.Close()
-	}
-	close(c.sendq)
-	go func() {
-		<-c.writerDone
-		c.nc.Close()
-	}()
-	for id := range c.vehicles {
-		if s.vehConn[id] == c {
-			delete(s.vehConn, id)
+		if !s.routeWall(c, f) {
+			return
 		}
 	}
-	delete(s.live, c)
-	s.dropConn(c, reason)
 }
 
-// runCore is the wall-mode executive: a single goroutine that owns the
-// world and advances simulated time to track the wall clock. Client frames
-// inject at the current time; deferred IM replies (batch windows, modeled
-// cost) schedule future events, and the timer sleeps until the earliest one
-// is due — des.NextTime replaces polling.
-func (s *Server) runCore() {
-	defer s.wg.Done()
+// routeWall dispatches one client frame. It reports false when the
+// connection is finished (Bye, protocol violation) and the reader should
+// exit.
+func (s *Server) routeWall(c *conn, f protocol.Frame) bool {
+	switch v := f.(type) {
+	case protocol.Request, protocol.Exit, protocol.Sync:
+		s.sendToShard(0, coreMsg{c: c, frames: []protocol.Frame{f}})
+		return !c.dead.Load()
+	case protocol.Batch:
+		if c.ver < protocol.Version2 {
+			s.failConn(c, protocol.Error{Code: protocol.CodeBadFrame,
+				Msg: "batch frame on a v1 connection"})
+			return false
+		}
+		// Split per node, preserving item order within each shard.
+		perNode := make(map[uint32][]protocol.Frame)
+		var nodes []uint32
+		for _, it := range v.Items {
+			if int(it.Node) >= len(s.shards) {
+				s.failConn(c, protocol.Error{Code: protocol.CodeBadNode,
+					Msg: fmt.Sprintf("node %d out of range (%d shards)", it.Node, len(s.shards))})
+				return false
+			}
+			if _, seen := perNode[it.Node]; !seen {
+				nodes = append(nodes, it.Node)
+			}
+			perNode[it.Node] = append(perNode[it.Node], it.F)
+		}
+		for _, n := range nodes {
+			s.sendToShard(int(n), coreMsg{c: c, frames: perNode[n]})
+		}
+		return !c.dead.Load()
+	case protocol.Bye:
+		s.tearDown(c, "client bye", true, false)
+		return false
+	default:
+		s.failConn(c, protocol.Error{Code: protocol.CodeBadFrame,
+			Msg: "unexpected " + f.Kind().String() + " frame"})
+		return false
+	}
+}
+
+// sendToShard blocks until the shard executive takes the message — the
+// executives consume their inboxes until every reader has exited, so
+// this cannot deadlock during drain.
+func (s *Server) sendToShard(node int, m coreMsg) {
+	s.shards[node].inbox <- m
+}
+
+// run is the shard executive: a goroutine that owns one world and
+// advances simulated time to track the wall clock. Client frames inject
+// at the current time; deferred IM replies (batch windows, modeled cost)
+// schedule future events, and the timer sleeps until the earliest one is
+// due — des.NextTime replaces polling.
+func (sh *shard) run() {
+	defer sh.s.wg.Done()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
 		select {
-		case m := <-s.inbox:
-			s.advance()
-			s.handleCoreMsg(m)
-			s.advance()
+		case m := <-sh.inbox:
+			sh.advance()
+			sh.handle(m)
+			sh.advance()
+			sh.flush()
 		case <-timer.C:
-			s.advance()
-		case <-s.quit:
-			s.drainCore()
-			close(s.done)
+			sh.advance()
+			sh.flush()
+		case <-sh.s.readersGone:
+			sh.drainInbox()
 			return
 		}
-		s.rearm(timer)
+		sh.rearm(timer)
 	}
 }
 
 // advance runs the world up to the wall clock, pumping any events due now
 // (zero-delay deliveries land at the current instant).
-func (s *Server) advance() {
-	tEnd := s.wallNow()
-	if now := s.world.sim.Now(); now > tEnd {
+func (sh *shard) advance() {
+	tEnd := sh.s.wallNow()
+	if now := sh.world.sim.Now(); now > tEnd {
 		tEnd = now
 	}
-	s.world.sim.RunUntil(tEnd)
+	sh.world.sim.RunUntil(tEnd)
 }
 
 // rearm points the timer at the earliest pending world event.
-func (s *Server) rearm(t *time.Timer) {
+func (sh *shard) rearm(t *time.Timer) {
 	if !t.Stop() {
 		select {
 		case <-t.C:
 		default:
 		}
 	}
-	next, ok := s.world.sim.NextTime()
+	next, ok := sh.world.sim.NextTime()
 	if !ok {
 		t.Reset(time.Hour)
 		return
 	}
-	d := time.Duration((next - s.wallNow()) * float64(time.Second))
+	d := time.Duration((next - sh.s.wallNow()) * float64(time.Second))
 	if d < 0 {
 		d = 0
 	}
 	t.Reset(d)
 }
 
-func (s *Server) handleCoreMsg(m coreMsg) {
+// handle injects one connection's frames into the shard world.
+func (sh *shard) handle(m coreMsg) {
 	c := m.c
-	if m.register {
-		s.readers++
-		s.live[c] = true
-		s.markRegistered(c)
-		return
-	}
-	if m.f == nil {
-		// Reader finished: decode error or orderly EOF.
-		s.readers--
-		if m.err != nil {
-			s.stats.ProtocolErrors.Add(1)
-			if !c.dead {
-				c.enqueue(protocol.Error{Code: protocol.CodeBadFrame, Msg: m.err.Error()})
-			}
-			s.tearDown(c, "protocol error: "+m.err.Error(), false, false)
-		} else {
-			s.tearDown(c, "client closed", false, false)
-		}
-		return
-	}
-	if c.dead {
-		return
-	}
-	switch f := m.f.(type) {
-	case protocol.Request, protocol.Exit, protocol.Sync:
-		id := frameVehicle(m.f)
-		if err := s.world.injectNow(m.f); err != nil {
-			s.stats.ProtocolErrors.Add(1)
-			c.enqueue(protocol.Error{Code: protocol.CodeBadRequest, Msg: err.Error()})
-			s.tearDown(c, "bad request: "+err.Error(), false, false)
+	for _, f := range m.frames {
+		if c.dead.Load() {
 			return
 		}
-		c.vehicles[id] = true
-		s.vehConn[id] = c
-	case protocol.Bye:
-		s.tearDown(c, "client bye", true, false)
-	default:
-		s.stats.ProtocolErrors.Add(1)
-		c.enqueue(protocol.Error{Code: protocol.CodeBadFrame,
-			Msg: "unexpected " + f.Kind().String() + " frame"})
-		s.tearDown(c, "unexpected "+f.Kind().String()+" frame", false, false)
+		id := frameVehicle(f)
+		if err := sh.world.injectNow(f); err != nil {
+			sh.s.failConn(c, protocol.Error{Code: protocol.CodeBadRequest, Msg: err.Error()})
+			return
+		}
+		sh.vehConn[id] = c
 	}
 }
 
-// drainCore sends every live connection a Bye and waits for all registered
-// readers to unwind, consuming the inbox so none of them block.
-func (s *Server) drainCore() {
-	for c := range s.live {
-		s.tearDown(c, "server drain", true, false)
+// deliver routes an IM reply to the connection owning the vehicle. It
+// runs inside the DES (shard executive). v1 conns get the bare frame
+// immediately; v2 deliveries coalesce into per-advance BatchReply frames.
+// Dead connections are unrouted lazily, here — with multiple shards there
+// is no single owner who could do it eagerly.
+func (sh *shard) deliver(now float64, id int64, f protocol.Frame) {
+	c := sh.vehConn[id]
+	if c == nil {
+		return
 	}
-	for s.readers > 0 {
-		m := <-s.inbox
-		switch {
-		case m.register:
-			s.readers++
-			s.live[m.c] = true
-			s.markRegistered(m.c)
-			s.tearDown(m.c, "server drain", true, false)
-		case m.f == nil:
-			s.readers--
-			s.tearDown(m.c, "client closed", false, false)
+	if c.dead.Load() {
+		delete(sh.vehConn, id)
+		return
+	}
+	if c.ver >= protocol.Version2 {
+		if _, ok := sh.pending[c]; !ok {
+			sh.order = append(sh.order, c)
+		}
+		sh.pending[c] = append(sh.pending[c], protocol.BatchItem{Node: uint32(sh.node), F: f})
+		return
+	}
+	if !c.enqueue(f) {
+		sh.s.shed(c, "send queue full")
+	}
+}
+
+// flush ships the coalesced v2 deliveries, one BatchReply per connection
+// per advance (chunked at the protocol's batch ceiling).
+func (sh *shard) flush() {
+	if len(sh.order) == 0 {
+		return
+	}
+	for _, c := range sh.order {
+		items := sh.pending[c]
+		delete(sh.pending, c)
+		if c.dead.Load() {
+			continue
+		}
+		for len(items) > 0 {
+			n := len(items)
+			if n > protocol.MaxBatchItems {
+				n = protocol.MaxBatchItems
+			}
+			if !c.enqueue(protocol.BatchReply{Seq: c.nextReplySeq(), Items: items[:n]}) {
+				sh.s.shed(c, "send queue full")
+				break
+			}
+			items = items[n:]
+		}
+	}
+	sh.order = sh.order[:0]
+}
+
+// drainInbox empties whatever is left after the readers are gone, so a
+// message sent just before the last reader exited is not leaked.
+func (sh *shard) drainInbox() {
+	for {
+		select {
+		case <-sh.inbox:
 		default:
-			// Frames arriving mid-drain are dropped; the Bye is en route.
+			return
 		}
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"crossroads/internal/intersection"
 	"crossroads/internal/kinematics"
 	"crossroads/internal/protocol"
+	"crossroads/internal/topology"
+	"crossroads/internal/trace"
 
 	_ "crossroads/internal/core"     // register crossroads
 	_ "crossroads/internal/im/aim"   // register aim
@@ -78,17 +80,39 @@ func (c *client) recv() protocol.Frame {
 	return f
 }
 
-// handshake sends Hello and demands a Welcome.
+// handshake sends a v1-only Hello and demands a Welcome. The v1 flows in
+// this file are pinned to version 1 on purpose: a v1-only client against
+// the v2 server must see exactly the pre-sharding streams.
 func (c *client) handshake(clock protocol.ClockMode) protocol.Welcome {
 	c.t.Helper()
-	c.send(protocol.Hello{MinVersion: protocol.MinVersion, MaxVersion: protocol.MaxVersion,
+	c.send(protocol.Hello{MinVersion: protocol.Version1, MaxVersion: protocol.Version1,
 		Clock: clock, Client: c.t.Name()})
 	f := c.recv()
 	w, ok := f.(protocol.Welcome)
 	if !ok {
 		c.t.Fatalf("expected welcome, got %#v", f)
 	}
+	if w.Version != protocol.Version1 {
+		c.t.Fatalf("v1-only hello negotiated version %d", w.Version)
+	}
 	return w
+}
+
+// handshakeV2 offers the full version window and demands a v2 Welcome
+// plus the Topo frame that follows it.
+func (c *client) handshakeV2(clock protocol.ClockMode) (protocol.Welcome, protocol.Topo) {
+	c.t.Helper()
+	c.send(protocol.Hello{MinVersion: protocol.MinVersion, MaxVersion: protocol.MaxVersion,
+		Clock: clock, Client: c.t.Name()})
+	w, ok := c.recv().(protocol.Welcome)
+	if !ok || w.Version != protocol.Version2 {
+		c.t.Fatalf("expected v2 welcome, got %#v", w)
+	}
+	topo, ok := c.recv().(protocol.Topo)
+	if !ok {
+		c.t.Fatalf("expected topo after v2 welcome, got %#v", topo)
+	}
+	return w, topo
 }
 
 // testRequest builds a plausible scale-model crossing request.
@@ -285,30 +309,30 @@ func TestSlowClientShed(t *testing.T) {
 	a, b := net.Pipe()
 	defer b.Close()
 	c := newConn(s, a)
-	s.live[c] = true
+	c.ver = protocol.Version1
 	s.conns[c] = true
-	s.vehConn[9] = c
-	c.vehicles[9] = true
+	sh := s.shards[0]
+	sh.vehConn[9] = c
 
 	g := protocol.Grant{VehicleID: 9, RespKind: uint8(im.RespTimed)}
 	// No writer goroutine is draining, so the first delivery fills the
 	// queue and the second must shed the connection.
-	s.deliverWall(0, 9, g)
-	if c.dead {
+	sh.deliver(0, 9, g)
+	if c.dead.Load() {
 		t.Fatal("first delivery should fit in the queue")
 	}
-	s.deliverWall(0, 9, g)
-	if !c.dead {
+	sh.deliver(0, 9, g)
+	if !c.dead.Load() {
 		t.Fatal("second delivery should have shed the connection")
 	}
 	if got := s.Stats().Shed; got != 1 {
 		t.Fatalf("shed count = %d, want 1", got)
 	}
-	if s.vehConn[9] != nil {
+	// The dead conn is unrouted lazily on the next delivery.
+	sh.deliver(0, 9, g)
+	if sh.vehConn[9] != nil {
 		t.Fatal("shed connection still routed")
 	}
-	// Release the teardown goroutine waiting on the (never-started) writer.
-	close(c.writerDone)
 }
 
 func TestReplayRejectsNonMonotonic(t *testing.T) {
@@ -345,5 +369,154 @@ func TestReplayOverflow(t *testing.T) {
 func TestUnknownPolicyFailsFast(t *testing.T) {
 	if _, err := New(Config{Policy: "no-such-policy", Clock: protocol.ClockWall}); err == nil {
 		t.Fatal("expected constructor error for unknown policy")
+	}
+}
+
+// TestShedMidDrainCountsOnce pins the shed-vs-errored accounting fix: a
+// connection whose send queue is too full to take the drain Bye must be
+// shed exactly once — one Shed count, one conn.shed trace event — and
+// must never also surface as a protocol error, even though its reader
+// subsequently fails on the closed socket.
+func TestShedMidDrainCountsOnce(t *testing.T) {
+	rec := trace.NewFull()
+	s, err := New(Config{Policy: "crossroads", Clock: protocol.ClockWall, Seed: 1,
+		SendQueue: 1, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// net.Pipe is unbuffered and nobody reads side b: the writer goroutine
+	// sticks on the first frame and the queue behind it stays full.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := newConn(s, a)
+	c.ver = protocol.Version1
+	s.addConn(c)
+	s.markRegistered(c)
+	go c.writeLoop()
+	c.enqueue(protocol.Grant{VehicleID: 1, RespKind: uint8(im.RespTimed)}) // writer takes this and blocks
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.sendq) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the first frame")
+		}
+		c.enqueue(protocol.Grant{VehicleID: 2, RespKind: uint8(im.RespTimed)})
+		time.Sleep(time.Millisecond)
+	}
+
+	// Graceful drain: the Bye cannot be enqueued, so the conn is shed.
+	s.drainConns()
+	if !c.dead.Load() {
+		t.Fatal("drained connection not torn down")
+	}
+	// A reader noticing the closed socket afterwards must not re-account.
+	s.failConn(c, protocol.Error{Code: protocol.CodeBadFrame, Msg: "late reader error"})
+	s.tearDown(c, "late teardown", false, false)
+
+	st := s.Stats()
+	if st.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", st.Shed)
+	}
+	if st.ProtocolErrors != 0 {
+		t.Fatalf("ProtocolErrors = %d, want 0 (shed conn must not double count)", st.ProtocolErrors)
+	}
+	if st.Active != 0 {
+		t.Fatalf("Active = %d, want 0", st.Active)
+	}
+	if n := rec.KindCount(trace.KindConnShed); n != 1 {
+		t.Fatalf("conn.shed events = %d, want 1", n)
+	}
+	if n := rec.KindCount(trace.KindConnClose); n != 1 {
+		t.Fatalf("conn.close events = %d, want 1", n)
+	}
+}
+
+// TestWallV2Multiplex drives a 1x2 corridor server over one v2 connection:
+// requests for both nodes ride in one Batch, and the grants come back as
+// BatchReply frames tagged with the owning node.
+func TestWallV2Multiplex(t *testing.T) {
+	topo, err := topology.Grid(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockWall,
+		Seed: 1, Topology: topo})
+	if s.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", s.NumShards())
+	}
+	c := dialClient(t, path)
+	_, tf := c.handshakeV2(protocol.ClockWall)
+	if tf.Rows != 1 || tf.Cols != 2 {
+		t.Fatalf("topo frame = %+v, want 1x2", tf)
+	}
+
+	c.send(protocol.Batch{Seq: 1, Items: []protocol.BatchItem{
+		{Node: 0, F: testRequest(1, 1, 0, 0.001)},
+		{Node: 1, F: testRequest(2, 1, 1, 0.001)},
+	}})
+	got := map[uint32]int64{}
+	for len(got) < 2 {
+		br, ok := c.recv().(protocol.BatchReply)
+		if !ok {
+			t.Fatalf("expected batch reply, got %#v", br)
+		}
+		if br.Seq == 0 {
+			t.Fatal("batch reply seq must start at 1")
+		}
+		for _, it := range br.Items {
+			g, ok := it.F.(protocol.Grant)
+			if !ok {
+				t.Fatalf("expected grant item, got %#v", it.F)
+			}
+			got[it.Node] = g.VehicleID
+		}
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("grants routed wrong: %v", got)
+	}
+
+	// A batch naming a node outside the grid is a protocol error.
+	c.send(protocol.Batch{Seq: 2, Items: []protocol.BatchItem{
+		{Node: 7, F: testRequest(3, 1, 0, 0.002)},
+	}})
+	e, ok := c.recv().(protocol.Error)
+	if !ok || e.Code != protocol.CodeBadNode {
+		t.Fatalf("expected CodeBadNode, got %#v", e)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().ProtocolErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("protocol error never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWallV1OnSharded proves a v1-only client still works, unchanged,
+// against a sharded server: its frames land on node 0.
+func TestWallV1OnSharded(t *testing.T) {
+	topo, err := topology.Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, path := startServer(t, Config{Policy: "crossroads", Clock: protocol.ClockWall,
+		Seed: 1, Topology: topo})
+	c := dialClient(t, path)
+	w := c.handshake(protocol.ClockWall)
+	if w.Version != protocol.Version1 {
+		t.Fatalf("negotiated %d, want v1", w.Version)
+	}
+	c.send(testRequest(7, 1, 0, 0.001))
+	g, ok := c.recv().(protocol.Grant)
+	if !ok || g.VehicleID != 7 {
+		t.Fatalf("expected bare v1 grant for vehicle 7, got %#v", g)
+	}
+	// Batch frames are refused on a v1 connection.
+	c.send(protocol.Batch{Seq: 1, Items: []protocol.BatchItem{
+		{Node: 0, F: testRequest(8, 1, 0, 0.002)},
+	}})
+	e, ok := c.recv().(protocol.Error)
+	if !ok || e.Code != protocol.CodeBadFrame {
+		t.Fatalf("expected CodeBadFrame for v1 batch, got %#v", e)
 	}
 }

@@ -28,10 +28,11 @@ import (
 // builds a fresh world per connection so every replayed stream starts from
 // the same state the DES oracle starts from.
 type world struct {
-	x   *intersection.Intersection
-	sim *des.Simulator
-	net *network.Network
-	im  *im.Server
+	x    *intersection.Intersection
+	sim  *des.Simulator
+	net  *network.Network
+	im   *im.Server
+	node int
 
 	// deliver receives every frame the IM sends to a vehicle endpoint, in
 	// event-execution order. It runs inside the DES, so it must not block.
@@ -40,11 +41,12 @@ type world struct {
 	vehicles map[int64]bool
 }
 
-// newWorld builds the embedded IM stack for cfg. The RNG stream layout
-// mirrors internal/sim's world construction (network Seed+1, IM shard
-// Seed+2) so a served scheduler draws the same jitter sequence as its
-// in-DES twin under the same seed.
-func newWorld(cfg Config) (*world, error) {
+// newWorldAt builds the embedded IM stack for one topology node. The RNG
+// stream layout mirrors internal/sim's per-node construction (network
+// Seed+1+1000k, IM shard Seed+2+1000k) so a served shard draws the same
+// jitter sequence as its in-DES twin under the same seed; node 0 reduces
+// to the legacy single-intersection layout (Seed+1, Seed+2).
+func newWorldAt(cfg Config, node int) (*world, error) {
 	var xcfg intersection.Config
 	var spec safety.Spec
 	switch cfg.Geometry {
@@ -72,21 +74,23 @@ func newWorld(cfg Config) (*world, error) {
 		RefLength: ref.Length,
 		RefWidth:  ref.Width,
 	}
-	rngIM := rand.New(rand.NewSource(cfg.Seed + 2))
+	k := int64(node)
+	rngIM := rand.New(rand.NewSource(cfg.Seed + 2 + 1000*k))
 	sched, err := im.NewScheduler(cfg.Policy, x, opts, rngIM)
 	if err != nil {
 		return nil, err
 	}
 	sim := des.New()
-	rngNet := rand.New(rand.NewSource(cfg.Seed + 1))
+	rngNet := rand.New(rand.NewSource(cfg.Seed + 1 + 1000*k))
 	net := network.New(sim, rngNet, nil, network.ConstantDelay{D: 0}, 0)
 	w := &world{
 		x:        x,
 		sim:      sim,
 		net:      net,
+		node:     node,
 		vehicles: make(map[int64]bool),
 	}
-	w.im = im.NewServerAt(sim, net, sched, nil, im.NodeEndpoint(0), 0)
+	w.im = im.NewServerAt(sim, net, sched, nil, im.NodeEndpoint(node), node)
 	return w, nil
 }
 
@@ -135,7 +139,7 @@ func (w *world) injectNow(f protocol.Frame) error {
 		w.net.Send(network.Message{
 			Kind:    network.KindRequest,
 			From:    im.VehicleEndpoint(req.VehicleID),
-			To:      im.NodeEndpoint(0),
+			To:      im.NodeEndpoint(w.node),
 			Payload: req,
 		})
 	case protocol.Exit:
@@ -143,7 +147,7 @@ func (w *world) injectNow(f protocol.Frame) error {
 		w.net.Send(network.Message{
 			Kind:    network.KindExit,
 			From:    im.VehicleEndpoint(v.VehicleID),
-			To:      im.NodeEndpoint(0),
+			To:      im.NodeEndpoint(w.node),
 			Payload: im.ExitPayload{VehicleID: v.VehicleID, ExitTimestamp: v.ExitTimestamp},
 		})
 	case protocol.Sync:
@@ -151,7 +155,7 @@ func (w *world) injectNow(f protocol.Frame) error {
 		w.net.Send(network.Message{
 			Kind:    network.KindSyncRequest,
 			From:    im.VehicleEndpoint(v.VehicleID),
-			To:      im.NodeEndpoint(0),
+			To:      im.NodeEndpoint(w.node),
 			Payload: im.SyncPayload{T1: v.T1},
 		})
 	default:

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"crossroads/internal/topology"
+	"crossroads/internal/traffic"
+	"crossroads/internal/vehicle"
+)
+
+// TestParallelFallbackWarnsAndStrictErrors pins the fix for the silent
+// serial fallback: a parallel-kernel request that cannot engage (single
+// node, or zero segment length) must warn on stderr naming the reason,
+// and must be an error outright under WithKernelStrict.
+func TestParallelFallbackWarnsAndStrictErrors(t *testing.T) {
+	line2, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		topo   *topology.Topology // nil = single intersection
+		reason string
+	}{
+		{"single-node", nil, "single node"},
+		{"zero-seglen", line2, "segment length is zero"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			arr, _ := traffic.ScaleScenario(4, rand.New(rand.NewSource(1)))
+			opts := []Option{
+				WithPolicy(vehicle.PolicyCrossroads),
+				WithSeed(1),
+				WithKernel(KernelParallel),
+			}
+			if tc.topo != nil {
+				opts = append(opts, WithTopology(tc.topo))
+			}
+
+			// Lenient mode: runs serial, warns with the reason.
+			var buf bytes.Buffer
+			old := kernelFallbackWarn
+			kernelFallbackWarn = &buf
+			defer func() { kernelFallbackWarn = old }()
+			cfg, err := NewConfig(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(cfg, arr)
+			if err != nil {
+				t.Fatalf("lenient fallback run: %v", err)
+			}
+			if res.Kernel != "serial" {
+				t.Fatalf("fallback ran on %q kernel, want serial", res.Kernel)
+			}
+			warning := buf.String()
+			if !strings.Contains(warning, "falling back to the serial kernel") ||
+				!strings.Contains(warning, tc.reason) {
+				t.Fatalf("fallback warning %q does not name the reason %q", warning, tc.reason)
+			}
+
+			// Strict mode: same config refuses to run.
+			scfg, err := NewConfig(append(opts, WithKernelStrict())...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(scfg, arr); err == nil {
+				t.Fatal("strict mode ran despite the fallback condition")
+			} else if !strings.Contains(err.Error(), tc.reason) {
+				t.Fatalf("strict error %q does not name the reason %q", err, tc.reason)
+			}
+		})
+	}
+}
+
+// TestKernelStrictRequiresParallel pins the config contract: strict mode
+// on the serial kernel is a contradiction, not a no-op.
+func TestKernelStrictRequiresParallel(t *testing.T) {
+	_, err := NewConfig(
+		WithPolicy(vehicle.PolicyCrossroads),
+		WithKernelStrict(),
+	)
+	if err == nil {
+		t.Fatal("KernelStrict accepted with the serial kernel")
+	}
+}
+
+// TestParallelStrictEngages proves strict mode is satisfied the moment
+// the parallel kernel can actually engage.
+func TestParallelStrictEngages(t *testing.T) {
+	line2, err := topology.Line(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := line2.WithSegmentLen(0.8)
+	arr := topoWorkload(t, topo, 6, 5)
+	cfg, err := NewConfig(
+		WithTopology(topo),
+		WithPolicy(vehicle.PolicyCrossroads),
+		WithSeed(5),
+		WithKernel(KernelParallel),
+		WithKernelStrict(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != "parallel" {
+		t.Fatalf("strict run used %q kernel, want parallel", res.Kernel)
+	}
+}

@@ -123,6 +123,11 @@ func WithKernel(k Kernel) Option { return func(c *Config) { c.Kernel = k } }
 // worker count.
 func WithKernelWorkers(n int) Option { return func(c *Config) { c.KernelWorkers = n } }
 
+// WithKernelStrict makes a parallel-kernel request that cannot engage
+// (single-node topology, zero segment length) an error instead of a
+// warned serial fallback.
+func WithKernelStrict() Option { return func(c *Config) { c.KernelStrict = true } }
+
 // WithPerfectClocks zeroes every vehicle clock's offset and drift, the
 // deterministic-comparison mode used by the cross-kernel equivalence tests.
 func WithPerfectClocks() Option { return func(c *Config) { c.PerfectClocks = true } }

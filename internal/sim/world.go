@@ -11,8 +11,10 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"os"
 
 	_ "crossroads/internal/core" // register the crossroads policy
 	"crossroads/internal/des"
@@ -115,6 +117,11 @@ type Config struct {
 	// executors; 0 means one goroutine per shard. The result is identical
 	// at any worker count. Setting it with the serial kernel is rejected.
 	KernelWorkers int
+	// KernelStrict turns the parallel kernel's serial fallback into an
+	// error: a run that cannot actually engage the parallel kernel fails
+	// instead of quietly running serial with a stderr warning. Setting it
+	// with the serial kernel is rejected.
+	KernelStrict bool
 	// PerfectClocks forces every vehicle clock to zero offset and drift
 	// (overriding the defaulted error bounds) without perturbing RNG stream
 	// consumption. The cross-kernel equivalence tests use it: with clock
@@ -174,6 +181,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.KernelWorkers != 0 && cfg.Kernel != KernelParallel {
 		return fmt.Errorf("sim: KernelWorkers=%d set for the %v kernel", cfg.KernelWorkers, cfg.Kernel)
+	}
+	if cfg.KernelStrict && cfg.Kernel != KernelParallel {
+		return fmt.Errorf("sim: KernelStrict set for the %v kernel", cfg.Kernel)
 	}
 	if cfg.Kernel == KernelParallel && cfg.Observer != nil {
 		return fmt.Errorf("sim: Observer callbacks are serial-kernel only (no global tick exists under the parallel kernel)")
@@ -278,20 +288,43 @@ type vehState struct {
 
 func (v *vehState) lastLeg() bool { return v.leg == len(v.legs)-1 }
 
+// kernelFallbackWarn receives the warning emitted when a parallel-kernel
+// request falls back to serial. It defaults to stderr; tests swap it.
+var kernelFallbackWarn io.Writer = os.Stderr
+
+// kernelFallbackReason explains why a parallel-kernel request cannot
+// engage, or "" when it can: the parallel kernel needs a lookahead — a
+// multi-node topology with a positive inter-node segment length.
+func kernelFallbackReason(cfg *Config) string {
+	switch {
+	case cfg.Topology == nil || cfg.Topology.NumNodes() <= 1:
+		return "topology has a single node (no shards to run concurrently)"
+	case cfg.Topology.SegmentLen() <= 0:
+		return "topology segment length is zero (no conservative lookahead window)"
+	}
+	return ""
+}
+
 // Run executes one full simulation of the workload under the configured
 // policy and returns the aggregated result.
 func Run(cfg Config, arrivals []traffic.Arrival) (Result, error) {
 	if cfg.Kernel == KernelParallel {
-		// The parallel kernel needs a lookahead: a multi-node topology with
-		// a positive inter-node segment length. Anything else falls back to
-		// the serial kernel (Result.Kernel reports what actually ran).
-		if cfg.Topology != nil && cfg.Topology.NumNodes() > 1 && cfg.Topology.SegmentLen() > 0 {
+		reason := kernelFallbackReason(&cfg)
+		if reason == "" {
 			w, err := newPWorld(cfg, arrivals)
 			if err != nil {
 				return Result{}, err
 			}
 			return w.run()
 		}
+		// The fallback used to be silent, which made "-kernel parallel"
+		// benchmarks on a 1x1 topology look suspiciously flat. Name the
+		// reason, and in strict mode refuse to run at all.
+		if cfg.KernelStrict {
+			return Result{}, fmt.Errorf("sim: parallel kernel unavailable: %s", reason)
+		}
+		fmt.Fprintf(kernelFallbackWarn,
+			"sim: warning: falling back to the serial kernel: %s\n", reason)
 	}
 	w, err := newWorld(cfg, arrivals)
 	if err != nil {

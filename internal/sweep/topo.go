@@ -41,6 +41,9 @@ type TopoConfig struct {
 	TraceFull bool
 	// TraceDES additionally records the kernel event firehose per cell.
 	TraceDES bool
+	// KernelStrict errors instead of falling back to serial when the
+	// parallel kernel cannot engage on the topology.
+	KernelStrict bool
 	// Kernel selects the event-execution engine for every cell (serial by
 	// default; parallel shards by topology node and falls back to serial on
 	// single-node or zero-segment-length topologies).
@@ -125,6 +128,9 @@ func RunTopology(cfg TopoConfig) (TopoResult, error) {
 			sim.WithIntersection(interCfg),
 			sim.WithSpec(spec),
 			sim.WithKernel(cfg.Kernel),
+		}
+		if cfg.KernelStrict {
+			opts = append(opts, sim.WithKernelStrict())
 		}
 		if cfg.Noisy {
 			opts = append(opts, sim.WithNoise(plant.TestbedNoise()))

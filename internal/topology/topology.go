@@ -218,3 +218,9 @@ func (t *Topology) String() string {
 		return fmt.Sprintf("grid-%dx%d", t.rows, t.cols)
 	}
 }
+
+// Rows returns the grid's row count.
+func (t *Topology) Rows() int { return t.rows }
+
+// Cols returns the grid's column count.
+func (t *Topology) Cols() int { return t.cols }

@@ -145,6 +145,17 @@ type (
 	ProtocolError = protocol.Error
 	// Bye closes a connection cleanly.
 	Bye = protocol.Bye
+	// BatchItem is one injectable frame or reply tagged with its
+	// topology node (v2).
+	BatchItem = protocol.BatchItem
+	// Batch carries many node-tagged injectable frames in one wire frame
+	// (v2, client → server).
+	Batch = protocol.Batch
+	// BatchReply carries many node-tagged IM replies in one wire frame
+	// (v2, server → client).
+	BatchReply = protocol.BatchReply
+	// Topo advertises the served road network right after a v2 Welcome.
+	Topo = protocol.Topo
 	// FrameReader decodes frames from a stream.
 	FrameReader = protocol.Reader
 	// FrameWriter encodes frames onto a stream.
@@ -164,3 +175,13 @@ var (
 
 // ProtocolVersion is the newest wire-protocol version this build speaks.
 const ProtocolVersion = protocol.MaxVersion
+
+// The individual protocol versions a server may negotiate down to.
+const (
+	// ProtocolVersion1 is the original bare-frame protocol: one
+	// intersection per connection, replies interleaved frame by frame.
+	ProtocolVersion1 = protocol.Version1
+	// ProtocolVersion2 adds node-tagged batch frames and connection
+	// multiplexing across a sharded (corridor/grid) server.
+	ProtocolVersion2 = protocol.Version2
+)
