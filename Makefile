@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-grid bench-report race vet fmt check trace-demo corridor-demo grid-demo chaos-demo serve-demo
+.PHONY: build test bench bench-grid bench-report race vet fmt staticcheck check trace-demo corridor-demo grid-demo chaos-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ bench-grid:
 ## artifact. Re-run on a multi-core host to refresh the speedup evidence
 ## (on a single-core host the parallel variants are skipped or noted).
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_5.json
+	$(GO) run ./cmd/benchreport -out BENCH_7.json -label im-coordination-plane
 
 ## trace-demo runs a tiny traced sweep and validates the JSONL output
 ## against the schema — the end-to-end check for the observability layer.
@@ -91,6 +91,13 @@ serve-demo:
 
 vet:
 	$(GO) vet ./...
+
+## staticcheck runs honnef.co/go/tools over the whole module. The tool is
+## not vendored, so the target fetches it via `go run` and needs network
+## access; CI runs it on every push, offline checkouts fall back to
+## `make vet`.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -70,6 +70,28 @@ func main() {
 	fmt.Println("benchreport: measuring 3-intersection corridor...")
 	rep.Metrics = append(rep.Metrics, record("Corridor3/crossroads", benchCorridor()))
 
+	// The coordination plane's headline claim (EXPERIMENTS.md E9): on a
+	// saturated full-scale corridor, IM↔IM digests + backpressure +
+	// green-wave floors cut mean journey wait at the same seed. Both
+	// variants carry the traffic outcome in Extra so the delta is part of
+	// the committed artifact, not just the timing.
+	for _, coord := range []bool{false, true} {
+		fmt.Printf("benchreport: measuring saturated corridor, coord=%v...\n", coord)
+		r, sum := benchCoordCorridor(coord)
+		name := "CorridorCoord3/crossroads/coord=off"
+		if coord {
+			name = "CorridorCoord3/crossroads/coord=on"
+		}
+		m := record(name, r)
+		m.Extra = map[string]float64{
+			"mean_wait_s": sum.MeanWait,
+			"p95_wait_s":  sum.P95Wait,
+			"tput_veh_s":  sum.Throughput,
+			"collisions":  float64(sum.Collisions),
+		}
+		rep.Metrics = append(rep.Metrics, m)
+	}
+
 	// Grid scaling: the same 5x5 Manhattan-grid workload under both event
 	// kernels. The Extra carries ns normalized per vehicle-crossing so grid
 	// sizes and kernels compare directly; on a single-core machine the
@@ -211,6 +233,41 @@ func benchCorridor() testing.BenchmarkResult {
 			}
 		}
 	})
+}
+
+// benchCoordCorridor measures one saturated full-scale 3-intersection
+// corridor run per iteration — the EXPERIMENTS.md E9 workload, via the
+// same sweep entry point the CLI uses — with the coordination plane on or
+// off, returning the timing and the last run's journey summary for the
+// report's Extra fields.
+func benchCoordCorridor(coord bool) (testing.BenchmarkResult, metrics.Summary) {
+	topo, err := topology.Line(3)
+	fatal(err)
+	cfg := sweep.TopoConfig{
+		Topology:    topo.WithSegmentLen(120),
+		Rate:        0.6,
+		NumVehicles: 200,
+		Policies:    []vehicle.Policy{vehicle.PolicyCrossroads},
+		Seed:        42,
+		Coord:       coord,
+	}
+	var last metrics.Summary
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.RunTopology(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cell := res.Cells[0]
+			if cell.Journey.Completed != 200 || cell.Journey.Collisions != 0 || cell.Incomplete != 0 {
+				b.Fatalf("corridor run unhealthy: completed=%d collisions=%d incomplete=%d",
+					cell.Journey.Completed, cell.Journey.Collisions, cell.Incomplete)
+			}
+			last = cell.Journey
+		}
+	})
+	return r, last
 }
 
 // benchGrid measures one full 5x5 Manhattan-grid run per iteration under

@@ -46,12 +46,20 @@ func main() {
 		gridArg   = flag.String("grid", "", "serve an RxC Manhattan grid (e.g. 2x2): one IM shard per node, routed by v2 batch frames")
 		segLen    = flag.Float64("seglen", 0, "road between adjacent intersections (m), advertised to v2 clients in the topology frame")
 	)
+	coordFlags := cliflags.AddCoord(flag.CommandLine)
 	flag.Parse()
 
+	coordOn, coordPeriod, err := coordFlags.Parse()
+	if err != nil {
+		fatalf("%v", err)
+	}
 	topoFlags := cliflags.Topology{Corridor: *corridor, Grid: *gridArg, SegLen: *segLen}
 	topo, err := topoFlags.Build()
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if coordOn && topo == nil {
+		fatalf("-coord on needs a -corridor/-grid topology (a single IM has no peers)")
 	}
 
 	var clockMode protocol.ClockMode
@@ -78,15 +86,17 @@ func main() {
 	}
 
 	s, err := server.New(server.Config{
-		Policy:    *policy,
-		Geometry:  geo,
-		Clock:     clockMode,
-		Seed:      *seed,
-		ModelCost: *modelCost,
-		SendQueue: *sendQueue,
-		MaxConns:  *maxConns,
-		Trace:     rec,
-		Topology:  topo,
+		Policy:      *policy,
+		Geometry:    geo,
+		Clock:       clockMode,
+		Seed:        *seed,
+		ModelCost:   *modelCost,
+		SendQueue:   *sendQueue,
+		MaxConns:    *maxConns,
+		Trace:       rec,
+		Topology:    topo,
+		Coord:       coordOn,
+		CoordPeriod: coordPeriod,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -111,8 +121,12 @@ func main() {
 	if err := s.Start(); err != nil {
 		fatalf("start: %v", err)
 	}
-	fmt.Printf("crossroads-serve: policy=%s geometry=%s clock=%s seed=%d protocol=v%d shards=%d\n",
-		*policy, geo, clockMode, *seed, protocol.MaxVersion, s.NumShards())
+	coordLabel := "off"
+	if coordOn {
+		coordLabel = "on"
+	}
+	fmt.Printf("crossroads-serve: policy=%s geometry=%s clock=%s seed=%d protocol=v%d shards=%d coord=%s\n",
+		*policy, geo, clockMode, *seed, protocol.MaxVersion, s.NumShards(), coordLabel)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

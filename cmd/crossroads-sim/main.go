@@ -36,13 +36,27 @@ func main() {
 	overhead := flag.Bool("overhead", false, "also print the computation/network overhead table")
 	summary := flag.Bool("summary", false, "also print the headline throughput ratios")
 	topoFlags := cliflags.AddTopology(flag.CommandLine)
+	coordFlags := cliflags.AddCoord(flag.CommandLine)
 	faults := cliflags.AddFaults(flag.CommandLine)
 	flag.Parse()
+	coordOn, coordPeriod, err := coordFlags.Parse()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
+		os.Exit(1)
+	}
 	seed, workers := common.Seed, common.Workers
 	csv, tracePath, traceDES := common.CSV, common.TracePath, common.TraceDES
 	kernel, err := common.ParseKernel()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
+		os.Exit(1)
+	}
+	if coordOn && topoFlags.Corridor == 0 && topoFlags.Grid == "" {
+		fmt.Fprintln(os.Stderr, "crossroads-sim: -coord on needs a -corridor/-grid topology (a single IM has no peers)")
+		os.Exit(1)
+	}
+	if coordOn && *faults != "" {
+		fmt.Fprintln(os.Stderr, "crossroads-sim: -coord is mutually exclusive with -faults (the fault matrix is single-intersection)")
 		os.Exit(1)
 	}
 	if common.KernelStrict && kernel != sim.KernelParallel {
@@ -76,7 +90,7 @@ func main() {
 	}
 	if topo != nil {
 		runTopology(topo, topoFlags.Rate, *n, seed, workers, kernel, common.KernelStrict,
-			*scaleModel, *noisy, *withBatch, csv, tracePath, traceDES)
+			*scaleModel, *noisy, *withBatch, csv, tracePath, traceDES, coordOn, coordPeriod)
 		return
 	}
 	if kernel == sim.KernelParallel {
@@ -179,7 +193,8 @@ func runFaultMatrix(spec string, seed int64, workers int, csv bool, tracePath st
 }
 
 func runTopology(topo *topology.Topology, rate float64, n int, seed int64, workers int,
-	kernel sim.Kernel, kernelStrict bool, scaleModel, noisy, withBatch, csv bool, tracePath string, traceDES bool) {
+	kernel sim.Kernel, kernelStrict bool, scaleModel, noisy, withBatch, csv bool, tracePath string, traceDES bool,
+	coordOn bool, coordPeriod float64) {
 	cfg := sweep.TopoConfig{
 		Topology:     topo,
 		Rate:         rate,
@@ -190,6 +205,8 @@ func runTopology(topo *topology.Topology, rate float64, n int, seed int64, worke
 		Noisy:        noisy,
 		Kernel:       kernel,
 		KernelStrict: kernelStrict,
+		Coord:        coordOn,
+		CoordPeriod:  coordPeriod,
 	}
 	if withBatch {
 		cfg.Policies = []vehicle.Policy{
@@ -210,8 +227,12 @@ func runTopology(topo *topology.Topology, rate float64, n int, seed int64, worke
 	if len(res.Cells) > 0 && res.Cells[0].Kernel != "" {
 		ranKernel = res.Cells[0].Kernel
 	}
-	fmt.Printf("fleet=%d rate=%g seed=%d geometry=%s noise=%v seglen=%gm kernel=%s\n\n",
-		n, rate, seed, geometry(scaleModel), noisy, topo.SegmentLen(), ranKernel)
+	coordLabel := "off"
+	if coordOn {
+		coordLabel = "on"
+	}
+	fmt.Printf("fleet=%d rate=%g seed=%d geometry=%s noise=%v seglen=%gm kernel=%s coord=%s\n\n",
+		n, rate, seed, geometry(scaleModel), noisy, topo.SegmentLen(), ranKernel, coordLabel)
 	emit := emitter(csv)
 	emit(res.JourneyTable())
 	fmt.Println("\nPer-intersection breakdown (wait vs unimpeded arrival at each node)")

@@ -7,6 +7,8 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"crossroads/internal/sim"
 	"crossroads/internal/topology"
@@ -110,6 +112,53 @@ func (t *Topology) Build() (*topology.Topology, error) {
 		return nil, err
 	}
 	return topo.WithSegmentLen(t.SegLen), nil
+}
+
+// Coord is the IM↔IM coordination flag group shared by crossroads-sim and
+// crossroads-serve: one -coord flag selecting the plane and, optionally,
+// its digest period.
+type Coord struct {
+	// Raw is the unparsed -coord value; resolve it with Parse.
+	Raw string
+}
+
+// AddCoord registers the -coord flag on fs.
+func AddCoord(fs *flag.FlagSet) *Coord {
+	c := &Coord{}
+	fs.StringVar(&c.Raw, "coord", "off",
+		`IM↔IM coordination plane: "off" (default, byte-identical to earlier builds) or "on" with an optional digest period, e.g. "on,period=0.5"`)
+	return c
+}
+
+// Parse resolves the -coord value into (enabled, digest period). period 0
+// means the default; it is only settable when the plane is on.
+func (c *Coord) Parse() (enabled bool, period float64, err error) {
+	mode, rest, hasRest := strings.Cut(c.Raw, ",")
+	switch mode {
+	case "off", "":
+		if hasRest {
+			return false, 0, fmt.Errorf(`-coord off takes no options, got %q`, c.Raw)
+		}
+		return false, 0, nil
+	case "on":
+	default:
+		return false, 0, fmt.Errorf(`-coord wants on|off[,period=..], got %q`, c.Raw)
+	}
+	if !hasRest {
+		return true, 0, nil
+	}
+	for _, opt := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok || key != "period" {
+			return false, 0, fmt.Errorf(`-coord option %q: only period=<seconds> is known`, opt)
+		}
+		p, perr := strconv.ParseFloat(val, 64)
+		if perr != nil || p <= 0 {
+			return false, 0, fmt.Errorf(`-coord period %q must be a positive number of seconds`, val)
+		}
+		period = p
+	}
+	return true, period, nil
 }
 
 // AddFaults registers the -faults robustness-matrix selector on fs.

@@ -59,3 +59,64 @@ func TestTopologyBuild(t *testing.T) {
 		t.Fatal("malformed grid accepted")
 	}
 }
+
+func TestCoordParse(t *testing.T) {
+	cases := []struct {
+		raw     string
+		enabled bool
+		period  float64
+		wantErr bool
+	}{
+		{"off", false, 0, false},
+		{"", false, 0, false},
+		{"on", true, 0, false},
+		{"on,period=0.25", true, 0.25, false},
+		{"off,period=0.25", false, 0, true}, // options only make sense when on
+		{"on,period=-1", false, 0, true},
+		{"on,period=x", false, 0, true},
+		{"on,jitter=3", false, 0, true}, // unknown option
+		{"maybe", false, 0, true},
+	}
+	for _, c := range cases {
+		enabled, period, err := (&Coord{Raw: c.raw}).Parse()
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%q: expected an error", c.raw)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", c.raw, err)
+			continue
+		}
+		if enabled != c.enabled || period != c.period {
+			t.Errorf("%q: got (%v, %v), want (%v, %v)", c.raw, enabled, period, c.enabled, c.period)
+		}
+	}
+}
+
+func TestCoordFlagRegistrationAndWasSet(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := AddCoord(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if WasSet(fs, "coord") {
+		t.Error("coord reported set on an empty command line")
+	}
+	if on, _, err := c.Parse(); err != nil || on {
+		t.Errorf("default = (%v, err %v), want off", on, err)
+	}
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	c2 := AddCoord(fs2)
+	if err := fs2.Parse([]string{"-coord", "on,period=0.4"}); err != nil {
+		t.Fatal(err)
+	}
+	if !WasSet(fs2, "coord") {
+		t.Error("coord not reported set after -coord")
+	}
+	on, period, err := c2.Parse()
+	if err != nil || !on || period != 0.4 {
+		t.Errorf("got (%v, %v, %v), want (true, 0.4, nil)", on, period, err)
+	}
+}

@@ -162,6 +162,15 @@ func (p *Parallel) RunUntil(until float64) uint64 {
 		// event. W is a pure function of m, so the window sequence is
 		// deterministic and independent of prior window contents.
 		end := p.lookahead*math.Floor(m/p.lookahead) + p.lookahead
+		if end <= m {
+			// Floating-point grid degeneracy: when m sits exactly on a
+			// barrier value whose division floors down (e.g. m = 62L with
+			// m/L = 61.999…), the computed window ends AT m and the strict
+			// window would execute nothing, forever. Advance one grid step:
+			// still a pure function of m, and end-m <= L keeps every
+			// message emitted in the window (>= m + lookahead) beyond it.
+			end += p.lookahead
+		}
 		strict := true
 		if end >= until {
 			// Final window: run inclusively at the horizon, like the

@@ -1,0 +1,256 @@
+package im
+
+import (
+	"math"
+	"testing"
+
+	"crossroads/internal/des"
+	"crossroads/internal/intersection"
+	"crossroads/internal/network"
+	"crossroads/internal/trace"
+)
+
+// coordSched is a stub scheduler that can express holds and report granted
+// flow — the two optional extensions the coordination plane probes for.
+type coordSched struct {
+	stubSched
+	horizons [intersection.NumApproaches]float64
+	deferred []int64
+}
+
+func (s *coordSched) FlowHorizons(now float64) [intersection.NumApproaches]float64 {
+	return s.horizons
+}
+
+func (s *coordSched) DeferResponse(req Request) Response {
+	s.deferred = append(s.deferred, req.VehicleID)
+	return Response{Kind: RespVelocity, TargetSpeed: 0}
+}
+
+// newCoordPair wires two coordinated servers as a 2-node corridor on one
+// network: node 0's eastbound exit feeds node 1, and vice versa westbound.
+func newCoordPair(t *testing.T) (*des.Simulator, *network.Network, [2]*Server, [2]*coordSched) {
+	t.Helper()
+	sim := des.New()
+	net := network.New(sim, nil, nil, network.ConstantDelay{D: 0.001}, 0)
+	var srvs [2]*Server
+	var scheds [2]*coordSched
+	for k := 0; k < 2; k++ {
+		scheds[k] = &coordSched{}
+		srvs[k] = NewServerAt(sim, net, scheds[k], nil, NodeEndpoint(k), k)
+	}
+	p1 := CoordPeer{Node: 1, Endpoint: NodeEndpoint(1)}
+	p0 := CoordPeer{Node: 0, Endpoint: NodeEndpoint(0)}
+	srvs[0].EnableCoordination(DefaultCoordConfig(), []CoordPeer{p1},
+		map[intersection.Approach]CoordPeer{intersection.East: p1})
+	srvs[1].EnableCoordination(DefaultCoordConfig(), []CoordPeer{p0},
+		map[intersection.Approach]CoordPeer{intersection.West: p0})
+	return sim, net, srvs, scheds
+}
+
+// TestCoordDigestExchange runs the digest plane end to end on a 2-node
+// corridor: queue depth tracks contacts and exits, digests reach the
+// neighbor with increasing sequence numbers, and a replayed older digest
+// never rolls the neighbor's view back.
+func TestCoordDigestExchange(t *testing.T) {
+	sim, net, srvs, _ := newCoordPair(t)
+	sim.At(0, func() {
+		for id := int64(1); id <= 2; id++ {
+			net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(id),
+				To: NodeEndpoint(0), Payload: request(id, 1)})
+		}
+	})
+	sim.At(1.0, func() {
+		net.Send(network.Message{Kind: network.KindExit, From: VehicleEndpoint(1),
+			To: NodeEndpoint(0), Payload: ExitPayload{VehicleID: 1, ExitTimestamp: 1.0}})
+	})
+	sim.RunUntil(0.9)
+	d, ok := srvs[1].CoordDigest(0)
+	if !ok {
+		t.Fatal("node 1 received no digest from node 0")
+	}
+	if d.QueueDepth[intersection.East] != 2 {
+		t.Errorf("QueueDepth[East] = %d, want 2 (both vehicles in contact)", d.QueueDepth[intersection.East])
+	}
+	sim.RunUntil(2.6)
+	d2, ok := srvs[1].CoordDigest(0)
+	if !ok || d2.Seq <= d.Seq {
+		t.Fatalf("digest Seq did not advance: %d -> %d", d.Seq, d2.Seq)
+	}
+	if d2.QueueDepth[intersection.East] != 1 {
+		t.Errorf("QueueDepth[East] after exit = %d, want 1", d2.QueueDepth[intersection.East])
+	}
+	// A delayed/duplicated copy of an old digest must not roll back.
+	srvs[1].handleDigest(sim.Now(), network.Message{
+		Kind: network.KindDigest, From: NodeEndpoint(0), To: NodeEndpoint(1),
+		Payload: DigestPayload{Node: 0, Seq: 1, T: 0.5},
+	})
+	if d3, _ := srvs[1].CoordDigest(0); d3.Seq != d2.Seq {
+		t.Errorf("stale digest rolled the view back to Seq %d (had %d)", d3.Seq, d2.Seq)
+	}
+}
+
+// TestCoordDeferVerdict walks the backpressure decision through each of
+// its guards: saturated-and-fresh holds, and commitment, the consecutive-
+// hold cap, staleness, a sub-threshold queue, and a missing downstream
+// neighbor each admit.
+func TestCoordDeferVerdict(t *testing.T) {
+	_, _, srvs, _ := newCoordPair(t)
+	s := srvs[0]
+	cfg := s.coord.cfg
+	now := 10.0
+	fresh := DigestPayload{Node: 1, Seq: 5, T: now - 0.1}
+	fresh.QueueDepth[intersection.East] = cfg.MaxQueue
+	s.coord.digests[1] = fresh
+
+	req := request(7, 1) // East/Straight: exits east into node 1
+	if peer, depth, ok := s.deferVerdict(now, req); !ok || peer.Node != 1 || depth != cfg.MaxQueue {
+		t.Fatalf("saturated downstream not held: peer=%+v depth=%d ok=%v", peer, depth, ok)
+	}
+	committed := req
+	committed.Committed = true
+	if _, _, ok := s.deferVerdict(now, committed); ok {
+		t.Error("committed vehicle held — it cannot stop")
+	}
+	s.coord.defers[7] = cfg.MaxDefers
+	if _, _, ok := s.deferVerdict(now, req); ok {
+		t.Error("vehicle at the consecutive-hold cap held again")
+	}
+	delete(s.coord.defers, 7)
+	stale := fresh
+	stale.T = now - cfg.StaleAfter - 0.01
+	s.coord.digests[1] = stale
+	if _, _, ok := s.deferVerdict(now, req); ok {
+		t.Error("stale digest still backpressures")
+	}
+	light := fresh
+	light.QueueDepth[intersection.East] = cfg.MaxQueue - 1
+	s.coord.digests[1] = light
+	if _, _, ok := s.deferVerdict(now, req); ok {
+		t.Error("sub-threshold queue held")
+	}
+	s.coord.digests[1] = fresh
+	left := req
+	left.Movement.Turn = intersection.Left // exits north: no neighbor there
+	if _, _, ok := s.deferVerdict(now, left); ok {
+		t.Error("held despite no downstream neighbor on the exit segment")
+	}
+}
+
+// TestCoordDeferNeedsDeferrer pins the graceful-degradation contract: a
+// scheduler without the CoordDeferrer extension (AIM) is never
+// backpressured, however saturated its downstream is.
+func TestCoordDeferNeedsDeferrer(t *testing.T) {
+	sim := des.New()
+	net := network.New(sim, nil, nil, network.ConstantDelay{D: 0.001}, 0)
+	s := NewServerAt(sim, net, &stubSched{}, nil, NodeEndpoint(0), 0)
+	p := CoordPeer{Node: 1, Endpoint: NodeEndpoint(1)}
+	s.EnableCoordination(DefaultCoordConfig(), []CoordPeer{p},
+		map[intersection.Approach]CoordPeer{intersection.East: p})
+	fresh := DigestPayload{Node: 1, Seq: 1, T: 10.0}
+	fresh.QueueDepth[intersection.East] = 2 * s.coord.cfg.MaxQueue
+	s.coord.digests[1] = fresh
+	if _, _, ok := s.deferVerdict(10.0, request(3, 1)); ok {
+		t.Error("scheduler without CoordDeferrer was backpressured")
+	}
+}
+
+// TestCoordGreenFloor checks the green-wave arithmetic: the floor projects
+// the vehicle onto the tail of the downstream flow (horizon + margin −
+// segment transit), caps at now+MaxHold, and vanishes when the projection
+// is already behind now or no flow is granted.
+func TestCoordGreenFloor(t *testing.T) {
+	_, _, srvs, _ := newCoordPair(t)
+	s := srvs[0]
+	s.coord.cfg.SegmentTransit = 2.0
+	s.coord.cfg.GreenMargin = 0.25
+	s.coord.cfg.MaxHold = 4.0
+	now := 100.0
+	req := request(7, 1)
+
+	set := func(h float64) {
+		d := DigestPayload{Node: 1, Seq: 1, T: now - 0.1}
+		d.FlowHorizon[intersection.East] = h
+		s.coord.digests[1] = d
+	}
+	set(103.0)
+	if got := s.greenFloor(now, req); math.Abs(got-101.25) > 1e-12 {
+		t.Errorf("floor = %v, want 103 + 0.25 - 2 = 101.25", got)
+	}
+	set(200.0) // runaway horizon: capped so the local approach is not starved
+	if got := s.greenFloor(now, req); math.Abs(got-104.0) > 1e-12 {
+		t.Errorf("floor = %v, want now+MaxHold = 104", got)
+	}
+	set(100.5) // projection lands before now: no bias
+	if got := s.greenFloor(now, req); got != 0 {
+		t.Errorf("floor = %v, want 0 for a past projection", got)
+	}
+	set(0) // no granted flow downstream
+	if got := s.greenFloor(now, req); got != 0 {
+		t.Errorf("floor = %v, want 0 with no flow horizon", got)
+	}
+}
+
+// TestCoordBackpressureHoldsAndReleases drives a request through the full
+// server path against a saturated downstream: the vehicle gets a stop
+// reply without a scheduler invocation plus an im.defer trace event, and
+// once the downstream digest clears, its retry reaches the scheduler.
+func TestCoordBackpressureHoldsAndReleases(t *testing.T) {
+	sim, net, srvs, scheds := newCoordPair(t)
+	rec := trace.NewFull()
+	srvs[0].SetTrace(rec)
+	sat := DigestPayload{Node: 1, Seq: 1, T: 0}
+	sat.QueueDepth[intersection.East] = DefaultCoordConfig().MaxQueue
+
+	var stops []Response
+	net.Register(VehicleEndpoint(9), func(now float64, msg network.Message) {
+		if r, ok := msg.Payload.(Response); ok {
+			stops = append(stops, r)
+		}
+	})
+	sim.At(0.05, func() {
+		srvs[0].coord.digests[1] = sat
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(9),
+			To: NodeEndpoint(0), Payload: request(9, 4)})
+	})
+	sim.At(0.3, func() {
+		clear := sat
+		clear.Seq++
+		clear.QueueDepth[intersection.East] = 0
+		clear.T = 0.3
+		srvs[0].coord.digests[1] = clear
+		net.Send(network.Message{Kind: network.KindRequest, From: VehicleEndpoint(9),
+			To: NodeEndpoint(0), Payload: request(9, 5)})
+	})
+	// Stop short of the first 0.5 s digest broadcast: the self-rescheduling
+	// digest timer means the event pool never empties.
+	sim.RunUntil(0.45)
+
+	if len(scheds[0].deferred) != 1 || scheds[0].deferred[0] != 9 {
+		t.Fatalf("deferred = %v, want exactly vehicle 9", scheds[0].deferred)
+	}
+	if len(scheds[0].handled) != 1 || scheds[0].handled[0].Seq != 5 {
+		t.Fatalf("scheduler handled %+v, want only the retry (Seq 5)", scheds[0].handled)
+	}
+	if len(stops) != 2 {
+		t.Fatalf("vehicle got %d replies, want hold + grant", len(stops))
+	}
+	if stops[0].Seq != 4 || stops[0].TargetSpeed != 0 {
+		t.Errorf("hold reply = %+v, want Seq 4 with TargetSpeed 0", stops[0])
+	}
+	defers := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindIMDefer {
+			defers++
+			if ev.Vehicle != 9 || ev.Detail != "backpressure" {
+				t.Errorf("im.defer event %+v", ev)
+			}
+			if err := ev.Validate(); err != nil {
+				t.Errorf("im.defer event invalid: %v", err)
+			}
+		}
+	}
+	if defers != 1 {
+		t.Errorf("%d im.defer events, want 1", defers)
+	}
+}

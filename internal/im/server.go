@@ -89,6 +89,10 @@ type Server struct {
 	// see GhostPruner).
 	leaseTTL float64
 	lastSeen map[int64]float64
+
+	// coord is the IM↔IM coordination plane (see coord.go); nil — the
+	// default — keeps every request path byte-identical to earlier builds.
+	coord *coordState
 }
 
 // SetTrace attaches an event recorder to the server's decision stream
@@ -197,6 +201,9 @@ func (s *Server) sweepLeases() {
 		}
 		last := s.lastSeen[id]
 		delete(s.lastSeen, id)
+		if s.coord != nil {
+			s.coord.noteExit(id)
+		}
 		if s.trace != nil {
 			s.trace.Emit(trace.Event{
 				Kind: trace.KindIMLease, T: now, Node: s.node,
@@ -251,6 +258,9 @@ func (s *Server) handle(now float64, msg network.Message) {
 			s.queue = append(s.queue, req)
 		}
 		s.touch(req.VehicleID)
+		if s.coord != nil {
+			s.coord.noteContact(req.VehicleID, req.Movement.Approach)
+		}
 		if s.trace != nil {
 			s.trace.Emit(trace.Event{
 				Kind: trace.KindIMRequest, T: now, Node: s.node,
@@ -266,6 +276,9 @@ func (s *Server) handle(now float64, msg network.Message) {
 			return
 		}
 		delete(s.lastSeen, p.VehicleID)
+		if s.coord != nil {
+			s.coord.noteExit(p.VehicleID)
+		}
 		s.sched.HandleExit(now, p.VehicleID)
 		// Exits are retransmitted until acknowledged: losing one would
 		// wedge the lane FIFO behind a ghost.
@@ -275,6 +288,8 @@ func (s *Server) handle(now float64, msg network.Message) {
 			To:      msg.From,
 			Payload: p,
 		})
+	case network.KindDigest:
+		s.handleDigest(now, msg)
 	case network.KindRegister:
 		// Registration is implicit; nothing to track beyond the network
 		// layer's own endpoint table.
@@ -292,6 +307,39 @@ func (s *Server) processNext() {
 	s.processing = true
 	req := s.queue[0]
 	s.queue = s.queue[1:]
+
+	if s.coord != nil {
+		now := s.sim.Now()
+		if peer, depth, ok := s.deferVerdict(now, req); ok {
+			// Downstream backpressure: hold the vehicle short of the line
+			// instead of granting it into a saturated segment. The hold is
+			// an O(1) table lookup — no scheduler invocation, no modeled
+			// computation delay — so the server immediately serves the next
+			// request.
+			s.coord.defers[req.VehicleID]++
+			resp := s.sched.(CoordDeferrer).DeferResponse(req)
+			resp.Seq = req.Seq
+			if s.trace != nil {
+				s.trace.Emit(trace.Event{
+					Kind: trace.KindIMDefer, T: now, Node: s.node,
+					Vehicle: req.VehicleID, Seq: req.Seq,
+					Detail: "backpressure", To: peer.Endpoint, Value: float64(depth),
+				})
+			}
+			s.net.Send(network.Message{
+				Kind:    network.KindResponse,
+				From:    s.endpoint,
+				To:      vehicleEndpoint(req.VehicleID),
+				Payload: resp,
+			})
+			s.processNext()
+			return
+		}
+		delete(s.coord.defers, req.VehicleID)
+		// Green-wave offset: bias the arrival floor onto the tail of the
+		// downstream node's granted flow.
+		req.MinArrival = s.greenFloor(now, req)
+	}
 
 	start := time.Now()
 	resp, cost := s.sched.HandleRequest(s.sim.Now(), req)

@@ -44,6 +44,10 @@ type Request struct {
 	CrossSpeed float64
 	// Params is the VehicleInfo capability packet.
 	Params kinematics.Params
+	// MinArrival is a green-wave arrival floor stamped server-side by the
+	// IM↔IM coordination plane just before scheduling; it never travels on
+	// the wire and is 0 (no bias) whenever coordination is off.
+	MinArrival float64
 }
 
 // ResponseKind discriminates the reply union.

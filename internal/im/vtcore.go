@@ -190,6 +190,11 @@ func (c *VTCore) HandleRequest(now float64, req Request) (Response, float64) {
 	if floor > earliest {
 		earliest = floor
 	}
+	if req.MinArrival > earliest {
+		// Green-wave offset from the coordination plane: arrive at the
+		// tail of the downstream granted flow instead of ahead of it.
+		earliest = req.MinArrival
+	}
 	planLen := req.Params.Length + 2*c.cfg.Buffers.Long
 	toa, plan, err := c.book.EarliestFeasible(req.VehicleID, sen, req.Movement, planLen, earliest, planFor)
 	if err != nil {
@@ -283,6 +288,34 @@ func (c *VTCore) HandleExit(now float64, vehicleID int64) {
 	c.book.Remove(vehicleID)
 	c.order.Remove(vehicleID)
 	delete(c.seniority, vehicleID)
+}
+
+// FlowHorizons implements FlowReporter for the coordination plane: the
+// latest granted box-entry time per outgoing segment (indexed by exit
+// direction) among reservations not yet in the past. Placeholders count —
+// a stopped vehicle holding its head-of-line slot is still flow the
+// downstream neighbor will eventually receive.
+func (c *VTCore) FlowHorizons(now float64) [intersection.NumApproaches]float64 {
+	var h [intersection.NumApproaches]float64
+	for _, r := range c.book.sorted() {
+		if r.ToA < now {
+			continue
+		}
+		exit := c.x.Movement(r.Movement).Exit
+		if r.ToA > h[exit] {
+			h[exit] = r.ToA
+		}
+	}
+	return h
+}
+
+// DeferResponse implements CoordDeferrer: hold the vehicle short of the
+// line with a stop command. Any stale booking is released first — exactly
+// the blocked-lane stop path — so the held slot cannot shadow-book the
+// box while the vehicle waits out the downstream queue.
+func (c *VTCore) DeferResponse(req Request) Response {
+	c.book.Remove(req.VehicleID)
+	return Response{Kind: RespVelocity, TargetSpeed: 0}
 }
 
 // PruneGhost implements GhostPruner: drop a silent vehicle's lane-FIFO

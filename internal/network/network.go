@@ -1,9 +1,13 @@
-// Package network simulates the V2I messaging layer of the testbed: the
-// 2.4 GHz serial links between vehicles and the intersection manager. Links
-// deliver messages after a sampled latency, can drop them, and keep
-// per-endpoint traffic statistics so the experiment harnesses can reproduce
-// the paper's network-load comparison (AIM generates up to ~20x the traffic
-// of Crossroads/VT-IM due to its reject/re-request loop).
+// Package network simulates the shared messaging plane of the testbed.
+// Historically this was the V2I star — the 2.4 GHz serial links between
+// vehicles and the intersection manager — but endpoints are uniform: any
+// named endpoint can message any other, so IM↔IM peer links (the link-state
+// digests of the coordination plane) ride the same medium with the same
+// delay model, loss coins, fault injection, and trace treatment as vehicle
+// traffic. Links deliver messages after a sampled latency, can drop them,
+// and keep per-endpoint traffic statistics so the experiment harnesses can
+// reproduce the paper's network-load comparison (AIM generates up to ~20x
+// the traffic of Crossroads/VT-IM due to its reject/re-request loop).
 package network
 
 import (
@@ -39,6 +43,10 @@ const (
 	KindExit
 	// KindAck acknowledges receipt; used for network-delay measurement.
 	KindAck
+	// KindDigest is an IM↔IM link-state digest: per-approach queue depth
+	// and granted-flow horizon, broadcast periodically to neighbor IMs by
+	// the coordination plane.
+	KindDigest
 )
 
 var kindNames = map[Kind]string{
@@ -51,6 +59,7 @@ var kindNames = map[Kind]string{
 	KindReject:       "reject",
 	KindExit:         "exit",
 	KindAck:          "ack",
+	KindDigest:       "digest",
 }
 
 func (k Kind) String() string {
@@ -79,6 +88,8 @@ func (k Kind) WireSize() int {
 		return 16
 	case KindAck:
 		return 8
+	case KindDigest:
+		return 48 // node, seq, emission time + 4x (queue depth, flow horizon)
 	default:
 		return 16
 	}
@@ -253,6 +264,14 @@ type Injector interface {
 // returns true when it accepted the message — this network then charges
 // nothing further for it; the routed copy is delivered (and counted) by the
 // destination network via DeliverRouted.
+//
+// Accounting contract (pinned by TestRouterAccountingSides): the source
+// network counts only Sent/Bytes for a routed message. Delivery outcome —
+// Delivered, or Undeliverable when the endpoint is gone by arrival — is
+// charged to the DESTINATION network, under the original sender's
+// per-endpoint stats there. A routed message never lands in the source
+// network's Delivered or Undeliverable, so folding per-shard Stats with Add
+// counts each message's outcome exactly once.
 type Router interface {
 	Route(msg Message, detail string) bool
 }

@@ -536,3 +536,50 @@ func TestRouterDecliningFallsBackToUndeliverable(t *testing.T) {
 type routerFunc func(Message, string) bool
 
 func (f routerFunc) Route(m Message, d string) bool { return f(m, d) }
+
+// TestRouterAccountingSides pins the cross-network accounting contract
+// documented on Router: the source network charges only Sent/Bytes for a
+// routed message; the delivery outcome — Delivered, or Undeliverable when
+// the endpoint is gone by arrival — lands on the DESTINATION network,
+// under the original sender's per-endpoint stats there. Folding per-shard
+// Stats with addition therefore counts each message's outcome exactly
+// once, which the parallel kernel's merged report relies on.
+func TestRouterAccountingSides(t *testing.T) {
+	simA, netA := newTestNet(ConstantDelay{0.002}, 0)
+	simB, netB := newTestNet(ConstantDelay{0.002}, 0)
+	netA.SetRouter(&chaseRouter{dstSim: simB, dstNet: netB})
+
+	delivered := 0
+	netB.Register("veh1", func(float64, Message) { delivered++ })
+	netA.Send(Message{Kind: KindResponse, From: "im", To: "veh1"})
+	netA.Send(Message{Kind: KindResponse, From: "im", To: "ghost"})
+	simA.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d messages on B, want 1", delivered)
+	}
+
+	a, b := netA.TotalStats(), netB.TotalStats()
+	// Source side: Sent and Bytes only — no outcome fields.
+	if a.Sent != 2 || a.Bytes == 0 {
+		t.Errorf("source Sent=%d Bytes=%d, want Sent=2 with bytes charged", a.Sent, a.Bytes)
+	}
+	if a.Delivered != 0 || a.Undeliverable != 0 {
+		t.Errorf("source charged outcomes %+v; routed outcomes belong to the destination", a)
+	}
+	// Destination side: one outcome per routed message, nothing sent.
+	if b.Sent != 0 || b.Bytes != 0 {
+		t.Errorf("destination charged send-side fields %+v", b)
+	}
+	if b.Delivered != 1 || b.Undeliverable != 1 {
+		t.Errorf("destination outcomes %+v, want Delivered=1 Undeliverable=1", b)
+	}
+	// Outcomes on B are keyed by the ORIGINAL sender's endpoint.
+	im := netB.EndpointStats("im")
+	if im.Delivered != 1 || im.Undeliverable != 1 {
+		t.Errorf("sender's stats on destination %+v, want Delivered=1 Undeliverable=1", im)
+	}
+	// The fold: exactly one outcome per message across both networks.
+	if got := a.Delivered + b.Delivered + a.Undeliverable + b.Undeliverable; got != 2 {
+		t.Errorf("summed outcomes = %d, want 2 (one per message)", got)
+	}
+}

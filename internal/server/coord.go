@@ -1,0 +1,86 @@
+package server
+
+import (
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/network"
+	"crossroads/internal/topology"
+)
+
+// This file wires the IM↔IM coordination plane into the sharded server:
+// each shard world gets a router that carries messages addressed to
+// another shard's IM endpoint — the link-state digests — onto that shard's
+// executive, and each embedded im.Server is armed with its topology
+// neighbors. The links are in-process (shard executives in one process);
+// a cross-process federation would replace peerRouter with a socket, and
+// nothing above the network.Router seam would change.
+
+// peerRouter forwards a shard world's messages addressed to a remote IM
+// endpoint to the owning shard's executive. The hand-off is non-blocking:
+// two executives sending into each other's full inboxes must not deadlock,
+// so when the destination inbox is full the message is dropped instead.
+// Digests are periodic, loss-tolerant link state — the next one repairs
+// the view — which is exactly why they may ride a lossy link.
+type peerRouter struct {
+	s    *Server
+	node int
+}
+
+func (r peerRouter) Route(msg network.Message, detail string) bool {
+	dst, ok := r.s.peerShard[msg.To]
+	if !ok || dst == r.node {
+		return false
+	}
+	select {
+	case r.s.shards[dst].inbox <- coreMsg{peer: &msg}:
+	default:
+	}
+	return true
+}
+
+// wireCoordination arms every shard's coordination plane: peer routers on
+// the shard networks plus EnableCoordination with the node's topology
+// neighbors. Called from New after all shard worlds exist, wall mode only.
+func (s *Server) wireCoordination() {
+	s.peerShard = make(map[string]int, len(s.shards))
+	for k := range s.shards {
+		s.peerShard[im.NodeEndpoint(k)] = k
+	}
+	ccfg := s.coordConfig()
+	for k, sh := range s.shards {
+		sh.world.net.SetRouter(peerRouter{s: s, node: k})
+		peers, downstream := coordPeersAt(s.topo, k)
+		sh.world.im.EnableCoordination(ccfg, peers, downstream)
+	}
+}
+
+// coordConfig derives the serve-mode coordination parameters. The segment
+// transit estimate uses the geometry's reference vehicle at cruise speed —
+// serving cannot scan the workload the way the DES harness does, and the
+// reference footprint already bounds every admitted vehicle.
+func (s *Server) coordConfig() im.CoordConfig {
+	ccfg := im.DefaultCoordConfig()
+	if s.cfg.CoordPeriod > 0 {
+		ccfg.Period = s.cfg.CoordPeriod
+	}
+	ref := refParams(s.cfg.Geometry)
+	x := s.shards[0].world.x
+	m := x.Movement(intersection.MovementID{Approach: intersection.East, Lane: 0, Turn: intersection.Straight})
+	if m != nil && ref.MaxSpeed > 0 {
+		ccfg.SegmentTransit = (m.Length + s.topo.SegmentLen()) / ref.MaxSpeed
+	}
+	return ccfg
+}
+
+// coordPeersAt resolves one node's coordination neighbors from the
+// topology's outgoing edges (mirrors the in-DES wiring in internal/sim).
+func coordPeersAt(topo *topology.Topology, k int) ([]im.CoordPeer, map[intersection.Approach]im.CoordPeer) {
+	var peers []im.CoordPeer
+	downstream := make(map[intersection.Approach]im.CoordPeer)
+	for _, e := range topo.OutEdges(topology.NodeID(k)) {
+		p := im.CoordPeer{Node: int(e.To), Endpoint: im.NodeEndpoint(int(e.To))}
+		peers = append(peers, p)
+		downstream[e.Dir] = p
+	}
+	return peers, downstream
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"crossroads/internal/protocol"
+	"crossroads/internal/topology"
+)
+
+// coordConfig3 builds a wall-mode corridor-3 config with coordination
+// armed at a fast digest period.
+func coordConfig3(t *testing.T) Config {
+	t.Helper()
+	line3, err := topology.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Policy:      "crossroads",
+		Geometry:    protocol.GeometryScaleModel,
+		Clock:       protocol.ClockWall,
+		Topology:    line3.WithSegmentLen(0.8),
+		Coord:       true,
+		CoordPeriod: 0.05,
+	}
+}
+
+// TestServeCoordinationDigestsFlowBetweenShards drives one digest across
+// the in-process peer links without starting the executives: shard 0's
+// world broadcasts on its own clock, the peer router hands the message to
+// shard 1's inbox, and handling it there lands the digest in shard 1's
+// coordination state. Everything runs on the test goroutine, so the flow
+// is deterministic.
+func TestServeCoordinationDigestsFlowBetweenShards(t *testing.T) {
+	s, err := New(coordConfig3(t))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for k, sh := range s.shards {
+		if !sh.world.im.Coordinating() {
+			t.Fatalf("shard %d not coordinating", k)
+		}
+	}
+	// Advance shard 0 past its first broadcast; the digest to shard 1
+	// leaves through the peer router.
+	s.shards[0].world.sim.RunUntil(0.06)
+	select {
+	case m := <-s.shards[1].inbox:
+		if m.peer == nil {
+			t.Fatalf("expected a peer message, got %+v", m)
+		}
+		s.shards[1].advance()
+		s.shards[1].handle(m)
+	default:
+		t.Fatal("no peer message reached shard 1's inbox")
+	}
+	d, ok := s.shards[1].world.im.CoordDigest(0)
+	if !ok {
+		t.Fatal("shard 1 has no digest from node 0")
+	}
+	if d.Node != 0 || d.Seq < 1 {
+		t.Errorf("digest %+v, want node 0 with Seq >= 1", d)
+	}
+	// A corridor end node has one neighbor; the middle node has two. The
+	// middle node's broadcast must have reached both ends' inboxes.
+	s.shards[1].world.sim.RunUntil(0.06)
+	for _, k := range []int{0, 2} {
+		select {
+		case m := <-s.shards[k].inbox:
+			if m.peer == nil {
+				t.Fatalf("shard %d: expected a peer message", k)
+			}
+		default:
+			t.Fatalf("middle node's digest missing from shard %d", k)
+		}
+	}
+}
+
+// TestServeCoordinationConfigGates pins the serve-mode gating: replay
+// mode refuses coordination, and a coordinated wall server on a single
+// intersection is a harmless no-op (no peers to coordinate with).
+func TestServeCoordinationConfigGates(t *testing.T) {
+	cfg := coordConfig3(t)
+	cfg.Clock = protocol.ClockReplay
+	if _, err := New(cfg); err == nil {
+		t.Error("replay mode accepted coordination")
+	}
+	bad := coordConfig3(t)
+	bad.Coord = false
+	if _, err := New(bad); err == nil {
+		t.Error("CoordPeriod without Coord accepted")
+	}
+	single := coordConfig3(t)
+	single.Topology = nil
+	s, err := New(single)
+	if err != nil {
+		t.Fatalf("single-node coordinated server refused: %v", err)
+	}
+	if s.shards[0].world.im.Coordinating() {
+		t.Error("single shard armed coordination despite having no peers")
+	}
+}
+
+// TestServeCoordinationPeerDropOnFullInbox pins the no-deadlock contract:
+// when the destination executive's inbox is full, the peer router drops
+// the digest instead of blocking the sending executive.
+func TestServeCoordinationPeerDropOnFullInbox(t *testing.T) {
+	s, err := New(coordConfig3(t))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Fill shard 1's inbox to capacity.
+	for i := 0; i < cap(s.shards[1].inbox); i++ {
+		s.shards[1].inbox <- coreMsg{}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.shards[0].world.sim.RunUntil(0.06) // broadcast into the full inbox
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer send blocked on a full inbox")
+	}
+	if got := len(s.shards[1].inbox); got != cap(s.shards[1].inbox) {
+		t.Errorf("inbox length %d changed; the digest should have been dropped", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crossroads/internal/network"
 	"crossroads/internal/protocol"
 	"crossroads/internal/topology"
 	"crossroads/internal/trace"
@@ -63,6 +64,15 @@ type Config struct {
 	// Trace receives connection-lifecycle events (conn.open, conn.close,
 	// conn.shed, serve.drain). May be nil.
 	Trace *trace.Recorder
+	// Coord arms the IM↔IM coordination plane between the shards:
+	// link-state digests over in-process peer links, downstream
+	// backpressure, and green-wave grant offsets. Wall mode only — replay
+	// replays one client's stream against one shard, which has no peers.
+	// A single-node topology accepts Coord as a harmless no-op.
+	Coord bool
+	// CoordPeriod overrides the digest broadcast period (s); 0 keeps the
+	// default.
+	CoordPeriod float64
 }
 
 // Stats is a snapshot of the server's counters. A connection contributes
@@ -87,10 +97,13 @@ type counters struct {
 }
 
 // coreMsg is one unit of work for a shard executive: injectable frames
-// from one connection, in arrival order.
+// from one connection, in arrival order — or, when peer is set, one
+// IM↔IM coordination message routed in from another shard's executive
+// (c and frames are then unused).
 type coreMsg struct {
 	c      *conn
 	frames []protocol.Frame
+	peer   *network.Message
 }
 
 // shard is one intersection manager: an embedded world advanced by its
@@ -119,6 +132,10 @@ type Server struct {
 
 	// Wall mode: one executive goroutine per topology node.
 	shards []*shard
+	// peerShard maps IM endpoint names to their owning shard for the
+	// coordination plane's peer links; nil when Coord is off. Read-only
+	// after New.
+	peerShard map[string]int
 
 	quit        chan struct{} // closed by Shutdown
 	readersGone chan struct{} // closed when every wall reader has exited
@@ -143,6 +160,15 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.Policy == "" {
 		return nil, fmt.Errorf("server: Policy is required")
+	}
+	if cfg.Coord && cfg.Clock != protocol.ClockWall {
+		return nil, fmt.Errorf("server: coordination requires wall mode (replay serves one shard per stream)")
+	}
+	if cfg.CoordPeriod < 0 {
+		return nil, fmt.Errorf("server: negative CoordPeriod %v", cfg.CoordPeriod)
+	}
+	if cfg.CoordPeriod > 0 && !cfg.Coord {
+		return nil, fmt.Errorf("server: CoordPeriod set without Coord")
 	}
 	topo := cfg.Topology
 	if topo == nil {
@@ -173,6 +199,9 @@ func New(cfg Config) (*Server, error) {
 			}
 			w.deliver = sh.deliver
 			s.shards = append(s.shards, sh)
+		}
+		if cfg.Coord && len(s.shards) > 1 {
+			s.wireCoordination()
 		}
 	} else {
 		if _, err := newWorldAt(cfg, 0); err != nil {
@@ -616,8 +645,16 @@ func (sh *shard) rearm(t *time.Timer) {
 	t.Reset(d)
 }
 
-// handle injects one connection's frames into the shard world.
+// handle injects one connection's frames into the shard world. Peer
+// messages — coordination digests routed from another shard — deliver
+// straight onto this world's network at the current simulated time, which
+// already tracks the wall clock (both executives chase the same wall, so
+// the effective link latency is the executive hand-off, near zero).
 func (sh *shard) handle(m coreMsg) {
+	if m.peer != nil {
+		sh.world.net.DeliverRouted(*m.peer, "peer")
+		return
+	}
 	c := m.c
 	for _, f := range m.frames {
 		if c.dead.Load() {

@@ -132,6 +132,17 @@ func WithKernelStrict() Option { return func(c *Config) { c.KernelStrict = true 
 // deterministic-comparison mode used by the cross-kernel equivalence tests.
 func WithPerfectClocks() Option { return func(c *Config) { c.PerfectClocks = true } }
 
+// WithCoordination arms the IM↔IM coordination plane (link-state digests,
+// downstream backpressure, green-wave offsets) with the given digest
+// period; period 0 uses the default. The parallel kernel raises the
+// effective period to at least its lookahead window.
+func WithCoordination(period float64) Option {
+	return func(c *Config) {
+		c.Coord = true
+		c.CoordPeriod = period
+	}
+}
+
 // WithTrace attaches a structured-event recorder to the run.
 func WithTrace(rec *trace.Recorder) Option { return func(c *Config) { c.Trace = rec } }
 

@@ -122,6 +122,17 @@ type Config struct {
 	// instead of quietly running serial with a stderr warning. Setting it
 	// with the serial kernel is rejected.
 	KernelStrict bool
+	// Coord arms the IM↔IM coordination plane on multi-node topologies:
+	// every shard server broadcasts periodic link-state digests to its
+	// neighbors and biases admission by theirs (downstream backpressure +
+	// green-wave offsets, see internal/im/coord.go). Off — the default —
+	// keeps runs byte-identical to pre-coordination builds; on a
+	// single-node topology it is a harmless no-op (an IM has no peers).
+	Coord bool
+	// CoordPeriod overrides the digest broadcast period (s); 0 uses the
+	// default. The parallel kernel raises the effective period to at
+	// least its lookahead window. Setting it without Coord is rejected.
+	CoordPeriod float64
 	// PerfectClocks forces every vehicle clock to zero offset and drift
 	// (overriding the defaulted error bounds) without perturbing RNG stream
 	// consumption. The cross-kernel equivalence tests use it: with clock
@@ -187,6 +198,12 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Kernel == KernelParallel && cfg.Observer != nil {
 		return fmt.Errorf("sim: Observer callbacks are serial-kernel only (no global tick exists under the parallel kernel)")
+	}
+	if cfg.CoordPeriod < 0 {
+		return fmt.Errorf("sim: negative CoordPeriod %v", cfg.CoordPeriod)
+	}
+	if cfg.CoordPeriod != 0 && !cfg.Coord {
+		return fmt.Errorf("sim: CoordPeriod=%v set without Coord", cfg.CoordPeriod)
 	}
 	if cfg.PerfectClocks && (cfg.ClockMaxOffset > 0 || cfg.ClockMaxDriftPPM > 0) {
 		return fmt.Errorf("sim: PerfectClocks contradicts explicit clock error bounds (offset=%v, drift=%v ppm)",
@@ -331,6 +348,46 @@ func Run(cfg Config, arrivals []traffic.Arrival) (Result, error) {
 		return Result{}, err
 	}
 	return w.run()
+}
+
+// coordConfigFor resolves the coordination-plane settings for a run: the
+// caller's period (raised to minPeriod — the parallel kernel passes its
+// lookahead so digests never force sub-lookahead synchronization) and the
+// segment transit estimate. Transit from granted box entry at one node to
+// box entry at the next — entry→despawn upstream, the inter-node segment,
+// then line→entry downstream — sums to one full straight-movement path
+// plus the segment, covered at the fleet's cruise (top) speed.
+func coordConfigFor(cfg *Config, arrivals []traffic.Arrival, x *intersection.Intersection, minPeriod float64) im.CoordConfig {
+	ccfg := im.DefaultCoordConfig()
+	if cfg.CoordPeriod > 0 {
+		ccfg.Period = cfg.CoordPeriod
+	}
+	if ccfg.Period < minPeriod {
+		ccfg.Period = minPeriod
+	}
+	cruise := 0.0
+	for _, a := range arrivals {
+		cruise = math.Max(cruise, a.Params.MaxSpeed)
+	}
+	m := x.Movement(intersection.MovementID{Approach: intersection.East, Lane: 0, Turn: intersection.Straight})
+	if m != nil && cruise > 0 {
+		ccfg.SegmentTransit = (m.Length + cfg.Topology.SegmentLen()) / cruise
+	}
+	return ccfg
+}
+
+// coordPeersFor resolves node k's slice of the coordination plane: the
+// broadcast peer set (all adjacent IMs — grid adjacency is symmetric) and
+// the downstream neighbor per exit direction.
+func coordPeersFor(topo *topology.Topology, k int) ([]im.CoordPeer, map[intersection.Approach]im.CoordPeer) {
+	var peers []im.CoordPeer
+	downstream := make(map[intersection.Approach]im.CoordPeer)
+	for _, e := range topo.OutEdges(topology.NodeID(k)) {
+		p := im.CoordPeer{Node: int(e.To), Endpoint: im.NodeEndpoint(int(e.To))}
+		peers = append(peers, p)
+		downstream[e.Dir] = p
+	}
+	return peers, downstream
 }
 
 // worldNode is one intersection's IM shard and its node-local accounting.
@@ -481,6 +538,14 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 		nodes[k] = worldNode{
 			server: im.NewServerAt(sim, net, sched, nodeCol, im.NodeEndpoint(k), k),
 			col:    nodeCol,
+		}
+	}
+
+	if cfg.Coord && numNodes > 1 {
+		ccfg := coordConfigFor(&cfg, arrivals, x, 0)
+		for k := range nodes {
+			peers, downstream := coordPeersFor(cfg.Topology, k)
+			nodes[k].server.EnableCoordination(ccfg, peers, downstream)
 		}
 	}
 

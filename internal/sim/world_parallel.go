@@ -292,6 +292,21 @@ func newPWorld(cfg Config, arrivals []traffic.Arrival) (*pworld, error) {
 		pw.shards[k] = w
 	}
 
+	if cfg.Coord {
+		// IM↔IM digests ride the same barrier-exchange outboxes as every
+		// other cross-shard message (shardRouter resolves remote IM
+		// endpoints through imShard). The effective period is raised to at
+		// least the lookahead window: a digest can then be clamped at most
+		// one barrier forward, and the conservative synchronization regime
+		// is untouched — shards never need to see each other inside a
+		// window.
+		ccfg := coordConfigFor(&cfg, arrivals, x, lookahead)
+		for k := 0; k < numNodes; k++ {
+			peers, downstream := coordPeersFor(cfg.Topology, k)
+			pw.shards[k].nodes[k].server.EnableCoordination(ccfg, peers, downstream)
+		}
+	}
+
 	if cfg.Faults != nil {
 		for k := 0; k < numNodes; k++ {
 			sh := pw.shards[k]

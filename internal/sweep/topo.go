@@ -48,6 +48,11 @@ type TopoConfig struct {
 	// default; parallel shards by topology node and falls back to serial on
 	// single-node or zero-segment-length topologies).
 	Kernel sim.Kernel
+	// Coord arms the IM↔IM coordination plane (link-state digests,
+	// downstream backpressure, green-wave offsets) in every cell;
+	// CoordPeriod overrides the digest period (0 = default).
+	Coord       bool
+	CoordPeriod float64
 }
 
 // TopoCell is one policy's outcome over the topology.
@@ -131,6 +136,9 @@ func RunTopology(cfg TopoConfig) (TopoResult, error) {
 		}
 		if cfg.KernelStrict {
 			opts = append(opts, sim.WithKernelStrict())
+		}
+		if cfg.Coord {
+			opts = append(opts, sim.WithCoordination(cfg.CoordPeriod))
 		}
 		if cfg.Noisy {
 			opts = append(opts, sim.WithNoise(plant.TestbedNoise()))

@@ -155,6 +155,28 @@ func (t *Topology) Next(id NodeID, dir intersection.Approach) (NodeID, bool) {
 	return t.At(r, c)
 }
 
+// Edge is one directed adjacency: leaving a node traveling Dir reaches
+// node To over one road segment.
+type Edge struct {
+	Dir intersection.Approach
+	To  NodeID
+}
+
+// OutEdges enumerates the downstream neighbors of id in deterministic
+// approach order (East, North, West, South). Grid adjacency is symmetric —
+// every segment carries traffic both ways — so the same set read in reverse
+// gives the upstream feeders, and the union of OutEdges targets is exactly
+// the node's peer set on the IM↔IM coordination plane.
+func (t *Topology) OutEdges(id NodeID) []Edge {
+	var out []Edge
+	for a := intersection.East; a < intersection.NumApproaches; a++ {
+		if nxt, ok := t.Next(id, a); ok {
+			out = append(out, Edge{Dir: a, To: nxt})
+		}
+	}
+	return out
+}
+
 // IsEntry reports whether (id, approach) is a boundary entry: no upstream
 // node feeds traffic arriving at id traveling in direction approach.
 func (t *Topology) IsEntry(id NodeID, approach intersection.Approach) bool {

@@ -108,6 +108,15 @@ const (
 	// listeners are closed, in-flight work is flushed, and every live
 	// connection receives a Bye (value is the number of live connections).
 	KindServeDrain = "serve.drain"
+
+	// IM↔IM coordination plane. KindIMDigest is an IM receiving a
+	// neighbor's link-state digest (node is the receiver, from the sender's
+	// endpoint, value the digest emission time). KindIMDefer is an IM
+	// holding a vehicle short of the line because the downstream digest
+	// reports saturation (detail "backpressure", value the reported queue
+	// depth, to the saturated neighbor's endpoint).
+	KindIMDigest = "im.digest"
+	KindIMDefer  = "im.defer"
 )
 
 // KnownKinds is the closed set of event kinds in the JSONL schema.
@@ -141,6 +150,8 @@ var KnownKinds = map[string]bool{
 	KindConnClose:    true,
 	KindConnShed:     true,
 	KindServeDrain:   true,
+	KindIMDigest:     true,
+	KindIMDefer:      true,
 }
 
 // Event is one recorded occurrence. Only Kind and T are universal; the
@@ -618,6 +629,14 @@ func (ev Event) Validate() error {
 	case KindConnOpen, KindConnClose:
 		if ev.Detail == "" {
 			return fmt.Errorf("%s: missing detail", ev.Kind)
+		}
+	case KindIMDigest:
+		if ev.From == "" {
+			return fmt.Errorf("%s: missing sender endpoint", ev.Kind)
+		}
+	case KindIMDefer:
+		if ev.Vehicle == 0 || ev.Detail == "" {
+			return fmt.Errorf("%s: need veh and reason detail", ev.Kind)
 		}
 	}
 	return nil
