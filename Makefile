@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-grid bench-report race vet fmt staticcheck check trace-demo corridor-demo grid-demo chaos-demo serve-demo
+.PHONY: build test bench bench-grid bench-report race vet fmt staticcheck check trace-demo corridor-demo grid-demo chaos-demo serve-demo policy-demo
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,15 @@ bench-grid:
 ## artifact. Re-run on a multi-core host to refresh the speedup evidence
 ## (on a single-core host the parallel variants are skipped or noted).
 bench-report:
-	$(GO) run ./cmd/benchreport -out BENCH_7.json -label im-coordination-plane
+	$(GO) run ./cmd/benchreport -out BENCH_8.json -label policy-registry
+
+## policy-demo is the scheduler-registry acceptance gate: each of the new
+## policy families (dot, signalized, auction) drives a 2x2 grid of routed
+## journeys; crossroads-sim exits non-zero if any timed policy records a
+## collision — or, for dot and auction, an incomplete journey (fixed-time
+## signals may legitimately strand a queue remnant at cutoff).
+policy-demo:
+	$(GO) run ./cmd/crossroads-sim -grid 2x2 -seglen 12 -n 60 -seed 42 -workers 0 -policy crossroads,dot,signalized,auction -policy-opt dot.grid=12 -policy-opt signalized.green=8
 
 ## trace-demo runs a tiny traced sweep and validates the JSONL output
 ## against the schema — the end-to-end check for the observability layer.

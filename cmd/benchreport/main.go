@@ -131,6 +131,26 @@ func main() {
 	fmt.Printf("benchreport: mix-scenario throughput %.4f vs clean %.4f (%.2fx)\n",
 		faulted, clean, m.Extra["tput_ratio"])
 
+	// Policy registry: one reduced flow sweep per scheduler family, so a
+	// new policy's scheduling cost and traffic outcome land in the same
+	// committed artifact as the engine timings. Extra carries the
+	// heaviest-rate cell (1.0 car/lane/s) — the regime that separates the
+	// families.
+	for _, pol := range []vehicle.Policy{
+		vehicle.PolicyCrossroads, vehicle.PolicyDOT,
+		vehicle.PolicySignalized, vehicle.PolicyAuction,
+	} {
+		fmt.Printf("benchreport: measuring policy sweep, policy=%s...\n", pol)
+		r, cell := benchPolicySweep(pol)
+		m := record("PolicySweep/"+pol.String(), r)
+		m.Extra = map[string]float64{
+			"tput_veh_s":  cell.Throughput,
+			"mean_wait_s": cell.MeanWait,
+			"collisions":  float64(cell.Collisions),
+		}
+		rep.Metrics = append(rep.Metrics, m)
+	}
+
 	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
@@ -200,6 +220,36 @@ func benchSweep(workers int) testing.BenchmarkResult {
 			}
 		}
 	})
+}
+
+// benchPolicySweep measures one reduced single-policy flow sweep per
+// iteration and returns the timing plus the heaviest-rate cell, so every
+// registered scheduler family carries a comparable cost and outcome row in
+// the report.
+func benchPolicySweep(pol vehicle.Policy) (testing.BenchmarkResult, sweep.Cell) {
+	cfg := sweep.Config{
+		Rates:       []float64{0.1, 0.4, 1.0},
+		NumVehicles: 24,
+		Policies:    []vehicle.Policy{pol},
+		Seed:        42,
+		Workers:     1,
+	}
+	var last sweep.Cell
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res.Cells[len(res.Cells)-1][0]
+			if last.Collisions != 0 || last.BufferViolations != 0 {
+				b.Fatalf("policy %v: %d collisions, %d buffer violations",
+					pol, last.Collisions, last.BufferViolations)
+			}
+		}
+	})
+	return r, last
 }
 
 // benchCorridor measures one full 3-intersection corridor run per

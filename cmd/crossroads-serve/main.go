@@ -23,10 +23,13 @@ import (
 	"crossroads/internal/server"
 	"crossroads/internal/trace"
 
-	_ "crossroads/internal/core"     // register crossroads
-	_ "crossroads/internal/im/aim"   // register aim
-	_ "crossroads/internal/im/batch" // register batch
-	_ "crossroads/internal/im/vtim"  // register vt-im
+	_ "crossroads/internal/core"          // register crossroads
+	_ "crossroads/internal/im/aim"        // register aim
+	_ "crossroads/internal/im/auction"    // register auction
+	_ "crossroads/internal/im/batch"      // register batch
+	_ "crossroads/internal/im/dot"        // register dot
+	_ "crossroads/internal/im/signalized" // register signalized
+	_ "crossroads/internal/im/vtim"       // register vt-im
 )
 
 func main() {

@@ -37,8 +37,27 @@ func main() {
 	summary := flag.Bool("summary", false, "also print the headline throughput ratios")
 	topoFlags := cliflags.AddTopology(flag.CommandLine)
 	coordFlags := cliflags.AddCoord(flag.CommandLine)
+	policyFlags := cliflags.AddPolicy(flag.CommandLine)
 	faults := cliflags.AddFaults(flag.CommandLine)
 	flag.Parse()
+	if policyFlags.List() {
+		fmt.Println(policyFlags.ListText())
+		return
+	}
+	policies, err := policyFlags.Policies(nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
+		os.Exit(1)
+	}
+	policyParams, err := policyFlags.Params()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
+		os.Exit(1)
+	}
+	if len(policies) > 0 && *withBatch {
+		fmt.Fprintln(os.Stderr, "crossroads-sim: -batch and -policy are mutually exclusive (name batch in -policy instead)")
+		os.Exit(1)
+	}
 	coordOn, coordPeriod, err := coordFlags.Parse()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crossroads-sim:", err)
@@ -79,7 +98,7 @@ func main() {
 		if cliflags.WasSet(flag.CommandLine, "rate") {
 			rateOverride = topoFlags.Rate
 		}
-		runFaultMatrix(*faults, seed, workers, csv, tracePath, nOverride, rateOverride)
+		runFaultMatrix(*faults, seed, workers, csv, tracePath, nOverride, rateOverride, policies, policyParams)
 		return
 	}
 
@@ -90,7 +109,8 @@ func main() {
 	}
 	if topo != nil {
 		runTopology(topo, topoFlags.Rate, *n, seed, workers, kernel, common.KernelStrict,
-			*scaleModel, *noisy, *withBatch, csv, tracePath, traceDES, coordOn, coordPeriod)
+			*scaleModel, *noisy, *withBatch, csv, tracePath, traceDES, coordOn, coordPeriod,
+			policies, policyParams)
 		return
 	}
 	if kernel == sim.KernelParallel {
@@ -112,6 +132,10 @@ func main() {
 			vehicle.PolicyVTIM, vehicle.PolicyAIM, vehicle.PolicyBatch, vehicle.PolicyCrossroads,
 		}
 	}
+	if len(policies) > 0 {
+		cfg.Policies = policies
+	}
+	cfg.PolicyParams = policyParams
 	if tracePath != "" {
 		cfg.TraceFull = true
 		cfg.TraceDES = traceDES
@@ -154,7 +178,8 @@ func main() {
 // with every policy and three consecutive seeds. Exits non-zero when any
 // coordinated policy (crossroads, batch) collides, violates a buffer, or
 // strands a vehicle — the matrix doubles as the resilience acceptance gate.
-func runFaultMatrix(spec string, seed int64, workers int, csv bool, tracePath string, n int, rate float64) {
+func runFaultMatrix(spec string, seed int64, workers int, csv bool, tracePath string, n int, rate float64,
+	policies []vehicle.Policy, policyParams map[string]string) {
 	cfg := sweep.DefaultFaultMatrixConfig()
 	if spec != "matrix" {
 		cfg.Scenarios = []string{spec}
@@ -163,6 +188,8 @@ func runFaultMatrix(spec string, seed int64, workers int, csv bool, tracePath st
 	cfg.Workers = workers
 	cfg.NumVehicles = n
 	cfg.Rate = rate
+	cfg.Policies = policies
+	cfg.PolicyParams = policyParams
 	cfg.TraceFull = tracePath != ""
 
 	res, err := sweep.RunFaultMatrix(cfg)
@@ -186,15 +213,15 @@ func runFaultMatrix(spec string, seed int64, workers int, csv bool, tracePath st
 		fmt.Printf("\nTrace written to %s\n", tracePath)
 	}
 	if v := res.SafetyViolations(); v > 0 {
-		fmt.Fprintf(os.Stderr, "crossroads-sim: FAIL: %d safety violation(s) in coordinated policies\n", v)
+		fmt.Fprintf(os.Stderr, "crossroads-sim: FAIL: %d safety violation(s) in timed policies\n", v)
 		os.Exit(1)
 	}
-	fmt.Println("\nPASS: zero collisions, buffer violations, and stranded vehicles for crossroads/batch")
+	fmt.Println("\nPASS: zero collisions, buffer violations, and stranded vehicles for timed policies")
 }
 
 func runTopology(topo *topology.Topology, rate float64, n int, seed int64, workers int,
 	kernel sim.Kernel, kernelStrict bool, scaleModel, noisy, withBatch, csv bool, tracePath string, traceDES bool,
-	coordOn bool, coordPeriod float64) {
+	coordOn bool, coordPeriod float64, policies []vehicle.Policy, policyParams map[string]string) {
 	cfg := sweep.TopoConfig{
 		Topology:     topo,
 		Rate:         rate,
@@ -207,11 +234,15 @@ func runTopology(topo *topology.Topology, rate float64, n int, seed int64, worke
 		KernelStrict: kernelStrict,
 		Coord:        coordOn,
 		CoordPeriod:  coordPeriod,
+		PolicyParams: policyParams,
 	}
 	if withBatch {
 		cfg.Policies = []vehicle.Policy{
 			vehicle.PolicyVTIM, vehicle.PolicyAIM, vehicle.PolicyBatch, vehicle.PolicyCrossroads,
 		}
+	}
+	if len(policies) > 0 {
+		cfg.Policies = policies
 	}
 	if tracePath != "" {
 		cfg.TraceFull = true
@@ -244,21 +275,28 @@ func runTopology(topo *topology.Topology, rate float64, n int, seed int64, worke
 		}
 		fmt.Printf("\nTrace written to %s\n", tracePath)
 	}
-	// Coordinated policies (crossroads, batch) guarantee collision-free
-	// crossings; a collision or stranded vehicle under either is a bug, so
-	// topology runs double as a safety gate (mirrors the fault matrix).
+	// The timed (commanded-trajectory) policies guarantee collision-free
+	// crossings; a collision or stranded vehicle under any of them is a
+	// bug, so topology runs double as a safety gate (mirrors the fault
+	// matrix). Signalized is exempt from the incomplete-journey count
+	// only: a fixed-time signal legitimately leaves queue remnants when
+	// demand exceeds its cycle capacity, but it must never collide.
 	violations := 0
 	for _, c := range res.Cells {
-		if c.Policy != vehicle.PolicyCrossroads.String() && c.Policy != vehicle.PolicyBatch.String() {
+		pol, err := vehicle.ParsePolicy(c.Policy)
+		if err != nil || !pol.Timed() {
 			continue
 		}
-		violations += c.Journey.Collisions + c.Incomplete
+		violations += c.Journey.Collisions
+		if c.Policy != "signalized" {
+			violations += c.Incomplete
+		}
 	}
 	if violations > 0 {
-		fmt.Fprintf(os.Stderr, "crossroads-sim: FAIL: %d collision(s)/incomplete journey(s) in coordinated policies\n", violations)
+		fmt.Fprintf(os.Stderr, "crossroads-sim: FAIL: %d collision(s)/incomplete journey(s) in timed policies\n", violations)
 		os.Exit(1)
 	}
-	fmt.Println("\nPASS: zero collisions and zero incomplete journeys for coordinated policies")
+	fmt.Println("\nPASS: zero collisions and zero incomplete journeys for timed policies")
 }
 
 func emitter(csv bool) func(t interface {

@@ -10,8 +10,10 @@ import (
 	"strconv"
 	"strings"
 
+	"crossroads/internal/im"
 	"crossroads/internal/sim"
 	"crossroads/internal/topology"
+	"crossroads/internal/vehicle"
 )
 
 // Common are the flags every experiment command shares: determinism,
@@ -159,6 +161,72 @@ func (c *Coord) Parse() (enabled bool, period float64, err error) {
 		period = p
 	}
 	return true, period, nil
+}
+
+// Policy is the scheduler-selection flag group shared by crossroads-sim
+// and scale-model: -policy picks the schedulers under test and the
+// repeatable -policy-opt flag passes namespaced tuning knobs through to
+// their factories.
+type Policy struct {
+	// Raw is the unparsed -policy value: "" keeps the command's default
+	// set, "list" prints the registered policies and exits, anything else
+	// is a comma-separated policy list.
+	Raw string
+	// Opts accumulates the repeated -policy-opt pairs in order.
+	Opts repeatable
+}
+
+// repeatable is a flag.Value that collects every occurrence of its flag.
+type repeatable []string
+
+func (r *repeatable) String() string     { return strings.Join(*r, ",") }
+func (r *repeatable) Set(v string) error { *r = append(*r, v); return nil }
+
+// AddPolicy registers the -policy/-policy-opt group on fs.
+func AddPolicy(fs *flag.FlagSet) *Policy {
+	p := &Policy{}
+	fs.StringVar(&p.Raw, "policy", "", `comma-separated IM policies to run (e.g. "crossroads,dot,signalized"); empty keeps the command's default set; "list" prints the registered policies and exits`)
+	fs.Var(&p.Opts, "policy-opt", "repeatable <policy>.<knob>=value tuning pair (e.g. -policy-opt dot.grid=16 -policy-opt signalized.green=6)")
+	return p
+}
+
+// List reports whether -policy list was requested; the caller prints
+// ListText and exits.
+func (p *Policy) List() bool { return p.Raw == "list" }
+
+// ListText renders the registered policy names one per line.
+func (p *Policy) ListText() string {
+	return strings.Join(im.Policies(), "\n")
+}
+
+// Policies resolves -policy into the selected set, or def when the flag
+// was left empty.
+func (p *Policy) Policies(def []vehicle.Policy) ([]vehicle.Policy, error) {
+	if p.Raw == "" {
+		return def, nil
+	}
+	var out []vehicle.Policy
+	for _, name := range strings.Split(p.Raw, ",") {
+		pol, err := vehicle.ParsePolicy(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("-policy: %w", err)
+		}
+		out = append(out, pol)
+	}
+	return out, nil
+}
+
+// Params folds the -policy-opt pairs into a validated Params map (nil when
+// none were passed).
+func (p *Policy) Params() (map[string]string, error) {
+	m, err := im.ParseParams(p.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("-policy-opt: %w", err)
+	}
+	if err := im.ValidateParams(m); err != nil {
+		return nil, fmt.Errorf("-policy-opt: %w", err)
+	}
+	return m, nil
 }
 
 // AddFaults registers the -faults robustness-matrix selector on fs.

@@ -179,8 +179,11 @@ func (p planner) Plan(now float64, req im.Request) (float64, func(float64) im.Cr
 	return earliest, planFor, respond, nil
 }
 
-// New builds the Crossroads scheduler over the intersection.
-func New(x *intersection.Intersection, cfg Config, rng *rand.Rand) (*im.VTCore, error) {
+// Planner builds the Crossroads time-sensitive planner from the config.
+// Derived policies (signalized, auction) wrap it to reuse the exact TE/DE
+// anchoring; the returned planner also implements im.SlotVerifier and
+// im.ArrivalBounder.
+func (cfg Config) Planner() (im.VTPlanner, error) {
 	if err := cfg.Spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -188,7 +191,13 @@ func New(x *intersection.Intersection, cfg Config, rng *rand.Rand) (*im.VTCore, 
 		return nil, fmt.Errorf("core: MinCrossSpeed %v must be positive", cfg.MinCrossSpeed)
 	}
 	lip := cfg.RefWidth/2 + 2*cfg.Spec.SensingBuffer() + 0.05 + cfg.RefLength/2
-	return im.NewVTCore(PolicyName, x, planner{wcRTD: cfg.Spec.WorstRTD, minSpeed: cfg.MinCrossSpeed, lipDist: lip}, im.VTCoreConfig{
+	return planner{wcRTD: cfg.Spec.WorstRTD, minSpeed: cfg.MinCrossSpeed, lipDist: lip}, nil
+}
+
+// VTConfig returns the shared-scheduler configuration Crossroads runs with,
+// for policies that reuse its book, buffers, and margins.
+func (cfg Config) VTConfig() im.VTCoreConfig {
+	return im.VTCoreConfig{
 		Buffers:       cfg.Spec.ForCrossroads(),
 		Margin:        cfg.Margin,
 		SpatialMargin: 2 * cfg.Spec.SensingBuffer(),
@@ -196,5 +205,14 @@ func New(x *intersection.Intersection, cfg Config, rng *rand.Rand) (*im.VTCore, 
 		TableStep:     cfg.TableStep,
 		RefLength:     cfg.RefLength,
 		RefWidth:      cfg.RefWidth,
-	}, rng)
+	}
+}
+
+// New builds the Crossroads scheduler over the intersection.
+func New(x *intersection.Intersection, cfg Config, rng *rand.Rand) (*im.VTCore, error) {
+	p, err := cfg.Planner()
+	if err != nil {
+		return nil, err
+	}
+	return im.NewVTCore(PolicyName, x, p, cfg.VTConfig(), rng)
 }

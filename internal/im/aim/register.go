@@ -20,6 +20,13 @@ func init() {
 		if opts.AIMTimeStep > 0 {
 			c.TimeStep = opts.AIMTimeStep
 		}
+		// Generic params win over the legacy WithAIMTuning fields.
+		p := opts.ParamsFor(PolicyName)
+		c.GridN = p.Int("grid", c.GridN)
+		c.TimeStep = p.Float("step", c.TimeStep)
+		if err := p.Err(); err != nil {
+			return nil, err
+		}
 		return New(x, c, rng)
 	})
 }

@@ -15,6 +15,9 @@ func init() {
 		c.Spec = opts.Spec
 		c.Cost = opts.Cost
 		c.RefLength, c.RefWidth = opts.RefLength, opts.RefWidth
+		if err := opts.ParamsFor(PolicyName).Err(); err != nil {
+			return nil, err
+		}
 		return New(x, c, rng)
 	})
 }

@@ -432,6 +432,41 @@ func (b *Book) PruneBefore(t float64) {
 	}
 }
 
+// Snapshot copies every active reservation in ToA order, for speculative
+// mutations (auction preemption) that may need a full rollback.
+func (b *Book) Snapshot() []Reservation {
+	out := make([]Reservation, len(b.byToA))
+	for i, e := range b.byToA {
+		out[i] = e.res
+	}
+	return out
+}
+
+// Restore resets the ledger to exactly a Snapshot. Insertion ranks are
+// reassigned in snapshot order (ToA order), so equal-ToA tie-breaking after
+// a rollback follows arrival order rather than the original insertion
+// order; no trace events are emitted — a rolled-back speculation never
+// happened. Reservations whose movement is unknown to this book are
+// dropped (cannot occur for snapshots taken from the same book).
+func (b *Book) Restore(snap []Reservation) {
+	b.active = make(map[int64]*bookEntry, len(snap))
+	for i := range b.byToA {
+		b.byToA[i] = nil
+	}
+	b.byToA = b.byToA[:0]
+	for i := range snap {
+		mIdx, ok := b.moveIdx[snap[i].Movement]
+		if !ok {
+			continue
+		}
+		e := &bookEntry{res: snap[i], m: b.moves[mIdx], mIdx: mIdx, seq: b.nextSeq}
+		b.nextSeq++
+		b.derive(e)
+		b.active[e.res.VehicleID] = e
+		b.insertSorted(e)
+	}
+}
+
 // sorted returns active reservations ordered by ToA (stable by insertion).
 func (b *Book) sorted() []*Reservation {
 	out := make([]*Reservation, len(b.byToA))

@@ -1,0 +1,516 @@
+// Package dot implements a discrete-time occupancies-trajectory
+// intersection manager after Lu & Kim (arxiv 1705.05231): the conflict
+// box is rasterized into an N x N tile grid and time into fixed steps,
+// and every grant is the trajectory's exact footprint over (tile, step)
+// pairs rather than a movement-pair conflict interval.
+//
+// Unlike AIM's propose/veto exchange, dot speaks the Crossroads timed
+// protocol: requests carry (TT, DT, VC), the IM anchors planning at
+// TE = TT + WC-RTD where the vehicle's position is deterministic, and the
+// reply is a full (TE, ToA, VT) trajectory command. The IM owns the slot
+// search — candidate arrival times are scanned forward from the earliest
+// reachable arrival in fixed quanta until the swept footprint fits the
+// free tiles — so the policy composes tile-granularity admission with
+// time-sensitive actuation.
+//
+// A committed vehicle (past its point of no return) is booked at its
+// truthful max-acceleration arrival unconditionally; any grants its
+// footprint now overlaps are revised onto later conflict-free slots and
+// pushed to their vehicles, mirroring the Crossroads revision cascade.
+package dot
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"crossroads/internal/geom"
+	"crossroads/internal/im"
+	"crossroads/internal/intersection"
+	"crossroads/internal/kinematics"
+	"crossroads/internal/safety"
+)
+
+// PolicyName is the scheduler name reported in results.
+const PolicyName = "dot"
+
+// Config parameterizes the dot scheduler.
+type Config struct {
+	// Spec supplies the uncertainty bounds; like Crossroads, dot buffers
+	// sensing + sync only (positions at TE are deterministic).
+	Spec safety.Spec
+	// Cost models IM computation delay.
+	Cost im.CostModel
+	// GridN is the tile grid resolution (N x N over the conflict box).
+	GridN int
+	// TimeStep is the occupancy discretization quantum (s).
+	TimeStep float64
+	// Horizon bounds how far past the earliest reachable arrival the
+	// candidate-slot scan looks before giving up with a stop command (s).
+	Horizon float64
+	// MinCrossSpeed floors granted crossing speeds so footprints stay
+	// finite (m/s).
+	MinCrossSpeed float64
+}
+
+// DefaultConfig returns a testbed-scaled configuration.
+func DefaultConfig() Config {
+	return Config{
+		Spec:          safety.TestbedSpec(),
+		Cost:          im.TestbedCostModel(),
+		GridN:         8,
+		TimeStep:      0.1,
+		Horizon:       40,
+		MinCrossSpeed: 0.1,
+	}
+}
+
+// grant is one live reservation: everything needed to re-check exit
+// merges against it and to revise it when a committed vehicle lands on
+// its footprint.
+type grant struct {
+	movement intersection.MovementID
+	params   kinematics.Params
+	toa      float64
+	res      im.Reservation
+	planLen  float64
+	steps    map[int64][]int
+	exit     exitCrossing
+}
+
+// exitCrossing records when and how fast a granted crossing leaves the
+// box, for the same exit-merge separation rule AIM uses.
+type exitCrossing struct {
+	exit    intersection.Approach
+	lane    int
+	time    float64
+	speed   float64
+	planLen float64
+}
+
+// Scheduler is the dot intersection manager for one node.
+type Scheduler struct {
+	x       *intersection.Intersection
+	grid    *intersection.TileGrid
+	res     *intersection.Reservations
+	cfg     Config
+	rng     *rand.Rand
+	buffers safety.Buffers
+	grants  map[int64]*grant
+	order   *im.LaneOrder
+	pushes  []im.Push
+	// scanStep is the candidate-arrival quantum: coarser than TimeStep
+	// (the tile slack absorbs sub-quantum placement) so saturated scans
+	// stay cheap.
+	scanStep float64
+	wcRTD    float64
+
+	// Grants and Stops count outcomes for reporting.
+	Grants int
+	Stops  int
+}
+
+// New builds a dot scheduler over the intersection.
+func New(x *intersection.Intersection, cfg Config, rng *rand.Rand) (*Scheduler, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := intersection.NewTileGrid(x.Box(), cfg.GridN)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		x:        x,
+		grid:     grid,
+		res:      intersection.NewReservations(grid),
+		cfg:      cfg,
+		rng:      rng,
+		buffers:  cfg.Spec.ForCrossroads(),
+		grants:   make(map[int64]*grant),
+		order:    im.NewLaneOrder(),
+		scanStep: math.Max(4*cfg.TimeStep, 0.1),
+		wcRTD:    cfg.Spec.WorstRTD,
+	}, nil
+}
+
+// Name implements im.Scheduler.
+func (s *Scheduler) Name() string { return PolicyName }
+
+// stop commands the vehicle to halt at the stop line and retry.
+func stop() im.Response {
+	return im.Response{Kind: im.RespVelocity, TargetSpeed: 0}
+}
+
+// lipFor is how far before the box entry (center-to-entry) a plan may
+// dwell or crawl; closer and the waiting nose would poke into crossing
+// footprints the pre-entry model cannot represent.
+func (s *Scheduler) lipFor(p kinematics.Params) float64 {
+	return p.Width/2 + 2*s.cfg.Spec.SensingBuffer() + 0.05 + p.Length/2
+}
+
+// HandleRequest implements im.Scheduler: anchor the request at TE, scan
+// candidate arrivals over the tile grid, and command the first fit.
+func (s *Scheduler) HandleRequest(now float64, req im.Request) (im.Response, float64) {
+	m := s.x.Movement(req.Movement)
+	if m == nil || req.Params.Validate() != nil {
+		return stop(), s.cfg.Cost.SimulationCost(s.rng, 1)
+	}
+	// A re-request supersedes any previous grant: free its footprint so
+	// the vehicle does not collide with its own past self in the scan.
+	if _, ok := s.grants[req.VehicleID]; ok {
+		s.res.Release(req.VehicleID)
+		delete(s.grants, req.VehicleID)
+	}
+
+	// Time-sensitive anchoring (Crossroads Chapter 6): plan from TE where
+	// the position is deterministic.
+	vc := math.Min(math.Max(req.CurrentSpeed, 0), req.Params.MaxSpeed)
+	te := req.TransmitTime + s.wcRTD
+	de := math.Max(req.DistToEntry-vc*(te-req.TransmitTime), 0)
+
+	// Lane FIFO: never schedule past an unbooked leader, and never ahead
+	// of a booked one — a rear grant would starve the queue head it
+	// cannot pass.
+	s.order.Update(req.VehicleID, req.Movement, req.DistToEntry)
+	floor := 0.0
+	for _, id := range s.order.Ahead(req.VehicleID, req.DistToEntry) {
+		g, ok := s.grants[id]
+		if !ok {
+			if req.Committed {
+				continue
+			}
+			s.Stops++
+			return stop(), s.cfg.Cost.SimulationCost(s.rng, 1)
+		}
+		if g.toa > floor {
+			floor = g.toa
+		}
+	}
+
+	etaDelay, vEarliest, _ := kinematics.EarliestArrival(te, de, vc, req.Params)
+	earliest := te + etaDelay
+	if vEarliest < s.cfg.MinCrossSpeed {
+		vEarliest = s.cfg.MinCrossSpeed
+	}
+	if floor+s.scanStep > earliest {
+		earliest = floor + s.scanStep
+	}
+	if req.MinArrival > earliest {
+		earliest = req.MinArrival
+	}
+
+	if req.Committed {
+		// The crossing is a physical fact: book the truthful arrival
+		// unconditionally and push any displaced grants onto later slots.
+		toa := te + etaDelay
+		plan := s.buildPlan(te, de, vc, toa, toa, vEarliest, req.Params)
+		steps, candExit, n := s.footprint(m, req.Params, toa, plan)
+		s.res.Reserve(req.VehicleID, steps)
+		s.grants[req.VehicleID] = &grant{
+			movement: req.Movement, params: req.Params, toa: toa,
+			res:     im.Reservation{ToA: toa, Plan: plan},
+			planLen: candExit.planLen, steps: steps, exit: candExit,
+		}
+		s.reviseVictims(now, req.VehicleID, steps)
+		return im.Response{
+			Kind:        im.RespTimed,
+			TargetSpeed: plan.EntrySpeed,
+			ExecuteAt:   te,
+			ArriveAt:    toa,
+		}, s.cfg.Cost.SimulationCost(s.rng, n)
+	}
+
+	// Stop-capability bound: past the lip's stopping point there is no
+	// safe waiting position, so arrivals beyond the deepest no-dwell dip
+	// are unrealizable.
+	latest := math.Inf(1)
+	lip := s.lipFor(req.Params)
+	if req.Params.StoppingDistance(vc) >= de-lip {
+		if eta, ok := kinematics.LatestNoDwell(de, vc, s.cfg.MinCrossSpeed, req.Params); ok {
+			latest = te + eta
+		} else {
+			latest = te
+		}
+	}
+
+	toa, plan, steps, candExit, n, ok := s.findSlot(m, req.VehicleID, req.Params, te, de, vc, earliest, latest, vEarliest)
+	cost := s.cfg.Cost.SimulationCost(s.rng, n)
+	if !ok {
+		s.Stops++
+		return stop(), cost
+	}
+	s.res.Reserve(req.VehicleID, steps)
+	s.grants[req.VehicleID] = &grant{
+		movement: req.Movement, params: req.Params, toa: toa,
+		res:     im.Reservation{ToA: toa, Plan: plan},
+		planLen: candExit.planLen, steps: steps, exit: candExit,
+	}
+	s.Grants++
+	s.res.PruneBefore(int64(math.Floor((now - 5) / s.cfg.TimeStep)))
+	return im.Response{
+		Kind:        im.RespTimed,
+		TargetSpeed: plan.EntrySpeed,
+		ExecuteAt:   te,
+		ArriveAt:    toa,
+	}, cost
+}
+
+// findSlot scans candidate arrivals in scanStep quanta from earliest and
+// returns the first whose approach is realizable, whose exit clears the
+// merge rule, and whose swept footprint fits the free tiles. Excluded
+// grants (the requester itself) are skipped in the exit check.
+func (s *Scheduler) findSlot(m *intersection.Movement, self int64, p kinematics.Params, te, de, vc, earliest, latest, vEarliest float64) (float64, im.CrossingPlan, map[int64][]int, exitCrossing, int, bool) {
+	lip := s.lipFor(p)
+	end := math.Min(latest, earliest+s.cfg.Horizon)
+	n := 0
+	for cand := earliest; cand <= end+1e-9; cand += s.scanStep {
+		toa := math.Min(cand, latest)
+		if !s.realizable(te, de, vc, toa, lip, p) {
+			// Later candidates dip deeper still: command a stop instead.
+			break
+		}
+		plan := s.buildPlan(te, de, vc, toa, earliest, vEarliest, p)
+		steps, candExit, samples := s.footprint(m, p, toa, plan)
+		n += samples
+		if !s.exitClear(self, candExit) {
+			continue
+		}
+		if s.res.Available(steps) {
+			return toa, plan, steps, candExit, n, true
+		}
+	}
+	return 0, im.CrossingPlan{}, nil, exitCrossing{}, n + 1, false
+}
+
+// realizable mirrors the Crossroads slot verifier: the approach plan must
+// actually reach toa and must not dwell (or crawl below 0.3 m/s) within
+// the lip of the box.
+func (s *Scheduler) realizable(te, de, vc, toa, lip float64, p kinematics.Params) bool {
+	prof, err := kinematics.PlanArrival(te, de, vc, toa, p)
+	if err != nil {
+		return true // earliest-arrival plans never dwell
+	}
+	if math.Abs(prof.TimeAtDistance(de)-toa) > 0.05 {
+		return false
+	}
+	minV, remaining := kinematics.SlowestPoint(prof, de)
+	if minV >= 0.3 {
+		return true
+	}
+	if remaining >= de-1e-6 {
+		return true // the slow point is the start: the vehicle already stands there
+	}
+	return remaining >= lip-1e-6
+}
+
+// buildPlan mirrors the Crossroads planner: arrive at toa at the dip's
+// arrival speed, then accelerate to top speed through the box, recording
+// the approach profile for later revision.
+func (s *Scheduler) buildPlan(te, de, vc, toa, earliest, vEarliest float64, p kinematics.Params) im.CrossingPlan {
+	vArr := vEarliest
+	prof, err := kinematics.PlanArrival(te, de, vc, toa, p)
+	if err != nil {
+		_, _, prof = kinematics.EarliestArrival(te, de, vc, p)
+	} else if toa > earliest+1e-6 {
+		vArr = prof.VelocityAt(prof.TimeAtDistance(de))
+		if vArr < s.cfg.MinCrossSpeed {
+			vArr = s.cfg.MinCrossSpeed
+		}
+	}
+	plan := im.AccelPlan(toa, vArr, p.MaxSpeed, p.MaxAccel)
+	plan.Approach = prof
+	plan.ApproachDist = de
+	return plan
+}
+
+// footprint simulates the box crossing and returns its (step -> tiles)
+// occupancy map, its exit crossing, and the sample count for the cost
+// model. The same one-step slack AIM claims absorbs tracking tolerance.
+func (s *Scheduler) footprint(m *intersection.Movement, p kinematics.Params, toa float64, plan im.CrossingPlan) (map[int64][]int, exitCrossing, int) {
+	planLen, planWid := s.buffers.InflatedDims(p.Length, p.Width)
+	cross := im.Reservation{ToA: toa, Plan: plan}
+	arcStart := -planLen / 2
+	arcEnd := m.InsideLen() + planLen/2
+	steps := make(map[int64][]int)
+	n := 0
+	tEnd := cross.TimeAtArc(arcEnd)
+	for t := cross.TimeAtArc(arcStart); t <= tEnd; t += s.cfg.TimeStep {
+		arc := cross.ArcAtTime(t)
+		pose := m.Path.PoseAt(m.EnterS + arc)
+		rect := geom.NewRect(pose.Pos, planLen, planWid, pose.Heading)
+		tiles := s.grid.TilesFor(rect)
+		n++
+		if len(tiles) == 0 {
+			continue
+		}
+		step := int64(math.Floor(t / s.cfg.TimeStep))
+		for d := int64(-1); d <= 2; d++ {
+			steps[step+d] = appendUnique(steps[step+d], tiles)
+		}
+	}
+	ex := exitCrossing{
+		exit:    m.Exit,
+		lane:    m.ID.Lane,
+		time:    cross.TimeAtArc(m.InsideLen()),
+		speed:   cross.SpeedAtArc(m.InsideLen()),
+		planLen: planLen,
+	}
+	return steps, ex, n
+}
+
+// exitClear checks the candidate exit against every live same-exit-lane
+// grant (except self).
+func (s *Scheduler) exitClear(self int64, cand exitCrossing) bool {
+	for id, g := range s.grants {
+		if id == self || g.exit.exit != cand.exit || g.exit.lane != cand.lane {
+			continue
+		}
+		if !exitSeparated(cand, g.exit, s.x.Config().ExitLen) {
+			return false
+		}
+	}
+	return true
+}
+
+// exitSeparated reports whether two same-exit-lane crossings are ordered
+// with enough margin: their exit-point passages must not overlap, and
+// when the later one is faster it additionally needs the catch-up time
+// over the exit road.
+func exitSeparated(a, b exitCrossing, exitLen float64) bool {
+	first, second := a, b
+	if b.time < a.time {
+		first, second = b, a
+	}
+	margin := (first.planLen/first.speed + second.planLen/second.speed) / 2
+	if second.speed > first.speed {
+		margin += exitLen * (1/first.speed - 1/second.speed)
+	}
+	return second.time-first.time >= margin
+}
+
+// reviseVictims pushes every grant the cause's footprint overlaps onto a
+// later conflict-free slot, Crossroads-style: the victim keeps flying its
+// commanded approach until the revision executes at now + WC-RTD, so the
+// new plan starts from its deterministic state then. A victim that
+// cannot be moved (it is itself past the point of no return) keeps its
+// slot — physics allows nothing else — exactly like the book's cascade.
+func (s *Scheduler) reviseVictims(now float64, cause int64, causeSteps map[int64][]int) {
+	var victims []int64
+	for id, g := range s.grants {
+		if id != cause && stepsOverlap(causeSteps, g.steps) {
+			victims = append(victims, id)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, id := range victims {
+		g := s.grants[id]
+		te := now + s.wcRTD
+		remaining, speed, ok := g.res.Plan.StateAt(te)
+		if !ok {
+			continue
+		}
+		m := s.x.Movement(g.movement)
+		if m == nil {
+			continue
+		}
+		lip := s.lipFor(g.params)
+		latest := math.Inf(1)
+		if g.params.StoppingDistance(speed) >= remaining-lip {
+			eta, okDip := kinematics.LatestNoDwell(remaining, speed, s.cfg.MinCrossSpeed, g.params)
+			if !okDip {
+				continue
+			}
+			latest = te + eta
+		}
+		etaDelay, vEarliest, _ := kinematics.EarliestArrival(te, remaining, speed, g.params)
+		if vEarliest < s.cfg.MinCrossSpeed {
+			vEarliest = s.cfg.MinCrossSpeed
+		}
+		// Revisions only push later: never tempt the victim into an
+		// earlier slot its controller may no longer reach.
+		earliest := math.Max(te+etaDelay, g.toa)
+		s.res.Release(id)
+		toa, plan, steps, candExit, _, found := s.findSlot(m, id, g.params, te, remaining, speed, earliest, latest, vEarliest)
+		if !found {
+			s.res.Reserve(id, g.steps) // restore; the overlap stands, as physics dictates
+			continue
+		}
+		s.res.Reserve(id, steps)
+		g.toa = toa
+		g.res = im.Reservation{ToA: toa, Plan: plan}
+		g.planLen = candExit.planLen
+		g.steps = steps
+		g.exit = candExit
+		s.pushes = append(s.pushes, im.Push{VehicleID: id, Resp: im.Response{
+			Kind:        im.RespTimed,
+			TargetSpeed: plan.EntrySpeed,
+			ExecuteAt:   te,
+			ArriveAt:    toa,
+		}})
+	}
+}
+
+// stepsOverlap reports whether two footprints share any (tile, step).
+func stepsOverlap(a, b map[int64][]int) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for step, tiles := range a {
+		other, ok := b[step]
+		if !ok {
+			continue
+		}
+		for _, t := range tiles {
+			for _, u := range other {
+				if t == u {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TakePushes implements im.Pusher: drain pending IM-initiated revisions.
+func (s *Scheduler) TakePushes() []im.Push {
+	p := s.pushes
+	s.pushes = nil
+	return p
+}
+
+// HandleExit implements im.Scheduler: free the vehicle's footprint.
+func (s *Scheduler) HandleExit(now float64, vehicleID int64) {
+	s.res.Release(vehicleID)
+	delete(s.grants, vehicleID)
+	s.order.Remove(vehicleID)
+}
+
+// PruneGhost implements im.GhostPruner: free a silent vehicle's footprint
+// and lane-FIFO slot, refusing while its granted crossing is not
+// comfortably past (a granted vehicle is silent until its exit report).
+func (s *Scheduler) PruneGhost(now float64, vehicleID int64) bool {
+	if g, ok := s.grants[vehicleID]; ok && g.toa > now-2 {
+		return false
+	}
+	s.HandleExit(now, vehicleID)
+	return true
+}
+
+// HeldPairs reports the current (tile, step) reservation count.
+func (s *Scheduler) HeldPairs() int { return s.res.HeldPairs() }
+
+func appendUnique(dst []int, src []int) []int {
+	for _, v := range src {
+		found := false
+		for _, d := range dst {
+			if d == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}

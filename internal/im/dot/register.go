@@ -1,4 +1,4 @@
-package core
+package dot
 
 import (
 	"math/rand"
@@ -7,15 +7,18 @@ import (
 	"crossroads/internal/intersection"
 )
 
-// The registry entry lets the world construct one Crossroads shard per
-// topology node without linking a policy switch into the sim package.
+// The registry entry lets the world construct one dot shard per topology
+// node without linking a policy switch into the sim package.
 func init() {
 	im.RegisterPolicy(PolicyName, func(x *intersection.Intersection, opts im.PolicyOptions, rng *rand.Rand) (im.Scheduler, error) {
 		c := DefaultConfig()
 		c.Spec = opts.Spec
 		c.Cost = opts.Cost
-		c.RefLength, c.RefWidth = opts.RefLength, opts.RefWidth
-		if err := opts.ParamsFor(PolicyName).Err(); err != nil {
+		p := opts.ParamsFor(PolicyName)
+		c.GridN = p.Int("grid", c.GridN)
+		c.TimeStep = p.Float("step", c.TimeStep)
+		c.Horizon = p.Float("horizon", c.Horizon)
+		if err := p.Err(); err != nil {
 			return nil, err
 		}
 		return New(x, c, rng)

@@ -26,8 +26,15 @@ type PolicyOptions struct {
 	// ablation); other policies reject it.
 	OmitRTDBuffer bool
 	// AIMGridN and AIMTimeStep tune the AIM baseline; zero uses defaults.
+	// They predate Params and remain supported; "aim.grid"/"aim.step"
+	// params win when both are given.
 	AIMGridN    int
 	AIMTimeStep float64
+	// Params carries generic per-policy knobs under namespaced
+	// "<policy>.<knob>" keys. Factories read their namespace through
+	// ParamsFor and reject unknown knobs; ValidateParams rejects keys
+	// addressed to unregistered policies.
+	Params map[string]string
 }
 
 // PolicyFactory constructs one scheduler instance for one intersection.
@@ -58,13 +65,14 @@ func NewScheduler(name string, x *intersection.Intersection, opts PolicyOptions,
 	f, ok := policyReg[name]
 	policyMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("im: unknown policy %q (registered: %v)", name, RegisteredPolicies())
+		return nil, fmt.Errorf("im: unknown policy %q (registered: %v)", name, Policies())
 	}
 	return f(x, opts, rng)
 }
 
-// RegisteredPolicies returns the registered policy names, sorted.
-func RegisteredPolicies() []string {
+// Policies returns the registered policy names, sorted — the canonical
+// discovery call behind `-policy list` and the pkg/crossroads facade.
+func Policies() []string {
 	policyMu.RLock()
 	defer policyMu.RUnlock()
 	names := make([]string, 0, len(policyReg))
@@ -73,6 +81,17 @@ func RegisteredPolicies() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// RegisteredPolicies is the historic alias for Policies.
+func RegisteredPolicies() []string { return Policies() }
+
+// policyRegistered reports whether a policy name is registered.
+func policyRegistered(name string) bool {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	_, ok := policyReg[name]
+	return ok
 }
 
 // NodeEndpoint returns the network address of a topology node's IM shard.

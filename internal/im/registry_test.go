@@ -1,0 +1,64 @@
+package im
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"crossroads/internal/intersection"
+)
+
+// testFactory is a minimal registrable factory for registry tests.
+func testFactory(x *intersection.Intersection, opts PolicyOptions, rng *rand.Rand) (Scheduler, error) {
+	return nil, nil
+}
+
+func TestRegisterPolicyDuplicatePanics(t *testing.T) {
+	RegisterPolicy("zz-registry-dup", testFactory)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate RegisterPolicy did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "zz-registry-dup") {
+			t.Fatalf("panic %v does not name the duplicated policy", r)
+		}
+	}()
+	RegisterPolicy("zz-registry-dup", testFactory)
+}
+
+func TestNewSchedulerUnknownPolicyListsRegistered(t *testing.T) {
+	RegisterPolicy("zz-registry-known", testFactory)
+	_, err := NewScheduler("zz-no-such-policy", nil, PolicyOptions{}, rand.New(rand.NewSource(1)))
+	if err == nil {
+		t.Fatal("unknown policy did not error")
+	}
+	if !strings.Contains(err.Error(), `"zz-no-such-policy"`) {
+		t.Errorf("error %q does not name the unknown policy", err)
+	}
+	if !strings.Contains(err.Error(), "zz-registry-known") {
+		t.Errorf("error %q does not list the registered policies", err)
+	}
+}
+
+func TestPoliciesSortedAndRegistered(t *testing.T) {
+	RegisterPolicy("zz-registry-b", testFactory)
+	RegisterPolicy("zz-registry-a", testFactory)
+	names := Policies()
+	ia, ib := -1, -1
+	for i, n := range names {
+		switch n {
+		case "zz-registry-a":
+			ia = i
+		case "zz-registry-b":
+			ib = i
+		}
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("Policies() not sorted: %v", names)
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("registered names missing or misordered in %v", names)
+	}
+}

@@ -1,4 +1,4 @@
-package core
+package signalized
 
 import (
 	"math/rand"
@@ -7,15 +7,18 @@ import (
 	"crossroads/internal/intersection"
 )
 
-// The registry entry lets the world construct one Crossroads shard per
+// The registry entry lets the world construct one signalized shard per
 // topology node without linking a policy switch into the sim package.
 func init() {
 	im.RegisterPolicy(PolicyName, func(x *intersection.Intersection, opts im.PolicyOptions, rng *rand.Rand) (im.Scheduler, error) {
 		c := DefaultConfig()
-		c.Spec = opts.Spec
-		c.Cost = opts.Cost
-		c.RefLength, c.RefWidth = opts.RefLength, opts.RefWidth
-		if err := opts.ParamsFor(PolicyName).Err(); err != nil {
+		c.Core.Spec = opts.Spec
+		c.Core.Cost = opts.Cost
+		c.Core.RefLength, c.Core.RefWidth = opts.RefLength, opts.RefWidth
+		p := opts.ParamsFor(PolicyName)
+		c.Green = p.Float("green", c.Green)
+		c.AllRed = p.Float("allred", c.AllRed)
+		if err := p.Err(); err != nil {
 			return nil, err
 		}
 		return New(x, c, rng)

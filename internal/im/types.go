@@ -42,6 +42,10 @@ type Request struct {
 	ProposedToA float64
 	// CrossSpeed is the constant speed of the proposed crossing (AIM only).
 	CrossSpeed float64
+	// Priority is the vehicle's declared priority class (auction policy):
+	// higher classes outbid lower ones for contested slots. 0 is a regular
+	// car; other policies ignore it.
+	Priority int
 	// Params is the VehicleInfo capability packet.
 	Params kinematics.Params
 	// MinArrival is a green-wave arrival floor stamped server-side by the

@@ -47,6 +47,34 @@ type ArrivalBounder interface {
 	LatestArrival(now float64, req Request) float64
 }
 
+// ArrivalWindower is an optional VTPlanner extension constraining arrivals
+// to policy-defined service windows — the signalized baseline's green
+// phases. AlignArrival returns the start and end of the earliest window for
+// the movement containing or following t (start >= t when t falls outside a
+// window, start <= t <= end otherwise). The core books only inside windows
+// for plannable vehicles; committed vehicles bypass the discipline — they
+// physically cannot stop, and the reservation book still keeps the crossing
+// conflict-free.
+type ArrivalWindower interface {
+	AlignArrival(m intersection.MovementID, t float64) (start, end float64)
+}
+
+// PriorityPolicy is an optional VTPlanner extension mapping each request to
+// a bid (its priority class; 0 = regular traffic). Bids shape the core two
+// ways: seniority becomes bid-weighted, so a high-bid vehicle's slot search
+// ignores lower-bid placeholders; and positive bidders attempt slot
+// preemption — rebooking lower-bid reservations later via the revision
+// cascade, with full rollback when any displaced grant cannot be safely
+// revised. Bids must stay below 2^20 so the seniority stride keeps first
+// contact order within a class.
+type PriorityPolicy interface {
+	Bid(req Request) int64
+}
+
+// senBidStride separates priority classes in the seniority order while
+// preserving first-contact order within a class.
+const senBidStride = int64(1) << 40
+
 // VTCoreConfig parameterizes the shared scheduler.
 type VTCoreConfig struct {
 	// Buffers is the per-policy footprint inflation.
@@ -103,9 +131,11 @@ type VTCore struct {
 	// order tracks physical queue order per entry lane.
 	order *LaneOrder
 	// seniority orders vehicles by first contact (for placeholder
-	// precedence).
+	// precedence); a PriorityPolicy planner shifts it by bid class.
 	seniority map[int64]int64
 	nextSen   int64
+	// bids remembers each vehicle's priority class (PriorityPolicy only).
+	bids map[int64]int64
 }
 
 // NewVTCore builds the scheduler, constructing the policy's conflict table
@@ -149,9 +179,22 @@ func (c *VTCore) Book() *Book { return c.book }
 func (c *VTCore) HandleRequest(now float64, req Request) (Response, float64) {
 	cost := c.cfg.Cost.RequestCost(c.rng, c.book.Len())
 
+	var bid int64
+	prio, hasPrio := c.planner.(PriorityPolicy)
+	if hasPrio {
+		bid = prio.Bid(req)
+		if c.bids == nil {
+			c.bids = make(map[int64]int64)
+		}
+		c.bids[req.VehicleID] = bid
+	}
+
 	sen, ok := c.seniority[req.VehicleID]
 	if !ok {
-		sen = c.nextSen
+		// Bid-weighted seniority: a whole-class stride per bid keeps every
+		// higher class senior to every lower one while preserving
+		// first-contact order within a class.
+		sen = c.nextSen - bid*senBidStride
 		c.nextSen++
 		c.seniority[req.VehicleID] = sen
 	}
@@ -195,11 +238,41 @@ func (c *VTCore) HandleRequest(now float64, req Request) (Response, float64) {
 		// tail of the downstream granted flow instead of ahead of it.
 		earliest = req.MinArrival
 	}
+	windower, hasWindow := c.planner.(ArrivalWindower)
+	if hasWindow && !req.Committed {
+		if s, _ := windower.AlignArrival(req.Movement, earliest); s > earliest {
+			earliest = s
+		}
+	}
 	planLen := req.Params.Length + 2*c.cfg.Buffers.Long
 	toa, plan, err := c.book.EarliestFeasible(req.VehicleID, sen, req.Movement, planLen, earliest, planFor)
 	if err != nil {
 		c.book.Remove(req.VehicleID)
 		return Response{Kind: RespVelocity, TargetSpeed: 0}, cost
+	}
+	if hasWindow && !req.Committed {
+		// The conflict search may have pushed the arrival past the green's
+		// end; realign to the next window and re-search until the slot
+		// lands inside one. Arrival time is monotonically nondecreasing
+		// across rounds, so the loop terminates; if the horizon cap trips,
+		// the out-of-window slot stands — the book still keeps it safe.
+		for round := 0; round < 32; round++ {
+			s, e := windower.AlignArrival(req.Movement, toa)
+			if toa >= s-1e-9 && toa <= e+1e-9 {
+				break
+			}
+			toa, plan, err = c.book.EarliestFeasible(req.VehicleID, sen, req.Movement, planLen, s, planFor)
+			if err != nil {
+				c.book.Remove(req.VehicleID)
+				return Response{Kind: RespVelocity, TargetSpeed: 0}, cost
+			}
+		}
+	}
+	if hasPrio && !req.Committed && bid > 0 {
+		if ptoa, pplan, pushes, ok := c.tryPreempt(now, req, sen, bid, planLen, earliest, planFor, toa); ok {
+			toa, plan = ptoa, pplan
+			c.pushes = append(c.pushes, pushes...)
+		}
 	}
 	if req.Committed {
 		// The crossing will happen within [earliest, latest] regardless of
@@ -288,6 +361,7 @@ func (c *VTCore) HandleExit(now float64, vehicleID int64) {
 	c.book.Remove(vehicleID)
 	c.order.Remove(vehicleID)
 	delete(c.seniority, vehicleID)
+	delete(c.bids, vehicleID)
 }
 
 // FlowHorizons implements FlowReporter for the coordination plane: the

@@ -16,6 +16,9 @@ func init() {
 		c.Cost = opts.Cost
 		c.RefLength, c.RefWidth = opts.RefLength, opts.RefWidth
 		c.OmitRTDBuffer = opts.OmitRTDBuffer
+		if err := opts.ParamsFor(PolicyName).Err(); err != nil {
+			return nil, err
+		}
 		return New(x, c, rng)
 	})
 }

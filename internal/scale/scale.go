@@ -41,6 +41,9 @@ type Config struct {
 	TraceFull bool
 	// TraceDES additionally records the kernel event firehose per cell.
 	TraceDES bool
+	// PolicyParams carries generic "<policy>.<knob>" tuning, shared by
+	// every cell; each policy reads only its own namespace.
+	PolicyParams map[string]string
 }
 
 // DefaultConfig returns the paper's experiment setup.
@@ -158,6 +161,9 @@ func Run(cfg Config) (Result, error) {
 				return err
 			}
 			opts := []sim.Option{sim.WithPolicy(pol), sim.WithSeed(seed)}
+			if len(cfg.PolicyParams) > 0 {
+				opts = append(opts, sim.WithPolicyParams(cfg.PolicyParams))
+			}
 			if cfg.Noisy {
 				opts = append(opts, sim.WithNoise(plant.TestbedNoise()))
 			}

@@ -96,6 +96,15 @@ func WithAIMTuning(gridN int, timeStep float64) Option {
 	}
 }
 
+// WithPolicyParams sets generic per-policy tuning as namespaced
+// "<policy>.<knob>" keys (e.g. "dot.grid", "signalized.green"). Keys under
+// other policies' namespaces are ignored by the running policy, so one map
+// can serve a whole sweep; an unknown knob under the running policy's
+// namespace fails construction with an error naming the policy.
+func WithPolicyParams(params map[string]string) Option {
+	return func(c *Config) { c.PolicyParams = params }
+}
+
 // WithAgentOverrides replaces the per-policy vehicle-agent defaults.
 func WithAgentOverrides(vc *vehicle.Config) Option {
 	return func(c *Config) { c.AgentOverrides = vc }

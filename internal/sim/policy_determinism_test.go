@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"crossroads/internal/plant"
+	"crossroads/internal/topology"
+	"crossroads/internal/trace"
+	"crossroads/internal/vehicle"
+)
+
+// TestNewPoliciesDeterministicAcrossWorkers pins each of the new policy
+// families — dot, signalized, auction — bit-identical across parallel-kernel
+// worker counts on a 2x2 grid, the same contract the crossroads policy
+// carries in TestParallelKernelDeterministicAcrossWorkers. A policy that
+// consults map-iteration order or wall time in its scheduling path fails
+// here before it can corrupt a sweep.
+func TestNewPoliciesDeterministicAcrossWorkers(t *testing.T) {
+	grid22, err := topology.Grid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := grid22.WithSegmentLen(0.8)
+	arr := topoWorkload(t, topo, 14, 23)
+	params := map[string]string{
+		"dot.grid":          "10",
+		"auction.emergency": "4",
+		"signalized.green":  "6",
+	}
+	for _, pol := range []vehicle.Policy{vehicle.PolicyDOT, vehicle.PolicySignalized, vehicle.PolicyAuction} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) (Result, []trace.Event) {
+				rec := trace.NewFull()
+				cfg, err := NewConfig(
+					WithTopology(topo),
+					WithPolicy(pol),
+					WithPolicyParams(params),
+					WithSeed(23),
+					WithNoise(plant.TestbedNoise()),
+					WithKernel(KernelParallel),
+					WithKernelWorkers(workers),
+					WithTrace(rec),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(cfg, arr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				evs := append([]trace.Event(nil), rec.Events()...)
+				trace.CanonicalizeWall(evs)
+				res.Summary.SchedulerWall = 0
+				for k := range res.PerNode {
+					res.PerNode[k].SchedulerWall = 0
+				}
+				return res, evs
+			}
+			want, wantEvs := run(1)
+			if want.Summary.Collisions != 0 || want.Stranded != 0 {
+				t.Fatalf("policy %v reference run: %d collisions, %d stranded",
+					pol, want.Summary.Collisions, want.Stranded)
+			}
+			for _, workers := range []int{2, 4} {
+				got, gotEvs := run(workers)
+				if len(got.Vehicles) != len(want.Vehicles) {
+					t.Fatalf("workers=%d: %d vehicles, want %d", workers, len(got.Vehicles), len(want.Vehicles))
+				}
+				for i := range want.Vehicles {
+					if got.Vehicles[i] != want.Vehicles[i] {
+						t.Fatalf("workers=%d: vehicle record %d differs:\n got %+v\nwant %+v",
+							workers, i, got.Vehicles[i], want.Vehicles[i])
+					}
+				}
+				if got.Summary != want.Summary {
+					t.Errorf("workers=%d: summary differs:\n got %+v\nwant %+v", workers, got.Summary, want.Summary)
+				}
+				if got.Network != want.Network {
+					t.Errorf("workers=%d: network stats differ:\n got %+v\nwant %+v", workers, got.Network, want.Network)
+				}
+				if len(gotEvs) != len(wantEvs) {
+					t.Fatalf("workers=%d: trace length %d, want %d", workers, len(gotEvs), len(wantEvs))
+				}
+				for i := range wantEvs {
+					if gotEvs[i] != wantEvs[i] {
+						t.Fatalf("workers=%d: trace event %d differs:\n got %+v\nwant %+v",
+							workers, i, gotEvs[i], wantEvs[i])
+					}
+				}
+			}
+		})
+	}
+}

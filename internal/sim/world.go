@@ -21,9 +21,12 @@ import (
 	"crossroads/internal/fault"
 	"crossroads/internal/geom"
 	"crossroads/internal/im"
-	_ "crossroads/internal/im/aim" // register the aim policy
+	_ "crossroads/internal/im/aim"     // register the aim policy
+	_ "crossroads/internal/im/auction" // register the auction policy
 	"crossroads/internal/im/batch"
-	_ "crossroads/internal/im/vtim" // register the vt-im policy
+	_ "crossroads/internal/im/dot"        // register the dot policy
+	_ "crossroads/internal/im/signalized" // register the signalized policy
+	_ "crossroads/internal/im/vtim"       // register the vt-im policy
 	"crossroads/internal/intersection"
 	"crossroads/internal/kinematics"
 	"crossroads/internal/metrics"
@@ -88,6 +91,13 @@ type Config struct {
 	// AIMGridN and AIMTimeStep tune the AIM baseline; zero uses defaults.
 	AIMGridN    int
 	AIMTimeStep float64
+	// PolicyParams carries generic per-policy tuning as namespaced
+	// "<policy>.<knob>" keys (e.g. "dot.grid", "signalized.green"). Keys
+	// belonging to policies other than the one under test are ignored, so
+	// a sweep can share one map across its whole policy set; an unknown
+	// knob under the running policy's namespace fails scheduler
+	// construction with an error naming the policy and its known knobs.
+	PolicyParams map[string]string
 	// AgentOverrides, if non-nil, replaces the per-policy agent defaults.
 	// The per-leg IM binding (IMEndpoint, Node) is still forced by the
 	// world.
@@ -180,6 +190,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Policy != vehicle.PolicyAIM && (cfg.AIMGridN != 0 || cfg.AIMTimeStep != 0) {
 		return fmt.Errorf("sim: AIM tuning (GridN=%d, TimeStep=%v) set for policy %v", cfg.AIMGridN, cfg.AIMTimeStep, cfg.Policy)
+	}
+	if err := im.ValidateParams(cfg.PolicyParams); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	if cfg.TraceDES && cfg.Trace == nil {
 		return fmt.Errorf("sim: TraceDES requires a Trace recorder")
@@ -520,6 +533,7 @@ func newWorld(cfg Config, arrivals []traffic.Arrival) (*world, error) {
 		OmitRTDBuffer: cfg.OmitRTDBuffer,
 		AIMGridN:      cfg.AIMGridN,
 		AIMTimeStep:   cfg.AIMTimeStep,
+		Params:        cfg.PolicyParams,
 	}
 	// One IM shard per topology node, each with its own scheduler state and
 	// RNG stream (node 0 keeps the classic Seed+2 stream), all sharing the

@@ -48,6 +48,9 @@ type FaultMatrixConfig struct {
 	// TraceFull gives every cell its own full-retention recorder; the
 	// streams land in FaultMatrixResult.Traces in cell order.
 	TraceFull bool
+	// PolicyParams carries generic "<policy>.<knob>" tuning, shared by
+	// every cell; each policy reads only its own namespace.
+	PolicyParams map[string]string
 }
 
 // DefaultFaultMatrixConfig returns the standard matrix: all named scenarios
@@ -97,15 +100,16 @@ func (r FaultMatrixResult) CleanThroughput(pi, wi int) float64 {
 	return r.Cells[0][pi][wi].Throughput
 }
 
-// SafetyViolations counts the hard failures of the coordinated policies
-// (crossroads and batch) across the whole matrix: collisions, buffer
-// violations, and stranded vehicles. The acceptance bar is zero.
+// SafetyViolations counts the hard failures of the timed (commanded-
+// trajectory) policies — crossroads, batch, dot, signalized, auction —
+// across the whole matrix: collisions, buffer violations, and stranded
+// vehicles. The acceptance bar is zero. VT-IM and AIM are exempt: their
+// protocols predate the committed-rebook machinery the bar depends on.
 func (r FaultMatrixResult) SafetyViolations() int {
 	n := 0
 	for _, row := range r.Cells {
 		for pi, col := range row {
-			p := r.Policies[pi]
-			if p != vehicle.PolicyCrossroads && p != vehicle.PolicyBatch {
+			if !r.Policies[pi].Timed() {
 				continue
 			}
 			for _, c := range col {
@@ -262,6 +266,9 @@ func RunFaultMatrix(cfg FaultMatrixConfig) (FaultMatrixResult, error) {
 			sim.WithPolicy(pol),
 			sim.WithSeed(seed),
 			sim.WithFaults(schedules[si]),
+		}
+		if len(cfg.PolicyParams) > 0 {
+			opts = append(opts, sim.WithPolicyParams(cfg.PolicyParams))
 		}
 		if cfg.TraceFull {
 			rec := trace.NewFull()

@@ -53,6 +53,9 @@ type Config struct {
 	TraceFull bool
 	// TraceDES additionally records the kernel event firehose per cell.
 	TraceDES bool
+	// PolicyParams carries generic "<policy>.<knob>" tuning, shared by
+	// every cell; each policy reads only its own namespace.
+	PolicyParams map[string]string
 }
 
 // DefaultConfig returns the paper's setup at full-scale geometry.
@@ -79,6 +82,11 @@ type Cell struct {
 	Collisions           int
 	BufferViolations     int
 	Incomplete           int
+	// FailsafeStopped and Stranded split Incomplete the way sim.Result
+	// does: failsafe-stopped vehicles ended the run standing short of the
+	// box (graceful saturation), stranded ones in any other state.
+	FailsafeStopped int
+	Stranded        int
 }
 
 // Result is the full sweep.
@@ -178,6 +186,9 @@ func Run(cfg Config) (Result, error) {
 			sim.WithIntersection(interCfg),
 			sim.WithSpec(spec),
 		}
+		if len(cfg.PolicyParams) > 0 {
+			opts = append(opts, sim.WithPolicyParams(cfg.PolicyParams))
+		}
 		if cfg.Noisy {
 			opts = append(opts, sim.WithNoise(plant.TestbedNoise()))
 		}
@@ -211,6 +222,8 @@ func Run(cfg Config) (Result, error) {
 			Collisions:           out.Summary.Collisions,
 			BufferViolations:     out.Summary.BufferViolations,
 			Incomplete:           out.Incomplete,
+			FailsafeStopped:      out.FailsafeStopped,
+			Stranded:             out.Stranded,
 		}
 		return nil
 	})

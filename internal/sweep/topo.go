@@ -53,6 +53,9 @@ type TopoConfig struct {
 	// CoordPeriod overrides the digest period (0 = default).
 	Coord       bool
 	CoordPeriod float64
+	// PolicyParams carries generic "<policy>.<knob>" tuning, shared by
+	// every cell; each policy reads only its own namespace.
+	PolicyParams map[string]string
 }
 
 // TopoCell is one policy's outcome over the topology.
@@ -136,6 +139,9 @@ func RunTopology(cfg TopoConfig) (TopoResult, error) {
 		}
 		if cfg.KernelStrict {
 			opts = append(opts, sim.WithKernelStrict())
+		}
+		if len(cfg.PolicyParams) > 0 {
+			opts = append(opts, sim.WithPolicyParams(cfg.PolicyParams))
 		}
 		if cfg.Coord {
 			opts = append(opts, sim.WithCoordination(cfg.CoordPeriod))

@@ -41,7 +41,7 @@ import (
 // Policy selects which protocol the agent speaks.
 type Policy int
 
-// The three evaluated protocols.
+// The evaluated protocols.
 const (
 	PolicyVTIM Policy = iota
 	PolicyCrossroads
@@ -50,6 +50,15 @@ const (
 	// behaves like Crossroads (timed commands), with longer response
 	// latency budgeted for the re-organization window.
 	PolicyBatch
+	// PolicyDOT is the discrete-time occupancies-trajectory IM (space-time
+	// tile reservations); on the wire it behaves like Crossroads.
+	PolicyDOT
+	// PolicySignalized is the fixed-phase traffic-light baseline; timed
+	// commands aligned to green windows.
+	PolicySignalized
+	// PolicyAuction is the bidding/priority policy; timed commands with
+	// per-vehicle priority classes.
+	PolicyAuction
 )
 
 func (p Policy) String() string {
@@ -62,9 +71,48 @@ func (p Policy) String() string {
 		return "aim"
 	case PolicyBatch:
 		return "batch"
+	case PolicyDOT:
+		return "dot"
+	case PolicySignalized:
+		return "signalized"
+	case PolicyAuction:
+		return "auction"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
+}
+
+// AllPolicies lists every protocol the agent speaks, in enum order.
+func AllPolicies() []Policy {
+	return []Policy{
+		PolicyVTIM, PolicyCrossroads, PolicyAIM, PolicyBatch,
+		PolicyDOT, PolicySignalized, PolicyAuction,
+	}
+}
+
+// ParsePolicy maps a policy name (as printed by String, matching the IM
+// registry names) back to its Policy.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range AllPolicies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("vehicle: unknown policy %q (known: %v)", name, AllPolicies())
+}
+
+// Timed reports whether the policy's grants are time-anchored commands
+// (TE/ToA): requests carry the synchronized transmit timestamp, replies are
+// executed at a fixed TE, and the IM may push unsolicited revisions. This
+// is the protocol-classification pivot — the wire behavior every
+// Crossroads-derived policy (batch, dot, signalized, auction) shares —
+// replacing per-policy case lists at the protocol switch sites.
+func (p Policy) Timed() bool {
+	switch p {
+	case PolicyCrossroads, PolicyBatch, PolicyDOT, PolicySignalized, PolicyAuction:
+		return true
+	}
+	return false
 }
 
 // State is the protocol state (paper Chapter 2 state machine).
@@ -154,6 +202,9 @@ type Config struct {
 	// Node tags the agent's trace events with the topology node it is
 	// currently negotiating with (0 for single-intersection runs).
 	Node int
+	// Priority is the vehicle's declared priority class, carried on timed
+	// requests for the auction policy (0 = regular traffic).
+	Priority int
 	// Trace receives protocol state transitions and commit-point events;
 	// nil disables agent tracing.
 	Trace *trace.Recorder

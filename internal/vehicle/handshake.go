@@ -90,7 +90,7 @@ func (a *Agent) handle(now float64, msg network.Message) {
 			// crossed must not rewrite the next leg's plan.
 			if msg.From == a.imAddr &&
 				resp.Kind == im.RespTimed && a.hasArrival && a.state == StateFollow &&
-				(a.cfg.Policy == PolicyCrossroads || a.cfg.Policy == PolicyBatch) {
+				a.cfg.Policy.Timed() {
 				a.applyTimedCommand(now, resp)
 			}
 			return
@@ -134,15 +134,16 @@ func (a *Agent) sendRequest(retransmit bool) {
 		Movement:  a.Movement.ID,
 		Params:    a.Plant.Params,
 	}
-	switch a.cfg.Policy {
-	case PolicyVTIM:
-		req.CurrentSpeed = vc
-		req.DistToEntry = dt
-	case PolicyCrossroads, PolicyBatch:
+	switch {
+	case a.cfg.Policy.Timed():
 		req.CurrentSpeed = vc
 		req.DistToEntry = dt
 		req.TransmitTime = tt
-	case PolicyAIM:
+		req.Priority = a.cfg.Priority
+	case a.cfg.Policy == PolicyVTIM:
+		req.CurrentSpeed = vc
+		req.DistToEntry = dt
+	case a.cfg.Policy == PolicyAIM:
 		if vc >= 0.15*a.Plant.Params.MaxSpeed {
 			// Constant-speed proposal (Algorithm 6): TOA dictated by the
 			// current speed.
@@ -199,6 +200,7 @@ func (a *Agent) sendCommittedRequest() {
 		DistToEntry:  dt,
 		TransmitTime: tt,
 		Committed:    true,
+		Priority:     a.cfg.Priority,
 		Params:       a.Plant.Params,
 	}
 	if a.cfg.Policy == PolicyAIM {
@@ -250,8 +252,8 @@ func (a *Agent) sendConfirm() {
 
 // handleResponse consumes the IM's reply per policy.
 func (a *Agent) handleResponse(now float64, resp im.Response) {
-	switch a.cfg.Policy {
-	case PolicyVTIM:
+	switch {
+	case a.cfg.Policy == PolicyVTIM:
 		if resp.Kind != im.RespVelocity {
 			return
 		}
@@ -270,7 +272,7 @@ func (a *Agent) handleResponse(now float64, resp im.Response) {
 		a.originS = s
 		a.hasProfile = true
 		a.setState(StateFollow)
-	case PolicyCrossroads, PolicyBatch:
+	case a.cfg.Policy.Timed():
 		if resp.Kind == im.RespVelocity && resp.TargetSpeed <= 0.01 {
 			// Degenerate-request stop command.
 			a.stopAndRetry()
@@ -280,7 +282,7 @@ func (a *Agent) handleResponse(now float64, resp im.Response) {
 			return
 		}
 		a.applyTimedCommand(now, resp)
-	case PolicyAIM:
+	case a.cfg.Policy == PolicyAIM:
 		switch resp.Kind {
 		case im.RespAccept:
 			a.applyAIMAccept(now, resp)

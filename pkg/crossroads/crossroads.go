@@ -12,8 +12,9 @@
 //   - the serve-mode wire protocol types, so clients can speak to
 //     crossroads-serve without depending on internal/protocol directly.
 //
-// Importing this package registers all four built-in policies
-// ("crossroads", "vt-im", "aim", "batch").
+// Importing this package registers all seven built-in policies
+// ("crossroads", "vt-im", "aim", "batch", "dot", "signalized",
+// "auction").
 package crossroads
 
 import (
@@ -23,10 +24,13 @@ import (
 	"crossroads/internal/sim"
 	"crossroads/internal/sweep"
 
-	_ "crossroads/internal/core"     // register crossroads
-	_ "crossroads/internal/im/aim"   // register aim
-	_ "crossroads/internal/im/batch" // register batch
-	_ "crossroads/internal/im/vtim"  // register vt-im
+	_ "crossroads/internal/core"          // register crossroads
+	_ "crossroads/internal/im/aim"        // register aim
+	_ "crossroads/internal/im/auction"    // register auction
+	_ "crossroads/internal/im/batch"      // register batch
+	_ "crossroads/internal/im/dot"        // register dot
+	_ "crossroads/internal/im/signalized" // register signalized
+	_ "crossroads/internal/im/vtim"       // register vt-im
 )
 
 // Policy registry: implement im.Scheduler, register a factory under a
@@ -47,6 +51,14 @@ var (
 	NewScheduler = im.NewScheduler
 	// RegisteredPolicies lists registered policy names, sorted.
 	RegisteredPolicies = im.RegisteredPolicies
+	// Policies lists registered policy names, sorted (an alias of
+	// RegisteredPolicies matching the internal registry's name).
+	Policies = im.Policies
+	// ParseParams folds repeated "key=value" pairs into a policy-params
+	// map for WithPolicyParams.
+	ParseParams = im.ParseParams
+	// ValidateParams checks a policy-params map's key shape up front.
+	ValidateParams = im.ValidateParams
 )
 
 // Simulation construction and execution.
@@ -81,6 +93,7 @@ var (
 	WithClockError     = sim.WithClockError
 	WithOmitRTDBuffer  = sim.WithOmitRTDBuffer
 	WithAIMTuning      = sim.WithAIMTuning
+	WithPolicyParams   = sim.WithPolicyParams
 	WithAgentOverrides = sim.WithAgentOverrides
 	WithCollisionEvery = sim.WithCollisionEvery
 	WithObserver       = sim.WithObserver
